@@ -1,0 +1,225 @@
+//! The lexicographic product of two routing algebras.
+//!
+//! Routes of `Lex<A, B>` are pairs `(a, b)`; choice prefers by the `A`
+//! component and breaks ties with the `B` component.  Edge functions are
+//! pairs of edge functions applied component-wise.
+//!
+//! The product preserves the required laws of Definition 1, preserves
+//! (strict) increasingness when both components are (strictly) increasing,
+//! and in general does **not** preserve distributivity — which is exactly
+//! why lexicographic route selection (e.g. BGP's local-pref-then-path-length
+//! rule) is a *policy-rich* construction.
+
+use crate::algebra::{Increasing, RoutingAlgebra, SampleableAlgebra, StrictlyIncreasing};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A route of the lexicographic product: a pair of component routes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LexRoute<RA, RB> {
+    /// The primary (most significant) component.
+    pub first: RA,
+    /// The tie-breaking component.
+    pub second: RB,
+}
+
+impl<RA: fmt::Debug, RB: fmt::Debug> fmt::Debug for LexRoute<RA, RB> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.first, self.second)
+    }
+}
+
+impl<RA, RB> LexRoute<RA, RB> {
+    /// Pair two component routes.
+    pub fn new(first: RA, second: RB) -> Self {
+        Self { first, second }
+    }
+}
+
+/// An edge of the lexicographic product: a pair of component edges.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LexEdge<EA, EB> {
+    /// The edge function applied to the primary component.
+    pub first: EA,
+    /// The edge function applied to the tie-breaking component.
+    pub second: EB,
+}
+
+impl<EA: fmt::Debug, EB: fmt::Debug> fmt::Debug for LexEdge<EA, EB> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.first, self.second)
+    }
+}
+
+impl<EA, EB> LexEdge<EA, EB> {
+    /// Pair two component edges.
+    pub fn new(first: EA, second: EB) -> Self {
+        Self { first, second }
+    }
+}
+
+/// The lexicographic product `A ⋉ B` of two routing algebras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lex<A, B> {
+    /// The primary algebra.
+    pub primary: A,
+    /// The tie-breaking algebra.
+    pub secondary: B,
+}
+
+impl<A, B> Lex<A, B> {
+    /// Build the product of two algebras.
+    pub fn new(primary: A, secondary: B) -> Self {
+        Self { primary, secondary }
+    }
+}
+
+impl<A: RoutingAlgebra, B: RoutingAlgebra> RoutingAlgebra for Lex<A, B> {
+    type Route = LexRoute<A::Route, B::Route>;
+    type Edge = LexEdge<A::Edge, B::Edge>;
+
+    fn choice(&self, a: &Self::Route, b: &Self::Route) -> Self::Route {
+        match self.primary.route_cmp(&a.first, &b.first) {
+            Ordering::Less => a.clone(),
+            Ordering::Greater => b.clone(),
+            Ordering::Equal => {
+                // Primary components may be equal as *preferences* only when
+                // they are equal as values (route_cmp returns Equal only on
+                // equality), so keeping `a.first` is canonical.
+                LexRoute::new(
+                    a.first.clone(),
+                    self.secondary.choice(&a.second, &b.second),
+                )
+            }
+        }
+    }
+
+    fn extend(&self, f: &Self::Edge, r: &Self::Route) -> Self::Route {
+        LexRoute::new(
+            self.primary.extend(&f.first, &r.first),
+            self.secondary.extend(&f.second, &r.second),
+        )
+    }
+
+    fn trivial(&self) -> Self::Route {
+        LexRoute::new(self.primary.trivial(), self.secondary.trivial())
+    }
+
+    fn invalid(&self) -> Self::Route {
+        LexRoute::new(self.primary.invalid(), self.secondary.invalid())
+    }
+}
+
+impl<A: Increasing, B: Increasing> Increasing for Lex<A, B> {}
+impl<A: StrictlyIncreasing, B: StrictlyIncreasing> StrictlyIncreasing for Lex<A, B> {}
+
+impl<A, B> SampleableAlgebra for Lex<A, B>
+where
+    A: SampleableAlgebra,
+    B: SampleableAlgebra,
+{
+    fn sample_routes(&self, seed: u64, count: usize) -> Vec<Self::Route> {
+        let ra = self.primary.sample_routes(seed, count);
+        let rb = self.secondary.sample_routes(seed ^ 0xBEEF, count);
+        let mut out = vec![self.trivial(), self.invalid()];
+        for i in 0..count.max(2) {
+            out.push(LexRoute::new(
+                ra[i % ra.len()].clone(),
+                rb[(i * 7 + 3) % rb.len()].clone(),
+            ));
+        }
+        out
+    }
+
+    fn sample_edges(&self, seed: u64, count: usize) -> Vec<Self::Edge> {
+        let ea = self.primary.sample_edges(seed, count);
+        let eb = self.secondary.sample_edges(seed ^ 0xF00D, count);
+        (0..count.max(1))
+            .map(|i| LexEdge::new(ea[i % ea.len()].clone(), eb[(i * 5 + 1) % eb.len()].clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::hopcount::BoundedHopCount;
+    use crate::instances::shortest::ShortestPaths;
+    use crate::instances::widest::WidestPaths;
+    use crate::instances::nat_inf::NatInf;
+    use crate::properties;
+
+    type WidestShortest = Lex<WidestPaths, ShortestPaths>;
+
+    fn widest_shortest() -> WidestShortest {
+        Lex::new(WidestPaths::new(), ShortestPaths::new())
+    }
+
+    #[test]
+    fn primary_component_dominates() {
+        let alg = widest_shortest();
+        // (bandwidth 100, distance 9) beats (bandwidth 10, distance 1)
+        let a = LexRoute::new(NatInf::fin(100), NatInf::fin(9));
+        let b = LexRoute::new(NatInf::fin(10), NatInf::fin(1));
+        assert_eq!(alg.choice(&a, &b), a);
+    }
+
+    #[test]
+    fn ties_break_on_secondary() {
+        let alg = widest_shortest();
+        let a = LexRoute::new(NatInf::fin(100), NatInf::fin(9));
+        let b = LexRoute::new(NatInf::fin(100), NatInf::fin(2));
+        assert_eq!(alg.choice(&a, &b), b);
+    }
+
+    #[test]
+    fn extension_is_componentwise() {
+        let alg = widest_shortest();
+        let e = LexEdge::new(NatInf::fin(50), NatInf::fin(3));
+        let r = LexRoute::new(NatInf::fin(100), NatInf::fin(9));
+        let ext = alg.extend(&e, &r);
+        assert_eq!(ext, LexRoute::new(NatInf::fin(50), NatInf::fin(12)));
+    }
+
+    #[test]
+    fn required_laws_hold_for_widest_shortest() {
+        let alg = widest_shortest();
+        let routes = alg.sample_routes(61, 48);
+        let edges = alg.sample_edges(61, 12);
+        properties::check_required_laws(&alg, &routes, &edges).unwrap();
+    }
+
+    #[test]
+    fn strictly_increasing_product_of_strictly_increasing_components() {
+        let alg = Lex::new(BoundedHopCount::new(8), ShortestPaths::new());
+        let routes = alg.sample_routes(67, 48);
+        let edges = alg.sample_edges(67, 12);
+        properties::check_required_laws(&alg, &routes, &edges).unwrap();
+        properties::check_strictly_increasing(&alg, &edges, &routes).unwrap();
+    }
+
+    #[test]
+    fn widest_shortest_is_not_distributive() {
+        // The classic bandwidth-then-distance example: the product of two
+        // distributive algebras need not be distributive.
+        let alg = widest_shortest();
+        // f throttles bandwidth to 10 and adds distance 1.
+        let f = LexEdge::new(NatInf::fin(10), NatInf::fin(1));
+        // a: bandwidth 100, distance 5 (preferred over b)
+        // b: bandwidth 10, distance 1
+        let a = LexRoute::new(NatInf::fin(100), NatInf::fin(5));
+        let b = LexRoute::new(NatInf::fin(10), NatInf::fin(1));
+        let lhs = alg.extend(&f, &alg.choice(&a, &b)); // f(a) = (10, 6)
+        let rhs = alg.choice(&alg.extend(&f, &a), &alg.extend(&f, &b)); // best((10,6),(10,2)) = (10,2)
+        assert_ne!(lhs, rhs);
+        assert!(properties::check_distributive(&alg, &[f], &[a, b]).is_err());
+    }
+
+    #[test]
+    fn debug_formats_are_paired() {
+        let r = LexRoute::new(NatInf::fin(1), NatInf::fin(2));
+        assert_eq!(format!("{r:?}"), "(1, 2)");
+        let e = LexEdge::new(NatInf::fin(1), NatInf::fin(2));
+        assert_eq!(format!("{e:?}"), "(1, 2)");
+    }
+}

@@ -1,0 +1,14 @@
+//! Combinators for building new routing algebras out of existing ones.
+//!
+//! * [`lex`] — the lexicographic product `A ⋉ B`: prefer by `A`, break ties
+//!   by `B`.  This is the construction behind multi-criteria metrics such as
+//!   (local-preference, path-length) or (bandwidth, delay) and is used by
+//!   the BGP-like algebras.
+//! * [`prod`] — the direct (component-wise) product, which in general is
+//!   **not** selective and therefore not a routing algebra.  It is provided
+//!   as a negative example so the property checkers have something real to
+//!   reject, mirroring the paper's insistence that the axioms be checked
+//!   rather than assumed.
+
+pub mod lex;
+pub mod prod;

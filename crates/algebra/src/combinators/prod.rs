@@ -1,0 +1,129 @@
+//! The direct (component-wise) product of two routing algebras — a
+//! deliberately *broken* construction kept as a negative example.
+//!
+//! Choosing component-wise (`(a₁, b₁) ⊕ (a₂, b₂) = (a₁ ⊕ a₂, b₁ ⊕ b₂)`) is
+//! associative and commutative but **not selective**: the result can be a
+//! mix of the two operands (for example the minimum distance of one paired
+//! with the maximum bandwidth of the other), i.e. a route that nobody
+//! actually announced.  Because selectivity is one of the *required* laws of
+//! Definition 1, `DirectProduct` is not a routing algebra, and the property
+//! checkers are expected to reject it.  The tests and the Table 1 experiment
+//! use it to demonstrate that the checkers genuinely discriminate.
+
+use crate::algebra::{RoutingAlgebra, SampleableAlgebra};
+use crate::combinators::lex::{LexEdge, LexRoute};
+
+/// The component-wise product of two algebras (not selective; see module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectProduct<A, B> {
+    /// The first component algebra.
+    pub first: A,
+    /// The second component algebra.
+    pub second: B,
+}
+
+impl<A, B> DirectProduct<A, B> {
+    /// Build the product of two algebras.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: RoutingAlgebra, B: RoutingAlgebra> RoutingAlgebra for DirectProduct<A, B> {
+    type Route = LexRoute<A::Route, B::Route>;
+    type Edge = LexEdge<A::Edge, B::Edge>;
+
+    fn choice(&self, a: &Self::Route, b: &Self::Route) -> Self::Route {
+        LexRoute::new(
+            self.first.choice(&a.first, &b.first),
+            self.second.choice(&a.second, &b.second),
+        )
+    }
+
+    fn extend(&self, f: &Self::Edge, r: &Self::Route) -> Self::Route {
+        LexRoute::new(
+            self.first.extend(&f.first, &r.first),
+            self.second.extend(&f.second, &r.second),
+        )
+    }
+
+    fn trivial(&self) -> Self::Route {
+        LexRoute::new(self.first.trivial(), self.second.trivial())
+    }
+
+    fn invalid(&self) -> Self::Route {
+        LexRoute::new(self.first.invalid(), self.second.invalid())
+    }
+}
+
+impl<A, B> SampleableAlgebra for DirectProduct<A, B>
+where
+    A: SampleableAlgebra,
+    B: SampleableAlgebra,
+{
+    fn sample_routes(&self, seed: u64, count: usize) -> Vec<Self::Route> {
+        let ra = self.first.sample_routes(seed, count);
+        let rb = self.second.sample_routes(seed ^ 0xBEEF, count);
+        let mut out = vec![self.trivial(), self.invalid()];
+        for i in 0..count.max(2) {
+            out.push(LexRoute::new(
+                ra[i % ra.len()].clone(),
+                rb[(i * 7 + 3) % rb.len()].clone(),
+            ));
+        }
+        out
+    }
+
+    fn sample_edges(&self, seed: u64, count: usize) -> Vec<Self::Edge> {
+        let ea = self.first.sample_edges(seed, count);
+        let eb = self.second.sample_edges(seed ^ 0xF00D, count);
+        (0..count.max(1))
+            .map(|i| LexEdge::new(ea[i % ea.len()].clone(), eb[(i * 5 + 1) % eb.len()].clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::shortest::ShortestPaths;
+    use crate::instances::widest::WidestPaths;
+    use crate::instances::nat_inf::NatInf;
+    use crate::properties;
+
+    #[test]
+    fn direct_product_violates_selectivity() {
+        let alg = DirectProduct::new(WidestPaths::new(), ShortestPaths::new());
+        // a is wider, b is shorter; the componentwise choice mixes them into
+        // a route that neither neighbour offered.
+        let a = LexRoute::new(NatInf::fin(100), NatInf::fin(9));
+        let b = LexRoute::new(NatInf::fin(10), NatInf::fin(1));
+        let c = alg.choice(&a, &b);
+        assert_eq!(c, LexRoute::new(NatInf::fin(100), NatInf::fin(1)));
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert!(properties::check_selective(&alg, &[a, b]).is_err());
+    }
+
+    #[test]
+    fn direct_product_still_satisfies_the_other_laws_on_samples() {
+        let alg = DirectProduct::new(WidestPaths::new(), ShortestPaths::new());
+        let routes = alg.sample_routes(71, 32);
+        let edges = alg.sample_edges(71, 8);
+        properties::check_associative(&alg, &routes).unwrap();
+        properties::check_commutative(&alg, &routes).unwrap();
+        properties::check_trivial_annihilator(&alg, &routes).unwrap();
+        properties::check_invalid_identity(&alg, &routes).unwrap();
+        properties::check_invalid_fixed_point(&alg, &edges).unwrap();
+    }
+
+    #[test]
+    fn property_report_flags_the_violation() {
+        let alg = DirectProduct::new(WidestPaths::new(), ShortestPaths::new());
+        let report =
+            properties::PropertyReport::analyse("direct-product (broken)", &alg, 73, 32, 8);
+        assert!(!report.selective.holds());
+        assert!(!report.satisfies_required_laws());
+    }
+}

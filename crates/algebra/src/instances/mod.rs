@@ -1,0 +1,31 @@
+//! Concrete routing algebras.
+//!
+//! The first four modules implement the example algebras of Table 2 of the
+//! paper:
+//!
+//! | `S`      | `⊕`   | `F`      | `∞̄` | `0̄` | use                  | module |
+//! |----------|-------|----------|-----|-----|----------------------|--------|
+//! | `ℕ∞`     | `min` | `F₊`     | `∞` | `0` | shortest paths       | [`shortest`] |
+//! | `ℕ∞`     | `max` | `F₊`     | `0` | `∞` | longest paths        | [`longest`] |
+//! | `ℕ∞`     | `max` | `F_min`  | `0` | `∞` | widest paths         | [`widest`] |
+//! | `[0,1]`  | `max` | `F_×`    | `0` | `1` | most reliable paths  | [`reliability`] |
+//!
+//! The remaining modules provide algebras used throughout the paper's
+//! narrative and experiments:
+//!
+//! * [`hopcount`] — RIP-like bounded hop count: a *finite*, *strictly
+//!   increasing* algebra (the hypotheses of Theorem 7);
+//! * [`filtered`] — shortest paths with route filtering and conditional
+//!   policies, the canonical distributivity-violating ("policy-rich")
+//!   example of Section 1;
+//! * [`stratified`] — the Stratified Shortest Paths algebra of which the
+//!   safe-by-design algebra of Section 7 is a superset.
+
+pub mod filtered;
+pub mod hopcount;
+pub mod longest;
+pub mod nat_inf;
+pub mod reliability;
+pub mod shortest;
+pub mod stratified;
+pub mod widest;

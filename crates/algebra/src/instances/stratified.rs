@@ -1,0 +1,313 @@
+//! The Stratified Shortest Paths algebra (Griffin, *Exploring the
+//! stratified shortest-paths problem*, 2012).
+//!
+//! Routes live in *strata* (administrative levels); within a stratum routes
+//! are compared by distance, and a lower stratum always beats a higher one.
+//! Edge policies may add distance, raise the stratum, and filter routes
+//! whose stratum is too high.  Section 7 of the paper notes that its
+//! safe-by-design BGP-like algebra "is a superset of the Stratified Shortest
+//! Paths algebra"; this module provides the base algebra itself so the
+//! containment can be exercised in tests and experiments.
+//!
+//! Because every edge adds at least one unit of distance, the algebra is
+//! strictly increasing; the stratum-raising and filtering features make it
+//! non-distributive (policy-rich).
+
+use crate::algebra::{
+    Increasing, RoutingAlgebra, SampleableAlgebra, SplitMix64, StrictlyIncreasing,
+};
+use std::fmt;
+
+/// A stratified route: either invalid, or a (stratum, distance) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StratifiedRoute {
+    /// The invalid route.
+    Invalid,
+    /// A valid route in stratum `level` with the given distance.
+    Valid {
+        /// The administrative stratum (lower is better).
+        level: u32,
+        /// The accumulated distance within the stratum ordering.
+        dist: u64,
+    },
+}
+
+impl StratifiedRoute {
+    /// A valid route.
+    pub fn valid(level: u32, dist: u64) -> Self {
+        StratifiedRoute::Valid { level, dist }
+    }
+
+    /// Is this the invalid route?
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, StratifiedRoute::Invalid)
+    }
+
+    /// The stratum, if valid.
+    pub fn level(&self) -> Option<u32> {
+        match self {
+            StratifiedRoute::Valid { level, .. } => Some(*level),
+            StratifiedRoute::Invalid => None,
+        }
+    }
+
+    /// The distance, if valid.
+    pub fn dist(&self) -> Option<u64> {
+        match self {
+            StratifiedRoute::Valid { dist, .. } => Some(*dist),
+            StratifiedRoute::Invalid => None,
+        }
+    }
+}
+
+impl fmt::Debug for StratifiedRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StratifiedRoute::Invalid => write!(f, "⊥"),
+            StratifiedRoute::Valid { level, dist } => write!(f, "L{level}:{dist}"),
+        }
+    }
+}
+
+/// An edge policy of the stratified algebra.
+///
+/// Application order: filter, then raise stratum, then add distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedEdge {
+    /// If set, routes whose stratum exceeds this bound are filtered.
+    pub filter_above: Option<u32>,
+    /// If set, the route's stratum is raised to at least this level.
+    pub raise_to: Option<u32>,
+    /// The distance added by the edge (must be `≥ 1`).
+    pub weight: u64,
+}
+
+impl StratifiedEdge {
+    /// A plain distance-adding edge.
+    pub fn weight(w: u64) -> Self {
+        Self {
+            filter_above: None,
+            raise_to: None,
+            weight: w.max(1),
+        }
+    }
+
+    /// A distance-adding edge that also raises the stratum to at least
+    /// `level`.
+    pub fn raising(w: u64, level: u32) -> Self {
+        Self {
+            filter_above: None,
+            raise_to: Some(level),
+            weight: w.max(1),
+        }
+    }
+
+    /// A distance-adding edge that filters routes whose stratum exceeds
+    /// `bound`.
+    pub fn filtering(w: u64, bound: u32) -> Self {
+        Self {
+            filter_above: Some(bound),
+            raise_to: None,
+            weight: w.max(1),
+        }
+    }
+}
+
+/// The stratified shortest-paths algebra.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StratifiedShortestPaths {
+    _priv: (),
+}
+
+impl StratifiedShortestPaths {
+    /// Create the algebra.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+}
+
+impl RoutingAlgebra for StratifiedShortestPaths {
+    type Route = StratifiedRoute;
+    type Edge = StratifiedEdge;
+
+    fn choice(&self, a: &StratifiedRoute, b: &StratifiedRoute) -> StratifiedRoute {
+        use StratifiedRoute::*;
+        match (a, b) {
+            (Invalid, _) => *b,
+            (_, Invalid) => *a,
+            (
+                Valid {
+                    level: la,
+                    dist: da,
+                },
+                Valid {
+                    level: lb,
+                    dist: db,
+                },
+            ) => {
+                // Lexicographic: lower stratum wins, then lower distance.
+                if (la, da) <= (lb, db) {
+                    *a
+                } else {
+                    *b
+                }
+            }
+        }
+    }
+
+    fn extend(&self, f: &StratifiedEdge, r: &StratifiedRoute) -> StratifiedRoute {
+        match r {
+            StratifiedRoute::Invalid => StratifiedRoute::Invalid,
+            StratifiedRoute::Valid { level, dist } => {
+                if let Some(bound) = f.filter_above {
+                    if *level > bound {
+                        return StratifiedRoute::Invalid;
+                    }
+                }
+                let new_level = match f.raise_to {
+                    Some(l) => (*level).max(l),
+                    None => *level,
+                };
+                StratifiedRoute::Valid {
+                    level: new_level,
+                    dist: dist.saturating_add(f.weight.max(1)),
+                }
+            }
+        }
+    }
+
+    fn trivial(&self) -> StratifiedRoute {
+        StratifiedRoute::Valid { level: 0, dist: 0 }
+    }
+
+    fn invalid(&self) -> StratifiedRoute {
+        StratifiedRoute::Invalid
+    }
+}
+
+impl Increasing for StratifiedShortestPaths {}
+impl StrictlyIncreasing for StratifiedShortestPaths {}
+
+impl SampleableAlgebra for StratifiedShortestPaths {
+    fn sample_routes(&self, seed: u64, count: usize) -> Vec<StratifiedRoute> {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = vec![self.trivial(), self.invalid()];
+        while out.len() < count.max(2) {
+            out.push(StratifiedRoute::valid(
+                rng.next_below(5) as u32,
+                rng.next_below(500),
+            ));
+        }
+        out
+    }
+
+    fn sample_edges(&self, seed: u64, count: usize) -> Vec<StratifiedEdge> {
+        let mut rng = SplitMix64::new(seed ^ 0x57A7);
+        let mut out = Vec::with_capacity(count.max(1));
+        while out.len() < count.max(1) {
+            let w = 1 + rng.next_below(10);
+            let e = match rng.next_below(3) {
+                0 => StratifiedEdge::weight(w),
+                1 => StratifiedEdge::raising(w, rng.next_below(5) as u32),
+                _ => StratifiedEdge::filtering(w, rng.next_below(4) as u32),
+            };
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn lower_stratum_beats_shorter_distance() {
+        let alg = StratifiedShortestPaths::new();
+        let a = StratifiedRoute::valid(0, 100);
+        let b = StratifiedRoute::valid(1, 1);
+        assert_eq!(alg.choice(&a, &b), a);
+        assert!(alg.route_lt(&a, &b));
+    }
+
+    #[test]
+    fn within_a_stratum_distance_decides() {
+        let alg = StratifiedShortestPaths::new();
+        let a = StratifiedRoute::valid(2, 5);
+        let b = StratifiedRoute::valid(2, 9);
+        assert_eq!(alg.choice(&a, &b), a);
+    }
+
+    #[test]
+    fn edges_raise_and_filter() {
+        let alg = StratifiedShortestPaths::new();
+        let r = StratifiedRoute::valid(1, 10);
+        assert_eq!(
+            alg.extend(&StratifiedEdge::raising(2, 3), &r),
+            StratifiedRoute::valid(3, 12)
+        );
+        assert_eq!(
+            alg.extend(&StratifiedEdge::filtering(2, 0), &r),
+            StratifiedRoute::Invalid
+        );
+        assert_eq!(
+            alg.extend(&StratifiedEdge::filtering(2, 1), &r),
+            StratifiedRoute::valid(1, 12)
+        );
+        assert_eq!(
+            alg.extend(&StratifiedEdge::weight(4), &StratifiedRoute::Invalid),
+            StratifiedRoute::Invalid
+        );
+    }
+
+    #[test]
+    fn raising_does_not_lower_the_stratum() {
+        let alg = StratifiedShortestPaths::new();
+        let r = StratifiedRoute::valid(4, 10);
+        assert_eq!(
+            alg.extend(&StratifiedEdge::raising(1, 2), &r),
+            StratifiedRoute::valid(4, 11),
+            "raise_to below the current level must leave the level unchanged"
+        );
+    }
+
+    #[test]
+    fn required_laws_hold_on_samples() {
+        let alg = StratifiedShortestPaths::new();
+        let routes = alg.sample_routes(47, 64);
+        let edges = alg.sample_edges(47, 24);
+        properties::check_required_laws(&alg, &routes, &edges).unwrap();
+    }
+
+    #[test]
+    fn strictly_increasing_on_samples() {
+        let alg = StratifiedShortestPaths::new();
+        let routes = alg.sample_routes(53, 64);
+        let edges = alg.sample_edges(53, 24);
+        properties::check_strictly_increasing(&alg, &edges, &routes).unwrap();
+    }
+
+    #[test]
+    fn stratum_raising_violates_distributivity() {
+        // A stratum-raising edge flattens the levels of both routes, so the
+        // choice made before and after applying it can disagree: the classic
+        // policy-rich (non-distributive) behaviour.
+        let alg = StratifiedShortestPaths::new();
+        let raise = StratifiedEdge::raising(1, 5);
+        let a = StratifiedRoute::valid(0, 400); // preferred (lower stratum)
+        let b = StratifiedRoute::valid(1, 3); // shorter but higher stratum
+        let lhs = alg.extend(&raise, &alg.choice(&a, &b)); // raise(a) = L5:401
+        let rhs = alg.choice(&alg.extend(&raise, &a), &alg.extend(&raise, &b)); // L5:4
+        assert_eq!(lhs, StratifiedRoute::valid(5, 401));
+        assert_eq!(rhs, StratifiedRoute::valid(5, 4));
+        assert_ne!(lhs, rhs);
+        assert!(properties::check_distributive(&alg, &[raise], &[a, b]).is_err());
+
+        // The sampled edge set (which contains raising edges) also triggers
+        // the checker.
+        let routes = alg.sample_routes(53, 64);
+        let edges = alg.sample_edges(53, 24);
+        assert!(properties::check_distributive(&alg, &edges, &routes).is_err());
+    }
+}

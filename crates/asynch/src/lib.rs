@@ -1,0 +1,51 @@
+//! # dbf-async — the asynchronous computation model
+//!
+//! This crate implements Section 3 of *"Asynchronous Convergence of
+//! Policy-Rich Distributed Bellman-Ford Routing Protocols"* (Daggitt,
+//! Gurney & Griffin, SIGCOMM 2018):
+//!
+//! * [`schedule`] — schedules `(α, β)` (Definition 5): the activation
+//!   function `α(t)` saying which nodes recompute their tables at time `t`
+//!   and the data-flow function `β(t, i, j)` saying how stale the data node
+//!   `i` uses from node `j` is.  Constructors produce synchronous,
+//!   round-robin, randomly delayed/reordered/duplicated and adversarial
+//!   schedules; checkers verify (finite-horizon strengthenings of) the
+//!   axioms **S1–S3**;
+//! * [`delta`] — the asynchronous iterate `δ` defined from a schedule, with
+//!   convergence detection (Definitions 6–8);
+//! * [`convergence`] — absolute-convergence testing across ensembles of
+//!   starting states and schedules: every run must reach the *same*
+//!   σ-stable state;
+//! * [`dynamic`] — the dynamic-network semantics of Section 3.2: topology
+//!   changes create a new problem instance whose starting state is the
+//!   current (now possibly stale and inconsistent) routing state;
+//! * [`sim`] — a message-level discrete-event simulator with loss,
+//!   duplication, reordering and bounded delay.  Every execution of the
+//!   simulator corresponds to *some* schedule `(α, β)`, so the convergence
+//!   theorems apply to it directly; it is the bridge between the algebraic
+//!   model and the protocol engines in `dbf-protocols`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod delta;
+pub mod dynamic;
+pub mod schedule;
+pub mod sim;
+
+pub use convergence::{check_absolute_convergence, AbsoluteConvergence, ConvergenceFailure};
+pub use delta::{run_delta, DeltaOutcome};
+pub use schedule::{Schedule, ScheduleParams};
+pub use sim::{EventSim, SimConfig, SimOutcome, SimStats};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::convergence::{
+        check_absolute_convergence, AbsoluteConvergence, ConvergenceFailure,
+    };
+    pub use crate::delta::{run_delta, DeltaOutcome};
+    pub use crate::dynamic::{DynamicEvent, DynamicRun};
+    pub use crate::schedule::{Schedule, ScheduleParams};
+    pub use crate::sim::{EventSim, SimConfig, SimOutcome, SimStats};
+}

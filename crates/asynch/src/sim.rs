@@ -1,0 +1,445 @@
+//! A message-level discrete-event simulator with loss, duplication,
+//! reordering and bounded delay.
+//!
+//! The schedule model of Section 3.1 is deliberately abstract; this module
+//! provides the concrete, operational counterpart: nodes keep routing
+//! tables, advertise changed routes to their neighbours as messages, and a
+//! fault-injecting network delivers those messages late, twice, out of
+//! order, or not at all.  Every execution of the simulator corresponds to
+//! *some* schedule `(α, β)` — a node processing a message at time `t` that
+//! was sent at time `s` is an activation at `t` using data generated at
+//! `s < t`, lost messages simply mean that data is never used, and
+//! duplicates mean it is used twice — so Theorems 7 and 11 apply verbatim.
+//!
+//! The simulator follows the standard DBF message-passing formulation: node
+//! `i` remembers, for every neighbour `k` and destination `j`, the last
+//! route `k` advertised for `j` (`adv[k][j]`), and recomputes
+//! `table[j] = I_ij ⊕ ⨁_k A_ik(adv[k][j])` whenever an advertisement
+//! arrives.  Changed table entries are re-advertised to every neighbour.
+
+use dbf_algebra::RoutingAlgebra;
+use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
+use dbf_paths::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Fault-injection and scheduling parameters of the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Probability that a message is silently dropped.
+    pub loss_prob: f64,
+    /// Probability that a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Minimum link delay (simulated time units).
+    pub min_delay: u64,
+    /// Maximum link delay; different in-flight messages on the same link may
+    /// overtake each other, which is exactly message reordering.
+    pub max_delay: u64,
+    /// RNG seed (the simulator is deterministic in the seed).
+    pub seed: u64,
+    /// Safety limit on the number of delivered events.
+    pub max_events: usize,
+    /// How many periodic full-table refresh rounds a node may perform after
+    /// the network goes quiet without having reached a stable state.
+    ///
+    /// This is the operational counterpart of schedule axioms S1 and S3:
+    /// real protocols either retransmit (BGP's reliable transport) or
+    /// periodically re-advertise (RIP's update timer), so a *lost* message
+    /// delays convergence but does not silently break it.  Without any
+    /// refresh, a lossy network could permanently withhold information,
+    /// which the paper's model explicitly excludes.
+    pub refresh_rounds: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            loss_prob: 0.0,
+            duplicate_prob: 0.0,
+            min_delay: 1,
+            max_delay: 5,
+            seed: 0,
+            max_events: 1_000_000,
+            refresh_rounds: 16,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A lossy, duplicating, heavily reordering network.
+    pub fn adversarial(seed: u64) -> Self {
+        Self {
+            loss_prob: 0.2,
+            duplicate_prob: 0.2,
+            min_delay: 1,
+            max_delay: 20,
+            seed,
+            max_events: 2_000_000,
+            refresh_rounds: 64,
+        }
+    }
+}
+
+/// Counters describing a finished simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network layer.
+    pub sent: u64,
+    /// Messages dropped by fault injection.
+    pub lost: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Messages actually processed by their recipient.
+    pub delivered: u64,
+    /// Table-entry changes across all nodes.
+    pub table_changes: u64,
+    /// The simulated time of the last table change.
+    pub last_change_time: u64,
+    /// The simulated time at which the event queue drained.
+    pub finish_time: u64,
+    /// Periodic full-table refresh rounds that were needed (non-zero only
+    /// when fault injection withheld information for a whole drain).
+    pub refreshes: u64,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome<A: RoutingAlgebra> {
+    /// The final global routing state (row `i` = node `i`'s table).
+    pub final_state: RoutingState<A>,
+    /// Whether the final state is a fixed point of the synchronous `σ`.
+    pub sigma_stable: bool,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// True if the run stopped because `max_events` was hit rather than
+    /// because the network quiesced.
+    pub truncated: bool,
+}
+
+#[derive(Debug)]
+struct Message<R> {
+    deliver_at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    dest: NodeId,
+    route: R,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to get earliest-first.
+impl<R> PartialEq for Message<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<R> Eq for Message<R> {}
+impl<R> PartialOrd for Message<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R> Ord for Message<R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The message-level simulator.
+pub struct EventSim<'a, A: RoutingAlgebra> {
+    alg: &'a A,
+    adj: &'a AdjacencyMatrix<A>,
+    config: SimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Message<A::Route>>,
+    /// `tables[i][j]`: node `i`'s current best route to `j`.
+    tables: Vec<Vec<A::Route>>,
+    /// `adverts[i][k][j]`: the last route for destination `j` that node `i`
+    /// has heard from neighbour `k` (∞̄ if none yet).
+    adverts: Vec<Vec<Vec<A::Route>>>,
+    stats: SimStats,
+}
+
+impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
+    /// Create a simulator over the given network, starting from the clean
+    /// state in which every node knows only the trivial route to itself.
+    pub fn new(alg: &'a A, adj: &'a AdjacencyMatrix<A>, config: SimConfig) -> Self {
+        let n = adj.node_count();
+        let initial = RoutingState::identity(alg, n);
+        Self::with_initial_state(alg, adj, config, &initial)
+    }
+
+    /// Create a simulator whose nodes start with the given (possibly stale
+    /// or inconsistent) tables — the "arbitrary starting state" of the
+    /// convergence theorems.
+    pub fn with_initial_state(
+        alg: &'a A,
+        adj: &'a AdjacencyMatrix<A>,
+        config: SimConfig,
+        initial: &RoutingState<A>,
+    ) -> Self {
+        let n = adj.node_count();
+        assert_eq!(n, initial.node_count(), "initial state dimension mismatch");
+        let tables: Vec<Vec<A::Route>> = (0..n).map(|i| initial.row(i).to_vec()).collect();
+        let adverts = vec![vec![vec![alg.invalid(); n]; n]; n];
+        let mut sim = Self {
+            alg,
+            adj,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            tables,
+            adverts,
+            stats: SimStats::default(),
+        };
+        // Every node initially advertises its whole table to its neighbours
+        // (the protocol's cold-start announcements).
+        for i in 0..n {
+            sim.advertise_full_table(i);
+        }
+        sim
+    }
+
+    fn neighbors_importing_from(&self, j: NodeId) -> Vec<NodeId> {
+        // Nodes i with A_ij present import from j, i.e. j announces to them.
+        (0..self.adj.node_count())
+            .filter(|&i| i != j && self.adj.get(i, j).is_some())
+            .collect()
+    }
+
+    fn advertise_full_table(&mut self, i: NodeId) {
+        let n = self.adj.node_count();
+        for dest in 0..n {
+            let route = self.tables[i][dest].clone();
+            self.send_advert(i, dest, route);
+        }
+    }
+
+    fn send_advert(&mut self, from: NodeId, dest: NodeId, route: A::Route) {
+        for to in self.neighbors_importing_from(from) {
+            self.stats.sent += 1;
+            if self.rng.gen_bool(self.config.loss_prob.clamp(0.0, 1.0)) {
+                self.stats.lost += 1;
+                continue;
+            }
+            let copies = if self.rng.gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0)) {
+                self.stats.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let delay = self
+                    .rng
+                    .gen_range(self.config.min_delay..=self.config.max_delay.max(self.config.min_delay));
+                self.seq += 1;
+                self.queue.push(Message {
+                    deliver_at: self.now + delay,
+                    seq: self.seq,
+                    from,
+                    to,
+                    dest,
+                    route: route.clone(),
+                });
+            }
+        }
+    }
+
+    fn recompute_entry(&mut self, i: NodeId, dest: NodeId) -> bool {
+        let n = self.adj.node_count();
+        let new_route = if i == dest {
+            self.alg.trivial()
+        } else {
+            let mut best = self.alg.invalid();
+            for k in 0..n {
+                if k == i {
+                    continue;
+                }
+                let candidate = self.adj.apply(self.alg, i, k, &self.adverts[i][k][dest]);
+                best = self.alg.choice(&best, &candidate);
+            }
+            best
+        };
+        if new_route != self.tables[i][dest] {
+            self.tables[i][dest] = new_route.clone();
+            self.stats.table_changes += 1;
+            self.stats.last_change_time = self.now;
+            self.send_advert(i, dest, new_route);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deliver queued messages until the queue drains or the event budget
+    /// is exhausted.  Returns `true` if the budget was hit.
+    fn drain(&mut self) -> bool {
+        while let Some(msg) = self.queue.pop() {
+            if self.stats.delivered as usize >= self.config.max_events {
+                return true;
+            }
+            self.now = msg.deliver_at;
+            self.stats.delivered += 1;
+            // Record the advertisement and recompute the affected entry.
+            self.adverts[msg.to][msg.from][msg.dest] = msg.route;
+            self.recompute_entry(msg.to, msg.dest);
+        }
+        false
+    }
+
+    fn current_state(&self) -> RoutingState<A> {
+        RoutingState::from_fn(self.adj.node_count(), |i, j| self.tables[i][j].clone())
+    }
+
+    /// Run the simulation: deliver messages until the network quiesces; if
+    /// the quiescent state is not σ-stable (some information was withheld by
+    /// fault injection), perform a periodic full-table refresh — as RIP's
+    /// update timer or BGP's retransmission would — and continue, up to
+    /// `refresh_rounds` times.
+    pub fn run(mut self) -> SimOutcome<A> {
+        let mut truncated = false;
+        loop {
+            if self.drain() {
+                truncated = true;
+                break;
+            }
+            let state = self.current_state();
+            if is_stable(self.alg, self.adj, &state)
+                || self.stats.refreshes as usize >= self.config.refresh_rounds
+            {
+                break;
+            }
+            self.stats.refreshes += 1;
+            for i in 0..self.adj.node_count() {
+                self.advertise_full_table(i);
+            }
+        }
+        self.stats.finish_time = self.now;
+        let final_state = self.current_state();
+        let sigma_stable = is_stable(self.alg, self.adj, &final_state);
+        SimOutcome {
+            final_state,
+            sigma_stable,
+            stats: self.stats,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::prelude::*;
+    use dbf_matrix::prelude::*;
+    use dbf_paths::prelude::*;
+    use dbf_topology::generators;
+
+    #[test]
+    fn reliable_network_converges_to_the_sigma_fixed_point() {
+        let alg = ShortestPaths::new();
+        let topo = generators::connected_random(8, 0.3, 2)
+            .with_weights(|i, j| NatInf::fin(((i * 3 + j) % 5 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = EventSim::new(&alg, &adj, SimConfig::default()).run();
+        assert!(!out.truncated);
+        assert!(out.sigma_stable);
+        let reference = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 8), 200);
+        assert_eq!(out.final_state, reference.state);
+        assert!(out.stats.delivered > 0);
+        assert_eq!(out.stats.lost, 0);
+    }
+
+    #[test]
+    fn lossy_duplicating_reordering_network_still_converges_to_the_same_state() {
+        // The headline claim, exercised operationally: with a strictly
+        // increasing algebra the protocol converges to the same unique
+        // answer even when messages are lost, duplicated and reordered
+        // (periodic refresh stands in for S1/S3's "stale information is
+        // eventually replaced", exactly as RIP's update timer or BGP's
+        // reliable transport do in practice).
+        let alg = ShortestPaths::new();
+        let topo = generators::ring(6).with_weights(|i, j| NatInf::fin(((i + j) % 4 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let reference = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 6), 200);
+        for seed in 0..10 {
+            let out = EventSim::new(&alg, &adj, SimConfig::adversarial(seed)).run();
+            assert!(!out.truncated, "seed {seed} exhausted its event budget");
+            assert!(out.sigma_stable, "seed {seed} did not stabilise");
+            assert_eq!(
+                out.final_state, reference.state,
+                "seed {seed} stabilised on a different state"
+            );
+            assert!(out.stats.lost > 0 || out.stats.duplicated > 0, "faults were injected");
+        }
+    }
+
+    #[test]
+    fn path_vector_simulation_from_a_stale_state_converges() {
+        type Pv = PathVector<ShortestPaths>;
+        let pv: Pv = PathVector::new(ShortestPaths::new(), 5);
+        let topo = generators::ring(5).with_weights(|_, _| NatInf::fin(1));
+        let adj = lift_topology(&pv, &topo);
+        // A stale state full of routes along paths that do not exist.
+        let pool = pv.sample_routes(31, 32);
+        let stale = RoutingState::from_fn(5, |i, j| {
+            if i == j {
+                pv.trivial()
+            } else {
+                pool[(i * 5 + j) % pool.len()].clone()
+            }
+        });
+        let out = EventSim::with_initial_state(&pv, &adj, SimConfig::adversarial(7), &stale).run();
+        assert!(!out.truncated);
+        assert!(out.sigma_stable);
+        let reference = iterate_to_fixed_point(&pv, &adj, &RoutingState::identity(&pv, 5), 200);
+        assert_eq!(out.final_state, reference.state);
+        assert!(out.stats.table_changes > 0);
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let alg = ShortestPaths::new();
+        let topo = generators::line(4).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = EventSim::new(&alg, &adj, SimConfig { seed: 3, ..SimConfig::default() }).run();
+        let s = out.stats;
+        assert_eq!(s.lost, 0);
+        assert!(s.delivered >= s.sent - s.lost, "duplication can only add deliveries");
+        assert!(s.finish_time >= s.last_change_time);
+        assert!(s.table_changes > 0);
+    }
+
+    #[test]
+    fn event_budget_truncation_is_reported() {
+        let alg = ShortestPaths::new();
+        let topo = generators::complete(5).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let cfg = SimConfig {
+            max_events: 10,
+            ..SimConfig::default()
+        };
+        let out = EventSim::new(&alg, &adj, cfg).run();
+        assert!(out.truncated);
+        assert_eq!(out.stats.delivered, 10);
+    }
+
+    #[test]
+    fn unreachable_destinations_stay_invalid() {
+        let alg = ShortestPaths::new();
+        let mut topo = dbf_topology::Topology::new(4);
+        topo.set_link(0, 1, NatInf::fin(1));
+        topo.set_link(2, 3, NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = EventSim::new(&alg, &adj, SimConfig::default()).run();
+        assert!(out.sigma_stable);
+        assert_eq!(out.final_state.get(0, 2), &NatInf::Inf);
+        assert_eq!(out.final_state.get(0, 1), &NatInf::fin(1));
+    }
+}

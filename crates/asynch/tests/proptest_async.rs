@@ -1,0 +1,98 @@
+//! Property-based tests for schedules (S1–S3), the asynchronous iterate `δ`
+//! and the event simulator.
+
+use dbf_algebra::prelude::*;
+use dbf_async::prelude::*;
+use dbf_matrix::prelude::*;
+use dbf_topology::generators;
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = ScheduleParams> {
+    (0.2f64..1.0, 1usize..8, 0.0f64..0.4, 0.0f64..0.4).prop_map(
+        |(activation_prob, max_delay, duplicate_prob, reorder_prob)| ScheduleParams {
+            activation_prob,
+            max_delay,
+            duplicate_prob,
+            reorder_prob,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated schedule satisfies the finite forms of S1–S3.
+    #[test]
+    fn random_schedules_satisfy_the_axioms(n in 2usize..7, p in params(), seed in 0u64..1000) {
+        let horizon = 120;
+        let s = Schedule::random(n, horizon, p, seed);
+        prop_assert!(s.check_s2());
+        prop_assert!(s.check_s3_lag(p.max_delay.max(1)));
+        let window = ((1.0 / p.activation_prob.clamp(0.05, 1.0)).ceil() as usize) * 4;
+        prop_assert!(s.check_s1_window(window.min(horizon)));
+        prop_assert!(s.max_lag() >= 1);
+    }
+
+    /// δ under the synchronous schedule is exactly σ iteration, for any
+    /// horizon.
+    #[test]
+    fn synchronous_delta_is_sigma(n in 3usize..6, horizon in 1usize..10, seed in 0u64..200) {
+        let alg = ShortestPaths::new();
+        let topo = generators::connected_random(n, 0.5, seed)
+            .with_weights(|i, j| NatInf::fin(((i + 2 * j) % 5 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let x0 = RoutingState::identity(&alg, n);
+        let delta = run_delta(&alg, &adj, &x0, &Schedule::synchronous(n, horizon));
+        prop_assert_eq!(delta.final_state, sigma_k(&alg, &adj, &x0, horizon));
+    }
+
+    /// Theorem 7, sampled: the hop-count algebra reaches the same σ-stable
+    /// state under arbitrary random schedules and garbage starts.
+    #[test]
+    fn hopcount_delta_converges_absolutely(seed in 0u64..100, p in params()) {
+        let n = 5;
+        let alg = BoundedHopCount::new(8);
+        let topo = generators::connected_random(n, 0.5, seed).with_weights(|_, _| 1u64);
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let reference = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 200);
+        prop_assert!(reference.converged);
+
+        let garbage = RoutingState::<BoundedHopCount>::from_fn(n, |i, j| {
+            if i == j {
+                NatInf::fin(0)
+            } else {
+                NatInf::fin(((i as u64 * 31 + j as u64 * 17 + seed) % 9) as u64)
+            }
+        });
+        let sched = Schedule::random(n, 400, p, seed ^ 0xA5);
+        let out = run_delta(&alg, &adj, &garbage, &sched);
+        prop_assert!(out.sigma_stable, "schedule params {p:?} broke convergence");
+        prop_assert_eq!(out.final_state, reference.state);
+    }
+
+    /// The event simulator's outcome is independent of loss/duplication
+    /// rates (only its cost changes).
+    #[test]
+    fn simulator_outcome_is_fault_independent(seed in 0u64..50, loss in 0.0f64..0.4) {
+        let n = 5;
+        let alg = ShortestPaths::new();
+        let topo = generators::connected_random(n, 0.5, seed)
+            .with_weights(|i, j| NatInf::fin(((i * 3 + j) % 6 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let reference = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 200);
+
+        let cfg = SimConfig {
+            loss_prob: loss,
+            duplicate_prob: loss / 2.0,
+            min_delay: 1,
+            max_delay: 10,
+            seed,
+            ..SimConfig::default()
+        };
+        let out = EventSim::new(&alg, &adj, cfg).run();
+        prop_assert!(!out.truncated);
+        prop_assert!(out.sigma_stable);
+        prop_assert_eq!(out.final_state, reference.state);
+        prop_assert!(out.stats.delivered <= out.stats.sent + out.stats.duplicated);
+    }
+}

@@ -1,0 +1,38 @@
+//! Bench E9 (Section 3): the message-level simulator under increasing
+//! loss/duplication/reordering, measuring how much extra work fault
+//! injection causes while convergence itself never breaks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_async::prelude::*;
+use dbf_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_robustness");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let (alg, adj) = policy_rich_network(7, 91);
+    for loss in [0u32, 10, 30, 50] {
+        group.bench_with_input(BenchmarkId::new("event_sim_loss_pct", loss), &loss, |b, &loss| {
+            let cfg = SimConfig {
+                loss_prob: loss as f64 / 100.0,
+                duplicate_prob: loss as f64 / 200.0,
+                min_delay: 1,
+                max_delay: 15,
+                seed: 5,
+                ..SimConfig::default()
+            };
+            b.iter(|| {
+                let out = EventSim::new(&alg, &adj, cfg).run();
+                assert!(out.sigma_stable);
+                out.stats.sent
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench F1 (Figure 1): cost of checking each link of the implication chain
+//! strictly-increasing ⇒ ultrametric conditions ⇒ contraction ⇒ absolute
+//! convergence, for the distance-vector (Theorem 7) instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbf_algebra::prelude::*;
+use dbf_async::convergence::{check_absolute_convergence, schedule_ensemble};
+use dbf_bench::*;
+use dbf_metric::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_implications");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let n = 5;
+    let (alg, adj) = hopcount_network(n, 8, 31);
+    let routes = alg.all_routes();
+    let edges = alg.sample_edges(1, 8);
+    let metric = HeightMetric::new(alg);
+    let states = random_states(&alg, n, 6, 33);
+    let schedules = schedule_ensemble(n, 200, 2, 35);
+
+    group.bench_function("a_strictly_increasing_check", |b| {
+        b.iter(|| dbf_algebra::properties::check_strictly_increasing(&alg, &edges, &routes))
+    });
+    group.bench_function("b_ultrametric_axioms", |b| {
+        b.iter(|| check_ultrametric_axioms::<BoundedHopCount, _>(&metric, &routes))
+    });
+    group.bench_function("c_strict_contraction_on_orbits", |b| {
+        b.iter(|| check_strictly_contracting_on_orbits(&alg, &adj, &metric, &states))
+    });
+    group.bench_function("d_absolute_convergence_ensemble", |b| {
+        b.iter(|| check_absolute_convergence(&alg, &adj, &states, &schedules))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

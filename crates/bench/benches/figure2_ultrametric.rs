@@ -1,0 +1,49 @@
+//! Bench F2 (Figure 2): building the two-level path-vector ultrametric
+//! (enumerating the consistent routes S_c) and evaluating route/state
+//! distances with it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_algebra::prelude::*;
+use dbf_bench::*;
+use dbf_matrix::prelude::*;
+use dbf_metric::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_ultrametric");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for n in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("build_metric", n), &n, |b, &n| {
+            let (alg, adj) = path_vector_network(n, 43);
+            b.iter(|| PathVectorMetric::new(alg, &adj))
+        });
+    }
+
+    let n = 4;
+    let (alg, adj) = path_vector_network(n, 43);
+    let metric = PathVectorMetric::new(alg, &adj);
+    let alg = dbf_paths::PathVector::new(ShortestPaths::new(), n);
+    let routes = alg.sample_routes(5, 64);
+    group.bench_function("route_distances_64x64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for x in &routes {
+                for y in &routes {
+                    acc = acc.max(metric.route_distance(x, y));
+                }
+            }
+            acc
+        })
+    });
+
+    let x = RoutingState::identity(&alg, n);
+    let y = sigma(&alg, &adj, &x);
+    group.bench_function("state_distance", |b| b.iter(|| state_distance(&metric, &x, &y)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench E7 (Gao-Rexford): convergence of the GR algebra on tiered
+//! provider/customer hierarchies of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_async::prelude::*;
+use dbf_bench::*;
+use dbf_matrix::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gao_rexford");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for (label, tiers) in [("n14", vec![2usize, 4, 8]), ("n30", vec![2, 6, 22]), ("n45", vec![3, 6, 12, 24])] {
+        let (alg, adj, topo) = gao_rexford_network(&tiers, 81);
+        let n = topo.node_count();
+        group.bench_with_input(BenchmarkId::new("sigma_fixed_point", label), &n, |b, &n| {
+            let clean = RoutingState::identity(&alg, n);
+            b.iter(|| {
+                let out = iterate_to_fixed_point(&alg, &adj, &clean, 400);
+                assert!(out.converged);
+                out.iterations
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delta_random_schedule", label), &n, |b, &n| {
+            let clean = RoutingState::identity(&alg, n);
+            let sched = Schedule::random(n, 200, ScheduleParams::default(), 83);
+            b.iter(|| {
+                let out = run_delta(&alg, &adj, &clean, &sched);
+                assert!(out.sigma_stable);
+                out.activations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

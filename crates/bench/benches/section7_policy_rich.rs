@@ -1,0 +1,44 @@
+//! Bench E5 (Section 7): the BGP-like protocol engine under randomly
+//! generated safe-by-design policies, with and without session resets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_bench::*;
+use dbf_protocols::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section7_policy_rich");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    for n in [6usize, 10] {
+        let topo = policy_rich_topology(n, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("bgp_engine_calm", n), &n, |b, _| {
+            b.iter(|| {
+                let report = BgpEngine::new(&topo, BgpConfig { seed: 1, ..BgpConfig::default() }).run();
+                assert!(report.converged);
+                report.stats.updates_sent
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bgp_engine_with_resets", n), &n, |b, _| {
+            b.iter(|| {
+                let report = BgpEngine::new(
+                    &topo,
+                    BgpConfig {
+                        seed: 2,
+                        session_resets: 4,
+                        ..BgpConfig::default()
+                    },
+                )
+                .run();
+                assert!(report.converged);
+                report.stats.updates_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

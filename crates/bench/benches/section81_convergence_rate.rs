@@ -1,0 +1,51 @@
+//! Bench E8 (Section 8.1): how the synchronous convergence time (iterations
+//! of σ, and the work per iteration) scales with network size for a
+//! distributive algebra versus policy-rich increasing algebras.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_algebra::prelude::*;
+use dbf_bench::*;
+use dbf_matrix::prelude::*;
+use dbf_topology::generators;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section81_convergence_rate");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for n in [8usize, 16, 24] {
+        // distributive reference: unit-weight shortest paths on a line
+        group.bench_with_input(BenchmarkId::new("distributive_line", n), &n, |b, &n| {
+            let alg = ShortestPaths::new();
+            let topo = generators::line(n).with_weights(|_, _| NatInf::fin(1));
+            let adj = AdjacencyMatrix::from_topology(&topo);
+            let clean = RoutingState::identity(&alg, n);
+            b.iter(|| iterate_to_fixed_point(&alg, &adj, &clean, 4 * n).iterations)
+        });
+        // increasing, non-distributive: the Section 7 algebra on the same line
+        group.bench_with_input(BenchmarkId::new("policy_rich_line", n), &n, |b, &n| {
+            let (alg, adj) = {
+                let alg = dbf_bgp::BgpAlgebra::new(n);
+                let mut rng = dbf_algebra::algebra::SplitMix64::new(n as u64);
+                let topo = generators::line(n)
+                    .with_weights(|_, _| dbf_bgp::algebra::random_policy(&mut rng, 1));
+                let adj = alg.adjacency_from_topology(&topo);
+                (alg, adj)
+            };
+            let clean = RoutingState::identity(&alg, n);
+            b.iter(|| iterate_to_fixed_point(&alg, &adj, &clean, 4 * n * n).iterations)
+        });
+        // worst-case-from-stale regime: hop limit scaled with n
+        group.bench_with_input(BenchmarkId::new("hopcount_from_stale", n), &n, |b, &n| {
+            let (alg, adj) = hopcount_network(n, n as u64 + 2, 7);
+            let stale = random_states(&alg, n, 1, 9).pop().unwrap();
+            b.iter(|| iterate_to_fixed_point(&alg, &adj, &stale, 8 * n * n).iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench T1 (Table 1): cost of the "efficiently verifiable" algebraic
+//! property checks — the paper's desideratum 4 is that these run in
+//! polynomial time, and here they are measured directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbf_algebra::prelude::*;
+use dbf_algebra::properties::PropertyReport;
+use dbf_bgp::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_properties");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    group.bench_function("shortest_paths_sampled", |b| {
+        let alg = ShortestPaths::new();
+        b.iter(|| PropertyReport::analyse("shortest", &alg, 1, 64, 16))
+    });
+    group.bench_function("hopcount_exhaustive", |b| {
+        let alg = BoundedHopCount::rip();
+        b.iter(|| PropertyReport::analyse_exhaustive("hopcount", &alg, 2, 16))
+    });
+    group.bench_function("bgp_section7_sampled", |b| {
+        let alg = BgpAlgebra::new(6);
+        b.iter(|| PropertyReport::analyse("bgp", &alg, 3, 48, 16))
+    });
+    group.bench_function("stratified_sampled", |b| {
+        let alg = StratifiedShortestPaths::new();
+        b.iter(|| PropertyReport::analyse("stratified", &alg, 4, 64, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench T2 (Table 2): synchronous fixed-point computation for each of the
+//! paper's example algebras on the same reference network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_bench::*;
+use dbf_matrix::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_algebras");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    let n = 16;
+
+    group.bench_with_input(BenchmarkId::new("shortest_paths", n), &n, |b, &n| {
+        let (alg, adj) = shortest_paths_network(n, 1);
+        let x0 = RoutingState::identity(&alg, n);
+        b.iter(|| iterate_to_fixed_point(&alg, &adj, &x0, 200))
+    });
+    group.bench_with_input(BenchmarkId::new("widest_paths", n), &n, |b, &n| {
+        let (alg, adj) = widest_paths_network(n, 2);
+        let x0 = RoutingState::identity(&alg, n);
+        b.iter(|| iterate_to_fixed_point(&alg, &adj, &x0, 200))
+    });
+    group.bench_with_input(BenchmarkId::new("most_reliable", n), &n, |b, &n| {
+        let (alg, adj) = reliability_network(n, 3);
+        let x0 = RoutingState::identity(&alg, n);
+        b.iter(|| iterate_to_fixed_point(&alg, &adj, &x0, 200))
+    });
+    group.bench_with_input(BenchmarkId::new("bounded_hop_count", n), &n, |b, &n| {
+        let (alg, adj) = hopcount_network(n, 15, 4);
+        let x0 = RoutingState::identity(&alg, n);
+        b.iter(|| iterate_to_fixed_point(&alg, &adj, &x0, 200))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

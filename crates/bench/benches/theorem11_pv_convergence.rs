@@ -1,0 +1,46 @@
+//! Bench E4 (Theorem 11): asynchronous convergence of increasing path
+//! algebras (the path-vector lifting and the Section 7 algebra) from
+//! inconsistent starting states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_async::prelude::*;
+use dbf_bench::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem11_pv_convergence");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for n in [4usize, 6, 8] {
+        let (alg, adj) = path_vector_network(n, 61);
+        let stale = random_states(&alg, n, 1, 63).pop().unwrap();
+        let sched = Schedule::random(n, 300, ScheduleParams::harsh(), 65);
+        group.bench_with_input(
+            BenchmarkId::new("pathvec_shortest_delta", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let out = run_delta(&alg, &adj, &stale, &sched);
+                    assert!(out.sigma_stable);
+                    out.activations
+                })
+            },
+        );
+
+        let (bgp, bgp_adj) = policy_rich_network(n, 67);
+        let bgp_stale = random_states(&bgp, n, 1, 69).pop().unwrap();
+        group.bench_with_input(BenchmarkId::new("bgp_section7_delta", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_delta(&bgp, &bgp_adj, &bgp_stale, &sched);
+                assert!(out.sigma_stable);
+                out.activations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench E2 (Theorem 7): asynchronous convergence of the finite strictly
+//! increasing hop-count algebra under harsh schedules, as a function of
+//! network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_async::prelude::*;
+use dbf_bench::*;
+use dbf_matrix::prelude::*;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem7_dv_convergence");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for n in [4usize, 8, 16] {
+        let (alg, adj) = hopcount_network(n, 15, 51);
+        let garbage = random_states(&alg, n, 1, 53).pop().unwrap();
+        let sched = Schedule::random(n, 300, ScheduleParams::harsh(), 55);
+        group.bench_with_input(BenchmarkId::new("delta_harsh_from_garbage", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_delta(&alg, &adj, &garbage, &sched);
+                assert!(out.sigma_stable);
+                out.activations
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sigma_from_clean", n), &n, |b, _| {
+            let clean = RoutingState::identity(&alg, n);
+            b.iter(|| iterate_to_fixed_point(&alg, &adj, &clean, 200).iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Shared workload builders for the benchmarks and the `experiments`
+//! binary.
+//!
+//! Every function here is deterministic in its seed so that benchmark runs
+//! and experiment tables are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dbf_algebra::algebra::SplitMix64;
+use dbf_algebra::prelude::*;
+use dbf_bgp::algebra::random_policy;
+use dbf_bgp::prelude::*;
+use dbf_matrix::prelude::*;
+use dbf_paths::prelude::*;
+use dbf_topology::generators::{self, TierRelation};
+use dbf_topology::Topology;
+
+/// A shortest-paths problem on a connected random graph with pseudo-random
+/// latencies.
+pub fn shortest_paths_network(
+    n: usize,
+    seed: u64,
+) -> (ShortestPaths, AdjacencyMatrix<ShortestPaths>) {
+    let alg = ShortestPaths::new();
+    let topo = generators::connected_random(n, 0.35, seed)
+        .with_weights(|i, j| NatInf::fin(((i * 7 + j * 13) % 9 + 1) as u64));
+    let adj = AdjacencyMatrix::from_topology(&topo);
+    (alg, adj)
+}
+
+/// A widest-paths problem on a connected random graph with pseudo-random
+/// capacities.
+pub fn widest_paths_network(n: usize, seed: u64) -> (WidestPaths, AdjacencyMatrix<WidestPaths>) {
+    let alg = WidestPaths::new();
+    let topo = generators::connected_random(n, 0.35, seed)
+        .with_weights(|i, j| NatInf::fin(((i * 11 + j * 5) % 90 + 10) as u64));
+    let adj = AdjacencyMatrix::from_topology(&topo);
+    (alg, adj)
+}
+
+/// A most-reliable-paths problem on a connected random graph.
+pub fn reliability_network(
+    n: usize,
+    seed: u64,
+) -> (MostReliablePaths, AdjacencyMatrix<MostReliablePaths>) {
+    let alg = MostReliablePaths::new();
+    let topo = generators::connected_random(n, 0.35, seed)
+        .with_weights(|i, j| alg.edge(0.5 + 0.045 * (((i * 3 + j) % 10) as f64)));
+    let adj = AdjacencyMatrix::from_topology(&topo);
+    (alg, adj)
+}
+
+/// A bounded hop-count (RIP-style) problem on a connected random graph.
+pub fn hopcount_network(
+    n: usize,
+    limit: u64,
+    seed: u64,
+) -> (BoundedHopCount, AdjacencyMatrix<BoundedHopCount>) {
+    let alg = BoundedHopCount::new(limit);
+    let shape = generators::connected_random(n, 0.35, seed);
+    let adj = AdjacencyMatrix::from_fn(n, |i, j| if shape.has_edge(i, j) { Some(1u64) } else { None });
+    (alg, adj)
+}
+
+/// The path-vector lifting of shortest paths on a connected random graph.
+pub fn path_vector_network(
+    n: usize,
+    seed: u64,
+) -> (
+    PathVector<ShortestPaths>,
+    AdjacencyMatrix<PathVector<ShortestPaths>>,
+) {
+    let pv = PathVector::new(ShortestPaths::new(), n);
+    let topo = generators::connected_random(n, 0.35, seed)
+        .with_weights(|i, j| NatInf::fin(((i * 7 + j * 13) % 9 + 1) as u64));
+    let adj = lift_topology(&pv, &topo);
+    (PathVector::new(ShortestPaths::new(), n), adj)
+}
+
+/// A Section 7 policy-rich network: a connected random graph whose every
+/// directed edge carries a random (safe-by-design) policy.
+pub fn policy_rich_network(n: usize, seed: u64) -> (BgpAlgebra, AdjacencyMatrix<BgpAlgebra>) {
+    let alg = BgpAlgebra::new(n);
+    let shape = generators::connected_random(n, 0.4, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x5EC7);
+    let topo = shape.with_weights(|_, _| random_policy(&mut rng, 2));
+    let adj = alg.adjacency_from_topology(&topo);
+    (alg, adj)
+}
+
+/// The same policy-rich network as a policy topology (for the protocol
+/// engine).
+pub fn policy_rich_topology(n: usize, seed: u64) -> Topology<dbf_bgp::policy::Policy> {
+    let shape = generators::connected_random(n, 0.4, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x5EC7);
+    shape.with_weights(|_, _| random_policy(&mut rng, 2))
+}
+
+/// A Gao-Rexford problem on a tiered provider/customer hierarchy.
+pub fn gao_rexford_network(
+    tiers: &[usize],
+    seed: u64,
+) -> (GaoRexford, AdjacencyMatrix<GaoRexford>, Topology<TierRelation>) {
+    let (topo, _tier_of) = generators::tiered_hierarchy(tiers, 0.35, 0.25, seed);
+    let alg = GaoRexford::new(topo.node_count());
+    let adj = alg.adjacency_from_hierarchy(&topo);
+    (alg, adj, topo)
+}
+
+/// Random starting states (diagonals kept trivial) drawn from an algebra's
+/// route sampler — the "arbitrary starting state" of the convergence
+/// theorems.
+pub fn random_states<A: SampleableAlgebra>(
+    alg: &A,
+    n: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<RoutingState<A>> {
+    let pool = alg.sample_routes(seed, 64);
+    dbf_async::convergence::state_ensemble(alg, n, &pool, count, seed ^ 0x57A7E)
+}
+
+/// The length of the synchronous convergence run (`σ` iterations to the
+/// fixed point) from the clean state.
+pub fn sync_iterations<A: dbf_algebra::RoutingAlgebra>(alg: &A, adj: &AdjacencyMatrix<A>) -> usize {
+    let n = adj.node_count();
+    let out = iterate_to_fixed_point(alg, adj, &RoutingState::identity(alg, n), 4 * n * n + 32);
+    assert!(out.converged, "workload did not converge within the 4n²+32 budget");
+    out.iterations
+}
+
+/// Pretty-print a two-column table of (label, value) rows.
+pub fn print_table(title: &str, header: (&str, &str), rows: &[(String, String)]) {
+    println!("\n== {title} ==");
+    println!("{:<44} {}", header.0, header.1);
+    for (a, b) in rows {
+        println!("{a:<44} {b}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_and_converge() {
+        let (alg, adj) = shortest_paths_network(8, 1);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj) = widest_paths_network(8, 2);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj) = reliability_network(8, 3);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj) = hopcount_network(8, 15, 4);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj) = path_vector_network(6, 5);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj) = policy_rich_network(6, 6);
+        assert!(sync_iterations(&alg, &adj) >= 1);
+        let (alg, adj, topo) = gao_rexford_network(&[2, 3, 5], 7);
+        assert_eq!(adj.node_count(), topo.node_count());
+        assert!(sync_iterations(&alg, &adj) >= 1);
+    }
+
+    #[test]
+    fn random_states_have_trivial_diagonals() {
+        let (alg, _) = hopcount_network(6, 10, 9);
+        let states = random_states(&alg, 6, 3, 11);
+        assert_eq!(states.len(), 4); // clean + 3 random
+        for s in &states {
+            for i in 0..6 {
+                assert_eq!(s.get(i, i), &alg.trivial());
+            }
+        }
+    }
+}

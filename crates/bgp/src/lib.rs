@@ -1,0 +1,51 @@
+//! # dbf-bgp — a policy-rich, safe-by-design BGP-like path-vector algebra
+//!
+//! This crate implements Section 7 of *"Asynchronous Convergence of
+//! Policy-Rich Distributed Bellman-Ford Routing Protocols"* (Daggitt,
+//! Gurney & Griffin, SIGCOMM 2018), plus the related-work configurations the
+//! paper compares against:
+//!
+//! * [`route`] — BGP-like routes: a local-preference *level* (lower is
+//!   better; policies may only increase it), a set of community values and
+//!   the AS path;
+//! * [`policy`] — the Section 7 policy language: `reject`, `incrPrefBy`,
+//!   `addComm`, `delComm`, `compose` and `condition`, where conditions are
+//!   built from `and` / `or` / `not` / `inPath` / `inComm` / `lprefEq`.
+//!   Because no policy can *decrease* the level, every expressible policy is
+//!   safe — the algebra is increasing by construction ("safe by design");
+//! * [`algebra`] — the routing/path algebra assembled from routes and
+//!   policies: the decision procedure (level, then path length, then a
+//!   lexicographic tie-break), the edge functions `f_{i,j,pol}` with
+//!   adjacency and loop filtering, and helpers for building adjacencies from
+//!   topologies and policy maps;
+//! * [`gao_rexford`] — the Gao-Rexford customer/peer/provider conditions
+//!   expressed *inside* the increasing framework (valley-free export
+//!   filtering plus customer ≺ peer ≺ provider preference), demonstrating
+//!   the paper's point that strict increase is strictly more general;
+//! * [`spp`] — Stable-Paths-Problem gadgets (DISAGREE, BAD GADGET, GOOD
+//!   GADGET) modelling what today's unconstrained BGP permits: wedgies
+//!   (multiple stable states) and permanent oscillation.  These algebras are
+//!   deliberately **not** increasing and are used as the negative
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod gao_rexford;
+pub mod policy;
+pub mod route;
+pub mod spp;
+
+pub use algebra::{BgpAlgebra, BgpEdge};
+pub use policy::{Condition, Policy};
+pub use route::{BgpRoute, Community, CommunitySet, Level};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::algebra::{BgpAlgebra, BgpEdge};
+    pub use crate::gao_rexford::{GaoRexford, GrEdge, GrRoute, Relationship, RouteClass};
+    pub use crate::policy::{Condition, Policy};
+    pub use crate::route::{BgpRoute, Community, CommunitySet, Level};
+    pub use crate::spp::{SppAlgebra, SppEdge, SppRoute};
+}

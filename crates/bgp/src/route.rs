@@ -1,0 +1,230 @@
+//! BGP-like routes: level (local preference), communities and the AS path.
+//!
+//! Following the Section 7 algebra, a route is either invalid or carries a
+//! *level* (the analogue of local preference, with **lower preferred** so
+//! that policies which may only *increase* it can never make a route more
+//! attractive), a set of community values (RFC 1997-style opaque tags that
+//! policies can test and modify but which never influence the decision
+//! procedure directly) and the path along which the route was learned.
+
+use dbf_paths::SimplePath;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A community value (an opaque tag, as in RFC 1997).
+pub type Community = u32;
+
+/// The level / local-preference of a route.  Lower is preferred; policies
+/// can only increase it, which is what makes the algebra increasing.
+pub type Level = u32;
+
+/// A set of community values.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct CommunitySet(BTreeSet<Community>);
+
+impl CommunitySet {
+    /// The empty community set.
+    pub fn empty() -> Self {
+        Self(BTreeSet::new())
+    }
+
+    /// A set from a list of communities.
+    pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+
+    /// Does the set contain `c`?
+    pub fn contains(&self, c: Community) -> bool {
+        self.0.contains(&c)
+    }
+
+    /// Add a community (idempotent).
+    pub fn insert(&mut self, c: Community) {
+        self.0.insert(c);
+    }
+
+    /// Remove a community (idempotent).
+    pub fn remove(&mut self, c: Community) {
+        self.0.remove(&c);
+    }
+
+    /// A copy with `c` added.
+    pub fn with(&self, c: Community) -> Self {
+        let mut out = self.clone();
+        out.insert(c);
+        out
+    }
+
+    /// A copy with `c` removed.
+    pub fn without(&self, c: Community) -> Self {
+        let mut out = self.clone();
+        out.remove(c);
+        out
+    }
+
+    /// The number of communities in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the communities in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A BGP-like route (the `Route` data type of Section 7).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BgpRoute {
+    /// The invalid route.
+    Invalid,
+    /// A valid route.
+    Valid {
+        /// The level (local preference; lower is preferred).
+        level: Level,
+        /// The route's community tags.
+        communities: CommunitySet,
+        /// The path along which the route was learned.
+        path: SimplePath,
+    },
+}
+
+impl BgpRoute {
+    /// The trivial route `valid 0 ∅ []`: a node's route to itself.
+    pub fn trivial() -> Self {
+        BgpRoute::Valid {
+            level: 0,
+            communities: CommunitySet::empty(),
+            path: SimplePath::empty(),
+        }
+    }
+
+    /// A valid route with the given attributes.
+    pub fn valid(level: Level, communities: CommunitySet, path: SimplePath) -> Self {
+        BgpRoute::Valid {
+            level,
+            communities,
+            path,
+        }
+    }
+
+    /// Is this the invalid route?
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, BgpRoute::Invalid)
+    }
+
+    /// The level, if valid.
+    pub fn level(&self) -> Option<Level> {
+        match self {
+            BgpRoute::Invalid => None,
+            BgpRoute::Valid { level, .. } => Some(*level),
+        }
+    }
+
+    /// The communities, if valid.
+    pub fn communities(&self) -> Option<&CommunitySet> {
+        match self {
+            BgpRoute::Invalid => None,
+            BgpRoute::Valid { communities, .. } => Some(communities),
+        }
+    }
+
+    /// The path, if valid.
+    pub fn simple_path(&self) -> Option<&SimplePath> {
+        match self {
+            BgpRoute::Invalid => None,
+            BgpRoute::Valid { path, .. } => Some(path),
+        }
+    }
+}
+
+impl fmt::Debug for BgpRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpRoute::Invalid => write!(f, "invalid"),
+            BgpRoute::Valid {
+                level,
+                communities,
+                path,
+            } => write!(f, "⟨lp={level} comm={communities:?} {path:?}⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_set_operations() {
+        let mut cs = CommunitySet::empty();
+        assert!(cs.is_empty());
+        cs.insert(17);
+        cs.insert(42);
+        cs.insert(17);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(17));
+        assert!(!cs.contains(99));
+        cs.remove(17);
+        assert!(!cs.contains(17));
+        let with = cs.with(5);
+        assert!(with.contains(5) && !cs.contains(5), "with() is persistent");
+        let without = with.without(5);
+        assert!(!without.contains(5));
+        assert_eq!(
+            CommunitySet::from_iter([3, 1, 2]).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(format!("{:?}", CommunitySet::from_iter([2, 1])), "{1,2}");
+    }
+
+    #[test]
+    fn trivial_route_shape() {
+        let t = BgpRoute::trivial();
+        assert!(!t.is_invalid());
+        assert_eq!(t.level(), Some(0));
+        assert_eq!(t.communities().unwrap().len(), 0);
+        assert!(t.simple_path().unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_route_has_no_attributes() {
+        let r = BgpRoute::Invalid;
+        assert!(r.is_invalid());
+        assert_eq!(r.level(), None);
+        assert!(r.communities().is_none());
+        assert!(r.simple_path().is_none());
+        assert_eq!(format!("{r:?}"), "invalid");
+    }
+
+    #[test]
+    fn debug_format_mentions_attributes() {
+        let r = BgpRoute::valid(
+            100,
+            CommunitySet::from_iter([7]),
+            SimplePath::from_nodes(vec![1, 2]).unwrap(),
+        );
+        let s = format!("{r:?}");
+        assert!(s.contains("lp=100"));
+        assert!(s.contains('7'));
+        assert!(s.contains("1→2"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Stable-Paths-Problem gadgets: what unconstrained BGP policy permits.
+//!
+//! Today's BGP lets operators rank routes arbitrarily, and the classic
+//! Griffin–Shepherd–Wilfong gadgets show what can go wrong:
+//!
+//! * **DISAGREE** — two stable states.  Which one the network reaches
+//!   depends on message timing; once it is in the "wrong" one, leaving it
+//!   requires coordinated manual intervention.  This is the *BGP wedgie* of
+//!   RFC 4264 that the paper's absolute-convergence theorem rules out.
+//! * **BAD GADGET** — no stable state at all: the protocol oscillates
+//!   forever.
+//! * **GOOD GADGET** — a configuration that happens to converge, showing
+//!   that the gadget algebra itself is not hopeless, merely unconstrained.
+//!
+//! The gadgets are expressed as a small "ranked permitted paths" algebra
+//! ([`SppAlgebra`]): a route is a permitted path together with the rank the
+//! *current holder* assigns it, and the edge function `f_{i,j}` re-ranks the
+//! extended path according to node `i`'s preference table (or filters it if
+//! `i` does not permit it).  Because a node may rank a longer path *better*
+//! than a shorter one, the algebra is **not increasing** — which is exactly
+//! why none of the paper's guarantees apply to it, and why the experiments
+//! can exhibit wedgies and oscillation with it.
+
+use dbf_algebra::RoutingAlgebra;
+use dbf_matrix::AdjacencyMatrix;
+use dbf_paths::path_algebra::PathAlgebra;
+use dbf_paths::{NodeId, Path, SimplePath};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A route of the gadget algebra: a permitted path plus the rank assigned by
+/// the node currently holding it (lower rank = more preferred).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum SppRoute {
+    /// The invalid route (the path is not permitted or does not exist).
+    Invalid,
+    /// A permitted path with its rank at the current holder.
+    Valid {
+        /// The rank (lower is preferred).
+        rank: u32,
+        /// The path.
+        path: SimplePath,
+    },
+}
+
+impl SppRoute {
+    /// The rank, if valid.
+    pub fn rank(&self) -> Option<u32> {
+        match self {
+            SppRoute::Invalid => None,
+            SppRoute::Valid { rank, .. } => Some(*rank),
+        }
+    }
+
+    /// The path, if valid.
+    pub fn simple_path(&self) -> Option<&SimplePath> {
+        match self {
+            SppRoute::Invalid => None,
+            SppRoute::Valid { path, .. } => Some(path),
+        }
+    }
+
+    /// Is this the invalid route?
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, SppRoute::Invalid)
+    }
+}
+
+impl fmt::Debug for SppRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SppRoute::Invalid => write!(f, "invalid"),
+            SppRoute::Valid { rank, path } => write!(f, "⟨#{rank} {path:?}⟩"),
+        }
+    }
+}
+
+/// An edge of the gadget algebra (no policy payload: the behaviour is
+/// entirely determined by the importing node's preference table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SppEdge {
+    /// The importing node `i`.
+    pub importer: NodeId,
+    /// The announcing neighbour `j`.
+    pub announcer: NodeId,
+}
+
+/// A "ranked permitted paths" algebra over a fixed destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SppAlgebra {
+    nodes: usize,
+    destination: NodeId,
+    /// `(node, path node sequence) → rank`.  Paths not in the map are not
+    /// permitted at that node.
+    preferences: BTreeMap<(NodeId, Vec<NodeId>), u32>,
+}
+
+impl SppAlgebra {
+    /// Create an algebra with an explicit preference table.
+    pub fn new(
+        nodes: usize,
+        destination: NodeId,
+        preferences: BTreeMap<(NodeId, Vec<NodeId>), u32>,
+    ) -> Self {
+        Self {
+            nodes,
+            destination,
+            preferences,
+        }
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The destination every preference refers to.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// The rank node `node` assigns to `path`, if it permits it.
+    pub fn rank_of(&self, node: NodeId, path: &SimplePath) -> Option<u32> {
+        self.preferences
+            .get(&(node, path.nodes().to_vec()))
+            .copied()
+    }
+
+    /// Build an edge.
+    pub fn edge(&self, importer: NodeId, announcer: NodeId) -> SppEdge {
+        SppEdge {
+            importer,
+            announcer,
+        }
+    }
+
+    /// The adjacency induced by the preference table: the link `i → j`
+    /// exists iff some path permitted at `i` starts with the edge `(i, j)`,
+    /// plus every one-hop link `(i, destination)` that is itself permitted.
+    pub fn adjacency(&self) -> AdjacencyMatrix<SppAlgebra> {
+        AdjacencyMatrix::from_fn(self.nodes, |i, j| {
+            let used = self.preferences.keys().any(|(node, nodes)| {
+                *node == i && nodes.len() >= 2 && nodes[0] == i && nodes[1] == j
+            });
+            if used {
+                Some(self.edge(i, j))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The DISAGREE gadget (two stable states — a BGP wedgie).
+    ///
+    /// Nodes 1 and 2 both reach destination 0 directly, but each *prefers*
+    /// the route through the other.
+    pub fn disagree() -> SppAlgebra {
+        let mut prefs = BTreeMap::new();
+        prefs.insert((1, vec![1, 2, 0]), 0);
+        prefs.insert((1, vec![1, 0]), 1);
+        prefs.insert((2, vec![2, 1, 0]), 0);
+        prefs.insert((2, vec![2, 0]), 1);
+        SppAlgebra::new(3, 0, prefs)
+    }
+
+    /// The BAD GADGET (no stable state — permanent oscillation).
+    ///
+    /// Nodes 1, 2, 3 each reach destination 0 directly but prefer the route
+    /// through their clockwise neighbour.
+    pub fn bad_gadget() -> SppAlgebra {
+        let mut prefs = BTreeMap::new();
+        for (me, next) in [(1, 2), (2, 3), (3, 1)] {
+            prefs.insert((me, vec![me, next, 0]), 0);
+            prefs.insert((me, vec![me, 0]), 1);
+        }
+        SppAlgebra::new(4, 0, prefs)
+    }
+
+    /// A GOOD GADGET: the same topology as [`Self::bad_gadget`] but with
+    /// preferences that make the direct route best, so the configuration
+    /// converges (to everyone using their direct route).
+    pub fn good_gadget() -> SppAlgebra {
+        let mut prefs = BTreeMap::new();
+        for (me, next) in [(1, 2), (2, 3), (3, 1)] {
+            prefs.insert((me, vec![me, 0]), 0);
+            prefs.insert((me, vec![me, next, 0]), 1);
+        }
+        SppAlgebra::new(4, 0, prefs)
+    }
+}
+
+impl RoutingAlgebra for SppAlgebra {
+    type Route = SppRoute;
+    type Edge = SppEdge;
+
+    fn choice(&self, a: &SppRoute, b: &SppRoute) -> SppRoute {
+        match (a, b) {
+            (SppRoute::Invalid, _) => b.clone(),
+            (_, SppRoute::Invalid) => a.clone(),
+            (
+                SppRoute::Valid { rank: ar, path: ap },
+                SppRoute::Valid { rank: br, path: bp },
+            ) => {
+                let ord = ar.cmp(br).then_with(|| ap.cmp(bp));
+                if ord == Ordering::Greater {
+                    b.clone()
+                } else {
+                    a.clone()
+                }
+            }
+        }
+    }
+
+    fn extend(&self, f: &SppEdge, r: &SppRoute) -> SppRoute {
+        let path = match r {
+            SppRoute::Invalid => return SppRoute::Invalid,
+            SppRoute::Valid { path, .. } => path,
+        };
+        let extended = match path.try_extend(f.importer, f.announcer) {
+            Ok(p) => p,
+            Err(_) => return SppRoute::Invalid,
+        };
+        match self.rank_of(f.importer, &extended) {
+            Some(rank) => SppRoute::Valid {
+                rank,
+                path: extended,
+            },
+            None => SppRoute::Invalid,
+        }
+    }
+
+    fn trivial(&self) -> SppRoute {
+        SppRoute::Valid {
+            rank: 0,
+            path: SimplePath::empty(),
+        }
+    }
+
+    fn invalid(&self) -> SppRoute {
+        SppRoute::Invalid
+    }
+}
+
+impl PathAlgebra for SppAlgebra {
+    fn path_of(&self, r: &SppRoute) -> Path {
+        match r {
+            SppRoute::Invalid => Path::Invalid,
+            SppRoute::Valid { path, .. } => Path::Simple(path.clone()),
+        }
+    }
+
+    fn edge_endpoints(&self, f: &SppEdge) -> (NodeId, NodeId) {
+        (f.importer, f.announcer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::properties;
+    use dbf_matrix::prelude::*;
+
+    #[test]
+    fn ranking_and_filtering_follow_the_preference_table() {
+        let alg = SppAlgebra::disagree();
+        assert_eq!(alg.node_count(), 3);
+        assert_eq!(alg.destination(), 0);
+        // node 1 extends 0's trivial route over (1, 0): permitted, rank 1
+        let direct = alg.extend(&alg.edge(1, 0), &alg.trivial());
+        assert_eq!(direct.rank(), Some(1));
+        assert_eq!(direct.simple_path().unwrap().nodes(), &[1, 0]);
+        // node 2 extends that into [2,1,0]: permitted, rank 0
+        let via1 = alg.extend(&alg.edge(2, 1), &direct);
+        assert_eq!(via1.rank(), Some(0));
+        // node 0 extending anything towards itself is not permitted (no
+        // entry in the table)
+        assert!(alg.extend(&alg.edge(0, 1), &direct).is_invalid());
+        // looping extension is invalid
+        assert!(alg.extend(&alg.edge(1, 2), &via1).is_invalid());
+    }
+
+    /// All permitted paths of an SPP instance with their proper ranks, plus
+    /// the distinguished routes, and every potential edge.
+    fn sample(alg: &SppAlgebra) -> (Vec<SppRoute>, Vec<SppEdge>) {
+        let mut routes = vec![alg.trivial(), alg.invalid()];
+        for ((_node, nodes), rank) in alg.preferences.clone() {
+            routes.push(SppRoute::Valid {
+                rank,
+                path: SimplePath::from_nodes(nodes).unwrap(),
+            });
+        }
+        let mut edges = Vec::new();
+        for i in 0..alg.node_count() {
+            for j in 0..alg.node_count() {
+                if i != j {
+                    edges.push(alg.edge(i, j));
+                }
+            }
+        }
+        (routes, edges)
+    }
+
+    #[test]
+    fn gadget_algebras_satisfy_definition_1() {
+        for alg in [SppAlgebra::disagree(), SppAlgebra::bad_gadget(), SppAlgebra::good_gadget()] {
+            let (routes, edges) = sample(&alg);
+            properties::check_required_laws(&alg, &routes, &edges).unwrap();
+        }
+    }
+
+    #[test]
+    fn wedgie_and_oscillation_gadgets_are_not_increasing() {
+        // DISAGREE and BAD GADGET rank a longer path better than the direct
+        // one, so re-ranking on import can make a route *more* preferred —
+        // the increasing condition fails, and with it every guarantee of the
+        // paper.  (The GOOD GADGET's preferences happen to respect the
+        // increasing condition on its permitted routes, which is exactly why
+        // it converges.)
+        for alg in [SppAlgebra::disagree(), SppAlgebra::bad_gadget()] {
+            let (routes, edges) = sample(&alg);
+            assert!(
+                properties::check_increasing(&alg, &edges, &routes).is_err(),
+                "gadget preference tables rank longer paths better, so the algebra must not be \
+                 increasing"
+            );
+        }
+        let good = SppAlgebra::good_gadget();
+        let (routes, edges) = sample(&good);
+        properties::check_increasing(&good, &edges, &routes).unwrap();
+    }
+
+    #[test]
+    fn bad_gadget_has_no_stable_state() {
+        let alg = SppAlgebra::bad_gadget();
+        let adj = alg.adjacency();
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 4), 500);
+        assert!(!out.converged, "BAD GADGET must oscillate forever");
+    }
+
+    #[test]
+    fn good_gadget_converges_to_direct_routes() {
+        let alg = SppAlgebra::good_gadget();
+        let adj = alg.adjacency();
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 4), 500);
+        assert!(out.converged);
+        for node in 1..4usize {
+            let r = out.state.get(node, 0);
+            assert_eq!(
+                r.simple_path().unwrap().nodes(),
+                &[node, 0],
+                "node {node} should settle on its direct route"
+            );
+        }
+    }
+
+    #[test]
+    fn disagree_has_two_stable_states() {
+        let alg = SppAlgebra::disagree();
+        let adj = alg.adjacency();
+        // State A: 1 uses its direct route, 2 routes through 1.
+        let state_a = RoutingState::from_fn(3, |i, j| match (i, j) {
+            (0, 0) | (1, 1) | (2, 2) => alg.trivial(),
+            (1, 0) => SppRoute::Valid {
+                rank: 1,
+                path: SimplePath::from_nodes(vec![1, 0]).unwrap(),
+            },
+            (2, 0) => SppRoute::Valid {
+                rank: 0,
+                path: SimplePath::from_nodes(vec![2, 1, 0]).unwrap(),
+            },
+            _ => alg.invalid(),
+        });
+        // State B is the mirror image.
+        let state_b = RoutingState::from_fn(3, |i, j| match (i, j) {
+            (0, 0) | (1, 1) | (2, 2) => alg.trivial(),
+            (2, 0) => SppRoute::Valid {
+                rank: 1,
+                path: SimplePath::from_nodes(vec![2, 0]).unwrap(),
+            },
+            (1, 0) => SppRoute::Valid {
+                rank: 0,
+                path: SimplePath::from_nodes(vec![1, 2, 0]).unwrap(),
+            },
+            _ => alg.invalid(),
+        });
+        assert!(is_stable(&alg, &adj, &state_a));
+        assert!(is_stable(&alg, &adj, &state_b));
+        assert_ne!(state_a, state_b);
+    }
+}

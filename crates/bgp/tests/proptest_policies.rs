@@ -1,0 +1,180 @@
+//! Property-based tests for the Section 7 policy language and the
+//! Gao-Rexford algebra: whatever policy the generator produces, the safety
+//! invariants hold — that is the "safe by design" claim stated as a
+//! property.
+
+use dbf_algebra::prelude::*;
+use dbf_bgp::policy::{Condition, Policy};
+use dbf_bgp::prelude::*;
+use dbf_paths::path_algebra::PathAlgebra;
+use dbf_paths::SimplePath;
+use proptest::prelude::*;
+
+const NODES: usize = 6;
+
+fn community() -> impl Strategy<Value = u32> {
+    0u32..6
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    let leaf = prop_oneof![
+        community().prop_map(Condition::InComm),
+        (0..NODES).prop_map(Condition::InPath),
+        (0u32..40).prop_map(Condition::LprefEq),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Condition::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Condition::or(a, b)),
+            inner.prop_map(Condition::not),
+        ]
+    })
+}
+
+fn policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        Just(Policy::Reject),
+        (0u32..20).prop_map(Policy::IncrPrefBy),
+        community().prop_map(Policy::AddComm),
+        community().prop_map(Policy::DelComm),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.then(q)),
+            (condition(), inner).prop_map(|(c, p)| Policy::when(c, p)),
+        ]
+    })
+}
+
+fn simple_path() -> impl Strategy<Value = SimplePath> {
+    (proptest::collection::vec(0usize..1_000_000, NODES), 0usize..=NODES).prop_map(
+        |(keys, mut len)| {
+            if len == 1 {
+                len = 2;
+            }
+            let mut ids: Vec<usize> = (0..NODES).collect();
+            ids.sort_by_key(|i| keys[*i]);
+            ids.truncate(len);
+            SimplePath::from_nodes(ids).expect("distinct prefix of a permutation")
+        },
+    )
+}
+
+fn bgp_route() -> impl Strategy<Value = BgpRoute> {
+    prop_oneof![
+        1 => Just(BgpRoute::Invalid),
+        8 => (0u32..40, proptest::collection::btree_set(community(), 0..4), simple_path())
+            .prop_map(|(level, comms, path)| BgpRoute::valid(
+                level,
+                CommunitySet::from_iter(comms),
+                path
+            )),
+    ]
+}
+
+proptest! {
+    /// No expressible policy can make a route more preferred: levels never
+    /// decrease, the invalid route is fixed, and rejection is the only other
+    /// outcome.
+    #[test]
+    fn policies_never_improve_a_route(p in policy(), r in bgp_route()) {
+        let out = p.apply(&r);
+        match (&r, &out) {
+            (BgpRoute::Invalid, out) => prop_assert_eq!(out, &BgpRoute::Invalid),
+            (BgpRoute::Valid { level, path, .. }, BgpRoute::Valid { level: ol, path: op, .. }) => {
+                prop_assert!(ol >= level, "policy {p:?} lowered the level");
+                prop_assert_eq!(op, path, "policies must not edit the path");
+            }
+            (BgpRoute::Valid { .. }, BgpRoute::Invalid) => {} // filtered
+        }
+    }
+
+    /// The full edge function is strictly increasing on every valid route,
+    /// whatever the policy — Theorem 11's precondition as a property test.
+    #[test]
+    fn edges_are_strictly_increasing(
+        p in policy(),
+        r in bgp_route(),
+        i in 0..NODES,
+        j in 0..NODES,
+    ) {
+        prop_assume!(i != j);
+        let alg = BgpAlgebra::new(NODES);
+        let edge = alg.edge(i, j, p);
+        let fr = alg.extend(&edge, &r);
+        if !alg.is_invalid(&r) {
+            prop_assert!(alg.route_lt(&r, &fr));
+        } else {
+            prop_assert!(alg.is_invalid(&fr));
+        }
+        // P1: validity and path validity coincide.
+        prop_assert_eq!(alg.is_invalid(&fr), alg.path_of(&fr).is_invalid());
+    }
+
+    /// The decision procedure is a total selective order.
+    #[test]
+    fn decision_procedure_is_selective_and_commutative(a in bgp_route(), b in bgp_route(), c in bgp_route()) {
+        let alg = BgpAlgebra::new(NODES);
+        let ab = alg.choice(&a, &b);
+        prop_assert!(ab == a || ab == b);
+        prop_assert_eq!(alg.choice(&a, &b), alg.choice(&b, &a));
+        prop_assert_eq!(
+            alg.choice(&a, &alg.choice(&b, &c)),
+            alg.choice(&alg.choice(&a, &b), &c)
+        );
+        prop_assert_eq!(alg.choice(&a, &alg.invalid()), a);
+    }
+
+    /// Conditions are pure: evaluating twice gives the same answer, and
+    /// negation is an involution.
+    #[test]
+    fn conditions_are_pure(c in condition(), r in bgp_route()) {
+        prop_assert_eq!(c.evaluate_route(&r), c.evaluate_route(&r));
+        let not_not = Condition::not(Condition::not(c.clone()));
+        prop_assert_eq!(not_not.evaluate_route(&r), c.evaluate_route(&r));
+    }
+
+    /// Gao-Rexford valley-freedom: whatever sequence of edges a route
+    /// traverses, once it has gone through a peer or provider edge it can
+    /// never be imported over a customer or peer edge again — and the class
+    /// of a route never improves along the way.
+    #[test]
+    fn gao_rexford_routes_are_valley_free(
+        hops in proptest::collection::vec((0..NODES, 0u8..3), 1..5)
+    ) {
+        let alg = GaoRexford::new(NODES);
+        let mut r = alg.trivial();
+        let mut seen_non_customer_import = false;
+        for (importer, rel) in hops {
+            let relationship = match rel {
+                0 => Relationship::Customer,
+                1 => Relationship::Peer,
+                _ => Relationship::Provider,
+            };
+            let announcer = match &r {
+                GrRoute::Invalid => break,
+                GrRoute::Valid { path, .. } => path.source().unwrap_or(importer.wrapping_add(1) % NODES),
+            };
+            if importer == announcer {
+                continue;
+            }
+            let prev_class = r.class();
+            let next = alg.extend(&alg.edge(importer, announcer, relationship), &r);
+            if let (Some(pc), Some(nc)) = (prev_class, next.class()) {
+                prop_assert!(nc >= pc, "the class never improves");
+            }
+            if let GrRoute::Valid { class, .. } = &next {
+                if seen_non_customer_import {
+                    // once the route has crossed a peer/provider edge, it can
+                    // only have been imported over provider edges since, so
+                    // its class must be Provider
+                    prop_assert_eq!(*class, RouteClass::Provider);
+                }
+                if *class != RouteClass::Customer {
+                    seen_non_customer_import = true;
+                }
+            }
+            r = next;
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The adjacency matrix `A` of edge functions.
+
+use dbf_algebra::RoutingAlgebra;
+use dbf_paths::pathvec::PathVector;
+use dbf_paths::NodeId;
+use dbf_topology::Topology;
+use std::fmt;
+
+/// The `n × n` adjacency matrix of a routing problem instance.
+///
+/// `A[i][j]` (when present) is the edge function node `i` applies to routes
+/// announced by node `j` — the paper's `A_ij`.  Missing entries represent
+/// missing links and behave as the constant-∞̄ function.
+pub struct AdjacencyMatrix<A: RoutingAlgebra> {
+    n: usize,
+    entries: Vec<Option<A::Edge>>,
+}
+
+// Manual Clone: deriving would add an unnecessary `A: Clone` bound on the
+// algebra itself, whereas only the edges need it (and the `RoutingAlgebra`
+// trait already requires `Edge: Clone`).
+impl<A: RoutingAlgebra> Clone for AdjacencyMatrix<A> {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
+    /// An adjacency with no links at all.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            entries: vec![None; n * n],
+        }
+    }
+
+    /// Build an adjacency from an explicit entry function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(NodeId, NodeId) -> Option<A::Edge>) -> Self {
+        let mut adj = Self::empty(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    adj.entries[i * n + j] = f(i, j);
+                }
+            }
+        }
+        adj
+    }
+
+    /// Build an adjacency from a topology whose edge weights *are* the
+    /// algebra's edge functions: the topology edge `i → j` becomes `A_ij`.
+    pub fn from_topology(topo: &Topology<A::Edge>) -> Self {
+        let n = topo.node_count();
+        let mut adj = Self::empty(n);
+        for (i, j, w) in topo.edges() {
+            adj.set(i, j, Some(w.clone()));
+        }
+        adj
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The number of present (non-∞̄) entries.
+    pub fn link_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The entry `A_ij`, if the link exists.
+    pub fn get(&self, i: NodeId, j: NodeId) -> Option<&A::Edge> {
+        assert!(i < self.n && j < self.n, "adjacency index out of range");
+        self.entries[i * self.n + j].as_ref()
+    }
+
+    /// Set (or clear) the entry `A_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or on the diagonal (`i == j`); the
+    /// diagonal is handled by the identity matrix `I`, not by `A`.
+    pub fn set(&mut self, i: NodeId, j: NodeId, e: Option<A::Edge>) {
+        assert!(i < self.n && j < self.n, "adjacency index out of range");
+        assert_ne!(i, j, "the diagonal of A is unused (see the identity matrix I)");
+        self.entries[i * self.n + j] = e;
+    }
+
+    /// The neighbours `j` from which node `i` can import routes
+    /// (`A_ij` present).
+    pub fn import_neighbors(&self, i: NodeId) -> Vec<NodeId> {
+        (0..self.n).filter(|&j| self.get(i, j).is_some()).collect()
+    }
+
+    /// Apply `A_ij` to a route, treating a missing entry as the constant-∞̄
+    /// function.
+    pub fn apply(&self, alg: &A, i: NodeId, j: NodeId, r: &A::Route) -> A::Route {
+        match self.get(i, j) {
+            Some(f) => alg.extend(f, r),
+            None => alg.invalid(),
+        }
+    }
+}
+
+impl<A: RoutingAlgebra> fmt::Debug for AdjacencyMatrix<A>
+where
+    A::Edge: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "AdjacencyMatrix(n={})", self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if let Some(e) = self.get(i, j) {
+                    writeln!(f, "  A[{i},{j}] = {e:?}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lift a topology of *base-algebra* edges into the adjacency of the
+/// path-vector lifting: the topology edge `i → j` with base policy `w`
+/// becomes the annotated edge `A_ij = (i, j, w)`.
+pub fn lift_topology<A: RoutingAlgebra>(
+    pv: &PathVector<A>,
+    topo: &Topology<A::Edge>,
+) -> AdjacencyMatrix<PathVector<A>> {
+    let n = topo.node_count();
+    AdjacencyMatrix::from_fn(n, |i, j| topo.edge(i, j).map(|w| pv.edge(i, j, w.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::prelude::*;
+    use dbf_topology::generators;
+
+    #[test]
+    fn from_topology_respects_direction() {
+        let mut topo = dbf_topology::Topology::new(3);
+        topo.set_edge(0, 1, NatInf::fin(5));
+        let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::from_topology(&topo);
+        assert_eq!(adj.get(0, 1), Some(&NatInf::fin(5)));
+        assert_eq!(adj.get(1, 0), None);
+        assert_eq!(adj.node_count(), 3);
+        assert_eq!(adj.link_count(), 1);
+        assert_eq!(adj.import_neighbors(0), vec![1]);
+        assert!(adj.import_neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn apply_treats_missing_links_as_filtering() {
+        let alg = ShortestPaths::new();
+        let topo = generators::line(3).with_weights(|_, _| NatInf::fin(1));
+        let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::from_topology(&topo);
+        assert_eq!(adj.apply(&alg, 0, 1, &NatInf::fin(3)), NatInf::fin(4));
+        assert_eq!(adj.apply(&alg, 0, 2, &NatInf::fin(3)), NatInf::Inf);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_entries_are_rejected() {
+        let mut adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::empty(2);
+        adj.set(1, 1, Some(NatInf::fin(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_is_rejected() {
+        let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::empty(2);
+        let _ = adj.get(0, 5);
+    }
+
+    #[test]
+    fn from_fn_skips_the_diagonal() {
+        let adj: AdjacencyMatrix<ShortestPaths> =
+            AdjacencyMatrix::from_fn(3, |_, _| Some(NatInf::fin(1)));
+        assert_eq!(adj.link_count(), 6);
+        for i in 0..3 {
+            assert_eq!(adj.get(i, i), None);
+        }
+    }
+
+    #[test]
+    fn lifting_a_topology_annotates_endpoints() {
+        let pv = dbf_paths::PathVector::new(ShortestPaths::new(), 4);
+        let topo = generators::ring(4).with_weights(|_, _| NatInf::fin(2));
+        let adj = lift_topology(&pv, &topo);
+        let e = adj.get(0, 1).expect("ring edge 0→1 exists");
+        assert_eq!((e.src, e.dst), (0, 1));
+        assert_eq!(e.inner, NatInf::fin(2));
+        assert_eq!(adj.link_count(), topo.edge_count());
+    }
+
+    #[test]
+    fn debug_output_lists_links() {
+        let topo = generators::line(2).with_weights(|_, _| NatInf::fin(7));
+        let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::from_topology(&topo);
+        let s = format!("{adj:?}");
+        assert!(s.contains("A[0,1] = 7"));
+    }
+}

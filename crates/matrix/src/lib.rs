@@ -1,0 +1,46 @@
+//! # dbf-matrix — the matrix model of synchronous Distributed Bellman-Ford
+//!
+//! This crate implements Sections 2.2 and 2.3 of *"Asynchronous Convergence
+//! of Policy-Rich Distributed Bellman-Ford Routing Protocols"* (Daggitt,
+//! Gurney & Griffin, SIGCOMM 2018):
+//!
+//! * [`adjacency::AdjacencyMatrix`] — the `n × n` matrix `A` of edge
+//!   functions describing the network's links and import policies
+//!   (`A[i][j]` is the policy node `i` applies to routes announced by its
+//!   neighbour `j`; a missing entry is the constant-∞̄ function);
+//! * [`state::RoutingState`] — the global routing state `X ∈ 𝕄ₙ(S)`, where
+//!   row `i` is node `i`'s routing table and `X[i][j]` is node `i`'s current
+//!   best route to destination `j`, together with the identity matrix `I`;
+//! * [`sigma`] — one synchronous round `σ(X) = A(X) ⊕ I` (Equation 5) and
+//!   per-entry recomputation reused by the asynchronous iterate `δ`;
+//! * [`sync`] — repeated synchronous iteration to a fixed point, stability
+//!   testing (Definition 4) and iteration counting (the quantity studied in
+//!   Section 8.1);
+//! * [`oracle`] — an exhaustive all-simple-paths optimum used to cross-check
+//!   fixed points: for distributive algebras the fixed point must equal the
+//!   global path optimum (the classical theory), while policy-rich algebras
+//!   are only locally optimal — both facts are exercised by the tests and
+//!   the Table 2 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod oracle;
+pub mod sigma;
+pub mod state;
+pub mod sync;
+
+pub use adjacency::AdjacencyMatrix;
+pub use sigma::{sigma, sigma_entry};
+pub use state::RoutingState;
+pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
+    pub use crate::oracle::exhaustive_path_optimum;
+    pub use crate::sigma::{sigma, sigma_entry, sigma_k};
+    pub use crate::state::RoutingState;
+    pub use crate::sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
+}

@@ -1,0 +1,136 @@
+//! The synchronous iteration operator `σ(X) = A(X) ⊕ I` (Section 2.2).
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::state::RoutingState;
+use dbf_algebra::RoutingAlgebra;
+use dbf_paths::NodeId;
+
+/// Recompute a single entry of `σ(X)` (Equation 5 of the paper):
+///
+/// ```text
+/// σ(X)[i][j] = 0̄                              if i = j
+///            = ⨁_k A_ik(X[k][j])              otherwise
+/// ```
+///
+/// This per-entry form is shared with the asynchronous iterate `δ`, which
+/// applies it to *stale* snapshots of the other nodes' tables.
+pub fn sigma_entry<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    i: NodeId,
+    j: NodeId,
+) -> A::Route {
+    if i == j {
+        return alg.trivial();
+    }
+    let n = adj.node_count();
+    let mut best = alg.invalid();
+    for k in 0..n {
+        if k == i {
+            // A_ii is absent (the diagonal is handled by I); skipping it is
+            // purely an optimisation since a missing entry contributes ∞̄.
+            continue;
+        }
+        let candidate = adj.apply(alg, i, k, x.get(k, j));
+        best = alg.choice(&best, &candidate);
+    }
+    best
+}
+
+/// One synchronous round of the Distributed Bellman-Ford computation:
+/// every node simultaneously recomputes its table from its neighbours'
+/// current tables.
+pub fn sigma<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+) -> RoutingState<A> {
+    assert_eq!(
+        adj.node_count(),
+        x.node_count(),
+        "adjacency and state dimensions must match"
+    );
+    RoutingState::from_fn(x.node_count(), |i, j| sigma_entry(alg, adj, x, i, j))
+}
+
+/// The `k`-fold iterate `σᵏ(X)`.
+pub fn sigma_k<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    k: usize,
+) -> RoutingState<A> {
+    let mut cur = x.clone();
+    for _ in 0..k {
+        cur = sigma(alg, adj, &cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::prelude::*;
+    use dbf_topology::generators;
+
+    fn line3() -> (ShortestPaths, AdjacencyMatrix<ShortestPaths>) {
+        let alg = ShortestPaths::new();
+        let topo = generators::line(3).with_weights(|_, _| NatInf::fin(1));
+        (alg, AdjacencyMatrix::from_topology(&topo))
+    }
+
+    #[test]
+    fn diagonal_is_always_trivial_after_one_round() {
+        // Lemma 1 of the paper.
+        let (alg, adj) = line3();
+        let garbage = RoutingState::<ShortestPaths>::uniform(3, NatInf::fin(42));
+        let next = sigma(&alg, &adj, &garbage);
+        for i in 0..3 {
+            assert_eq!(next.get(i, i), &NatInf::fin(0));
+        }
+    }
+
+    #[test]
+    fn one_round_learns_one_hop_routes() {
+        let (alg, adj) = line3();
+        let x0 = RoutingState::identity(&alg, 3);
+        let x1 = sigma(&alg, &adj, &x0);
+        assert_eq!(x1.get(0, 1), &NatInf::fin(1));
+        assert_eq!(x1.get(1, 2), &NatInf::fin(1));
+        // two-hop destination not learned yet
+        assert_eq!(x1.get(0, 2), &NatInf::Inf);
+        let x2 = sigma(&alg, &adj, &x1);
+        assert_eq!(x2.get(0, 2), &NatInf::fin(2));
+    }
+
+    #[test]
+    fn sigma_k_composes() {
+        let (alg, adj) = line3();
+        let x0 = RoutingState::identity(&alg, 3);
+        let a = sigma_k(&alg, &adj, &x0, 3);
+        let b = sigma(&alg, &adj, &sigma(&alg, &adj, &sigma(&alg, &adj, &x0)));
+        assert_eq!(a, b);
+        assert_eq!(sigma_k(&alg, &adj, &x0, 0), x0);
+    }
+
+    #[test]
+    fn entry_recomputation_matches_full_sigma() {
+        let (alg, adj) = line3();
+        let x = RoutingState::<ShortestPaths>::from_fn(3, |i, j| NatInf::fin((3 * i + j) as u64));
+        let full = sigma(&alg, &adj, &x);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(&sigma_entry(&alg, &adj, &x, i, j), full.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn dimension_mismatch_is_rejected() {
+        let (alg, adj) = line3();
+        let x = RoutingState::identity(&alg, 4);
+        let _ = sigma(&alg, &adj, &x);
+    }
+}

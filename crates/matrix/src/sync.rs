@@ -1,0 +1,184 @@
+//! Synchronous fixed-point iteration (Section 2.3) and stability testing
+//! (Definition 4).
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::sigma::sigma;
+use crate::state::RoutingState;
+use dbf_algebra::RoutingAlgebra;
+
+/// The outcome of a synchronous iteration run.
+#[derive(Clone, Debug)]
+pub struct SyncOutcome<A: RoutingAlgebra> {
+    /// The final state (a fixed point when `converged` is true).
+    pub state: RoutingState<A>,
+    /// The number of applications of `σ` that were performed.
+    pub iterations: usize,
+    /// Whether a fixed point was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Is `X` stable, i.e. a fixed point of `σ` (Definition 4)?  Equivalently:
+/// no node can improve any of its selected routes by unilaterally
+/// re-running its selection — a *local* optimum.
+pub fn is_stable<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+) -> bool {
+    sigma(alg, adj, x) == *x
+}
+
+/// Iterate `σ` from `x0` until a fixed point is reached or `max_iterations`
+/// rounds have been performed.
+///
+/// For strictly increasing algebras with finite carriers (Theorem 7) and for
+/// increasing path algebras (Theorem 11) a fixed point is always reached;
+/// for other algebras (for example the non-increasing longest-paths algebra
+/// on a cyclic topology, or a BAD-GADGET-style policy configuration) the
+/// iteration may never converge, which the caller observes as
+/// `converged == false`.
+pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    max_iterations: usize,
+) -> SyncOutcome<A> {
+    let mut cur = x0.clone();
+    for k in 0..max_iterations {
+        let next = sigma(alg, adj, &cur);
+        if next == cur {
+            return SyncOutcome {
+                state: cur,
+                iterations: k,
+                converged: true,
+            };
+        }
+        cur = next;
+    }
+    // One last check so that a state that becomes stable exactly at the
+    // budget boundary is still reported as converged.
+    let converged = is_stable(alg, adj, &cur);
+    SyncOutcome {
+        state: cur,
+        iterations: max_iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::instances::longest::LongestPaths;
+    use dbf_algebra::prelude::*;
+    use dbf_topology::generators;
+
+    #[test]
+    fn shortest_paths_on_a_ring_converges_to_ring_distances() {
+        let alg = ShortestPaths::new();
+        let topo = generators::ring(6).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 6), 100);
+        assert!(out.converged);
+        assert!(is_stable(&alg, &adj, &out.state));
+        // ring distance = min(|i-j|, 6-|i-j|)
+        for i in 0..6u64 {
+            for j in 0..6u64 {
+                let d = (i as i64 - j as i64).unsigned_abs();
+                let expected = d.min(6 - d);
+                assert_eq!(
+                    out.state.get(i as usize, j as usize),
+                    &NatInf::fin(expected),
+                    "distance {i}→{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_takes_about_diameter_rounds_on_a_line() {
+        let alg = ShortestPaths::new();
+        let n = 10;
+        let topo = generators::line(n).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 100);
+        assert!(out.converged);
+        assert!(out.iterations >= n - 1, "needs at least diameter rounds");
+        assert!(out.iterations <= n + 1, "distributive algebras converge in O(n)");
+    }
+
+    #[test]
+    fn widest_paths_reaches_a_stable_state() {
+        let alg = WidestPaths::new();
+        let topo = generators::complete(5).with_weights(|i, j| NatInf::fin(((i * 5 + j) % 7 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 5), 100);
+        assert!(out.converged);
+        assert!(is_stable(&alg, &adj, &out.state));
+    }
+
+    #[test]
+    fn longest_paths_on_a_cycle_converges_to_a_nonsensical_state() {
+        // The non-increasing negative example.  Because ℕ∞ addition
+        // saturates, the longest-path iteration on a cycle does reach a
+        // fixed point — but it is the degenerate all-∞ state, claiming
+        // arbitrarily long routes around the cycle rather than the true
+        // longest *simple* path lengths.  (The genuinely oscillating
+        // non-increasing examples are the BGP gadgets in `dbf-bgp`.)
+        let alg = LongestPaths::new();
+        let topo = generators::ring(4).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 4), 50);
+        assert!(out.converged);
+        for (i, j, r) in out.state.entries() {
+            if i != j {
+                assert_eq!(r, &NatInf::Inf, "entry ({i},{j}) saturates");
+            }
+        }
+        // The true longest *simple* path between adjacent ring nodes has
+        // only 3 hops, so claiming ∞ is nonsense — the algebra satisfies
+        // Definition 1 but, being non-increasing, none of the paper's
+        // guarantees (or classical optimality) apply to it.
+    }
+
+    #[test]
+    fn stability_detects_fixed_points_and_non_fixed_points() {
+        let alg = ShortestPaths::new();
+        let topo = generators::line(3).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let start = RoutingState::identity(&alg, 3);
+        assert!(!is_stable(&alg, &adj, &start));
+        let out = iterate_to_fixed_point(&alg, &adj, &start, 10);
+        assert!(is_stable(&alg, &adj, &out.state));
+    }
+
+    #[test]
+    fn convergence_from_garbage_states_for_finite_algebras() {
+        // Theorem 7 in miniature: a finite strictly increasing algebra
+        // (bounded hop count) reaches the same fixed point from the clean
+        // state and from a garbage state.
+        let alg = BoundedHopCount::new(7);
+        let topo = generators::ring(5).with_weights(|_, _| 1u64);
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let from_clean = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 5), 100);
+        let garbage = RoutingState::<BoundedHopCount>::from_fn(5, |i, j| {
+            if i == j {
+                NatInf::fin(0)
+            } else {
+                NatInf::fin(((i * 3 + j) % 7) as u64)
+            }
+        });
+        let from_garbage = iterate_to_fixed_point(&alg, &adj, &garbage, 100);
+        assert!(from_clean.converged && from_garbage.converged);
+        assert_eq!(from_clean.state, from_garbage.state);
+    }
+
+    #[test]
+    fn zero_iteration_budget_reports_instability() {
+        let alg = ShortestPaths::new();
+        let topo = generators::line(3).with_weights(|_, _| NatInf::fin(1));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 3), 0);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dbf-metric — ultrametrics, heights and contraction
+//!
+//! This crate implements the convergence machinery of the paper
+//! (*"Asynchronous Convergence of Policy-Rich Distributed Bellman-Ford
+//! Routing Protocols"*, Daggitt, Gurney & Griffin, SIGCOMM 2018):
+//!
+//! * [`ultrametric`] — the ultrametric axioms **M1–M3** (Definition 9),
+//!   the lifting of a route ultrametric `d` to the state ultrametric
+//!   `D(X, Y) = maxᵢⱼ d(Xᵢⱼ, Yᵢⱼ)` (Lemma 3) and executable axiom checkers;
+//! * [`height`] — the distance-vector ultrametric of Section 4.1, built
+//!   from the height function `h(x) = |{y ∈ S | x ≤ y}|` over a finite
+//!   carrier;
+//! * [`path_metric`] — the two-level path-vector metric of Section 5.2
+//!   (Figure 2): the consistent-route metric `h_c / d_c` reuses the height
+//!   construction over the finite set `S_c` of consistent routes, the
+//!   inconsistent metric `h_i / d_i` tracks the length of the shortest
+//!   inconsistent path, and the combined `d` places every inconsistent
+//!   disagreement strictly above every consistent one;
+//! * [`contraction`] — executable checkers for the contraction conditions of
+//!   Definitions 10–12 (contracting, strictly contracting on orbits,
+//!   strictly contracting on the fixed point) and the constructive
+//!   convergence bound of Lemma 2 (the orbit distance chain
+//!   `d(X, σX) > d(σX, σ²X) > …` is a strictly decreasing chain in ℕ and
+//!   therefore bounds the number of synchronous iterations).
+//!
+//! Together these pieces are the executable counterpart of Theorem 4
+//! (Figure 1's implication chain): exhibiting an ultrametric that is bounded
+//! and under which `σ` is strictly contracting on orbits and on its fixed
+//! point certifies absolute convergence of the asynchronous iterate `δ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contraction;
+pub mod height;
+pub mod path_metric;
+pub mod ultrametric;
+
+pub use contraction::{
+    check_contracting_on_fixed_point, check_strictly_contracting,
+    check_strictly_contracting_on_orbits, orbit_distance_chain, ContractionViolation,
+};
+pub use height::HeightMetric;
+pub use path_metric::PathVectorMetric;
+pub use ultrametric::{check_ultrametric_axioms, state_distance, RouteUltrametric};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::contraction::{
+        check_contracting_on_fixed_point, check_strictly_contracting,
+        check_strictly_contracting_on_orbits, orbit_distance_chain, ContractionViolation,
+    };
+    pub use crate::height::HeightMetric;
+    pub use crate::path_metric::PathVectorMetric;
+    pub use crate::ultrametric::{check_ultrametric_axioms, state_distance, RouteUltrametric};
+}

@@ -1,0 +1,255 @@
+//! The two-level path-vector metric of Section 5.2 (Figure 2).
+//!
+//! For path algebras the carrier may be infinite, so the height construction
+//! of Section 4.1 cannot be applied to all of `S`.  The paper's insight is
+//! that the set of **consistent** routes `S_c = { weight(p) | p ∈ 𝒫 }` *is*
+//! finite (simple paths are), and that inconsistent routes can only survive
+//! an application of `σ` by growing their path, so the length of the
+//! shortest inconsistent path strictly increases each round until none are
+//! left.  The metric therefore has two levels:
+//!
+//! * between two consistent routes, the distance is the Section 4.1 height
+//!   metric `d_c` computed over `S_c`;
+//! * if either route is inconsistent, the distance is `H_c + d_i`, where
+//!   `d_i(x, y) = max(h_i(x), h_i(y))` and
+//!   `h_i(x) = 1` for consistent `x` and `(n + 1) − length(path(x))`
+//!   otherwise.
+//!
+//! Adding `H_c` ensures every "inconsistent" disagreement is strictly larger
+//! than every "consistent" one, which is what lets the convergence proof
+//! first flush all inconsistent routes and then fall back to the
+//! distance-vector argument.
+
+use crate::height::HeightMetric;
+use crate::ultrametric::RouteUltrametric;
+use dbf_matrix::AdjacencyMatrix;
+use dbf_paths::enumerate::all_simple_paths_to;
+use dbf_paths::path::Path;
+use dbf_paths::path_algebra::{is_consistent, path_weight, PathAlgebra};
+
+/// The combined consistent/inconsistent route metric for a path algebra over
+/// a concrete network (adjacency).
+pub struct PathVectorMetric<P: PathAlgebra> {
+    alg: P,
+    adj: AdjacencyMatrix<P>,
+    nodes: usize,
+    consistent: HeightMetric<P>,
+}
+
+impl<P: PathAlgebra + Clone> PathVectorMetric<P> {
+    /// Build the metric for a path algebra over the given adjacency.
+    ///
+    /// Enumerates every simple path of the network to materialise `S_c`;
+    /// exponential in the worst case, intended for the reference networks
+    /// used in tests and experiments.
+    pub fn new(alg: P, adj: &AdjacencyMatrix<P>) -> Self {
+        let n = adj.node_count();
+        let mut sc: Vec<P::Route> = vec![alg.invalid(), alg.trivial()];
+        for dest in 0..n {
+            for p in all_simple_paths_to(dest, n, |a, b| adj.get(a, b).is_some()) {
+                let w = path_weight(&alg, &Path::Simple(p), |a, b| adj.get(a, b).cloned());
+                sc.push(w);
+            }
+        }
+        let consistent = HeightMetric::from_routes(alg.clone(), sc);
+        Self {
+            alg,
+            adj: adj.clone(),
+            nodes: n,
+            consistent,
+        }
+    }
+}
+
+impl<P: PathAlgebra> PathVectorMetric<P> {
+    /// Is the route consistent with the network (Definition 15)?
+    pub fn is_consistent(&self, r: &P::Route) -> bool {
+        is_consistent(&self.alg, r, |a, b| self.adj.get(a, b).cloned())
+    }
+
+    /// The number of distinct consistent routes `|S_c|` (the maximum
+    /// consistent height `H_c`).
+    pub fn consistent_height_max(&self) -> u64 {
+        self.consistent.max_height()
+    }
+
+    /// The maximum inconsistent height `H_i = n + 1`.
+    pub fn inconsistent_height_max(&self) -> u64 {
+        self.nodes as u64 + 1
+    }
+
+    /// The consistent height `h_c` of a consistent route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is not consistent with the network.
+    pub fn consistent_height(&self, r: &P::Route) -> u64 {
+        assert!(
+            self.is_consistent(r),
+            "h_c is only defined on consistent routes"
+        );
+        self.consistent.height(r)
+    }
+
+    /// The inconsistent height `h_i`: `1` for consistent routes and
+    /// `(n + 1) − length(path(x))` for inconsistent ones.
+    pub fn inconsistent_height(&self, r: &P::Route) -> u64 {
+        if self.is_consistent(r) {
+            1
+        } else {
+            let len = self
+                .alg
+                .path_of(r)
+                .len()
+                .expect("inconsistent routes are valid (P1), so their path is not ⊥")
+                as u64;
+            (self.nodes as u64 + 1).saturating_sub(len)
+        }
+    }
+
+    /// The inconsistent distance `d_i(x, y) = max(h_i(x), h_i(y))`.
+    ///
+    /// Not a true ultrametric on its own (it violates M1); it is only ever
+    /// used inside [`RouteUltrametric::route_distance`] on unequal routes.
+    pub fn inconsistent_distance(&self, x: &P::Route, y: &P::Route) -> u64 {
+        self.inconsistent_height(x).max(self.inconsistent_height(y))
+    }
+
+    /// The consistent distance `d_c` (the Section 4.1 metric over `S_c`).
+    pub fn consistent_distance(&self, x: &P::Route, y: &P::Route) -> u64 {
+        self.consistent.route_distance(x, y)
+    }
+
+    /// The set `S_c` of consistent routes, sorted from most to least
+    /// preferred.
+    pub fn consistent_routes(&self) -> &[P::Route] {
+        self.consistent.carrier()
+    }
+
+    /// The underlying algebra.
+    pub fn algebra(&self) -> &P {
+        &self.alg
+    }
+}
+
+impl<P: PathAlgebra> RouteUltrametric<P> for PathVectorMetric<P> {
+    fn route_distance(&self, x: &P::Route, y: &P::Route) -> u64 {
+        if x == y {
+            return 0;
+        }
+        if self.is_consistent(x) && self.is_consistent(y) {
+            self.consistent_distance(x, y)
+        } else {
+            self.consistent_height_max() + self.inconsistent_distance(x, y)
+        }
+    }
+
+    fn bound(&self) -> u64 {
+        self.consistent_height_max() + self.inconsistent_height_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ultrametric::check_ultrametric_axioms;
+    use dbf_algebra::prelude::*;
+    use dbf_algebra::SampleableAlgebra;
+    use dbf_matrix::prelude::*;
+    use dbf_paths::prelude::*;
+    use dbf_topology::generators;
+
+    type Pv = PathVector<ShortestPaths>;
+
+    fn setup(n: usize) -> (Pv, AdjacencyMatrix<Pv>, PathVectorMetric<Pv>) {
+        let pv = PathVector::new(ShortestPaths::new(), n);
+        let topo = generators::ring(n).with_weights(|i, j| NatInf::fin(((i + j) % 3 + 1) as u64));
+        let adj = lift_topology(&pv, &topo);
+        let metric = PathVectorMetric::new(pv, &adj);
+        (PathVector::new(ShortestPaths::new(), n), adj, metric)
+    }
+
+    #[test]
+    fn consistent_routes_are_exactly_the_path_weights() {
+        let (pv, adj, metric) = setup(4);
+        // Every enumerated consistent route really is consistent.
+        for r in metric.consistent_routes() {
+            assert!(metric.is_consistent(r), "{r:?} must be consistent");
+        }
+        // A route generated by extending along real edges is consistent and
+        // has the expected heights.
+        let e10 = adj.get(1, 0).unwrap().clone();
+        let r = pv.extend(&e10, &pv.trivial());
+        assert!(metric.is_consistent(&r));
+        assert_eq!(metric.inconsistent_height(&r), 1);
+        assert!(metric.consistent_height(&r) >= 1);
+        // A made-up route is not consistent.
+        let bogus = pv.lift_route(NatInf::fin(77), SimplePath::from_nodes(vec![0, 2]).unwrap());
+        assert!(!metric.is_consistent(&bogus));
+    }
+
+    #[test]
+    fn inconsistent_heights_decrease_with_path_length() {
+        let (pv, _adj, metric) = setup(5);
+        let short = pv.lift_route(NatInf::fin(77), SimplePath::from_nodes(vec![0, 1]).unwrap());
+        let long = pv.lift_route(
+            NatInf::fin(77),
+            SimplePath::from_nodes(vec![0, 1, 2, 3]).unwrap(),
+        );
+        assert!(!metric.is_consistent(&short) && !metric.is_consistent(&long));
+        assert_eq!(metric.inconsistent_height(&short), 5 + 1 - 1);
+        assert_eq!(metric.inconsistent_height(&long), 5 + 1 - 3);
+        assert!(metric.inconsistent_height(&short) > metric.inconsistent_height(&long));
+        assert!(metric.inconsistent_height(&short) <= metric.inconsistent_height_max());
+    }
+
+    #[test]
+    fn inconsistent_disagreements_dominate_consistent_ones() {
+        let (pv, adj, metric) = setup(4);
+        let consistent_a = pv.trivial();
+        let e = adj.get(0, 1).unwrap().clone();
+        let consistent_b = pv.extend(&e, &pv.trivial());
+        let inconsistent = pv.lift_route(NatInf::fin(99), SimplePath::from_nodes(vec![0, 2]).unwrap());
+        let dc = metric.route_distance(&consistent_a, &consistent_b);
+        let di = metric.route_distance(&consistent_a, &inconsistent);
+        assert!(dc > 0);
+        assert!(
+            di > dc,
+            "distances involving inconsistent routes must exceed all consistent distances"
+        );
+        assert!(di > metric.consistent_height_max());
+        assert!(di <= metric.bound());
+    }
+
+    #[test]
+    fn the_combined_metric_is_a_bounded_ultrametric() {
+        let (pv, _adj, metric) = setup(4);
+        // Mix of sampled (mostly inconsistent) routes and genuinely
+        // consistent routes from S_c.
+        let mut routes = pv.sample_routes(7, 40);
+        routes.extend(metric.consistent_routes().iter().take(20).cloned());
+        check_ultrametric_axioms::<Pv, _>(&metric, &routes).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined on consistent routes")]
+    fn consistent_height_rejects_inconsistent_routes() {
+        let (pv, _adj, metric) = setup(4);
+        let bogus = pv.lift_route(NatInf::fin(99), SimplePath::from_nodes(vec![0, 2]).unwrap());
+        let _ = metric.consistent_height(&bogus);
+    }
+
+    #[test]
+    fn figure2_structure_summary() {
+        // The quantities of Figure 2 are all computable and related as the
+        // paper describes.
+        let (_pv, _adj, metric) = setup(4);
+        assert!(metric.consistent_height_max() >= 2, "S_c contains at least 0̄ and ∞̄");
+        assert_eq!(metric.inconsistent_height_max(), 5);
+        assert_eq!(
+            metric.bound(),
+            metric.consistent_height_max() + metric.inconsistent_height_max()
+        );
+        assert_eq!(metric.algebra().node_count(), 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Enumeration of the simple paths of a network.
+//!
+//! The path-vector convergence argument (Section 5 of the paper) rests on
+//! the observation that the set of *consistent* routes
+//! `S_c = { weight(p) | p ∈ 𝒫 }` is finite because the set `𝒫` of simple
+//! paths is.  These helpers materialise `𝒫` for a concrete network so that
+//! the metric crate can compute the height function `h_c` over `S_c`, and so
+//! that tests can cross-check fixed points against exhaustive path
+//! enumeration.
+//!
+//! Enumeration is exponential in the worst case (there are `O(n!)` simple
+//! paths in a complete graph); it is intended for the small reference
+//! networks used in tests and experiments, not for production routing.
+
+use crate::path::{NodeId, SimplePath};
+
+/// All simple paths ending at `dest` over the node set `0..n`, **including**
+/// the empty path (the trivial route at `dest`).
+///
+/// `has_edge(i, j)` reports whether the directed link from `i` to `j`
+/// exists; paths are built so that consecutive nodes are joined by existing
+/// links.
+pub fn all_simple_paths_to<F>(dest: NodeId, n: usize, has_edge: F) -> Vec<SimplePath>
+where
+    F: Fn(NodeId, NodeId) -> bool,
+{
+    let mut out = vec![SimplePath::empty()];
+    // Depth-first extension of paths towards the front: a path to `dest` is
+    // grown by prepending predecessors of its current source.
+    let mut stack: Vec<SimplePath> = Vec::new();
+    for i in 0..n {
+        if i != dest && has_edge(i, dest) {
+            let p = SimplePath::from_nodes(vec![i, dest]).expect("two distinct nodes");
+            stack.push(p);
+        }
+    }
+    while let Some(p) = stack.pop() {
+        let src = p.source().expect("stack paths are non-empty");
+        for i in 0..n {
+            if !p.contains(i) && has_edge(i, src) {
+                if let Ok(q) = p.try_extend(i, src) {
+                    stack.push(q);
+                }
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// All simple paths of the network over the node set `0..n`: the empty path
+/// plus every non-empty simple path along existing links.
+pub fn all_simple_paths<F>(n: usize, has_edge: F) -> Vec<SimplePath>
+where
+    F: Fn(NodeId, NodeId) -> bool,
+{
+    let mut out = vec![SimplePath::empty()];
+    for dest in 0..n {
+        for p in all_simple_paths_to(dest, n, &has_edge) {
+            if !p.is_empty() {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// The number of simple paths (including the empty path) of a complete
+/// directed graph on `n` nodes — a convenient closed form used to sanity
+/// check the enumerators:
+/// `1 + Σ_{k=1..n-1} (number of ordered (k+1)-node sequences ending at a
+/// fixed destination, summed over destinations)`.
+pub fn complete_graph_simple_path_count(n: usize) -> usize {
+    // Non-empty simple paths are ordered sequences of 2..=n distinct nodes.
+    let mut count = 1usize; // the empty path
+    for len in 2..=n {
+        // n * (n-1) * ... * (n-len+1)
+        let mut seqs = 1usize;
+        for k in 0..len {
+            seqs *= n - k;
+        }
+        count += seqs;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> impl Fn(NodeId, NodeId) -> bool {
+        move |i, j| i != j && i < n && j < n
+    }
+
+    #[test]
+    fn paths_to_a_destination_in_a_triangle() {
+        // Complete graph on 3 nodes; paths to node 2: [], [0→2], [1→2],
+        // [0→1→2], [1→0→2].
+        let paths = all_simple_paths_to(2, 3, complete(3));
+        assert_eq!(paths.len(), 5);
+        assert!(paths.contains(&SimplePath::empty()));
+        assert!(paths.contains(&SimplePath::from_nodes(vec![0, 2]).unwrap()));
+        assert!(paths.contains(&SimplePath::from_nodes(vec![1, 0, 2]).unwrap()));
+        // every non-empty path ends at the destination and is simple
+        for p in &paths {
+            if !p.is_empty() {
+                assert_eq!(p.destination(), Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn all_paths_of_a_line_graph() {
+        // 0 — 1 — 2 (bidirectional line): simple paths are the empty path,
+        // the 4 single edges, and the 2 two-hop paths in each direction:
+        // [0→1],[1→0],[1→2],[2→1],[0→1→2],[2→1→0].
+        let has_edge = |i: NodeId, j: NodeId| matches!((i, j), (0, 1) | (1, 0) | (1, 2) | (2, 1));
+        let paths = all_simple_paths(3, has_edge);
+        assert_eq!(paths.len(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn complete_graph_count_matches_enumeration() {
+        for n in 1..=4 {
+            let enumerated = all_simple_paths(n, complete(n)).len();
+            assert_eq!(
+                enumerated,
+                complete_graph_simple_path_count(n),
+                "path count mismatch for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_destination_has_only_the_empty_path() {
+        let has_edge = |_i: NodeId, _j: NodeId| false;
+        let paths = all_simple_paths_to(0, 4, has_edge);
+        assert_eq!(paths, vec![SimplePath::empty()]);
+    }
+
+    #[test]
+    fn enumeration_respects_link_direction() {
+        // Only 0→1 exists, not 1→0.
+        let has_edge = |i: NodeId, j: NodeId| (i, j) == (0, 1);
+        let to1 = all_simple_paths_to(1, 2, has_edge);
+        assert!(to1.contains(&SimplePath::from_nodes(vec![0, 1]).unwrap()));
+        let to0 = all_simple_paths_to(0, 2, has_edge);
+        assert_eq!(to0, vec![SimplePath::empty()]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # dbf-paths — simple paths, path algebras and the path-vector lifting
+//!
+//! This crate implements Section 5.1 of *"Asynchronous Convergence of
+//! Policy-Rich Distributed Bellman-Ford Routing Protocols"* (Daggitt,
+//! Gurney & Griffin, SIGCOMM 2018):
+//!
+//! * [`path::SimplePath`] and [`path::Path`] — loop-free node sequences plus
+//!   the invalid path `⊥`;
+//! * [`path_algebra::PathAlgebra`] — routing algebras equipped with a `path`
+//!   projection satisfying properties **P1–P3**, together with executable
+//!   checkers for those properties and for route *consistency*
+//!   (`weight(path(r)) = r`, Definition 15);
+//! * [`pathvec::PathVector`] — the lifting that turns any increasing routing
+//!   algebra into a (strictly increasing) path algebra by recording the path
+//!   along which each route was generated and filtering looping extensions.
+//!   This is the algebraic content of "path-vector protocols track the paths
+//!   along which the routes are generated [and] routes are then removed if
+//!   they contain a looping path";
+//! * [`enumerate`] — enumeration of the simple paths of a network, used to
+//!   materialise the finite set of *consistent* routes `S_c` on which the
+//!   path-vector convergence proof (Theorem 11) rests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod path;
+pub mod path_algebra;
+pub mod pathvec;
+
+pub use path::{NodeId, Path, PathError, SimplePath};
+pub use path_algebra::{check_p1, check_p2, check_p3, PathAlgebra};
+pub use pathvec::{PathVector, PvEdge, PvRoute};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::enumerate::{all_simple_paths, all_simple_paths_to};
+    pub use crate::path::{NodeId, Path, PathError, SimplePath};
+    pub use crate::path_algebra::{
+        check_p1, check_p2, check_p3, is_consistent, path_weight, PathAlgebra,
+    };
+    pub use crate::pathvec::{PathVector, PvEdge, PvRoute};
+}

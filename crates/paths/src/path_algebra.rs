@@ -1,0 +1,260 @@
+//! Path algebras: routing algebras equipped with a `path` projection
+//! (Definition 14 of the paper) and the consistency machinery of
+//! Definition 15.
+//!
+//! The paper abstracts over how protocols track paths by assuming a
+//! projection `path : S → 𝒫` obeying three properties:
+//!
+//! * **P1** — `x = ∞̄ ⇔ path(x) = ⊥`;
+//! * **P2** — `x = 0̄ ⇒ path(x) = []`;
+//! * **P3** — extending a route over the edge `(i, j)` extends its path by
+//!   `(i, j)`, unless the extension would loop (`i ∈ path(r)`) or break
+//!   contiguity (`j ≠ src(path(r))`), in which case the result is the
+//!   invalid route with path `⊥`.
+//!
+//! The executable formulation of P3 used by [`check_p3`] differs from the
+//! paper's literal statement in one deliberate way: edge policies may also
+//! *filter* a route (return `∞̄`) for policy reasons — e.g. the `reject`
+//! policy of the Section 7 algebra — and in that case P1 forces the path to
+//! be `⊥` rather than `(i, j) :: path(r)`.  The checker therefore requires
+//!
+//! 1. if the path extension is `⊥` (loop / discontiguity) the resulting
+//!    route **must** be invalid, and
+//! 2. if the resulting route is valid its path **must** be exactly
+//!    `(i, j) :: path(r)`.
+//!
+//! This keeps the loop-freedom content of P3 while accommodating filtering,
+//! and it is the formulation under which the path-vector convergence
+//! argument (Lemma 8 / Theorem 11) goes through.
+
+use crate::path::{NodeId, Path};
+use dbf_algebra::properties::Violation;
+use dbf_algebra::RoutingAlgebra;
+
+/// A routing algebra equipped with a path projection and endpoint
+/// information for its edge functions (Definition 14).
+pub trait PathAlgebra: RoutingAlgebra {
+    /// The path along which the route was generated.
+    fn path_of(&self, r: &Self::Route) -> Path;
+
+    /// The endpoints `(i, j)` of an edge function: the edge carries routes
+    /// *from* `j` (the announcing neighbour) *to* `i` (the receiving node),
+    /// matching the paper's `A_ij` indexing.
+    fn edge_endpoints(&self, f: &Self::Edge) -> (NodeId, NodeId);
+}
+
+/// The weight of a path (Section 5.1):
+///
+/// * `weight(⊥) = ∞̄`,
+/// * `weight([]) = 0̄`,
+/// * `weight((i, j) :: q) = A_ij(weight(q))`.
+///
+/// `lookup(i, j)` returns the edge function of the link from `j` to `i` as
+/// recorded in the adjacency (`None` denotes a missing link, i.e. the
+/// constant-∞̄ function).
+pub fn path_weight<A, F>(alg: &A, path: &Path, lookup: F) -> A::Route
+where
+    A: RoutingAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::Edge>,
+{
+    let simple = match path {
+        Path::Invalid => return alg.invalid(),
+        Path::Simple(p) => p,
+    };
+    let mut acc = alg.trivial();
+    // Fold the edges from the destination end back towards the source,
+    // applying A_ij at each step.
+    for (i, j) in simple.edges().collect::<Vec<_>>().into_iter().rev() {
+        match lookup(i, j) {
+            Some(f) => acc = alg.extend(&f, &acc),
+            None => return alg.invalid(),
+        }
+    }
+    acc
+}
+
+/// Is the route consistent (Definition 15): `weight(path(r)) = r`?
+pub fn is_consistent<A, F>(alg: &A, r: &A::Route, lookup: F) -> bool
+where
+    A: PathAlgebra,
+    F: Fn(NodeId, NodeId) -> Option<A::Edge>,
+{
+    path_weight(alg, &alg.path_of(r), lookup) == *r
+}
+
+/// Check property P1 on the given routes: `x = ∞̄ ⇔ path(x) = ⊥`.
+pub fn check_p1<A: PathAlgebra>(alg: &A, routes: &[A::Route]) -> Result<(), Violation> {
+    for r in routes {
+        let p = alg.path_of(r);
+        let inv = alg.is_invalid(r);
+        if inv != p.is_invalid() {
+            return Err(Violation {
+                law: "P1 (x = ∞̄ ⇔ path(x) = ⊥)",
+                witness: format!("route {r:?} has path {p:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check property P2 on the given routes: `x = 0̄ ⇒ path(x) = []`.
+pub fn check_p2<A: PathAlgebra>(alg: &A, routes: &[A::Route]) -> Result<(), Violation> {
+    for r in routes {
+        if alg.is_trivial(r) {
+            let p = alg.path_of(r);
+            if !p.is_empty() {
+                return Err(Violation {
+                    law: "P2 (x = 0̄ ⇒ path(x) = [])",
+                    witness: format!("trivial route {r:?} has path {p:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check (the executable formulation of) property P3 on the given edges and
+/// routes; see the module documentation for the precise statement.
+pub fn check_p3<A: PathAlgebra>(
+    alg: &A,
+    edges: &[A::Edge],
+    routes: &[A::Route],
+) -> Result<(), Violation> {
+    for f in edges {
+        let (i, j) = alg.edge_endpoints(f);
+        for r in routes {
+            let fr = alg.extend(f, r);
+            let expected_path = alg.path_of(r).extend(i, j);
+            if expected_path.is_invalid() {
+                // Loop or discontiguity: the extension must be filtered.
+                if !alg.is_invalid(&fr) {
+                    return Err(Violation {
+                        law: "P3 (looping/discontiguous extensions are invalid)",
+                        witness: format!(
+                            "edge ({i},{j}) applied to {r:?} with path {:?} produced the \
+                             valid route {fr:?}",
+                            alg.path_of(r)
+                        ),
+                    });
+                }
+            } else if !alg.is_invalid(&fr) {
+                // Valid result: its path must be (i, j) :: path(r).
+                let actual = alg.path_of(&fr);
+                if actual != expected_path {
+                    return Err(Violation {
+                        law: "P3 (path(A_ij(r)) = (i,j) :: path(r))",
+                        witness: format!(
+                            "edge ({i},{j}) applied to {r:?}: expected path {expected_path:?}, \
+                             got {actual:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check P1, P2 and P3 together, collecting every violation.
+pub fn check_path_algebra_laws<A: PathAlgebra>(
+    alg: &A,
+    routes: &[A::Route],
+    edges: &[A::Edge],
+) -> Result<(), Vec<Violation>> {
+    let checks = [
+        check_p1(alg, routes),
+        check_p2(alg, routes),
+        check_p3(alg, edges, routes),
+    ];
+    let violations: Vec<Violation> = checks.into_iter().filter_map(Result::err).collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::SimplePath;
+    use crate::pathvec::PathVector;
+    use dbf_algebra::prelude::*;
+
+    fn pv() -> PathVector<ShortestPaths> {
+        PathVector::new(ShortestPaths::new(), 5)
+    }
+
+    /// A uniform-weight lookup: every ordered pair of distinct nodes has an
+    /// edge of weight 1.
+    fn unit_lookup(
+        alg: &PathVector<ShortestPaths>,
+    ) -> impl Fn(usize, usize) -> Option<<PathVector<ShortestPaths> as RoutingAlgebra>::Edge> + '_
+    {
+        move |i, j| {
+            if i == j {
+                None
+            } else {
+                Some(alg.edge(i, j, NatInf::fin(1)))
+            }
+        }
+    }
+
+    #[test]
+    fn weight_of_distinguished_paths() {
+        let alg = pv();
+        let lookup = unit_lookup(&alg);
+        assert_eq!(path_weight(&alg, &Path::Invalid, &lookup), alg.invalid());
+        assert_eq!(path_weight(&alg, &Path::empty(), &lookup), alg.trivial());
+    }
+
+    #[test]
+    fn weight_of_a_two_hop_path() {
+        let alg = pv();
+        let lookup = unit_lookup(&alg);
+        let p: Path = SimplePath::from_nodes(vec![0, 1, 2]).unwrap().into();
+        let w = path_weight(&alg, &p, &lookup);
+        // Two unit-weight hops.
+        let expected = alg.lift_route(NatInf::fin(2), SimplePath::from_nodes(vec![0, 1, 2]).unwrap());
+        assert_eq!(w, expected);
+    }
+
+    #[test]
+    fn weight_over_a_missing_edge_is_invalid() {
+        let alg = pv();
+        let lookup = |i: usize, j: usize| {
+            if (i, j) == (0, 1) {
+                Some(alg.edge(0, 1, NatInf::fin(1)))
+            } else {
+                None
+            }
+        };
+        let p: Path = SimplePath::from_nodes(vec![0, 1, 2]).unwrap().into();
+        assert_eq!(path_weight(&alg, &p, lookup), alg.invalid());
+    }
+
+    #[test]
+    fn consistency_of_generated_routes() {
+        let alg = pv();
+        let lookup = unit_lookup(&alg);
+        // A route generated by actually extending along existing edges is
+        // consistent.
+        let r1 = alg.extend(&alg.edge(1, 2, NatInf::fin(1)), &alg.trivial());
+        let r0 = alg.extend(&alg.edge(0, 1, NatInf::fin(1)), &r1);
+        assert!(is_consistent(&alg, &r0, &lookup));
+        // A route whose value disagrees with its path weight is not.
+        let bogus = alg.lift_route(NatInf::fin(40), SimplePath::from_nodes(vec![0, 1]).unwrap());
+        assert!(!is_consistent(&alg, &bogus, &lookup));
+        // The distinguished routes are consistent.
+        assert!(is_consistent(&alg, &alg.trivial(), &lookup));
+        assert!(is_consistent(&alg, &alg.invalid(), &lookup));
+    }
+
+    #[test]
+    fn path_algebra_laws_hold_for_the_lifting() {
+        let alg = pv();
+        let routes = alg.sample_routes(101, 64);
+        let edges = alg.sample_edges(101, 24);
+        check_path_algebra_laws(&alg, &routes, &edges).unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for simple paths, the path-algebra laws P1–P3 and
+//! the path-vector lifting.
+
+use dbf_algebra::prelude::*;
+use dbf_paths::prelude::*;
+use proptest::prelude::*;
+
+const NODES: usize = 6;
+
+/// A random simple path over `0..NODES` (possibly empty).
+fn simple_path() -> impl Strategy<Value = SimplePath> {
+    // A permutation prefix: shuffle the node ids and take a prefix of
+    // length 0 or 2..=NODES.
+    (Just(()), proptest::collection::vec(0usize..1_000_000, NODES), 0usize..=NODES).prop_map(
+        |((), keys, mut len)| {
+            if len == 1 {
+                len = 2;
+            }
+            let mut ids: Vec<usize> = (0..NODES).collect();
+            ids.sort_by_key(|i| keys[*i]);
+            ids.truncate(len);
+            SimplePath::from_nodes(ids).expect("distinct prefix of a permutation")
+        },
+    )
+}
+
+/// A random (possibly inconsistent) route of the path-vector lifting of
+/// shortest paths.
+fn pv_route() -> impl Strategy<Value = PvRoute<NatInf>> {
+    prop_oneof![
+        1 => Just(PvRoute::Invalid),
+        8 => (0u64..2_000, simple_path()).prop_map(|(v, p)| PvRoute::Valid {
+            value: NatInf::fin(v),
+            path: p
+        }),
+    ]
+}
+
+fn pv_edge() -> impl Strategy<Value = PvEdge<NatInf>> {
+    (0..NODES, 0..NODES, 1u64..50).prop_filter_map("self loop", |(i, j, w)| {
+        if i == j {
+            None
+        } else {
+            Some(PvEdge {
+                src: i,
+                dst: j,
+                inner: NatInf::fin(w),
+            })
+        }
+    })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // SimplePath invariants
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn generated_paths_are_simple(p in simple_path()) {
+        let nodes = p.nodes();
+        for (idx, n) in nodes.iter().enumerate() {
+            prop_assert!(!nodes[idx + 1..].contains(n), "path repeats node {n}");
+        }
+        prop_assert_ne!(nodes.len(), 1);
+        prop_assert_eq!(p.len(), nodes.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn extension_preserves_simplicity(p in simple_path(), i in 0..NODES, j in 0..NODES) {
+        match p.try_extend(i, j) {
+            Ok(q) => {
+                // simple and one edge longer, starting at i
+                prop_assert_eq!(q.len(), p.len() + 1);
+                prop_assert_eq!(q.source(), Some(i));
+                let nodes = q.nodes();
+                for (idx, n) in nodes.iter().enumerate() {
+                    prop_assert!(!nodes[idx + 1..].contains(n));
+                }
+            }
+            Err(PathError::Loop { node }) => {
+                prop_assert!(node == i || (p.is_empty() && i == j));
+            }
+            Err(PathError::NotContiguous { actual_source, .. }) => {
+                prop_assert_eq!(Some(actual_source), p.source());
+                prop_assert_ne!(Some(j), p.source());
+            }
+            Err(e) => prop_assert!(false, "unexpected extension error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn path_ordering_is_total_and_antisymmetric(a in simple_path(), b in simple_path()) {
+        use std::cmp::Ordering;
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path-vector lifting: algebra laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pv_choice_laws(a in pv_route(), b in pv_route(), c in pv_route()) {
+        let alg = PathVector::new(ShortestPaths::new(), NODES);
+        let ab = alg.choice(&a, &b);
+        prop_assert!(ab == a || ab == b, "selectivity");
+        prop_assert_eq!(alg.choice(&a, &b), alg.choice(&b, &a));
+        prop_assert_eq!(
+            alg.choice(&a, &alg.choice(&b, &c)),
+            alg.choice(&alg.choice(&a, &b), &c)
+        );
+        prop_assert_eq!(alg.choice(&a, &alg.trivial()), alg.trivial());
+        prop_assert_eq!(alg.choice(&a, &alg.invalid()), a);
+    }
+
+    #[test]
+    fn pv_extension_laws(r in pv_route(), f in pv_edge()) {
+        let alg = PathVector::new(ShortestPaths::new(), NODES);
+        // ∞̄ fixed point
+        prop_assert_eq!(alg.extend(&f, &alg.invalid()), alg.invalid());
+        // strictly increasing
+        if !alg.is_invalid(&r) {
+            prop_assert!(alg.route_lt(&r, &alg.extend(&f, &r)));
+        }
+        // P1: valid results have valid paths, invalid results have ⊥.
+        let fr = alg.extend(&f, &r);
+        prop_assert_eq!(alg.is_invalid(&fr), alg.path_of(&fr).is_invalid());
+    }
+
+    #[test]
+    fn pv_p3_loop_freedom(r in pv_route(), f in pv_edge()) {
+        let alg = PathVector::new(ShortestPaths::new(), NODES);
+        let fr = alg.extend(&f, &r);
+        if let PvRoute::Valid { path, .. } = &fr {
+            // the importing node is the new source and appears exactly once
+            prop_assert_eq!(path.source(), Some(f.src));
+            let occurrences = path.nodes().iter().filter(|&&n| n == f.src).count();
+            prop_assert_eq!(occurrences, 1);
+            // and the old path is a suffix (extending the empty path
+            // introduces both endpoints of the edge)
+            if let PvRoute::Valid { path: old, .. } = &r {
+                if old.is_empty() {
+                    prop_assert_eq!(path.nodes(), &[f.src, f.dst]);
+                } else {
+                    prop_assert_eq!(&path.nodes()[1..], old.nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pv_path_algebra_checkers_accept_generated_data(
+        routes in proptest::collection::vec(pv_route(), 1..20),
+        edges in proptest::collection::vec(pv_edge(), 1..10)
+    ) {
+        let alg = PathVector::new(ShortestPaths::new(), NODES);
+        prop_assert!(check_p1(&alg, &routes).is_ok());
+        prop_assert!(check_p2(&alg, &routes).is_ok());
+        prop_assert!(check_p3(&alg, &edges, &routes).is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // weight / consistency
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn routes_built_by_extension_along_real_edges_are_consistent(
+        hops in proptest::collection::vec((0..NODES, 1u64..20), 1..5)
+    ) {
+        // Build a route by repeatedly extending the trivial route along a
+        // uniform-weight complete graph, then check it is consistent with
+        // that graph.
+        let alg = PathVector::new(ShortestPaths::new(), NODES);
+        let weight_of = |i: usize, j: usize| ((i * 7 + j * 13) % 9 + 1) as u64;
+        let lookup = |i: usize, j: usize| {
+            if i == j {
+                None
+            } else {
+                Some(alg.edge(i, j, NatInf::fin(weight_of(i, j))))
+            }
+        };
+        let mut r = alg.trivial();
+        for (next, _w) in hops {
+            // extend over the edge (next, current source of the path) if possible
+            let src = match &r {
+                PvRoute::Invalid => break,
+                PvRoute::Valid { path, .. } => path.source(),
+            };
+            let dst = src.unwrap_or(0);
+            let e = alg.edge(next, dst, NatInf::fin(weight_of(next, dst)));
+            if next == dst {
+                continue;
+            }
+            r = alg.extend(&e, &r);
+        }
+        prop_assert!(is_consistent(&alg, &r, lookup));
+    }
+}

@@ -1,0 +1,461 @@
+//! A BGP-like path-vector protocol engine over the Section 7 algebra.
+//!
+//! The engine models the operational shape of BGP rather than its exact
+//! wire behaviour:
+//!
+//! * every router originates one destination (itself);
+//! * routers maintain an **adj-RIB-in** per neighbour (the last route each
+//!   neighbour announced per destination) and a **loc-RIB** (the selected
+//!   best routes);
+//! * selection applies the configured import [`Policy`] of the Section 7
+//!   algebra and its decision procedure (level, then path length, then
+//!   tie-break), with loop detection on the AS path;
+//! * only *changes* to the loc-RIB are advertised, as incremental
+//!   announcements or explicit withdrawals;
+//! * sessions deliver messages reliably and in order (per neighbour pair),
+//!   as BGP's TCP transport does, but with per-message delays so different
+//!   sessions interleave arbitrarily; sessions can also be **reset**, which
+//!   clears the adj-RIB-in on both sides and forces a full re-advertisement
+//!   — the "hard-state" analogue of the paper's arbitrary starting states.
+//!
+//! Because every expressible policy keeps the algebra increasing, the
+//! engine converges to the unique fixed point no matter the policies,
+//! delays or session resets — which is what the tests verify.
+
+use crate::stats::ProtocolStats;
+use dbf_algebra::RoutingAlgebra;
+use dbf_bgp::algebra::BgpAlgebra;
+use dbf_bgp::policy::Policy;
+use dbf_bgp::route::BgpRoute;
+use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
+use dbf_paths::NodeId;
+use dbf_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Configuration of the BGP-like engine.
+#[derive(Debug, Clone, Copy)]
+pub struct BgpConfig {
+    /// Minimum per-message session delay.
+    pub min_delay: u64,
+    /// Maximum per-message session delay (sessions stay in order; different
+    /// sessions interleave).
+    pub max_delay: u64,
+    /// Number of randomly timed session resets to inject.
+    pub session_resets: usize,
+    /// Simulation end time.
+    pub max_time: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BgpConfig {
+    fn default() -> Self {
+        Self {
+            min_delay: 1,
+            max_delay: 10,
+            session_resets: 0,
+            max_time: 100_000,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a BGP-like run.
+#[derive(Debug, Clone)]
+pub struct BgpReport {
+    /// The final loc-RIBs as a routing state over the Section 7 algebra.
+    pub final_state: RoutingState<BgpAlgebra>,
+    /// Whether the final state is the σ-fixed point for the configured
+    /// policies.
+    pub converged: bool,
+    /// Traffic statistics.
+    pub stats: ProtocolStats,
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    /// Announce the sender's (post-selection) route for a destination.
+    Announce(NodeId, BgpRoute),
+    /// Withdraw the sender's route for a destination.
+    Withdraw(NodeId),
+    /// Tear down and re-establish the session between the two endpoints.
+    ResetSession,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The BGP-like engine.
+pub struct BgpEngine {
+    alg: BgpAlgebra,
+    adj: AdjacencyMatrix<BgpAlgebra>,
+    config: BgpConfig,
+    n: usize,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    /// In-order delivery: per ordered pair (from, to), the earliest time the
+    /// next message may be delivered.
+    session_clock: Vec<Vec<u64>>,
+    /// adj-RIB-in: `rib_in[i][k][dest]` = last route neighbour `k` announced
+    /// to `i` for `dest`.
+    rib_in: Vec<Vec<Vec<BgpRoute>>>,
+    /// loc-RIB: `loc_rib[i][dest]` = node `i`'s selected route.
+    loc_rib: Vec<Vec<BgpRoute>>,
+    stats: ProtocolStats,
+}
+
+impl BgpEngine {
+    /// Create an engine from a topology whose directed edges carry import
+    /// policies (`topo.edge(i, j)` = the policy node `i` applies to routes
+    /// announced by `j`).
+    pub fn new(topo: &Topology<Policy>, config: BgpConfig) -> Self {
+        let n = topo.node_count();
+        let alg = BgpAlgebra::new(n);
+        let adj = alg.adjacency_from_topology(topo);
+        let loc_rib: Vec<Vec<BgpRoute>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { alg.trivial() } else { alg.invalid() })
+                    .collect()
+            })
+            .collect();
+        let mut engine = Self {
+            alg,
+            adj,
+            config,
+            n,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            session_clock: vec![vec![0; n]; n],
+            rib_in: vec![vec![vec![BgpRoute::Invalid; n]; n]; n],
+            loc_rib,
+            stats: ProtocolStats::default(),
+        };
+        // Session establishment: everyone announces its own prefix.
+        for i in 0..n {
+            engine.announce_to_neighbors(i, i);
+        }
+        // Inject session resets at random times over the first half of the
+        // run.
+        for _ in 0..config.session_resets {
+            let a = engine.rng.gen_range(0..n);
+            let neighbors = engine.neighbors_of(a);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let b = neighbors[engine.rng.gen_range(0..neighbors.len())];
+            let at = engine.rng.gen_range(1..=config.max_time / 2);
+            engine.seq += 1;
+            engine.queue.push(Scheduled {
+                at,
+                seq: engine.seq,
+                from: a,
+                to: b,
+                payload: Payload::ResetSession,
+            });
+        }
+        engine
+    }
+
+    /// The neighbours node `i` imports from.
+    fn neighbors_of(&self, i: NodeId) -> Vec<NodeId> {
+        self.adj.import_neighbors(i)
+    }
+
+    /// The neighbours that import from node `j` (i.e. the peers `j`
+    /// announces to).
+    fn listeners_of(&self, j: NodeId) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&i| i != j && self.adj.get(i, j).is_some())
+            .collect()
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+        // Reliable, in-order per session: the delivery time is monotone per
+        // (from, to) pair.
+        let delay = self
+            .rng
+            .gen_range(self.config.min_delay..=self.config.max_delay.max(self.config.min_delay));
+        let at = (self.now + delay).max(self.session_clock[from][to] + 1);
+        self.session_clock[from][to] = at;
+        self.seq += 1;
+        match payload {
+            Payload::Withdraw(_) => self.stats.withdrawals_sent += 1,
+            Payload::Announce(..) => self.stats.updates_sent += 1,
+            Payload::ResetSession => {}
+        }
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            from,
+            to,
+            payload,
+        });
+    }
+
+    fn announce_to_neighbors(&mut self, i: NodeId, dest: NodeId) {
+        let route = self.loc_rib[i][dest].clone();
+        for to in self.listeners_of(i) {
+            let payload = if route.is_invalid() {
+                Payload::Withdraw(dest)
+            } else {
+                Payload::Announce(dest, route.clone())
+            };
+            self.send(i, to, payload);
+        }
+    }
+
+    /// Re-run best-path selection at node `i` for destination `dest`;
+    /// returns whether the loc-RIB changed.
+    fn decide(&mut self, i: NodeId, dest: NodeId) -> bool {
+        if i == dest {
+            return false;
+        }
+        let mut best = self.alg.invalid();
+        for k in self.neighbors_of(i) {
+            let announced = &self.rib_in[i][k][dest];
+            let candidate = self.adj.apply(&self.alg, i, k, announced);
+            best = self.alg.choice(&best, &candidate);
+        }
+        if best != self.loc_rib[i][dest] {
+            self.loc_rib[i][dest] = best;
+            self.stats.table_changes += 1;
+            self.stats.last_change_time = self.now;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn full_readvertise(&mut self, i: NodeId, to: NodeId) {
+        for dest in 0..self.n {
+            let route = self.loc_rib[i][dest].clone();
+            let payload = if route.is_invalid() {
+                Payload::Withdraw(dest)
+            } else {
+                Payload::Announce(dest, route)
+            };
+            self.send(i, to, payload);
+        }
+    }
+
+    /// Run the engine and report.
+    pub fn run(mut self) -> BgpReport {
+        while let Some(msg) = self.queue.pop() {
+            if msg.at > self.config.max_time {
+                break;
+            }
+            self.now = msg.at;
+            match msg.payload {
+                Payload::Announce(dest, route) => {
+                    self.stats.updates_processed += 1;
+                    self.rib_in[msg.to][msg.from][dest] = route;
+                    if self.decide(msg.to, dest) {
+                        self.announce_to_neighbors(msg.to, dest);
+                    }
+                }
+                Payload::Withdraw(dest) => {
+                    self.stats.updates_processed += 1;
+                    self.rib_in[msg.to][msg.from][dest] = BgpRoute::Invalid;
+                    if self.decide(msg.to, dest) {
+                        self.announce_to_neighbors(msg.to, dest);
+                    }
+                }
+                Payload::ResetSession => {
+                    // Clear what each endpoint heard from the other and
+                    // re-advertise, as a BGP session reset does.
+                    let (a, b) = (msg.from, msg.to);
+                    let mut changed: Vec<(NodeId, NodeId)> = Vec::new();
+                    for dest in 0..self.n {
+                        self.rib_in[a][b][dest] = BgpRoute::Invalid;
+                        self.rib_in[b][a][dest] = BgpRoute::Invalid;
+                        if self.decide(a, dest) {
+                            changed.push((a, dest));
+                        }
+                        if self.decide(b, dest) {
+                            changed.push((b, dest));
+                        }
+                    }
+                    for (node, dest) in changed {
+                        self.announce_to_neighbors(node, dest);
+                    }
+                    self.full_readvertise(a, b);
+                    self.full_readvertise(b, a);
+                }
+            }
+        }
+        self.stats.finish_time = self.now;
+        let final_state = RoutingState::from_fn(self.n, |i, j| self.loc_rib[i][j].clone());
+        let reference = dbf_matrix::iterate_to_fixed_point(
+            &self.alg,
+            &self.adj,
+            &RoutingState::identity(&self.alg, self.n),
+            2 * self.n * self.n + 16,
+        );
+        let converged = is_stable(&self.alg, &self.adj, &final_state)
+            && reference.converged
+            && final_state == reference.state;
+        BgpReport {
+            final_state,
+            converged,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Attach the same import policy to every directed edge of a shape — a
+/// convenience used by tests, examples and experiments.
+pub fn uniform_policies(shape: &Topology<()>, policy: Policy) -> Topology<Policy> {
+    shape.with_weights(|_, _| policy.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::algebra::SplitMix64;
+    use dbf_bgp::algebra::random_policy;
+    use dbf_bgp::policy::Condition;
+    use dbf_topology::generators;
+
+    #[test]
+    fn plain_policies_converge_to_shortest_as_paths() {
+        let shape = generators::ring(6);
+        let topo = uniform_policies(&shape, Policy::identity());
+        let report = BgpEngine::new(&topo, BgpConfig::default()).run();
+        assert!(report.converged);
+        // ring: the AS path to the node two hops away has two edges
+        let r = report.final_state.get(0, 2);
+        assert_eq!(r.simple_path().unwrap().len(), 2);
+        assert!(report.stats.updates_sent > 0);
+    }
+
+    #[test]
+    fn random_safe_policies_always_converge() {
+        for seed in 0..4 {
+            let shape = generators::connected_random(7, 0.35, seed);
+            let mut rng = SplitMix64::new(seed ^ 0xABCD);
+            let topo = shape.with_weights(|_, _| random_policy(&mut rng, 2));
+            let cfg = BgpConfig {
+                seed,
+                ..BgpConfig::default()
+            };
+            let report = BgpEngine::new(&topo, cfg).run();
+            assert!(report.converged, "seed {seed} failed to converge");
+        }
+    }
+
+    #[test]
+    fn session_resets_do_not_change_the_outcome() {
+        let shape = generators::grid(2, 3);
+        let mut rng = SplitMix64::new(99);
+        let topo = shape.with_weights(|_, _| random_policy(&mut rng, 1));
+        let calm = BgpEngine::new(&topo, BgpConfig { seed: 1, ..BgpConfig::default() }).run();
+        let stormy = BgpEngine::new(
+            &topo,
+            BgpConfig {
+                seed: 2,
+                session_resets: 6,
+                ..BgpConfig::default()
+            },
+        )
+        .run();
+        assert!(calm.converged && stormy.converged);
+        assert_eq!(calm.final_state, stormy.final_state);
+        assert!(stormy.stats.messages_sent() > calm.stats.messages_sent());
+    }
+
+    #[test]
+    fn filtering_policies_black_hole_the_filtered_destination_only() {
+        // Node 0 rejects everything it hears from node 1 about destinations
+        // carrying community 7 — but nothing tags community 7, so this is a
+        // no-op; then a second run where node 0 rejects *all* routes from
+        // node 1, which on a line topology cuts 0 off from everything
+        // beyond 1.
+        let shape = generators::line(4);
+        let mut topo = uniform_policies(&shape, Policy::identity());
+        topo.set_edge(0, 1, Policy::when(Condition::InComm(7), Policy::Reject));
+        let report = BgpEngine::new(&topo, BgpConfig::default()).run();
+        assert!(report.converged);
+        assert!(!report.final_state.get(0, 3).is_invalid());
+
+        let mut topo2 = uniform_policies(&shape, Policy::identity());
+        topo2.set_edge(0, 1, Policy::Reject);
+        let report2 = BgpEngine::new(&topo2, BgpConfig::default()).run();
+        assert!(report2.converged);
+        assert!(report2.final_state.get(0, 1).is_invalid());
+        assert!(report2.final_state.get(0, 3).is_invalid());
+        // the rest of the line is unaffected
+        assert!(!report2.final_state.get(1, 3).is_invalid());
+    }
+
+    #[test]
+    fn community_tagging_policies_affect_downstream_decisions() {
+        // Node 0's import from node 2 tags routes with community 5 and then
+        // deprefers anything carrying that tag.  The result is policy-rich
+        // (non-shortest-path) routing: node 0 prefers the *longer* untagged
+        // path around the square over the depreffed direct link to 2.
+        let mut topo: Topology<Policy> = Topology::new(4);
+        // square: 0-1, 1-3, 2-3, 0-2
+        topo.set_link(0, 1, Policy::identity());
+        topo.set_link(1, 3, Policy::identity());
+        topo.set_link(2, 3, Policy::identity());
+        topo.set_link(0, 2, Policy::identity());
+        topo.set_edge(
+            0,
+            2,
+            Policy::AddComm(5).then(Policy::when(Condition::InComm(5), Policy::IncrPrefBy(10))),
+        );
+        let report = BgpEngine::new(&topo, BgpConfig::default()).run();
+        assert!(report.converged);
+        // 0 reaches 3 via 1 (untagged, level 0) rather than via 2 (level 10)
+        let r = report.final_state.get(0, 3);
+        assert_eq!(r.simple_path().unwrap().nodes(), &[0, 1, 3]);
+        assert_eq!(r.level(), Some(0));
+        // 0's route to 2 itself avoids the depreffed tagged link and takes
+        // the three-hop untagged path instead
+        let r2 = report.final_state.get(0, 2);
+        assert_eq!(r2.simple_path().unwrap().nodes(), &[0, 1, 3, 2]);
+        assert_eq!(r2.level(), Some(0));
+        assert!(r2.communities().unwrap().is_empty());
+    }
+
+    #[test]
+    fn statistics_are_populated() {
+        let shape = generators::star(5);
+        let topo = uniform_policies(&shape, Policy::identity());
+        let report = BgpEngine::new(&topo, BgpConfig { seed: 7, ..BgpConfig::default() }).run();
+        assert!(report.converged);
+        assert!(report.stats.updates_processed > 0);
+        assert!(report.stats.finish_time >= report.stats.last_change_time);
+        assert_eq!(report.stats.updates_lost, 0, "sessions are reliable");
+    }
+}

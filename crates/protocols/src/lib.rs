@@ -1,0 +1,45 @@
+//! # dbf-protocols — message-level protocol engines
+//!
+//! The algebraic model of the paper abstracts over protocol machinery; this
+//! crate supplies that machinery so the theory can be exercised against
+//! something that looks and behaves like the protocols operators actually
+//! run:
+//!
+//! * [`rip`] — a RIP-like distance-vector engine: periodic full-table
+//!   updates, triggered updates, split horizon with poisoned reverse, route
+//!   timeouts and the classic hop-count limit of 15/16.  Its algebra is the
+//!   finite, strictly increasing bounded-hop-count algebra, so Theorem 7
+//!   guarantees (and the tests observe) absolute convergence;
+//! * [`bgp`] — a BGP-like path-vector engine: per-neighbour sessions with
+//!   reliable in-order delivery, incremental announcements and withdrawals,
+//!   adj-RIB-in bookkeeping and import policies written in the Section 7
+//!   policy language.  Because the policy language is safe by design, any
+//!   configuration converges;
+//! * [`runtime`] — a genuinely concurrent runtime: one OS thread per router
+//!   exchanging messages over `crossbeam` channels, used to show that the
+//!   convergence results are not an artefact of the simulators' determinism;
+//! * [`wire`] — a compact binary wire format (built on `bytes`) for the
+//!   update messages of both engines, with encode/decode round-trip tests;
+//! * [`stats`] — shared convergence/traffic statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod rip;
+pub mod runtime;
+pub mod stats;
+pub mod wire;
+
+pub use bgp::{BgpConfig, BgpEngine, BgpReport};
+pub use rip::{RipConfig, RipEngine, RipReport, SplitHorizon};
+pub use runtime::{run_threaded, ThreadedConfig, ThreadedReport};
+pub use stats::ProtocolStats;
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::bgp::{BgpConfig, BgpEngine, BgpReport};
+    pub use crate::rip::{RipConfig, RipEngine, RipReport, SplitHorizon};
+    pub use crate::runtime::{run_threaded, ThreadedConfig, ThreadedReport};
+    pub use crate::stats::ProtocolStats;
+}

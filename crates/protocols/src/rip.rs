@@ -1,0 +1,529 @@
+//! A RIP-like distance-vector protocol engine.
+//!
+//! The engine is a discrete-event simulation of the protocol machinery RFC
+//! 1058/2453 describe, over the finite strictly-increasing bounded-hop-count
+//! algebra:
+//!
+//! * **periodic updates** — every router advertises its full table every
+//!   `update_interval` ticks (with per-router jitter);
+//! * **triggered updates** — a changed entry is advertised immediately;
+//! * **split horizon** — optionally plain or with poisoned reverse;
+//! * **route timeout** — an entry not refreshed within `route_timeout` ticks
+//!   is declared unreachable;
+//! * **hop limit** — metrics saturate at `hop_limit` (classically 15), with
+//!   anything beyond meaning "unreachable";
+//! * **fault injection** — updates can be lost and delayed (and therefore
+//!   reordered) with configurable probability.
+//!
+//! Because the underlying algebra is finite and strictly increasing, the
+//! paper's Theorem 7 promises convergence to a unique answer from any
+//! starting state under any of these conditions — the engine's tests check
+//! exactly that against the synchronous fixed point.
+
+use crate::stats::ProtocolStats;
+use dbf_algebra::instances::hopcount::BoundedHopCount;
+use dbf_algebra::instances::nat_inf::NatInf;
+use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
+use dbf_paths::NodeId;
+use dbf_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// The split-horizon behaviour of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitHorizon {
+    /// Advertise everything to everyone.
+    Off,
+    /// Do not advertise a route back to the neighbour it was learned from.
+    Simple,
+    /// Advertise such routes back with an infinite metric ("poisoned
+    /// reverse").
+    PoisonReverse,
+}
+
+/// Configuration of the RIP-like engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RipConfig {
+    /// The largest advertisable metric; anything larger is unreachable.
+    pub hop_limit: u64,
+    /// Ticks between periodic full-table updates.
+    pub update_interval: u64,
+    /// Ticks after which a route that has not been refreshed is dropped.
+    pub route_timeout: u64,
+    /// Split-horizon behaviour.
+    pub split_horizon: SplitHorizon,
+    /// Send triggered updates on table changes.
+    pub triggered_updates: bool,
+    /// Probability that an update message is lost.
+    pub loss_prob: f64,
+    /// Minimum link delay in ticks.
+    pub min_delay: u64,
+    /// Maximum link delay in ticks.
+    pub max_delay: u64,
+    /// Simulation end time (ticks).
+    pub max_time: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RipConfig {
+    fn default() -> Self {
+        Self {
+            hop_limit: BoundedHopCount::RIP_LIMIT,
+            update_interval: 30,
+            route_timeout: 180,
+            split_horizon: SplitHorizon::PoisonReverse,
+            triggered_updates: true,
+            loss_prob: 0.0,
+            min_delay: 1,
+            max_delay: 3,
+            max_time: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RipConfig {
+    /// A lossy, slow network.
+    pub fn lossy(seed: u64, loss_prob: f64) -> Self {
+        Self {
+            loss_prob,
+            max_delay: 8,
+            seed,
+            max_time: 6_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome of a RIP run.
+#[derive(Debug, Clone)]
+pub struct RipReport {
+    /// The final tables as a routing state over the bounded hop-count
+    /// algebra (entry `(i, j)` is node `i`'s metric to `j`).
+    pub final_state: RoutingState<BoundedHopCount>,
+    /// Whether the final state is the σ-fixed point of the hop-count
+    /// algebra on this topology.
+    pub converged: bool,
+    /// Traffic and convergence statistics.
+    pub stats: ProtocolStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A periodic update timer fires at a router.
+    Periodic(NodeId),
+    /// A routing update from `from` arrives at `to`.
+    Delivery {
+        /// The sender.
+        from: NodeId,
+        /// The recipient.
+        to: NodeId,
+        /// Index into the message store.
+        msg: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TableEntry {
+    metric: NatInf,
+    next_hop: Option<NodeId>,
+    refreshed_at: u64,
+}
+
+/// The RIP-like engine.
+pub struct RipEngine {
+    config: RipConfig,
+    topo: Topology<()>,
+    n: usize,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    messages: Vec<Vec<(NodeId, NatInf)>>,
+    tables: Vec<Vec<TableEntry>>,
+    stats: ProtocolStats,
+}
+
+impl RipEngine {
+    /// Create an engine over an (undirected) topology shape; every link has
+    /// a cost of one hop.
+    pub fn new(topo: &Topology<()>, config: RipConfig) -> Self {
+        let n = topo.node_count();
+        let mut tables = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n {
+                row.push(TableEntry {
+                    metric: if i == j { NatInf::fin(0) } else { NatInf::Inf },
+                    next_hop: None,
+                    refreshed_at: 0,
+                });
+            }
+            tables.push(row);
+        }
+        let mut engine = Self {
+            config,
+            topo: topo.clone(),
+            n,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            messages: Vec::new(),
+            tables,
+            stats: ProtocolStats::default(),
+        };
+        // Stagger the first periodic update of each router.
+        for i in 0..n {
+            let jitter = engine.rng.gen_range(0..engine.config.update_interval.max(1));
+            engine.schedule(jitter, Event::Periodic(i));
+        }
+        engine
+    }
+
+    /// Seed the engine with a stale routing-table entry (for arbitrary
+    /// starting-state experiments): node `at` believes it reaches `dest`
+    /// with the given metric via `next_hop`.
+    pub fn with_stale_route(
+        mut self,
+        at: NodeId,
+        dest: NodeId,
+        metric: NatInf,
+        next_hop: Option<NodeId>,
+    ) -> Self {
+        assert!(at < self.n && dest < self.n, "node out of range");
+        assert_ne!(at, dest, "a node's route to itself is always the trivial route");
+        self.tables[at][dest] = TableEntry {
+            metric,
+            next_hop,
+            refreshed_at: 0,
+        };
+        self
+    }
+
+    fn schedule(&mut self, at: u64, event: Event) {
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    fn neighbors(&self, i: NodeId) -> Vec<NodeId> {
+        self.topo.out_neighbors(i)
+    }
+
+    /// Build the advertisement `from` sends to `to`, honouring split
+    /// horizon.
+    fn build_advert(&self, from: NodeId, to: NodeId) -> Vec<(NodeId, NatInf)> {
+        let mut entries = Vec::with_capacity(self.n);
+        for dest in 0..self.n {
+            let entry = &self.tables[from][dest];
+            let metric = match self.config.split_horizon {
+                SplitHorizon::Off => entry.metric,
+                SplitHorizon::Simple => {
+                    if entry.next_hop == Some(to) {
+                        continue;
+                    }
+                    entry.metric
+                }
+                SplitHorizon::PoisonReverse => {
+                    if entry.next_hop == Some(to) {
+                        NatInf::Inf
+                    } else {
+                        entry.metric
+                    }
+                }
+            };
+            entries.push((dest, metric));
+        }
+        entries
+    }
+
+    fn send_advert(&mut self, from: NodeId, to: NodeId) {
+        let entries = self.build_advert(from, to);
+        self.stats.updates_sent += 1;
+        if self.rng.gen_bool(self.config.loss_prob.clamp(0.0, 1.0)) {
+            self.stats.updates_lost += 1;
+            return;
+        }
+        let delay = self
+            .rng
+            .gen_range(self.config.min_delay..=self.config.max_delay.max(self.config.min_delay));
+        self.messages.push(entries);
+        let msg = self.messages.len() - 1;
+        self.schedule(self.now + delay, Event::Delivery { from, to, msg });
+    }
+
+    fn broadcast(&mut self, from: NodeId) {
+        for to in self.neighbors(from) {
+            self.send_advert(from, to);
+        }
+    }
+
+    /// Age out routes that have not been refreshed.
+    fn expire_routes(&mut self, i: NodeId) -> bool {
+        let mut changed = false;
+        for dest in 0..self.n {
+            if dest == i {
+                continue;
+            }
+            let entry = &mut self.tables[i][dest];
+            if entry.metric.is_fin()
+                && entry.next_hop.is_some()
+                && self.now.saturating_sub(entry.refreshed_at) > self.config.route_timeout
+            {
+                entry.metric = NatInf::Inf;
+                entry.next_hop = None;
+                changed = true;
+                self.stats.table_changes += 1;
+                self.stats.last_change_time = self.now;
+            }
+        }
+        changed
+    }
+
+    fn process_advert(&mut self, from: NodeId, to: NodeId, msg: usize) -> bool {
+        let mut changed = false;
+        let entries = self.messages[msg].clone();
+        for (dest, advertised) in entries {
+            if dest == to {
+                continue;
+            }
+            // one hop across the link, saturating at the hop limit
+            let candidate = match advertised {
+                NatInf::Inf => NatInf::Inf,
+                NatInf::Fin(m) => {
+                    let nm = m.saturating_add(1);
+                    if nm > self.config.hop_limit {
+                        NatInf::Inf
+                    } else {
+                        NatInf::Fin(nm)
+                    }
+                }
+            };
+            let entry = &mut self.tables[to][dest];
+            let via_current_next_hop = entry.next_hop == Some(from);
+            if via_current_next_hop {
+                // The current next hop re-advertised: always adopt (it may
+                // be worse — that is how bad news propagates), refresh the
+                // timer.
+                entry.refreshed_at = self.now;
+                if candidate != entry.metric {
+                    entry.metric = candidate;
+                    if candidate.is_inf() {
+                        entry.next_hop = None;
+                    }
+                    changed = true;
+                    self.stats.table_changes += 1;
+                    self.stats.last_change_time = self.now;
+                }
+            } else if candidate < entry.metric {
+                entry.metric = candidate;
+                entry.next_hop = Some(from);
+                entry.refreshed_at = self.now;
+                changed = true;
+                self.stats.table_changes += 1;
+                self.stats.last_change_time = self.now;
+            }
+        }
+        changed
+    }
+
+    /// Run the engine to `max_time` and report.
+    pub fn run(mut self) -> RipReport {
+        while let Some(sched) = self.queue.pop() {
+            if sched.at > self.config.max_time {
+                break;
+            }
+            self.now = sched.at;
+            match sched.event {
+                Event::Periodic(i) => {
+                    self.stats.periodic_rounds += 1;
+                    self.expire_routes(i);
+                    self.broadcast(i);
+                    let next = self.now + self.config.update_interval.max(1);
+                    self.schedule(next, Event::Periodic(i));
+                }
+                Event::Delivery { from, to, msg } => {
+                    self.stats.updates_processed += 1;
+                    let changed = self.process_advert(from, to, msg);
+                    if changed && self.config.triggered_updates {
+                        self.broadcast(to);
+                    }
+                }
+            }
+        }
+        self.stats.finish_time = self.now;
+
+        let alg = BoundedHopCount::new(self.config.hop_limit);
+        let final_state =
+            RoutingState::<BoundedHopCount>::from_fn(self.n, |i, j| self.tables[i][j].metric);
+        // The reference adjacency: one hop per (directed) link.
+        let adj = AdjacencyMatrix::<BoundedHopCount>::from_fn(self.n, |i, j| {
+            if self.topo.has_edge(i, j) {
+                Some(1u64)
+            } else {
+                None
+            }
+        });
+        let converged = is_stable(&alg, &adj, &final_state)
+            && final_state == {
+                let from_clean = dbf_matrix::iterate_to_fixed_point(
+                    &alg,
+                    &adj,
+                    &RoutingState::identity(&alg, self.n),
+                    4 * self.n + 8,
+                );
+                from_clean.state
+            };
+        RipReport {
+            final_state,
+            converged,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_matrix::iterate_to_fixed_point;
+    use dbf_topology::generators;
+
+    fn reference(topo: &Topology<()>, limit: u64) -> RoutingState<BoundedHopCount> {
+        let alg = BoundedHopCount::new(limit);
+        let adj = AdjacencyMatrix::<BoundedHopCount>::from_fn(topo.node_count(), |i, j| {
+            if topo.has_edge(i, j) {
+                Some(1u64)
+            } else {
+                None
+            }
+        });
+        iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, topo.node_count()), 200)
+            .state
+    }
+
+    #[test]
+    fn reliable_network_converges_to_hop_distances() {
+        let topo = generators::ring(6);
+        let report = RipEngine::new(&topo, RipConfig::default()).run();
+        assert!(report.converged);
+        assert_eq!(report.final_state, reference(&topo, 15));
+        assert!(report.stats.updates_sent > 0);
+        assert_eq!(report.stats.updates_lost, 0);
+        assert!(report.stats.periodic_rounds > 0);
+    }
+
+    #[test]
+    fn lossy_network_still_converges() {
+        let topo = generators::connected_random(8, 0.3, 3);
+        for seed in 0..3 {
+            let report = RipEngine::new(&topo, RipConfig::lossy(seed, 0.25)).run();
+            assert!(report.converged, "seed {seed} did not converge");
+            assert_eq!(report.final_state, reference(&topo, 15), "seed {seed}");
+            assert!(report.stats.updates_lost > 0, "seed {seed} lost nothing");
+        }
+    }
+
+    #[test]
+    fn all_split_horizon_modes_converge() {
+        let topo = generators::grid(3, 3);
+        for mode in [SplitHorizon::Off, SplitHorizon::Simple, SplitHorizon::PoisonReverse] {
+            let cfg = RipConfig {
+                split_horizon: mode,
+                ..RipConfig::default()
+            };
+            let report = RipEngine::new(&topo, cfg).run();
+            assert!(report.converged, "{mode:?} failed to converge");
+            assert_eq!(report.final_state, reference(&topo, 15), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn stale_state_with_unreachable_destination_counts_to_the_hop_limit() {
+        // The count-to-infinity behaviour that motivates the hop limit: two
+        // routers believe they can reach a destination that no longer
+        // exists; they bounce the route between each other, incrementing the
+        // metric, until it hits the limit and is declared unreachable.
+        let mut topo = Topology::new(3);
+        topo.set_link(0, 1, ());
+        // node 2 is disconnected, yet nodes 0 and 1 hold stale routes to it
+        // that point at each other.
+        let cfg = RipConfig {
+            split_horizon: SplitHorizon::Off, // make the pathology visible
+            max_time: 20_000,
+            route_timeout: 1_000_000, // disable timeouts so counting is the only cure
+            ..RipConfig::default()
+        };
+        let report = RipEngine::new(&topo, cfg)
+            .with_stale_route(0, 2, NatInf::fin(3), Some(1))
+            .with_stale_route(1, 2, NatInf::fin(3), Some(0))
+            .run();
+        assert!(report.converged, "the hop limit must eventually cure count-to-infinity");
+        assert_eq!(report.final_state.get(0, 2), &NatInf::Inf);
+        assert_eq!(report.final_state.get(1, 2), &NatInf::Inf);
+        // the cure required many advertisements
+        assert!(report.stats.table_changes > 5);
+    }
+
+    #[test]
+    fn split_horizon_reduces_messages_on_a_line() {
+        let topo = generators::line(8);
+        let base = RipConfig {
+            triggered_updates: true,
+            ..RipConfig::default()
+        };
+        let with = RipEngine::new(
+            &topo,
+            RipConfig {
+                split_horizon: SplitHorizon::Simple,
+                ..base
+            },
+        )
+        .run();
+        let without = RipEngine::new(
+            &topo,
+            RipConfig {
+                split_horizon: SplitHorizon::Off,
+                ..base
+            },
+        )
+        .run();
+        assert!(with.converged && without.converged);
+        assert!(
+            with.stats.table_changes <= without.stats.table_changes,
+            "split horizon should not increase table churn"
+        );
+    }
+
+    #[test]
+    fn report_exposes_statistics() {
+        let topo = generators::star(5);
+        let report = RipEngine::new(&topo, RipConfig::default()).run();
+        assert!(report.stats.finish_time > 0);
+        assert!(report.stats.delivery_ratio() > 0.99);
+        assert!(report.stats.messages_sent() >= report.stats.updates_sent);
+    }
+}

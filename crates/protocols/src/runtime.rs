@@ -1,0 +1,272 @@
+//! A genuinely concurrent Distributed Bellman-Ford runtime.
+//!
+//! The simulators in `dbf-async` model asynchrony; this module *is*
+//! asynchronous: every router runs on its own OS thread, exchanging
+//! advertisement messages over unbounded `crossbeam` channels.  Delivery
+//! order between different senders is whatever the operating system's
+//! scheduler produces, so every run is a fresh sample from the space of
+//! schedules of Section 3 — and, for increasing algebras, every run must
+//! still arrive at the same fixed point (which the tests check against the
+//! synchronous reference).
+//!
+//! Termination uses a global in-flight message counter: a message is counted
+//! before it is sent and un-counted only after its receiver has finished
+//! processing it (including sending any consequent messages), so the counter
+//! can only reach zero when the whole computation has quiesced.
+
+use crate::stats::ProtocolStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dbf_algebra::RoutingAlgebra;
+use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
+use dbf_paths::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// How long an idle router waits for a message before re-checking the
+    /// global quiescence condition.
+    pub idle_poll: Duration,
+    /// Hard wall-clock cap on the run.
+    pub wall_clock_limit: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        Self {
+            idle_poll: Duration::from_millis(2),
+            wall_clock_limit: Duration::from_secs(20),
+        }
+    }
+}
+
+/// The outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport<A: RoutingAlgebra> {
+    /// The final global routing state.
+    pub final_state: RoutingState<A>,
+    /// Whether the final state is σ-stable.
+    pub sigma_stable: bool,
+    /// Aggregate statistics.
+    pub stats: ProtocolStats,
+    /// True if the wall-clock limit was hit before quiescence.
+    pub timed_out: bool,
+}
+
+struct Advert<R> {
+    from: NodeId,
+    dest: NodeId,
+    route: R,
+}
+
+/// Run one genuinely concurrent DBF computation over the given adjacency,
+/// starting from `initial` (row `i` is handed to router `i`).
+pub fn run_threaded<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    initial: &RoutingState<A>,
+    config: ThreadedConfig,
+) -> ThreadedReport<A>
+where
+    A: RoutingAlgebra + Clone + Send + Sync + 'static,
+    A::Route: Send + 'static,
+    A::Edge: Send + Sync + 'static,
+{
+    let n = adj.node_count();
+    assert_eq!(n, initial.node_count(), "initial state dimension mismatch");
+
+    let (senders, receivers): (Vec<Sender<Advert<A::Route>>>, Vec<Receiver<Advert<A::Route>>>) =
+        (0..n).map(|_| unbounded()).unzip();
+    let in_flight = Arc::new(AtomicI64::new(0));
+    // Routers that have completed their cold-start announcements; quiescence
+    // is only meaningful once every router has started.
+    let started = Arc::new(AtomicU64::new(0));
+    let messages_sent = Arc::new(AtomicU64::new(0));
+    let table_changes = Arc::new(AtomicU64::new(0));
+    let final_rows: Arc<Mutex<Vec<Option<Vec<A::Route>>>>> =
+        Arc::new(Mutex::new(vec![None; n]));
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let alg = alg.clone();
+        let adj = adj.clone();
+        let rx = receivers[i].clone();
+        let txs = senders.clone();
+        let in_flight = Arc::clone(&in_flight);
+        let started = Arc::clone(&started);
+        let messages_sent = Arc::clone(&messages_sent);
+        let table_changes = Arc::clone(&table_changes);
+        let final_rows = Arc::clone(&final_rows);
+        let mut table: Vec<A::Route> = initial.row(i).to_vec();
+        let config = config;
+
+        handles.push(std::thread::spawn(move || {
+            // Who do I announce to?  Everyone that imports from me.
+            let listeners: Vec<NodeId> = (0..n)
+                .filter(|&k| k != i && adj.get(k, i).is_some())
+                .collect();
+            // Last advert heard, per neighbour per destination.
+            let mut adverts: Vec<Vec<A::Route>> = vec![vec![alg.invalid(); n]; n];
+
+            let send_route = |dest: NodeId,
+                              route: &A::Route,
+                              in_flight: &AtomicI64,
+                              messages_sent: &AtomicU64| {
+                for &k in &listeners {
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    messages_sent.fetch_add(1, Ordering::SeqCst);
+                    // Unbounded channel: send only fails if the receiver is
+                    // gone, which cannot happen before global quiescence.
+                    let _ = txs[k].send(Advert {
+                        from: i,
+                        dest,
+                        route: route.clone(),
+                    });
+                }
+            };
+
+            // Cold start: advertise the whole initial table.
+            for dest in 0..n {
+                send_route(dest, &table[dest], &in_flight, &messages_sent);
+            }
+            started.fetch_add(1, Ordering::SeqCst);
+
+            loop {
+                match rx.recv_timeout(config.idle_poll) {
+                    Ok(advert) => {
+                        adverts[advert.from][advert.dest] = advert.route;
+                        let dest = advert.dest;
+                        let new_route = if dest == i {
+                            alg.trivial()
+                        } else {
+                            let mut best = alg.invalid();
+                            for k in 0..n {
+                                if k == i {
+                                    continue;
+                                }
+                                let candidate = adj.apply(&alg, i, k, &adverts[k][dest]);
+                                best = alg.choice(&best, &candidate);
+                            }
+                            best
+                        };
+                        if new_route != table[dest] {
+                            table[dest] = new_route.clone();
+                            table_changes.fetch_add(1, Ordering::SeqCst);
+                            send_route(dest, &new_route, &in_flight, &messages_sent);
+                        }
+                        // Only now is this message fully accounted for.
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        // Idle: quiesce when every router has started and
+                        // nothing is in flight anywhere, or bail out at the
+                        // wall-clock limit.
+                        let all_started = started.load(Ordering::SeqCst) as usize == n;
+                        if (all_started && in_flight.load(Ordering::SeqCst) == 0)
+                            || start.elapsed() > config.wall_clock_limit
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            final_rows.lock()[i] = Some(table);
+        }));
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+    let timed_out = start.elapsed() > config.wall_clock_limit;
+
+    let rows = final_rows.lock();
+    let final_state = RoutingState::from_fn(n, |i, j| {
+        rows[i]
+            .as_ref()
+            .expect("every router thread publishes its table")[j]
+            .clone()
+    });
+    let sigma_stable = is_stable(alg, adj, &final_state);
+    let stats = ProtocolStats {
+        updates_sent: messages_sent.load(Ordering::SeqCst),
+        updates_processed: messages_sent.load(Ordering::SeqCst)
+            - in_flight.load(Ordering::SeqCst).max(0) as u64,
+        table_changes: table_changes.load(Ordering::SeqCst),
+        ..ProtocolStats::default()
+    };
+    ThreadedReport {
+        final_state,
+        sigma_stable,
+        stats,
+        timed_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_algebra::prelude::*;
+    use dbf_bgp::prelude::*;
+    use dbf_matrix::prelude::*;
+    use dbf_topology::generators;
+
+    #[test]
+    fn threaded_shortest_paths_matches_the_synchronous_fixed_point() {
+        let alg = ShortestPaths::new();
+        let topo = generators::connected_random(8, 0.35, 4)
+            .with_weights(|i, j| NatInf::fin(((i * 5 + j) % 7 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let x0 = RoutingState::identity(&alg, 8);
+        let reference = iterate_to_fixed_point(&alg, &adj, &x0, 200);
+        for _run in 0..3 {
+            let report = run_threaded(&alg, &adj, &x0, ThreadedConfig::default());
+            assert!(!report.timed_out);
+            assert!(report.sigma_stable);
+            assert_eq!(report.final_state, reference.state);
+            assert!(report.stats.updates_sent > 0);
+        }
+    }
+
+    #[test]
+    fn threaded_policy_rich_bgp_algebra_converges() {
+        use dbf_algebra::algebra::SplitMix64;
+        use dbf_bgp::algebra::random_policy;
+        let n = 6;
+        let alg = BgpAlgebra::new(n);
+        let shape = generators::ring(n);
+        let mut rng = SplitMix64::new(0xFEED);
+        let topo = shape.with_weights(|_, _| random_policy(&mut rng, 1));
+        let adj = alg.adjacency_from_topology(&topo);
+        let x0 = RoutingState::identity(&alg, n);
+        let reference = iterate_to_fixed_point(&alg, &adj, &x0, 200);
+        assert!(reference.converged);
+        let report = run_threaded(&alg, &adj, &x0, ThreadedConfig::default());
+        assert!(!report.timed_out);
+        assert!(report.sigma_stable);
+        assert_eq!(report.final_state, reference.state);
+    }
+
+    #[test]
+    fn threaded_runs_from_stale_states_reconverge() {
+        let alg = BoundedHopCount::new(10);
+        let topo = generators::ring(6).with_weights(|_, _| 1u64);
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let reference =
+            iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 6), 100).state;
+        let stale = RoutingState::<BoundedHopCount>::from_fn(6, |i, j| {
+            if i == j {
+                NatInf::fin(0)
+            } else {
+                NatInf::fin(((i + 2 * j) % 9) as u64)
+            }
+        });
+        let report = run_threaded(&alg, &adj, &stale, ThreadedConfig::default());
+        assert!(!report.timed_out);
+        assert!(report.sigma_stable);
+        assert_eq!(report.final_state, reference);
+    }
+}

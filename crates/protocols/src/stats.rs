@@ -1,0 +1,76 @@
+//! Shared traffic and convergence statistics for the protocol engines.
+
+use std::fmt;
+
+/// Counters accumulated by a protocol engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Update messages sent.
+    pub updates_sent: u64,
+    /// Update messages dropped by fault injection.
+    pub updates_lost: u64,
+    /// Update messages processed by their recipients.
+    pub updates_processed: u64,
+    /// Withdrawal messages sent (path-vector engines only).
+    pub withdrawals_sent: u64,
+    /// Routing-table entry changes across all routers.
+    pub table_changes: u64,
+    /// Simulated time of the last table change.
+    pub last_change_time: u64,
+    /// Simulated time at which the run finished.
+    pub finish_time: u64,
+    /// Periodic update rounds that fired.
+    pub periodic_rounds: u64,
+}
+
+impl ProtocolStats {
+    /// Total messages sent (updates plus withdrawals).
+    pub fn messages_sent(&self) -> u64 {
+        self.updates_sent + self.withdrawals_sent
+    }
+
+    /// The delivery ratio (1.0 when nothing was lost).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.updates_sent == 0 {
+            1.0
+        } else {
+            1.0 - self.updates_lost as f64 / self.updates_sent as f64
+        }
+    }
+}
+
+impl fmt::Display for ProtocolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} lost={} processed={} withdrawals={} changes={} last_change={} finish={} rounds={}",
+            self.updates_sent,
+            self.updates_lost,
+            self.updates_processed,
+            self.withdrawals_sent,
+            self.table_changes,
+            self.last_change_time,
+            self.finish_time,
+            self.periodic_rounds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = ProtocolStats {
+            updates_sent: 100,
+            updates_lost: 25,
+            withdrawals_sent: 10,
+            ..ProtocolStats::default()
+        };
+        assert_eq!(s.messages_sent(), 110);
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(ProtocolStats::default().delivery_ratio(), 1.0);
+        assert!(s.to_string().contains("sent=100"));
+    }
+}

@@ -1,0 +1,333 @@
+//! A compact binary wire format for protocol update messages.
+//!
+//! The simulators exchange in-memory route values; real protocols exchange
+//! bytes.  This module provides the (de)serialisation layer for both
+//! engines so that traffic volumes can be measured in bytes as well as in
+//! messages, and so that the encode/decode path is itself under test:
+//!
+//! * [`RipUpdate`] — a RIP-style vector of `(destination, metric)` entries;
+//! * [`BgpUpdate`] — a BGP-style incremental announcement or withdrawal of
+//!   a single destination, carrying level, communities and the AS path.
+//!
+//! The format is deliberately simple (fixed-width big-endian integers,
+//! length-prefixed sequences) but strict: decoders reject truncated or
+//! trailing input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dbf_bgp::route::{BgpRoute, CommunitySet};
+use dbf_paths::{NodeId, SimplePath};
+use std::fmt;
+
+/// Errors arising while decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// The message decoded but left unconsumed bytes behind.
+    TrailingBytes(usize),
+    /// A length or tag field had a nonsensical value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The metric value used on the wire for "unreachable".
+pub const WIRE_INFINITY: u32 = u32::MAX;
+
+/// A RIP-style update: a vector of `(destination, metric)` pairs, where
+/// `WIRE_INFINITY` encodes an unreachable destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RipUpdate {
+    /// The advertising router.
+    pub from: NodeId,
+    /// The advertised entries.
+    pub entries: Vec<(NodeId, u32)>,
+}
+
+impl RipUpdate {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(6 + self.entries.len() * 6);
+        buf.put_u16(self.from as u16);
+        buf.put_u16(self.entries.len() as u16);
+        for (dest, metric) in &self.entries {
+            buf.put_u16(*dest as u16);
+            buf.put_u32(*metric);
+        }
+        buf.freeze()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let from = buf.get_u16() as NodeId;
+        let count = buf.get_u16() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 6 {
+                return Err(WireError::Truncated);
+            }
+            let dest = buf.get_u16() as NodeId;
+            let metric = buf.get_u32();
+            entries.push((dest, metric));
+        }
+        if buf.has_remaining() {
+            return Err(WireError::TrailingBytes(buf.remaining()));
+        }
+        Ok(Self { from, entries })
+    }
+
+    /// The encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        4 + self.entries.len() * 6
+    }
+}
+
+/// A BGP-style incremental update for one destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpUpdate {
+    /// The advertising router.
+    pub from: NodeId,
+    /// The destination the update refers to.
+    pub dest: NodeId,
+    /// The announced route, or `None` for a withdrawal.
+    pub route: Option<AnnouncedRoute>,
+}
+
+/// The payload of a BGP-style announcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnouncedRoute {
+    /// The level (local preference; lower preferred).
+    pub level: u32,
+    /// The community values.
+    pub communities: Vec<u32>,
+    /// The AS path, source first.
+    pub path: Vec<NodeId>,
+}
+
+impl BgpUpdate {
+    /// Build an update from an algebra route (`None`/invalid ⇒ withdrawal).
+    pub fn from_route(from: NodeId, dest: NodeId, route: &BgpRoute) -> Self {
+        let route = match route {
+            BgpRoute::Invalid => None,
+            BgpRoute::Valid {
+                level,
+                communities,
+                path,
+            } => Some(AnnouncedRoute {
+                level: *level,
+                communities: communities.iter().collect(),
+                path: path.nodes().to_vec(),
+            }),
+        };
+        Self { from, dest, route }
+    }
+
+    /// Convert back into an algebra route.
+    ///
+    /// Returns an error if the carried path is not simple.
+    pub fn to_route(&self) -> Result<BgpRoute, WireError> {
+        match &self.route {
+            None => Ok(BgpRoute::Invalid),
+            Some(r) => {
+                let path = SimplePath::from_nodes(r.path.clone())
+                    .map_err(|_| WireError::Malformed("AS path is not a simple path"))?;
+                Ok(BgpRoute::valid(
+                    r.level,
+                    CommunitySet::from_iter(r.communities.iter().copied()),
+                    path,
+                ))
+            }
+        }
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u16(self.from as u16);
+        buf.put_u16(self.dest as u16);
+        match &self.route {
+            None => buf.put_u8(0),
+            Some(r) => {
+                buf.put_u8(1);
+                buf.put_u32(r.level);
+                buf.put_u16(r.communities.len() as u16);
+                for c in &r.communities {
+                    buf.put_u32(*c);
+                }
+                buf.put_u16(r.path.len() as u16);
+                for n in &r.path {
+                    buf.put_u16(*n as u16);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let from = buf.get_u16() as NodeId;
+        let dest = buf.get_u16() as NodeId;
+        let tag = buf.get_u8();
+        let route = match tag {
+            0 => None,
+            1 => {
+                if buf.remaining() < 6 {
+                    return Err(WireError::Truncated);
+                }
+                let level = buf.get_u32();
+                let comm_count = buf.get_u16() as usize;
+                if buf.remaining() < comm_count * 4 {
+                    return Err(WireError::Truncated);
+                }
+                let communities = (0..comm_count).map(|_| buf.get_u32()).collect();
+                if buf.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let path_len = buf.get_u16() as usize;
+                if buf.remaining() < path_len * 2 {
+                    return Err(WireError::Truncated);
+                }
+                let path = (0..path_len).map(|_| buf.get_u16() as NodeId).collect();
+                Some(AnnouncedRoute {
+                    level,
+                    communities,
+                    path,
+                })
+            }
+            _ => return Err(WireError::Malformed("unknown announcement tag")),
+        };
+        if buf.has_remaining() {
+            return Err(WireError::TrailingBytes(buf.remaining()));
+        }
+        Ok(Self { from, dest, route })
+    }
+
+    /// The encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rip_update_round_trips() {
+        let upd = RipUpdate {
+            from: 3,
+            entries: vec![(0, 1), (1, 7), (5, WIRE_INFINITY)],
+        };
+        let bytes = upd.encode();
+        assert_eq!(bytes.len(), upd.wire_size());
+        let decoded = RipUpdate::decode(bytes).unwrap();
+        assert_eq!(decoded, upd);
+    }
+
+    #[test]
+    fn rip_decode_rejects_bad_input() {
+        let upd = RipUpdate {
+            from: 1,
+            entries: vec![(2, 3)],
+        };
+        let bytes = upd.encode();
+        // truncated
+        let short = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(RipUpdate::decode(short), Err(WireError::Truncated));
+        // trailing bytes
+        let mut extended = BytesMut::from(&bytes[..]);
+        extended.put_u8(0xFF);
+        assert_eq!(
+            RipUpdate::decode(extended.freeze()),
+            Err(WireError::TrailingBytes(1))
+        );
+        // empty
+        assert_eq!(RipUpdate::decode(Bytes::new()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bgp_update_round_trips_announcements_and_withdrawals() {
+        use dbf_bgp::route::CommunitySet;
+        let announce = BgpUpdate::from_route(
+            2,
+            5,
+            &BgpRoute::valid(
+                30,
+                CommunitySet::from_iter([1, 99]),
+                SimplePath::from_nodes(vec![2, 4, 5]).unwrap(),
+            ),
+        );
+        let bytes = announce.encode();
+        assert_eq!(bytes.len(), announce.wire_size());
+        let decoded = BgpUpdate::decode(bytes).unwrap();
+        assert_eq!(decoded, announce);
+        let route = decoded.to_route().unwrap();
+        assert_eq!(route.level(), Some(30));
+        assert!(route.communities().unwrap().contains(99));
+        assert_eq!(route.simple_path().unwrap().nodes(), &[2, 4, 5]);
+
+        let withdraw = BgpUpdate::from_route(2, 5, &BgpRoute::Invalid);
+        let decoded = BgpUpdate::decode(withdraw.encode()).unwrap();
+        assert_eq!(decoded.route, None);
+        assert_eq!(decoded.to_route().unwrap(), BgpRoute::Invalid);
+    }
+
+    #[test]
+    fn bgp_decode_rejects_bad_input() {
+        let announce = BgpUpdate {
+            from: 0,
+            dest: 1,
+            route: Some(AnnouncedRoute {
+                level: 5,
+                communities: vec![8],
+                path: vec![0, 1],
+            }),
+        };
+        let bytes = announce.encode();
+        for cut in 1..bytes.len() {
+            let short = bytes.slice(0..bytes.len() - cut);
+            assert_eq!(BgpUpdate::decode(short), Err(WireError::Truncated), "cut {cut}");
+        }
+        let mut bad_tag = BytesMut::from(&bytes[..]);
+        bad_tag[4] = 7;
+        assert!(matches!(
+            BgpUpdate::decode(bad_tag.freeze()),
+            Err(WireError::Malformed(_))
+        ));
+        // a looping AS path is rejected when converting to a route
+        let looping = BgpUpdate {
+            from: 0,
+            dest: 1,
+            route: Some(AnnouncedRoute {
+                level: 0,
+                communities: vec![],
+                path: vec![0, 1, 0],
+            }),
+        };
+        let decoded = BgpUpdate::decode(looping.encode()).unwrap();
+        assert!(matches!(decoded.to_route(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn wire_error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::TrailingBytes(3).to_string().contains('3'));
+        assert!(WireError::Malformed("x").to_string().contains('x'));
+    }
+}

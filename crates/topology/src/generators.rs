@@ -1,0 +1,358 @@
+//! Reference topology generators.
+//!
+//! Generators build *shapes* — `Topology<()>` — and callers attach
+//! algebra-specific edge functions with [`Topology::with_weights`].  All
+//! random generators are seeded and deterministic.
+//!
+//! The shapes cover the topology classes invoked by the paper's narrative:
+//! simple reference graphs for unit tests (lines, rings, stars, complete
+//! graphs, grids, trees), Gilbert random graphs for convergence sweeps,
+//! Clos/fat-tree fabrics for the data-center discussion of Section 8.3 and
+//! tiered provider/customer hierarchies for the Gao-Rexford experiments.
+
+use crate::graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bidirectional line `0 — 1 — … — n-1`.
+pub fn line(n: usize) -> Topology<()> {
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.set_link(i - 1, i, ());
+    }
+    t
+}
+
+/// A bidirectional ring on `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Topology<()> {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut t = line(n);
+    t.set_link(n - 1, 0, ());
+    t
+}
+
+/// A star with node `0` at the centre.
+pub fn star(n: usize) -> Topology<()> {
+    assert!(n >= 2, "a star needs at least 2 nodes");
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.set_link(0, i, ());
+    }
+    t
+}
+
+/// The complete (bidirectional) graph on `n` nodes.
+pub fn complete(n: usize) -> Topology<()> {
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.set_link(i, j, ());
+        }
+    }
+    t
+}
+
+/// A `rows × cols` grid with links between horizontal and vertical
+/// neighbours.
+pub fn grid(rows: usize, cols: usize) -> Topology<()> {
+    let mut t = Topology::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.set_link(id(r, c), id(r, c + 1), ());
+            }
+            if r + 1 < rows {
+                t.set_link(id(r, c), id(r + 1, c), ());
+            }
+        }
+    }
+    t
+}
+
+/// A complete binary tree of the given depth (depth 0 is a single root).
+pub fn binary_tree(depth: u32) -> Topology<()> {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut t = Topology::new(n);
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        t.set_link(parent, v, ());
+    }
+    t
+}
+
+/// A Gilbert random graph `G(n, p)`: every unordered pair is linked
+/// (bidirectionally) with probability `p`.  Deterministic in `seed`.
+pub fn random_gnp(n: usize, p: f64, seed: u64) -> Topology<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                t.set_link(i, j, ());
+            }
+        }
+    }
+    t
+}
+
+/// A connected Gilbert random graph: `G(n, p)` with a random spanning ring
+/// added first so the result is always connected.  Deterministic in `seed`.
+pub fn connected_random(n: usize, p: f64, seed: u64) -> Topology<()> {
+    assert!(n >= 3, "connected_random needs at least 3 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random permutation ring for connectivity.
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut t = Topology::new(n);
+    for k in 0..n {
+        t.set_link(perm[k], perm[(k + 1) % n], ());
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !t.has_edge(i, j) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                t.set_link(i, j, ());
+            }
+        }
+    }
+    t
+}
+
+/// A two-level Clos (leaf–spine) data-center fabric: every leaf is connected
+/// to every spine.  Nodes `0..spines` are spines, `spines..spines+leaves`
+/// are leaves.
+pub fn leaf_spine(spines: usize, leaves: usize) -> Topology<()> {
+    let mut t = Topology::new(spines + leaves);
+    for s in 0..spines {
+        for l in 0..leaves {
+            t.set_link(s, spines + l, ());
+        }
+    }
+    t
+}
+
+/// A (simplified) three-tier fat-tree fabric parameterised by `k` pods:
+/// `k` core nodes, `k` aggregation nodes per pod... this implementation
+/// follows the common simplification of one aggregation and one edge switch
+/// per pod pair, giving `k + k + k` nodes for benchmark purposes rather than
+/// the full `k³/4`-host fabric.
+pub fn fat_tree(k: usize) -> Topology<()> {
+    assert!(k >= 2, "fat_tree needs k >= 2");
+    // nodes: [0, k) core, [k, 2k) aggregation, [2k, 3k) edge
+    let mut t = Topology::new(3 * k);
+    for core in 0..k {
+        for agg in 0..k {
+            t.set_link(core, k + agg, ());
+        }
+    }
+    for agg in 0..k {
+        for edge in 0..k {
+            // each aggregation switch connects to half the edge switches,
+            // staggered so the fabric is connected but not complete
+            if (agg + edge) % 2 == 0 {
+                t.set_link(k + agg, 2 * k + edge, ());
+            }
+        }
+    }
+    t
+}
+
+/// The relationship attached to a directed edge of a tiered AS hierarchy.
+///
+/// The edge `i → j` is labelled with the relationship of `j` *as seen by*
+/// `i`: routes announced by `j` arrive at `i` over this edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierRelation {
+    /// `j` is a customer of `i` (`j` sits one tier below `i`).
+    CustomerOf,
+    /// `j` is a provider of `i` (`j` sits one tier above `i`).
+    ProviderOf,
+    /// `i` and `j` are peers (same tier).
+    PeerOf,
+}
+
+/// A tiered provider/customer hierarchy in the style of the Gao-Rexford
+/// model: `tiers[t]` nodes in tier `t` (tier 0 at the top).  Every node has
+/// at least one provider in the tier above, peers are added within a tier
+/// with probability `p_peer`, and extra provider links with probability
+/// `p_extra`.  Edges are labelled with [`TierRelation`] from the point of
+/// view of the edge's source.  Deterministic in `seed`.
+pub fn tiered_hierarchy(
+    tiers: &[usize],
+    p_peer: f64,
+    p_extra: f64,
+    seed: u64,
+) -> (Topology<TierRelation>, Vec<usize>) {
+    assert!(!tiers.is_empty(), "at least one tier is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = tiers.iter().sum();
+    let mut tier_of = Vec::with_capacity(n);
+    for (t, &count) in tiers.iter().enumerate() {
+        tier_of.extend(std::iter::repeat(t).take(count));
+    }
+    let first_of_tier: Vec<usize> = tiers
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let start = *acc;
+            *acc += c;
+            Some(start)
+        })
+        .collect();
+
+    let mut t = Topology::new(n);
+    let add_cp = |topo: &mut Topology<TierRelation>, provider: NodeId, customer: NodeId| {
+        // provider sees customer as CustomerOf; customer sees provider as ProviderOf
+        topo.set_edge(provider, customer, TierRelation::CustomerOf);
+        topo.set_edge(customer, provider, TierRelation::ProviderOf);
+    };
+
+    // every node below tier 0 gets at least one provider in the tier above
+    for v in 0..n {
+        let tier = tier_of[v];
+        if tier == 0 {
+            continue;
+        }
+        let above_start = first_of_tier[tier - 1];
+        let above_count = tiers[tier - 1];
+        let provider = above_start + rng.gen_range(0..above_count);
+        add_cp(&mut t, provider, v);
+        // extra providers
+        for p in above_start..above_start + above_count {
+            if p != provider && rng.gen_bool(p_extra.clamp(0.0, 1.0)) {
+                add_cp(&mut t, p, v);
+            }
+        }
+    }
+    // peering within tiers (and full mesh at tier 0 so the top is connected)
+    for v in 0..n {
+        for u in (v + 1)..n {
+            if tier_of[v] == tier_of[u] {
+                let is_top = tier_of[v] == 0;
+                if is_top || rng.gen_bool(p_peer.clamp(0.0, 1.0)) {
+                    t.set_edge(v, u, TierRelation::PeerOf);
+                    t.set_edge(u, v, TierRelation::PeerOf);
+                }
+            }
+        }
+    }
+    (t, tier_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_ring_star_shapes() {
+        let l = line(5);
+        assert_eq!(l.node_count(), 5);
+        assert_eq!(l.edge_count(), 8); // 4 links, both directions
+        assert!(l.is_weakly_connected());
+
+        let r = ring(5);
+        assert_eq!(r.edge_count(), 10);
+        assert!(r.is_symmetric());
+
+        let s = star(5);
+        assert_eq!(s.edge_count(), 8);
+        assert_eq!(s.out_neighbors(0).len(), 4);
+        assert_eq!(s.out_neighbors(3), vec![0]);
+    }
+
+    #[test]
+    fn complete_and_grid_shapes() {
+        let c = complete(6);
+        assert_eq!(c.edge_count(), 6 * 5);
+        assert!(c.is_symmetric());
+
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // horizontal links: 3 rows × 3, vertical links: 2 × 4 ⇒ 17 links
+        assert_eq!(g.edge_count(), 2 * (3 * 3 + 2 * 4));
+        assert!(g.is_weakly_connected());
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = binary_tree(3);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.edge_count(), 2 * 14);
+        assert!(t.is_weakly_connected());
+        assert!(t.is_symmetric());
+    }
+
+    #[test]
+    fn random_graphs_are_deterministic_in_the_seed() {
+        let a = random_gnp(20, 0.3, 7);
+        let b = random_gnp(20, 0.3, 7);
+        let c = random_gnp(20, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(random_gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(random_gnp(10, 1.0, 1).edge_count(), 90);
+    }
+
+    #[test]
+    fn connected_random_is_connected() {
+        for seed in 0..10 {
+            let t = connected_random(16, 0.05, seed);
+            assert!(t.is_weakly_connected(), "seed {seed} produced a disconnected graph");
+            assert!(t.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn datacenter_fabrics() {
+        let ls = leaf_spine(4, 8);
+        assert_eq!(ls.node_count(), 12);
+        assert_eq!(ls.edge_count(), 2 * 4 * 8);
+        assert!(ls.is_weakly_connected());
+
+        let ft = fat_tree(4);
+        assert_eq!(ft.node_count(), 12);
+        assert!(ft.is_weakly_connected());
+    }
+
+    #[test]
+    fn tiered_hierarchy_structure() {
+        let (t, tier_of) = tiered_hierarchy(&[2, 4, 8], 0.3, 0.2, 42);
+        assert_eq!(t.node_count(), 14);
+        assert_eq!(tier_of.len(), 14);
+        assert_eq!(tier_of.iter().filter(|&&x| x == 0).count(), 2);
+        assert!(t.is_weakly_connected());
+        // relationship labels are mutually consistent
+        for (i, j, rel) in t.edges() {
+            match rel {
+                TierRelation::CustomerOf => {
+                    assert_eq!(t.edge(j, i), Some(&TierRelation::ProviderOf));
+                    assert!(tier_of[j] == tier_of[i] + 1);
+                }
+                TierRelation::ProviderOf => {
+                    assert_eq!(t.edge(j, i), Some(&TierRelation::CustomerOf));
+                    assert!(tier_of[j] + 1 == tier_of[i]);
+                }
+                TierRelation::PeerOf => {
+                    assert_eq!(t.edge(j, i), Some(&TierRelation::PeerOf));
+                    assert_eq!(tier_of[i], tier_of[j]);
+                }
+            }
+        }
+        // determinism
+        let (t2, _) = tiered_hierarchy(&[2, 4, 8], 0.3, 0.2, 42);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_rings_are_rejected() {
+        let _ = ring(2);
+    }
+}

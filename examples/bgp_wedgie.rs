@@ -1,0 +1,86 @@
+//! BGP wedgies and oscillation — and how the increasing condition removes
+//! them.
+//!
+//! The DISAGREE configuration has two stable states: which one the network
+//! ends up in depends purely on message timing, and once it is in the
+//! unintended one, getting out requires coordinated manual intervention
+//! (RFC 4264 calls these "BGP wedgies").  The BAD GADGET has *no* stable
+//! state and oscillates forever.  Both are expressible in today's BGP; the
+//! paper's strictly-increasing condition outlaws exactly these
+//! configurations, and this example shows the difference concretely.
+//!
+//! Run with: `cargo run --example bgp_wedgie`
+
+use dbf_routing::prelude::*;
+
+fn main() {
+    // ── DISAGREE: same starting state, two different schedules, two
+    //    different outcomes.
+    let alg = SppAlgebra::disagree();
+    let adj = alg.adjacency();
+    let clean = RoutingState::identity(&alg, 3);
+
+    let mut node1_first = Schedule::synchronous(3, 60);
+    let mut node2_first = Schedule::synchronous(3, 60);
+    for t in 1..=10 {
+        node1_first.set_activation(t, 2, false);
+        node2_first.set_activation(t, 1, false);
+    }
+
+    let out_a = run_delta(&alg, &adj, &clean, &node1_first);
+    let out_b = run_delta(&alg, &adj, &clean, &node2_first);
+    println!("DISAGREE (the wedgie):");
+    println!(
+        "  schedule A (node 1 moves first): 1→0 via {:?}, 2→0 via {:?}",
+        out_a.final_state.get(1, 0).simple_path().unwrap(),
+        out_a.final_state.get(2, 0).simple_path().unwrap(),
+    );
+    println!(
+        "  schedule B (node 2 moves first): 1→0 via {:?}, 2→0 via {:?}",
+        out_b.final_state.get(1, 0).simple_path().unwrap(),
+        out_b.final_state.get(2, 0).simple_path().unwrap(),
+    );
+    assert_ne!(out_a.final_state, out_b.final_state);
+    println!("  → the outcome depends on timing: absolute convergence fails\n");
+
+    // ── BAD GADGET: no stable state at all.
+    let bad = SppAlgebra::bad_gadget();
+    let bad_adj = bad.adjacency();
+    let out = iterate_to_fixed_point(&bad, &bad_adj, &RoutingState::identity(&bad, 4), 1_000);
+    println!("BAD GADGET:");
+    println!(
+        "  after {} synchronous rounds: converged = {}",
+        out.iterations, out.converged
+    );
+    assert!(!out.converged);
+    println!("  → persistent oscillation, exactly as Varadhan/Griffin observed\n");
+
+    // ── The cure: the same DISAGREE topology with *increasing* preferences
+    //    (each node prefers its own direct route).  Both schedules now give
+    //    the same answer.
+    use std::collections::BTreeMap;
+    let mut prefs = BTreeMap::new();
+    prefs.insert((1usize, vec![1usize, 0usize]), 0u32);
+    prefs.insert((1, vec![1, 2, 0]), 1);
+    prefs.insert((2, vec![2, 0]), 0);
+    prefs.insert((2, vec![2, 1, 0]), 1);
+    let fixed = SppAlgebra::new(3, 0, prefs);
+    let fixed_adj = fixed.adjacency();
+    let clean = RoutingState::identity(&fixed, 3);
+    let mut node1_first = Schedule::synchronous(3, 60);
+    let mut node2_first = Schedule::synchronous(3, 60);
+    for t in 1..=10 {
+        node1_first.set_activation(t, 2, false);
+        node2_first.set_activation(t, 1, false);
+    }
+    let out_a = run_delta(&fixed, &fixed_adj, &clean, &node1_first);
+    let out_b = run_delta(&fixed, &fixed_adj, &clean, &node2_first);
+    println!("DISAGREE with increasing preferences:");
+    println!(
+        "  schedule A: 1→0 via {:?};  schedule B: 1→0 via {:?}",
+        out_a.final_state.get(1, 0).simple_path().unwrap(),
+        out_b.final_state.get(1, 0).simple_path().unwrap(),
+    );
+    assert_eq!(out_a.final_state, out_b.final_state);
+    println!("  → one predictable outcome, whatever the timing: the wedgie is gone");
+}

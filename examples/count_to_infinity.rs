@@ -1,0 +1,100 @@
+//! Count-to-infinity and its cures — the motivation for Section 5 of the
+//! paper.
+//!
+//! Plain shortest-path distance-vector routing converges from a *clean*
+//! start, but from an arbitrary (stale) state it can count to infinity: two
+//! routers bounce a route to a vanished destination back and forth, each
+//! time one hop longer.  The paper's Theorem 7 explains the classic RIP fix
+//! (make the carrier finite with a hop limit), and Theorem 11 the BGP-style
+//! fix (track paths and drop loops).  This example shows all three
+//! behaviours side by side.
+//!
+//! Run with: `cargo run --example count_to_infinity`
+
+use dbf_routing::prelude::*;
+use dbf_routing::topology::generators;
+use dbf_routing::topology::Topology;
+
+fn main() {
+    // Nodes 0 and 1 are connected; node 2 has just disappeared, but both
+    // survivors still hold stale routes towards it through each other.
+    let mut shape: Topology<()> = Topology::new(3);
+    shape.set_link(0, 1, ());
+
+    // ── 1. Unbounded distance-vector: the asynchronous iterate never
+    //       stabilises within the horizon; the metric just keeps growing.
+    let alg = ShortestPaths::new();
+    let adj = AdjacencyMatrix::<ShortestPaths>::from_fn(3, |i, j| {
+        if shape.has_edge(i, j) {
+            Some(NatInf::fin(1))
+        } else {
+            None
+        }
+    });
+    let mut stale = RoutingState::identity(&alg, 3);
+    stale.set(0, 2, NatInf::fin(5));
+    stale.set(1, 2, NatInf::fin(5));
+    let out = run_delta(&alg, &adj, &stale, &Schedule::synchronous(3, 300));
+    println!("unbounded distance-vector after 300 rounds:");
+    println!(
+        "  node 0's metric to the vanished node 2: {}   (σ-stable: {})",
+        out.final_state.get(0, 2),
+        out.sigma_stable
+    );
+
+    // ── 2. The RIP cure: a finite carrier (hop limit 15).  The same stale
+    //       state now counts up to the limit and then flushes to ∞.
+    let report = RipEngine::new(
+        &shape,
+        RipConfig {
+            split_horizon: SplitHorizon::Off, // keep the pathology visible
+            route_timeout: u64::MAX / 4,      // timeouts disabled: the limit does the work
+            max_time: 20_000,
+            ..RipConfig::default()
+        },
+    )
+    .with_stale_route(0, 2, NatInf::fin(5), Some(1))
+    .with_stale_route(1, 2, NatInf::fin(5), Some(0))
+    .run();
+    println!("\nRIP-like engine (hop limit 15) from the same stale state:");
+    println!(
+        "  node 0's metric to node 2: {}   (converged: {}, table changes: {})",
+        report.final_state.get(0, 2),
+        report.converged,
+        report.stats.table_changes
+    );
+
+    // ── 3. The path-vector cure: routes carry their paths, loops are
+    //       dropped, and the stale routes are flushed after a single
+    //       exchange — no counting at all.
+    let pv = PathVector::new(ShortestPaths::new(), 3);
+    let ring = generators::line(2); // only nodes 0 and 1 are connected
+    let mut topo3: Topology<NatInf> = Topology::new(3);
+    for (i, j, _) in ring.edges() {
+        topo3.set_edge(i, j, NatInf::fin(1));
+    }
+    let adj_pv = lift_topology(&pv, &topo3);
+    let stale_pv = RoutingState::from_fn(3, |i, j| {
+        if i == j {
+            pv.trivial()
+        } else if j == 2 {
+            // a stale claim of reaching 2 through the other survivor
+            pv.lift_route(NatInf::fin(5), SimplePath::from_nodes(vec![i, 1 - i, 2]).unwrap())
+        } else {
+            pv.invalid()
+        }
+    });
+    let out_pv = run_delta(&pv, &adj_pv, &stale_pv, &Schedule::synchronous(3, 50));
+    println!("\npath-vector lifting from the same stale state:");
+    println!(
+        "  node 0's route to node 2: {:?}   (σ-stable: {})",
+        out_pv.final_state.get(0, 2),
+        out_pv.sigma_stable
+    );
+
+    assert!(!out.sigma_stable, "unbounded DV must keep counting");
+    assert!(report.converged, "the hop limit must cure the count");
+    assert!(out_pv.sigma_stable, "path tracking must cure the count");
+    assert!(out_pv.final_state.get(0, 2).is_invalid());
+    println!("\nsummary: unbounded DV diverges; RIP counts to its limit; path-vector flushes immediately");
+}
