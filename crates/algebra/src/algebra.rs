@@ -218,8 +218,8 @@ impl SplitMix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::shortest::ShortestPaths;
     use crate::instances::nat_inf::NatInf;
+    use crate::instances::shortest::ShortestPaths;
 
     #[test]
     fn derived_order_is_total_on_samples() {
@@ -240,7 +240,12 @@ mod tests {
     #[test]
     fn trivial_is_minimum_invalid_is_maximum() {
         let alg = ShortestPaths::new();
-        let samples = [NatInf::fin(0), NatInf::fin(1), NatInf::fin(100), NatInf::INF];
+        let samples = [
+            NatInf::fin(0),
+            NatInf::fin(1),
+            NatInf::fin(100),
+            NatInf::INF,
+        ];
         for r in &samples {
             assert!(alg.route_le(&alg.trivial(), r), "0̄ ≤ {r:?}");
             assert!(alg.route_le(r, &alg.invalid()), "{r:?} ≤ ∞̄");

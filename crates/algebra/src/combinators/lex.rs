@@ -86,10 +86,7 @@ impl<A: RoutingAlgebra, B: RoutingAlgebra> RoutingAlgebra for Lex<A, B> {
                 // Primary components may be equal as *preferences* only when
                 // they are equal as values (route_cmp returns Equal only on
                 // equality), so keeping `a.first` is canonical.
-                LexRoute::new(
-                    a.first.clone(),
-                    self.secondary.choice(&a.second, &b.second),
-                )
+                LexRoute::new(a.first.clone(), self.secondary.choice(&a.second, &b.second))
             }
         }
     }
@@ -144,9 +141,9 @@ where
 mod tests {
     use super::*;
     use crate::instances::hopcount::BoundedHopCount;
+    use crate::instances::nat_inf::NatInf;
     use crate::instances::shortest::ShortestPaths;
     use crate::instances::widest::WidestPaths;
-    use crate::instances::nat_inf::NatInf;
     use crate::properties;
 
     type WidestShortest = Lex<WidestPaths, ShortestPaths>;

@@ -87,9 +87,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::nat_inf::NatInf;
     use crate::instances::shortest::ShortestPaths;
     use crate::instances::widest::WidestPaths;
-    use crate::instances::nat_inf::NatInf;
     use crate::properties;
 
     #[test]

@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn reject_filters_routes() {
         let alg = FilteredShortestPaths::new();
-        assert_eq!(alg.extend(&FilterPolicy::Reject, &NatInf::fin(4)), NatInf::Inf);
+        assert_eq!(
+            alg.extend(&FilterPolicy::Reject, &NatInf::fin(4)),
+            NatInf::Inf
+        );
         assert_eq!(alg.extend(&FilterPolicy::Reject, &NatInf::Inf), NatInf::Inf);
     }
 

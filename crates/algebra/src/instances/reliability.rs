@@ -17,7 +17,7 @@ use std::fmt;
 
 /// A probability in `[0, 1]` with total equality (no NaN permitted), used as
 /// both the route and the edge type of [`MostReliablePaths`].
-#[derive(Clone, Copy, PartialEq, PartialOrd)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Reliability(f64);
 
 impl Reliability {
@@ -46,9 +46,17 @@ impl Reliability {
 // is total and promoting it to `Eq`/`Ord` is sound.
 impl Eq for Reliability {}
 
+impl PartialOrd for Reliability {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for Reliability {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("Reliability is never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Reliability is never NaN")
     }
 }
 

@@ -135,7 +135,10 @@ mod tests {
         let f = alg.edge(4);
         assert_eq!(alg.extend(&f, &NatInf::fin(6)), NatInf::fin(10));
         assert_eq!(alg.extend(&f, &NatInf::Inf), NatInf::Inf);
-        assert_eq!(alg.extend(&alg.unreachable_edge(), &NatInf::fin(6)), NatInf::Inf);
+        assert_eq!(
+            alg.extend(&alg.unreachable_edge(), &NatInf::fin(6)),
+            NatInf::Inf
+        );
     }
 
     #[test]

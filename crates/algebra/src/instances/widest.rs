@@ -93,16 +93,28 @@ mod tests {
     fn wider_routes_are_preferred() {
         let alg = WidestPaths::new();
         assert!(alg.route_lt(&NatInf::fin(100), &NatInf::fin(10)));
-        assert_eq!(alg.choice(&NatInf::fin(100), &NatInf::fin(10)), NatInf::fin(100));
+        assert_eq!(
+            alg.choice(&NatInf::fin(100), &NatInf::fin(10)),
+            NatInf::fin(100)
+        );
     }
 
     #[test]
     fn extension_is_bottleneck() {
         let alg = WidestPaths::new();
-        assert_eq!(alg.extend(&alg.edge(30), &NatInf::fin(100)), NatInf::fin(30));
-        assert_eq!(alg.extend(&alg.edge(300), &NatInf::fin(100)), NatInf::fin(100));
+        assert_eq!(
+            alg.extend(&alg.edge(30), &NatInf::fin(100)),
+            NatInf::fin(30)
+        );
+        assert_eq!(
+            alg.extend(&alg.edge(300), &NatInf::fin(100)),
+            NatInf::fin(100)
+        );
         assert_eq!(alg.extend(&alg.edge(300), &alg.invalid()), alg.invalid());
-        assert_eq!(alg.extend(&alg.unbounded_edge(), &NatInf::fin(7)), NatInf::fin(7));
+        assert_eq!(
+            alg.extend(&alg.unbounded_edge(), &NatInf::fin(7)),
+            NatInf::fin(7)
+        );
     }
 
     #[test]

@@ -73,8 +73,8 @@ pub use algebra::{
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::algebra::{
-        Distributive, FiniteCarrier, Increasing, RouteOrdering, RoutingAlgebra,
-        SampleableAlgebra, StrictlyIncreasing,
+        Distributive, FiniteCarrier, Increasing, RouteOrdering, RoutingAlgebra, SampleableAlgebra,
+        StrictlyIncreasing,
     };
     pub use crate::combinators::lex::{Lex, LexEdge, LexRoute};
     pub use crate::instances::filtered::{FilterPolicy, FilteredShortestPaths};

@@ -377,8 +377,18 @@ impl PropertyReport {
     pub fn summary_header() -> String {
         format!(
             "{:<28} {:>6} {:>6} {:^5} {:^5} {:^5} {:^5} {:^5} {:^5} {:^5} {:^6} {:^5}",
-            "algebra", "routes", "edges", "assoc", "comm", "sel", "0̄ann", "∞̄id", "∞̄fix",
-            "incr", "strict", "distr",
+            "algebra",
+            "routes",
+            "edges",
+            "assoc",
+            "comm",
+            "sel",
+            "0̄ann",
+            "∞̄id",
+            "∞̄fix",
+            "incr",
+            "strict",
+            "distr",
         )
     }
 }

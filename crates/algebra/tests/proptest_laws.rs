@@ -24,8 +24,7 @@ fn filter_policy() -> impl Strategy<Value = FilterPolicy> {
         Just(FilterPolicy::Reject),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
-        (0u64..100, inner.clone(), inner)
-            .prop_map(|(t, a, b)| FilterPolicy::if_below(t, a, b))
+        (0u64..100, inner.clone(), inner).prop_map(|(t, a, b)| FilterPolicy::if_below(t, a, b))
     })
 }
 

@@ -134,7 +134,12 @@ pub fn schedule_ensemble(n: usize, horizon: usize, count: usize, seed: u64) -> V
         } else {
             ScheduleParams::harsh()
         };
-        out.push(Schedule::random(n, horizon, params, seed.wrapping_add(k as u64)));
+        out.push(Schedule::random(
+            n,
+            horizon,
+            params,
+            seed.wrapping_add(k as u64),
+        ));
     }
     out
 }
@@ -193,7 +198,8 @@ mod tests {
     fn theorem11_path_vector_converges_absolutely_from_inconsistent_states() {
         type Pv = PathVector<ShortestPaths>;
         let pv: Pv = PathVector::new(ShortestPaths::new(), 4);
-        let topo = generators::ring(4).with_weights(|i, j| NatInf::fin(((i + 2 * j) % 3 + 1) as u64));
+        let topo =
+            generators::ring(4).with_weights(|i, j| NatInf::fin(((i + 2 * j) % 3 + 1) as u64));
         let adj = lift_topology(&pv, &topo);
         let pool = pv.sample_routes(13, 32);
         let states = state_ensemble(&pv, 4, &pool, 3, 3);

@@ -47,7 +47,11 @@ pub fn run_delta<A: RoutingAlgebra>(
 ) -> DeltaOutcome<A> {
     let n = adj.node_count();
     assert_eq!(n, x0.node_count(), "adjacency/state dimension mismatch");
-    assert_eq!(n, schedule.node_count(), "adjacency/schedule dimension mismatch");
+    assert_eq!(
+        n,
+        schedule.node_count(),
+        "adjacency/schedule dimension mismatch"
+    );
 
     let window = schedule.max_lag() + 1;
     // history[k] is the state at time (current_time - (history.len() - 1 - k)).
@@ -155,7 +159,10 @@ mod tests {
             let sched = Schedule::random(6, 400, ScheduleParams::default(), seed);
             let out = run_delta(&alg, &adj, &x0, &sched);
             assert!(out.sigma_stable, "seed {seed} did not stabilise");
-            assert_eq!(out.final_state, reference.state, "seed {seed} reached a different state");
+            assert_eq!(
+                out.final_state, reference.state,
+                "seed {seed} reached a different state"
+            );
             assert!(out.quiescent_from.is_some());
         }
     }

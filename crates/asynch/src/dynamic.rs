@@ -125,10 +125,14 @@ mod tests {
 
         let outcomes = run.execute(&alg, &RoutingState::identity(&alg, 6));
         assert!(outcomes[0].outcome.sigma_stable, "ring epoch converged");
-        assert!(outcomes[1].outcome.sigma_stable, "post-failure epoch reconverged");
+        assert!(
+            outcomes[1].outcome.sigma_stable,
+            "post-failure epoch reconverged"
+        );
 
         // After the failure the network is a line: hop distance = |i - j|.
-        let reference = iterate_to_fixed_point(&alg, &adj_line, &RoutingState::identity(&alg, 6), 100);
+        let reference =
+            iterate_to_fixed_point(&alg, &adj_line, &RoutingState::identity(&alg, 6), 100);
         assert_eq!(outcomes[1].outcome.final_state, reference.state);
         // and the distances really did change: 0→5 is now 5 hops, not 1
         assert_eq!(outcomes[0].outcome.final_state.get(0, 5), &NatInf::fin(1));
@@ -186,7 +190,11 @@ mod tests {
         let outcomes = run.execute(&alg, &RoutingState::identity(&alg, 4));
         let final_state = &outcomes[1].outcome.final_state;
         assert!(outcomes[1].outcome.sigma_stable);
-        assert_eq!(final_state.get(0, 2), &NatInf::Inf, "0 can no longer reach 2");
+        assert_eq!(
+            final_state.get(0, 2),
+            &NatInf::Inf,
+            "0 can no longer reach 2"
+        );
         assert_eq!(final_state.get(0, 1), &NatInf::fin(1), "0 still reaches 1");
         assert_eq!(final_state.get(2, 3), &NatInf::fin(1), "2 still reaches 3");
     }

@@ -148,9 +148,9 @@ impl Schedule {
         let mut data_flow = vec![vec![vec![0; n]; n]; horizon];
         for t in 1..=horizon {
             activations[t - 1][(t - 1) % n] = true;
-            for i in 0..n {
-                for j in 0..n {
-                    data_flow[t - 1][i][j] = t - 1;
+            for row in data_flow[t - 1].iter_mut() {
+                for beta in row.iter_mut() {
+                    *beta = t - 1;
                 }
             }
         }
@@ -224,7 +224,13 @@ impl Schedule {
     /// An adversarial schedule in which one node (`victim`) activates only
     /// every `period` steps and always reads the stalest data the lag bound
     /// allows, while everyone else runs synchronously.
-    pub fn adversarial_stale(n: usize, horizon: usize, victim: usize, period: usize, max_lag: usize) -> Self {
+    pub fn adversarial_stale(
+        n: usize,
+        horizon: usize,
+        victim: usize,
+        period: usize,
+        max_lag: usize,
+    ) -> Self {
         let mut sched = Self::synchronous(n, horizon);
         for t in 1..=horizon {
             if t % period != 0 {

@@ -229,16 +229,19 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
                 self.stats.lost += 1;
                 continue;
             }
-            let copies = if self.rng.gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0)) {
+            let copies = if self
+                .rng
+                .gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0))
+            {
                 self.stats.duplicated += 1;
                 2
             } else {
                 1
             };
             for _ in 0..copies {
-                let delay = self
-                    .rng
-                    .gen_range(self.config.min_delay..=self.config.max_delay.max(self.config.min_delay));
+                let delay = self.rng.gen_range(
+                    self.config.min_delay..=self.config.max_delay.max(self.config.min_delay),
+                );
                 self.seq += 1;
                 self.queue.push(Message {
                     deliver_at: self.now + delay,
@@ -253,6 +256,15 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
     }
 
     fn recompute_entry(&mut self, i: NodeId, dest: NodeId) -> bool {
+        self.recompute_entry_impl(i, dest, true)
+    }
+
+    /// Re-run node `i`'s selection for `dest`.  With `advertise` false the
+    /// table still updates (and the change is counted) but no advert is
+    /// sent — used by the refresh rounds, whose full-table advertisement
+    /// immediately follows and would otherwise duplicate every changed
+    /// entry on the wire.
+    fn recompute_entry_impl(&mut self, i: NodeId, dest: NodeId, advertise: bool) -> bool {
         let n = self.adj.node_count();
         let new_route = if i == dest {
             self.alg.trivial()
@@ -271,7 +283,9 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
             self.tables[i][dest] = new_route.clone();
             self.stats.table_changes += 1;
             self.stats.last_change_time = self.now;
-            self.send_advert(i, dest, new_route);
+            if advertise {
+                self.send_advert(i, dest, new_route);
+            }
             true
         } else {
             false
@@ -317,7 +331,18 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
                 break;
             }
             self.stats.refreshes += 1;
+            // A refresh is an *activation* of every node (the finite form of
+            // schedule axiom S1), not just a retransmission: each node
+            // re-runs its decision over everything it has heard and then
+            // re-advertises.  Without the recomputation, a node that
+            // receives no messages at all — newly isolated by a topology
+            // change, say — would keep stale routes forever.
             for i in 0..self.adj.node_count() {
+                for dest in 0..self.adj.node_count() {
+                    // No per-entry advert: the full-table advertisement
+                    // below covers every destination.
+                    self.recompute_entry_impl(i, dest, false);
+                }
                 self.advertise_full_table(i);
             }
         }
@@ -376,7 +401,10 @@ mod tests {
                 out.final_state, reference.state,
                 "seed {seed} stabilised on a different state"
             );
-            assert!(out.stats.lost > 0 || out.stats.duplicated > 0, "faults were injected");
+            assert!(
+                out.stats.lost > 0 || out.stats.duplicated > 0,
+                "faults were injected"
+            );
         }
     }
 
@@ -408,10 +436,21 @@ mod tests {
         let alg = ShortestPaths::new();
         let topo = generators::line(4).with_weights(|_, _| NatInf::fin(1));
         let adj = AdjacencyMatrix::from_topology(&topo);
-        let out = EventSim::new(&alg, &adj, SimConfig { seed: 3, ..SimConfig::default() }).run();
+        let out = EventSim::new(
+            &alg,
+            &adj,
+            SimConfig {
+                seed: 3,
+                ..SimConfig::default()
+            },
+        )
+        .run();
         let s = out.stats;
         assert_eq!(s.lost, 0);
-        assert!(s.delivered >= s.sent - s.lost, "duplication can only add deliveries");
+        assert!(
+            s.delivered >= s.sent - s.lost,
+            "duplication can only add deliveries"
+        );
         assert!(s.finish_time >= s.last_change_time);
         assert!(s.table_changes > 0);
     }

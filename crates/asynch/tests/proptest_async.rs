@@ -61,7 +61,7 @@ proptest! {
             if i == j {
                 NatInf::fin(0)
             } else {
-                NatInf::fin(((i as u64 * 31 + j as u64 * 17 + seed) % 9) as u64)
+                NatInf::fin((i as u64 * 31 + j as u64 * 17 + seed) % 9)
             }
         });
         let sched = Schedule::random(n, 400, p, seed ^ 0xA5);

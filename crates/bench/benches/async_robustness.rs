@@ -15,21 +15,25 @@ fn bench(c: &mut Criterion) {
 
     let (alg, adj) = policy_rich_network(7, 91);
     for loss in [0u32, 10, 30, 50] {
-        group.bench_with_input(BenchmarkId::new("event_sim_loss_pct", loss), &loss, |b, &loss| {
-            let cfg = SimConfig {
-                loss_prob: loss as f64 / 100.0,
-                duplicate_prob: loss as f64 / 200.0,
-                min_delay: 1,
-                max_delay: 15,
-                seed: 5,
-                ..SimConfig::default()
-            };
-            b.iter(|| {
-                let out = EventSim::new(&alg, &adj, cfg).run();
-                assert!(out.sigma_stable);
-                out.stats.sent
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("event_sim_loss_pct", loss),
+            &loss,
+            |b, &loss| {
+                let cfg = SimConfig {
+                    loss_prob: loss as f64 / 100.0,
+                    duplicate_prob: loss as f64 / 200.0,
+                    min_delay: 1,
+                    max_delay: 15,
+                    seed: 5,
+                    ..SimConfig::default()
+                };
+                b.iter(|| {
+                    let out = EventSim::new(&alg, &adj, cfg).run();
+                    assert!(out.sigma_stable);
+                    out.stats.sent
+                })
+            },
+        );
     }
     group.finish();
 }

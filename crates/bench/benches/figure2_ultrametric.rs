@@ -41,7 +41,9 @@ fn bench(c: &mut Criterion) {
 
     let x = RoutingState::identity(&alg, n);
     let y = sigma(&alg, &adj, &x);
-    group.bench_function("state_distance", |b| b.iter(|| state_distance(&metric, &x, &y)));
+    group.bench_function("state_distance", |b| {
+        b.iter(|| state_distance(&metric, &x, &y))
+    });
     group.finish();
 }
 

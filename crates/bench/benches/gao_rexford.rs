@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     group.sample_size(10);
 
-    for (label, tiers) in [("n14", vec![2usize, 4, 8]), ("n30", vec![2, 6, 22]), ("n45", vec![3, 6, 12, 24])] {
+    for (label, tiers) in [
+        ("n14", vec![2usize, 4, 8]),
+        ("n30", vec![2, 6, 22]),
+        ("n45", vec![3, 6, 12, 24]),
+    ] {
         let (alg, adj, topo) = gao_rexford_network(&tiers, 81);
         let n = topo.node_count();
         group.bench_with_input(BenchmarkId::new("sigma_fixed_point", label), &n, |b, &n| {
@@ -24,15 +28,19 @@ fn bench(c: &mut Criterion) {
                 out.iterations
             })
         });
-        group.bench_with_input(BenchmarkId::new("delta_random_schedule", label), &n, |b, &n| {
-            let clean = RoutingState::identity(&alg, n);
-            let sched = Schedule::random(n, 200, ScheduleParams::default(), 83);
-            b.iter(|| {
-                let out = run_delta(&alg, &adj, &clean, &sched);
-                assert!(out.sigma_stable);
-                out.activations
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delta_random_schedule", label),
+            &n,
+            |b, &n| {
+                let clean = RoutingState::identity(&alg, n);
+                let sched = Schedule::random(n, 200, ScheduleParams::default(), 83);
+                b.iter(|| {
+                    let out = run_delta(&alg, &adj, &clean, &sched);
+                    assert!(out.sigma_stable);
+                    out.activations
+                })
+            },
+        );
     }
     group.finish();
 }

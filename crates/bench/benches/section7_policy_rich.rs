@@ -16,7 +16,14 @@ fn bench(c: &mut Criterion) {
         let topo = policy_rich_topology(n, 100 + n as u64);
         group.bench_with_input(BenchmarkId::new("bgp_engine_calm", n), &n, |b, _| {
             b.iter(|| {
-                let report = BgpEngine::new(&topo, BgpConfig { seed: 1, ..BgpConfig::default() }).run();
+                let report = BgpEngine::new(
+                    &topo,
+                    BgpConfig {
+                        seed: 1,
+                        ..BgpConfig::default()
+                    },
+                )
+                .run();
                 assert!(report.converged);
                 report.stats.updates_sent
             })

@@ -17,17 +17,13 @@ fn bench(c: &mut Criterion) {
         let (alg, adj) = path_vector_network(n, 61);
         let stale = random_states(&alg, n, 1, 63).pop().unwrap();
         let sched = Schedule::random(n, 300, ScheduleParams::harsh(), 65);
-        group.bench_with_input(
-            BenchmarkId::new("pathvec_shortest_delta", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let out = run_delta(&alg, &adj, &stale, &sched);
-                    assert!(out.sigma_stable);
-                    out.activations
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pathvec_shortest_delta", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_delta(&alg, &adj, &stale, &sched);
+                assert!(out.sigma_stable);
+                out.activations
+            })
+        });
 
         let (bgp, bgp_adj) = policy_rich_network(n, 67);
         let bgp_stale = random_states(&bgp, n, 1, 69).pop().unwrap();

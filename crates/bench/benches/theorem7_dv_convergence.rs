@@ -18,13 +18,17 @@ fn bench(c: &mut Criterion) {
         let (alg, adj) = hopcount_network(n, 15, 51);
         let garbage = random_states(&alg, n, 1, 53).pop().unwrap();
         let sched = Schedule::random(n, 300, ScheduleParams::harsh(), 55);
-        group.bench_with_input(BenchmarkId::new("delta_harsh_from_garbage", n), &n, |b, _| {
-            b.iter(|| {
-                let out = run_delta(&alg, &adj, &garbage, &sched);
-                assert!(out.sigma_stable);
-                out.activations
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delta_harsh_from_garbage", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let out = run_delta(&alg, &adj, &garbage, &sched);
+                    assert!(out.sigma_stable);
+                    out.activations
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sigma_from_clean", n), &n, |b, _| {
             let clean = RoutingState::identity(&alg, n);
             b.iter(|| iterate_to_fixed_point(&alg, &adj, &clean, 200).iterations)

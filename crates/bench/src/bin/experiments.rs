@@ -83,8 +83,20 @@ fn table1() {
         PropertyReport::analyse("widest-paths", &WidestPaths::new(), 3, 64, 16),
         PropertyReport::analyse("most-reliable-paths", &MostReliablePaths::new(), 4, 64, 16),
         PropertyReport::analyse_exhaustive("bounded-hop-count(15)", &BoundedHopCount::rip(), 5, 16),
-        PropertyReport::analyse("filtered-shortest-paths", &FilteredShortestPaths::new(), 6, 64, 24),
-        PropertyReport::analyse("stratified-shortest-paths", &StratifiedShortestPaths::new(), 7, 64, 24),
+        PropertyReport::analyse(
+            "filtered-shortest-paths",
+            &FilteredShortestPaths::new(),
+            6,
+            64,
+            24,
+        ),
+        PropertyReport::analyse(
+            "stratified-shortest-paths",
+            &StratifiedShortestPaths::new(),
+            7,
+            64,
+            24,
+        ),
         PropertyReport::analyse("bgp-section7(5)", &BgpAlgebra::new(5), 8, 64, 24),
         PropertyReport::analyse("gao-rexford(5)", &GaoRexford::new(5), 9, 64, 24),
         PropertyReport::analyse(
@@ -105,7 +117,9 @@ fn table1() {
     for r in &reports {
         println!("{}", r.summary_row());
     }
-    println!("(✓/✗ per property; the direct product demonstrates the checkers rejecting a non-algebra)");
+    println!(
+        "(✓/✗ per property; the direct product demonstrates the checkers rejecting a non-algebra)"
+    );
 }
 
 /// T2 — Table 2: each example algebra solves its path problem; the fixed
@@ -123,7 +137,11 @@ fn table2() {
                     "iterations={} converged={} oracle={}",
                     out.iterations,
                     out.converged,
-                    if n <= 8 { matches.to_string() } else { "skipped".into() }
+                    if n <= 8 {
+                        matches.to_string()
+                    } else {
+                        "skipped".into()
+                    }
                 ),
             ));
         }
@@ -137,7 +155,11 @@ fn table2() {
                     "iterations={} converged={} oracle={}",
                     out.iterations,
                     out.converged,
-                    if n <= 8 { matches.to_string() } else { "skipped".into() }
+                    if n <= 8 {
+                        matches.to_string()
+                    } else {
+                        "skipped".into()
+                    }
                 ),
             ));
         }
@@ -258,7 +280,8 @@ fn figure2() {
         let alg = PathVector::new(ShortestPaths::new(), n);
         let mut routes = alg.sample_routes(5, 48);
         routes.extend(metric.consistent_routes().iter().take(24).cloned());
-        let axioms = check_ultrametric_axioms::<PathVector<ShortestPaths>, _>(&metric, &routes).is_ok();
+        let axioms =
+            check_ultrametric_axioms::<PathVector<ShortestPaths>, _>(&metric, &routes).is_ok();
         rows.push((
             format!("path-vector(shortest), n={n}"),
             format!(
@@ -322,7 +345,12 @@ fn theorem7() {
         rows.push((
             format!("hop-count(15) on G(n={n})"),
             match result {
-                Ok(r) => format!("unique fixed point over {} runs ({} states × {} schedules)", r.runs, states.len(), schedules.len()),
+                Ok(r) => format!(
+                    "unique fixed point over {} runs ({} states × {} schedules)",
+                    r.runs,
+                    states.len(),
+                    schedules.len()
+                ),
                 Err(e) => format!("FAILED after {runs} runs: {e}"),
             },
         ));
@@ -375,7 +403,10 @@ fn count_to_infinity() {
         if i == j {
             pv.trivial()
         } else if j == 2 && i < 2 {
-            pv.lift_route(NatInf::fin(5), SimplePath::from_nodes(vec![i, 1 - i, 2]).unwrap())
+            pv.lift_route(
+                NatInf::fin(5),
+                SimplePath::from_nodes(vec![i, 1 - i, 2]).unwrap(),
+            )
         } else {
             pv.invalid()
         }
@@ -582,13 +613,24 @@ fn gao_rexford() {
         let mut adj = AdjacencyMatrix::<GaoRexford>::empty(n);
         // 0 is 1's provider, 1 is 2's provider, 2 is 0's provider: a cycle.
         for (prov, cust) in [(0usize, 1usize), (1, 2), (2, 0)] {
-            adj.set(prov, cust, Some(alg.edge(prov, cust, Relationship::Customer)));
-            adj.set(cust, prov, Some(alg.edge(cust, prov, Relationship::Provider)));
+            adj.set(
+                prov,
+                cust,
+                Some(alg.edge(prov, cust, Relationship::Customer)),
+            );
+            adj.set(
+                cust,
+                prov,
+                Some(alg.edge(cust, prov, Relationship::Provider)),
+            );
         }
         let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 100);
         rows.push((
             "provider cycle 0→1→2→0 (violates GR's topology assumption)".into(),
-            format!("still converges = {} in {} iterations", out.converged, out.iterations),
+            format!(
+                "still converges = {} in {} iterations",
+                out.converged, out.iterations
+            ),
         ));
     }
     print_table(
@@ -663,12 +705,21 @@ fn rate() {
     for n in [4usize, 6, 8, 10] {
         let shape = generators::complete(n);
         let topo = dbf_protocols::bgp::uniform_policies(&shape, Policy::identity());
-        let baseline = BgpEngine::new(&topo, BgpConfig { seed: 7, ..BgpConfig::default() }).run();
+        let baseline = BgpEngine::new(
+            &topo,
+            BgpConfig {
+                seed: 7,
+                ..BgpConfig::default()
+            },
+        )
+        .run();
         rows.push((
             format!("full mesh n={n}"),
             format!(
                 "updates={} withdrawals={} table changes={}",
-                baseline.stats.updates_sent, baseline.stats.withdrawals_sent, baseline.stats.table_changes
+                baseline.stats.updates_sent,
+                baseline.stats.withdrawals_sent,
+                baseline.stats.table_changes
             ),
         ));
     }

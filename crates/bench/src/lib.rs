@@ -59,7 +59,13 @@ pub fn hopcount_network(
 ) -> (BoundedHopCount, AdjacencyMatrix<BoundedHopCount>) {
     let alg = BoundedHopCount::new(limit);
     let shape = generators::connected_random(n, 0.35, seed);
-    let adj = AdjacencyMatrix::from_fn(n, |i, j| if shape.has_edge(i, j) { Some(1u64) } else { None });
+    let adj = AdjacencyMatrix::from_fn(n, |i, j| {
+        if shape.has_edge(i, j) {
+            Some(1u64)
+        } else {
+            None
+        }
+    });
     (alg, adj)
 }
 
@@ -101,7 +107,11 @@ pub fn policy_rich_topology(n: usize, seed: u64) -> Topology<dbf_bgp::policy::Po
 pub fn gao_rexford_network(
     tiers: &[usize],
     seed: u64,
-) -> (GaoRexford, AdjacencyMatrix<GaoRexford>, Topology<TierRelation>) {
+) -> (
+    GaoRexford,
+    AdjacencyMatrix<GaoRexford>,
+    Topology<TierRelation>,
+) {
     let (topo, _tier_of) = generators::tiered_hierarchy(tiers, 0.35, 0.25, seed);
     let alg = GaoRexford::new(topo.node_count());
     let adj = alg.adjacency_from_hierarchy(&topo);
@@ -126,7 +136,10 @@ pub fn random_states<A: SampleableAlgebra>(
 pub fn sync_iterations<A: dbf_algebra::RoutingAlgebra>(alg: &A, adj: &AdjacencyMatrix<A>) -> usize {
     let n = adj.node_count();
     let out = iterate_to_fixed_point(alg, adj, &RoutingState::identity(alg, n), 4 * n * n + 32);
-    assert!(out.converged, "workload did not converge within the 4n²+32 budget");
+    assert!(
+        out.converged,
+        "workload did not converge within the 4n²+32 budget"
+    );
     out.iterations
 }
 

@@ -44,7 +44,11 @@ pub struct BgpEdge {
 
 impl fmt::Debug for BgpEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "f[{},{}]({:?})", self.importer, self.announcer, self.policy)
+        write!(
+            f,
+            "f[{},{}]({:?})",
+            self.importer, self.announcer, self.policy
+        )
     }
 }
 
@@ -272,16 +276,40 @@ mod tests {
     #[test]
     fn decision_procedure_prefers_lower_level_then_shorter_path() {
         let a = alg();
-        let low_level = BgpRoute::valid(1, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 2, 3, 4]).unwrap());
-        let high_level = BgpRoute::valid(5, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 2]).unwrap());
+        let low_level = BgpRoute::valid(
+            1,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 2, 3, 4]).unwrap(),
+        );
+        let high_level = BgpRoute::valid(
+            5,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 2]).unwrap(),
+        );
         assert_eq!(a.choice(&low_level, &high_level), low_level);
 
-        let short = BgpRoute::valid(3, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 4]).unwrap());
-        let long = BgpRoute::valid(3, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 2, 4]).unwrap());
+        let short = BgpRoute::valid(
+            3,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 4]).unwrap(),
+        );
+        let long = BgpRoute::valid(
+            3,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 2, 4]).unwrap(),
+        );
         assert_eq!(a.choice(&short, &long), short);
 
-        let lex_a = BgpRoute::valid(3, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 2]).unwrap());
-        let lex_b = BgpRoute::valid(3, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 4]).unwrap());
+        let lex_a = BgpRoute::valid(
+            3,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 2]).unwrap(),
+        );
+        let lex_b = BgpRoute::valid(
+            3,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 4]).unwrap(),
+        );
         assert_eq!(a.choice(&lex_a, &lex_b), lex_a);
         assert_eq!(a.choice(&lex_b, &lex_a), lex_a);
 
@@ -309,12 +337,18 @@ mod tests {
     #[test]
     fn looping_and_discontiguous_extensions_are_filtered() {
         let a = alg();
-        let r = BgpRoute::valid(0, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 2, 3]).unwrap());
+        let r = BgpRoute::valid(
+            0,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 2, 3]).unwrap(),
+        );
         assert!(a.extend(&a.edge(2, 1, Policy::identity()), &r).is_invalid());
         assert!(a.extend(&a.edge(0, 3, Policy::identity()), &r).is_invalid());
         assert!(!a.extend(&a.edge(0, 1, Policy::identity()), &r).is_invalid());
         assert!(a.extend(&a.edge(0, 1, Policy::Reject), &r).is_invalid());
-        assert!(a.extend(&a.edge(0, 1, Policy::identity()), &BgpRoute::Invalid).is_invalid());
+        assert!(a
+            .extend(&a.edge(0, 1, Policy::identity()), &BgpRoute::Invalid)
+            .is_invalid());
     }
 
     #[test]
@@ -345,7 +379,11 @@ mod tests {
             CommunitySet::from_iter([17]),
             SimplePath::from_nodes(vec![1, 2]).unwrap(),
         );
-        let untagged = BgpRoute::valid(1, CommunitySet::empty(), SimplePath::from_nodes(vec![1, 3]).unwrap());
+        let untagged = BgpRoute::valid(
+            1,
+            CommunitySet::empty(),
+            SimplePath::from_nodes(vec![1, 3]).unwrap(),
+        );
         let lhs = a.extend(&f, &a.choice(&tagged, &untagged));
         let rhs = a.choice(&a.extend(&f, &tagged), &a.extend(&f, &untagged));
         assert_ne!(lhs, rhs, "conditional policies are not distributive");

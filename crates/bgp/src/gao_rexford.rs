@@ -155,7 +155,13 @@ impl GaoRexford {
         })
     }
 
-    fn cmp_valid(&self, ac: RouteClass, ap: &SimplePath, bc: RouteClass, bp: &SimplePath) -> Ordering {
+    fn cmp_valid(
+        &self,
+        ac: RouteClass,
+        ap: &SimplePath,
+        bc: RouteClass,
+        bp: &SimplePath,
+    ) -> Ordering {
         ac.cmp(&bc)
             .then_with(|| ap.len().cmp(&bp.len()))
             .then_with(|| ap.cmp(bp))
@@ -171,8 +177,14 @@ impl RoutingAlgebra for GaoRexford {
             (GrRoute::Invalid, _) => b.clone(),
             (_, GrRoute::Invalid) => a.clone(),
             (
-                GrRoute::Valid { class: ac, path: ap },
-                GrRoute::Valid { class: bc, path: bp },
+                GrRoute::Valid {
+                    class: ac,
+                    path: ap,
+                },
+                GrRoute::Valid {
+                    class: bc,
+                    path: bp,
+                },
             ) => {
                 if self.cmp_valid(*ac, ap, *bc, bp) == Ordering::Greater {
                     b.clone()
@@ -342,17 +354,28 @@ mod tests {
         };
         // A provider-learned route is not exported to a peer or to a
         // provider (i.e. not importable over a customer or peer edge)…
-        assert!(a.extend(&a.edge(0, 1, Relationship::Customer), &via_provider).is_invalid());
-        assert!(a.extend(&a.edge(0, 1, Relationship::Peer), &via_provider).is_invalid());
+        assert!(a
+            .extend(&a.edge(0, 1, Relationship::Customer), &via_provider)
+            .is_invalid());
+        assert!(a
+            .extend(&a.edge(0, 1, Relationship::Peer), &via_provider)
+            .is_invalid());
         // …but it is exported to customers (importable over a provider edge).
-        assert!(!a.extend(&a.edge(0, 1, Relationship::Provider), &via_provider).is_invalid());
+        assert!(!a
+            .extend(&a.edge(0, 1, Relationship::Provider), &via_provider)
+            .is_invalid());
         // Customer-learned routes go everywhere.
-        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
             assert!(!a.extend(&a.edge(0, 1, rel), &via_customer).is_invalid());
         }
         // The imported class records the relationship it arrived over.
         assert_eq!(
-            a.extend(&a.edge(0, 1, Relationship::Peer), &via_customer).class(),
+            a.extend(&a.edge(0, 1, Relationship::Peer), &via_customer)
+                .class(),
             Some(RouteClass::Peer)
         );
     }
@@ -399,15 +422,25 @@ mod tests {
                 break;
             }
         }
-        assert!(checked, "hierarchy should contain at least one customer edge");
+        assert!(
+            checked,
+            "hierarchy should contain at least one customer edge"
+        );
     }
 
     #[test]
     fn trivial_route_is_exportable_everywhere() {
         let a = alg();
-        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
             let r = a.extend(&a.edge(2, 3, rel), &a.trivial());
-            assert!(!r.is_invalid(), "own routes must be exportable over {rel:?} edges");
+            assert!(
+                !r.is_invalid(),
+                "own routes must be exportable over {rel:?} edges"
+            );
             assert_eq!(r.simple_path().unwrap().nodes(), &[2, 3]);
         }
     }

@@ -41,12 +41,21 @@ impl Condition {
     }
 
     /// `¬a`.
+    // An associated constructor of the condition DSL, deliberately named
+    // after the connective; it takes the operand by value, unlike
+    // `std::ops::Not::not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Condition) -> Condition {
         Condition::Not(Box::new(a))
     }
 
     /// Evaluate the condition on a valid route's attributes.
-    pub fn evaluate(&self, level: Level, communities: &CommunitySet, path: &dbf_paths::SimplePath) -> bool {
+    pub fn evaluate(
+        &self,
+        level: Level,
+        communities: &CommunitySet,
+        path: &dbf_paths::SimplePath,
+    ) -> bool {
         match self {
             Condition::And(a, b) => {
                 a.evaluate(level, communities, path) && b.evaluate(level, communities, path)
@@ -216,8 +225,16 @@ mod tests {
         let r = sample_route();
         assert_eq!(Policy::Reject.apply(&r), BgpRoute::Invalid);
         assert_eq!(Policy::IncrPrefBy(5).apply(&r).level(), Some(15));
-        assert!(Policy::AddComm(99).apply(&r).communities().unwrap().contains(99));
-        assert!(!Policy::DelComm(17).apply(&r).communities().unwrap().contains(17));
+        assert!(Policy::AddComm(99)
+            .apply(&r)
+            .communities()
+            .unwrap()
+            .contains(99));
+        assert!(!Policy::DelComm(17)
+            .apply(&r)
+            .communities()
+            .unwrap()
+            .contains(17));
         // every policy fixes the invalid route
         for p in [
             Policy::Reject,
@@ -238,7 +255,9 @@ mod tests {
         assert_eq!(out.level(), Some(15));
         assert!(out.communities().unwrap().contains(50));
         // reject anywhere in the composition kills the route
-        let q = Policy::AddComm(1).then(Policy::Reject).then(Policy::AddComm(2));
+        let q = Policy::AddComm(1)
+            .then(Policy::Reject)
+            .then(Policy::AddComm(2));
         assert_eq!(q.apply(&r), BgpRoute::Invalid);
     }
 
@@ -249,7 +268,11 @@ mod tests {
         let p = Policy::when(Condition::InComm(17), Policy::IncrPrefBy(100));
         assert_eq!(p.apply(&r).level(), Some(110));
         let untagged = Policy::DelComm(17).apply(&r);
-        assert_eq!(p.apply(&untagged).level(), Some(10), "condition fails ⇒ unchanged");
+        assert_eq!(
+            p.apply(&untagged).level(),
+            Some(10),
+            "condition fails ⇒ unchanged"
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ impl CommunitySet {
     }
 
     /// A set from a list of communities.
+    // Kept as an inherent constructor (callable without importing
+    // `FromIterator`); the trait impl below delegates here.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
         Self(iter.into_iter().collect())
     }
@@ -75,6 +78,12 @@ impl CommunitySet {
     /// Iterate over the communities in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
         self.0.iter().copied()
+    }
+}
+
+impl FromIterator<Community> for CommunitySet {
+    fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        CommunitySet::from_iter(iter)
     }
 }
 
@@ -190,7 +199,9 @@ mod tests {
         let without = with.without(5);
         assert!(!without.contains(5));
         assert_eq!(
-            CommunitySet::from_iter([3, 1, 2]).iter().collect::<Vec<_>>(),
+            CommunitySet::from_iter([3, 1, 2])
+                .iter()
+                .collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         assert_eq!(format!("{:?}", CommunitySet::from_iter([2, 1])), "{1,2}");

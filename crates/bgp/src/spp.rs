@@ -198,10 +198,7 @@ impl RoutingAlgebra for SppAlgebra {
         match (a, b) {
             (SppRoute::Invalid, _) => b.clone(),
             (_, SppRoute::Invalid) => a.clone(),
-            (
-                SppRoute::Valid { rank: ar, path: ap },
-                SppRoute::Valid { rank: br, path: bp },
-            ) => {
+            (SppRoute::Valid { rank: ar, path: ap }, SppRoute::Valid { rank: br, path: bp }) => {
                 let ord = ar.cmp(br).then_with(|| ap.cmp(bp));
                 if ord == Ordering::Greater {
                     b.clone()
@@ -303,7 +300,11 @@ mod tests {
 
     #[test]
     fn gadget_algebras_satisfy_definition_1() {
-        for alg in [SppAlgebra::disagree(), SppAlgebra::bad_gadget(), SppAlgebra::good_gadget()] {
+        for alg in [
+            SppAlgebra::disagree(),
+            SppAlgebra::bad_gadget(),
+            SppAlgebra::good_gadget(),
+        ] {
             let (routes, edges) = sample(&alg);
             properties::check_required_laws(&alg, &routes, &edges).unwrap();
         }

@@ -16,8 +16,8 @@ use dbf_async::convergence::{
     check_absolute_convergence, schedule_ensemble, state_ensemble, ConvergenceFailure,
 };
 use dbf_async::prelude::*;
-use dbf_bgp::prelude::*;
 use dbf_bgp::algebra::random_policy;
+use dbf_bgp::prelude::*;
 use dbf_matrix::prelude::*;
 use dbf_topology::generators;
 
@@ -131,7 +131,10 @@ fn bad_gadget_never_stabilises() {
     for (label, sched) in [
         ("synchronous", Schedule::synchronous(4, 300)),
         ("round-robin", Schedule::round_robin(4, 300)),
-        ("random", Schedule::random(4, 300, ScheduleParams::default(), 1)),
+        (
+            "random",
+            Schedule::random(4, 300, ScheduleParams::default(), 1),
+        ),
     ] {
         let out = run_delta(&alg, &adj, &x0, &sched);
         assert!(
@@ -166,12 +169,7 @@ fn making_disagree_increasing_removes_the_wedgie() {
     let result = check_absolute_convergence(&alg, &adj, &[x0], &[sched_a, sched_b])
         .expect("direct-route preferences are increasing, so the wedgie disappears");
     assert_eq!(
-        result
-            .fixed_point
-            .get(1, 0)
-            .simple_path()
-            .unwrap()
-            .nodes(),
+        result.fixed_point.get(1, 0).simple_path().unwrap().nodes(),
         &[1, 0]
     );
 }

@@ -47,8 +47,11 @@ fn policy() -> impl Strategy<Value = Policy> {
 }
 
 fn simple_path() -> impl Strategy<Value = SimplePath> {
-    (proptest::collection::vec(0usize..1_000_000, NODES), 0usize..=NODES).prop_map(
-        |(keys, mut len)| {
+    (
+        proptest::collection::vec(0usize..1_000_000, NODES),
+        0usize..=NODES,
+    )
+        .prop_map(|(keys, mut len)| {
             if len == 1 {
                 len = 2;
             }
@@ -56,8 +59,7 @@ fn simple_path() -> impl Strategy<Value = SimplePath> {
             ids.sort_by_key(|i| keys[*i]);
             ids.truncate(len);
             SimplePath::from_nodes(ids).expect("distinct prefix of a permutation")
-        },
-    )
+        })
 }
 
 fn bgp_route() -> impl Strategy<Value = BgpRoute> {

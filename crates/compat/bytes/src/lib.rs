@@ -1,0 +1,227 @@
+//! A workspace-local stand-in for the subset of the crates.io `bytes` API
+//! used by the wire-format module: `Bytes`/`BytesMut` with big-endian
+//! `get_*`/`put_*` accessors via the `Buf`/`BufMut` traits.
+//!
+//! `Bytes` is a read cursor over an owned buffer; `get_*` consume from the
+//! front, and `slice`/`Deref` operate on the *remaining* view, matching the
+//! way the decoders in `dbf-protocols::wire` use the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Is the buffer fully consumed?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new `Bytes` over the given sub-range of the remaining view.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.start..][range].to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, start: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with the given capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Read access to a byte buffer, consuming from the front.
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// Consume `n` bytes, returning them.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Is anything left to read?
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let b = self.take_bytes(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.take_bytes(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+}
+
+/// Write access to a byte buffer, appending at the back.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor_semantics() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u16(0xABCD);
+        b.put_u32(0x01020304);
+        b.put_u8(0xFF);
+        assert_eq!(b.len(), 7);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 7);
+        assert_eq!(bytes.get_u16(), 0xABCD);
+        assert_eq!(bytes.remaining(), 5);
+        assert_eq!(bytes.get_u32(), 0x01020304);
+        assert_eq!(bytes.get_u8(), 0xFF);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slicing_and_indexing() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b[2] = 9;
+        let bytes = b.freeze();
+        assert_eq!(&bytes[..], &[1, 2, 9, 4]);
+        let s = bytes.slice(1..3);
+        assert_eq!(&s[..], &[2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_is_detected() {
+        let mut bytes = Bytes::from(vec![1u8]);
+        let _ = bytes.get_u16();
+    }
+}

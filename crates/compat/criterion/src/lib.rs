@@ -1,0 +1,199 @@
+//! A workspace-local stand-in for the subset of the crates.io `criterion`
+//! API that this repository's benchmarks use.
+//!
+//! Statistical rigour is intentionally modest: each benchmark is warmed up
+//! and then timed over `sample_size` batches, reporting the mean and the
+//! min/max batch time.  The value of the shim is that (a) the benches
+//! compile and run offline and (b) the numbers are stable enough to track
+//! relative regressions between PRs.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A labelled benchmark identifier (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an identifier from a function name and a parameter display.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: u64,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, recording one sample per batch.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("bench {label:<52} (no samples)");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().unwrap();
+    let max = results.iter().max().unwrap();
+    println!(
+        "bench {label:<52} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({} samples)",
+        results.len()
+    );
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim has no separate warm-up
+    /// phase budget.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// batches instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set how many timed batches to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut results = Vec::new();
+        f(&mut Bencher {
+            samples: self.sample_size,
+            results: &mut results,
+        });
+        report(&format!("{}/{}", self.name, id), &results);
+        self
+    }
+
+    /// Run a named benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut results = Vec::new();
+        f(
+            &mut Bencher {
+                samples: self.sample_size,
+                results: &mut results,
+            },
+            input,
+        );
+        report(&format!("{}/{}", self.name, id.label), &results);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single named benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut results = Vec::new();
+        f(&mut Bencher {
+            samples: 10,
+            results: &mut results,
+        });
+        report(name, &results);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("trivial", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("param", 5), &5u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert!(ran >= 3, "sample batches ran");
+    }
+}

@@ -1,0 +1,178 @@
+//! A workspace-local, dependency-free stand-in for the subset of the
+//! crates.io `crossbeam` API used by this repository: multi-producer,
+//! multi-consumer unbounded channels with `recv_timeout`.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`; performance is adequate for the
+//! threaded routing runtime, and semantics (FIFO per channel, cloneable
+//! senders *and* receivers) match what `dbf-protocols` relies on.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] (never produced by this shim:
+    /// the channel is never considered disconnected).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is disconnected (never produced by this shim).
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; never blocks, never fails.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            q.push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, waiting up to `timeout` for one to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .chan
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|poison| poison.into_inner());
+                q = guard;
+                if result.timed_out() && q.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Dequeue a message if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .pop_front()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_a_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(i));
+        }
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Ok(v) = rx.recv_timeout(Duration::from_millis(100)) {
+                got.push(v);
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv_timeout(Duration::from_millis(10)).unwrap();
+        let b = rx2.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+}

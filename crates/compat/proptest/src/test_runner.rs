@@ -1,0 +1,165 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+/// Configuration for a property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many successful cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is refuted.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type of a generated case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG driving strategy generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniformly distributed in `[0, bound)`; `0` when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the test name, so every test gets its own stream but
+    // runs are reproducible.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `body` over `config.cases` generated cases, panicking (with the
+/// case's seed, for reproduction) on the first failure.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = name_seed(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u64;
+    let max_rejects = (config.cases as u64) * 50 + 1000;
+    let mut case = 0u64;
+    while successes < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(case.wrapping_mul(0x9E37_79B9)));
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases ({rejects}); \
+                         assumptions are too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case #{case}: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        run_cases(ProptestConfig::with_cases(16), "p", |rng| {
+            let v = rng.next_below(10);
+            if v >= 10 {
+                return Err(TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        run_cases(ProptestConfig::with_cases(16), "q", |rng| {
+            if rng.next_below(4) == 0 {
+                return Err(TestCaseError::fail("boom"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_fail_the_test() {
+        let mut ran = 0u32;
+        run_cases(ProptestConfig::with_cases(8), "r", |rng| {
+            if rng.next_below(2) == 0 {
+                return Err(TestCaseError::reject("skip"));
+            }
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 8);
+    }
+}

@@ -1,0 +1,720 @@
+//! A workspace-local TOML subset parser and serializer.
+//!
+//! The build environment is fully offline, so the crates.io `toml` crate
+//! cannot be fetched; this shim implements the slice of TOML that the
+//! `dbf-scenario` file format needs:
+//!
+//! * `[table]` and `[[array-of-tables]]` headers (dotted paths supported),
+//! * `key = value` pairs with bare or basic-quoted keys,
+//! * basic strings (with `\\ \" \n \t \r` escapes), integers, floats,
+//!   booleans, (possibly multi-line) arrays and inline tables,
+//! * `#` comments.
+//!
+//! Parsing produces a [`Value`] tree; [`Value`]'s `Display` emits TOML that
+//! this parser round-trips losslessly (tables serialize with sorted keys).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A string-keyed TOML table (sorted for deterministic serialization).
+pub type Table = BTreeMap<String, Value>;
+
+/// A TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    String(String),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A nested table.
+    Table(Table),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload (integers coerce), if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The table, if this is a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+}
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// The 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a TOML document into a [`Value::Table`].
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    Parser::new(input).parse_document()
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    _input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            _input: input,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Consume `expected`, erroring *before* consuming anything else (so
+    /// the reported line number points at the offending character, not
+    /// past a consumed newline).
+    fn expect_char(&mut self, expected: char, context: &str) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {expected:?} {context}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Skip spaces and tabs (not newlines).
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\n') | Some('\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Require end-of-line (allowing a trailing comment).
+    fn expect_eol(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.peek() == Some('#') {
+            while let Some(c) = self.peek() {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some('\r') => {
+                self.bump();
+                if self.peek() == Some('\n') {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected end of line, found {c:?}"))),
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let mut root = Table::new();
+        // Path of the table currently being filled ([] = root).
+        let mut current_path: Vec<String> = Vec::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => break,
+                Some('[') => {
+                    self.bump();
+                    let array_of_tables = self.peek() == Some('[');
+                    if array_of_tables {
+                        self.bump();
+                    }
+                    self.skip_ws();
+                    let path = self.parse_key_path()?;
+                    self.skip_ws();
+                    self.expect_char(']', "closing table header")?;
+                    if array_of_tables {
+                        self.expect_char(']', "closing array-of-tables header")?;
+                    }
+                    self.expect_eol()?;
+                    if array_of_tables {
+                        push_array_table(&mut root, &path).map_err(|m| self.err(m))?;
+                    } else {
+                        ensure_table(&mut root, &path).map_err(|m| self.err(m))?;
+                    }
+                    current_path = path;
+                }
+                Some(_) => {
+                    let key = self.parse_key()?;
+                    self.skip_ws();
+                    self.expect_char('=', &format!("after key {key:?}"))?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    self.expect_eol()?;
+                    let table = resolve_mut(&mut root, &current_path)
+                        .ok_or_else(|| self.err("internal: unresolved current table"))?;
+                    if table.insert(key.clone(), value).is_some() {
+                        return Err(self.err(format!("duplicate key {key:?}")));
+                    }
+                }
+            }
+        }
+        Ok(Value::Table(root))
+    }
+
+    fn parse_key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = vec![self.parse_key()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+                self.skip_ws();
+                path.push(self.parse_key()?);
+            } else {
+                break;
+            }
+        }
+        Ok(path)
+    }
+
+    fn parse_key(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some('"') => self.parse_basic_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut out = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        out.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(out)
+            }
+            other => Err(self.err(format!("expected a key, found {other:?}"))),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        if self.bump() != Some('"') {
+            return Err(self.err("expected '\"'"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => return Err(self.err(format!("unsupported escape {other:?}"))),
+                },
+                Some('\n') => return Err(self.err("newline in basic string")),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some('"') => Ok(Value::String(self.parse_basic_string()?)),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some('t') | Some('f') => {
+                let word = self.parse_bare_word();
+                match word.as_str() {
+                    "true" => Ok(Value::Boolean(true)),
+                    "false" => Ok(Value::Boolean(false)),
+                    other => Err(self.err(format!("unexpected value {other:?}"))),
+                }
+            }
+            Some(c) if c == '+' || c == '-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn parse_bare_word(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let mut raw = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || "+-._eE".contains(c) {
+                raw.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+            cleaned
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float {raw:?}: {e}")))
+        } else {
+            cleaned
+                .parse::<i64>()
+                .map(Value::Integer)
+                .map_err(|e| self.err(format!("bad integer {raw:?}: {e}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        if self.bump() != Some('[') {
+            return Err(self.err("expected '['"));
+        }
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(out));
+            }
+            out.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                other => {
+                    return Err(self.err(format!("expected ',' or ']' in array, found {other:?}")))
+                }
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        if self.bump() != Some('{') {
+            return Err(self.err("expected '{'"));
+        }
+        let mut table = Table::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Table(table));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_key()?;
+            self.skip_ws();
+            if self.bump() != Some('=') {
+                return Err(self.err("expected '=' in inline table"));
+            }
+            self.skip_ws();
+            let value = self.parse_value()?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(self.err(format!("duplicate key {key:?} in inline table")));
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Table(table)),
+                other => {
+                    return Err(self.err(format!(
+                        "expected ',' or '}}' in inline table, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Walk `path` from `root`, creating tables as needed, and return the
+/// destination table.  A trailing array-of-tables segment resolves to its
+/// last element.
+fn ensure_table<'t>(root: &'t mut Table, path: &[String]) -> Result<&'t mut Table, String> {
+    let mut cur = root;
+    for seg in path {
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("key {seg:?} is not a table")),
+            },
+            _ => return Err(format!("key {seg:?} is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Append a fresh table to the array-of-tables at `path`.
+fn push_array_table(root: &mut Table, path: &[String]) -> Result<(), String> {
+    let (last, parents) = path.split_last().ok_or("empty table header")?;
+    let parent = ensure_table(root, parents)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(a) => {
+            a.push(Value::Table(Table::new()));
+            Ok(())
+        }
+        _ => Err(format!("key {last:?} is not an array of tables")),
+    }
+}
+
+/// Walk an existing `path` immutably-shaped (used to re-find the current
+/// table while parsing).
+fn resolve_mut<'t>(root: &'t mut Table, path: &[String]) -> Option<&'t mut Table> {
+    let mut cur = root;
+    for seg in path {
+        cur = match cur.get_mut(seg)? {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut()? {
+                Value::Table(t) => t,
+                _ => return None,
+            },
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_scalar(v: &Value) -> bool {
+    !matches!(v, Value::Table(_)) && !is_array_of_tables(v)
+}
+
+fn is_array_of_tables(v: &Value) -> bool {
+    match v {
+        Value::Array(a) => !a.is_empty() && a.iter().all(|e| matches!(e, Value::Table(_))),
+        _ => false,
+    }
+}
+
+fn write_inline(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::String(s) => write!(f, "\"{}\"", escape(s)),
+        Value::Integer(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        Value::Boolean(b) => write!(f, "{b}"),
+        Value::Array(a) => {
+            write!(f, "[")?;
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_inline(f, e)?;
+            }
+            write!(f, "]")
+        }
+        Value::Table(t) => {
+            write!(f, "{{ ")?;
+            for (i, (k, v)) in t.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k} = ")?;
+                write_inline(f, v)?;
+            }
+            write!(f, " }}")
+        }
+    }
+}
+
+fn write_table(f: &mut fmt::Formatter<'_>, path: &str, table: &Table) -> fmt::Result {
+    // Scalars (and scalar arrays) first...
+    for (k, v) in table {
+        if is_scalar(v) {
+            write!(f, "{k} = ")?;
+            write_inline(f, v)?;
+            writeln!(f)?;
+        }
+    }
+    // ...then sub-tables and arrays of tables as sections.
+    for (k, v) in table {
+        let sub_path = if path.is_empty() {
+            k.clone()
+        } else {
+            format!("{path}.{k}")
+        };
+        match v {
+            Value::Table(t) => {
+                writeln!(f, "\n[{sub_path}]")?;
+                write_table(f, &sub_path, t)?;
+            }
+            Value::Array(a) if is_array_of_tables(v) => {
+                for e in a {
+                    if let Value::Table(t) = e {
+                        writeln!(f, "\n[[{sub_path}]]")?;
+                        write_table(f, &sub_path, t)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Table(t) => write_table(f, "", t),
+            other => write_inline(f, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# a scenario-ish document
+name = "demo"
+count = 42
+ratio = 0.25
+flag = true
+tags = ["a", "b"]
+
+[topology]
+family = "ring"
+size = 6
+
+[topology.extra]
+depth = 3
+
+[[phases]]
+label = "one"
+loss = 0.0
+
+[[phases]]
+label = "two"
+loss = 0.3
+change = { op = "fail_link", a = 0, b = 1 }
+"#;
+        let v = from_str(doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("count").unwrap().as_integer(), Some(42));
+        assert_eq!(v.get("ratio").unwrap().as_float(), Some(0.25));
+        assert_eq!(v.get("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("topology").unwrap().get("family").unwrap().as_str(),
+            Some("ring")
+        );
+        assert_eq!(
+            v.get("topology")
+                .unwrap()
+                .get("extra")
+                .unwrap()
+                .get("depth")
+                .unwrap()
+                .as_integer(),
+            Some(3)
+        );
+        let phases = v.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].get("label").unwrap().as_str(), Some("two"));
+        assert_eq!(
+            phases[1].get("change").unwrap().get("op").unwrap().as_str(),
+            Some("fail_link")
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let doc = r#"
+name = "round \"trip\""
+n = 7
+f = 1.5
+ok = false
+xs = [1, 2, 3]
+[inner]
+k = "v"
+[[runs]]
+seed = 1
+[[runs]]
+seed = 2
+cfg = { loss = 0.1, dup = 0.2 }
+"#;
+        let v = from_str(doc).unwrap();
+        let emitted = v.to_string();
+        let reparsed =
+            from_str(&emitted).unwrap_or_else(|e| panic!("reparse failed: {e}\n{emitted}"));
+        assert_eq!(v, reparsed, "emitted TOML:\n{emitted}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_str("a = 1\nb = ???\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        assert!(
+            from_str("a = 1\na = 2\n").is_err(),
+            "duplicate keys rejected"
+        );
+        assert!(from_str("[t\n").is_err(), "unclosed header rejected");
+    }
+
+    #[test]
+    fn multiline_arrays_parse() {
+        let doc = "xs = [\n  1,\n  2,\n  3,\n]\n";
+        let v = from_str(doc).unwrap();
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn negative_numbers_and_floats() {
+        let v = from_str("a = -3\nb = -0.5\nc = 1e3\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_integer(), Some(-3));
+        assert_eq!(v.get("b").unwrap().as_float(), Some(-0.5));
+        assert_eq!(v.get("c").unwrap().as_float(), Some(1000.0));
+    }
+}

@@ -85,7 +85,10 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
     /// diagonal is handled by the identity matrix `I`, not by `A`.
     pub fn set(&mut self, i: NodeId, j: NodeId, e: Option<A::Edge>) {
         assert!(i < self.n && j < self.n, "adjacency index out of range");
-        assert_ne!(i, j, "the diagonal of A is unused (see the identity matrix I)");
+        assert_ne!(
+            i, j,
+            "the diagonal of A is unused (see the identity matrix I)"
+        );
         self.entries[i * self.n + j] = e;
     }
 

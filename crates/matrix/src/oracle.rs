@@ -38,9 +38,7 @@ pub fn exhaustive_path_optimum<A: RoutingAlgebra>(
         let mut best = alg.invalid();
         for p in &paths_to[j] {
             if p.source() == Some(i) {
-                let w = path_weight(alg, &Path::Simple(p.clone()), |a, b| {
-                    adj.get(a, b).cloned()
-                });
+                let w = path_weight(alg, &Path::Simple(p.clone()), |a, b| adj.get(a, b).cloned());
                 best = alg.choice(&best, &w);
             }
         }
@@ -65,7 +63,10 @@ mod tests {
         let oracle = exhaustive_path_optimum(&alg, &adj);
         let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 7), 200);
         assert!(out.converged);
-        assert_eq!(out.state, oracle, "shortest paths is distributive: local = global optimum");
+        assert_eq!(
+            out.state, oracle,
+            "shortest paths is distributive: local = global optimum"
+        );
     }
 
     #[test]

@@ -194,7 +194,9 @@ mod tests {
     fn pointwise_choice() {
         let alg = ShortestPaths::new();
         let x = RoutingState::<ShortestPaths>::uniform(2, NatInf::fin(5));
-        let y = RoutingState::<ShortestPaths>::from_fn(2, |i, _| NatInf::fin(if i == 0 { 3 } else { 9 }));
+        let y = RoutingState::<ShortestPaths>::from_fn(2, |i, _| {
+            NatInf::fin(if i == 0 { 3 } else { 9 })
+        });
         let z = x.choice(&alg, &y);
         assert_eq!(z.get(0, 0), &NatInf::fin(3));
         assert_eq!(z.get(1, 1), &NatInf::fin(5));

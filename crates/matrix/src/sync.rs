@@ -103,13 +103,17 @@ mod tests {
         let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 100);
         assert!(out.converged);
         assert!(out.iterations >= n - 1, "needs at least diameter rounds");
-        assert!(out.iterations <= n + 1, "distributive algebras converge in O(n)");
+        assert!(
+            out.iterations <= n + 1,
+            "distributive algebras converge in O(n)"
+        );
     }
 
     #[test]
     fn widest_paths_reaches_a_stable_state() {
         let alg = WidestPaths::new();
-        let topo = generators::complete(5).with_weights(|i, j| NatInf::fin(((i * 5 + j) % 7 + 1) as u64));
+        let topo =
+            generators::complete(5).with_weights(|i, j| NatInf::fin(((i * 5 + j) % 7 + 1) as u64));
         let adj = AdjacencyMatrix::from_topology(&topo);
         let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 5), 100);
         assert!(out.converged);

@@ -229,7 +229,10 @@ mod tests {
         {
             let chain = orbit_distance_chain(&alg, &adj, &metric, &x0, 200);
             for w in chain.windows(2) {
-                assert!(w[0] > w[1], "chain must strictly decrease (state {k}): {chain:?}");
+                assert!(
+                    w[0] > w[1],
+                    "chain must strictly decrease (state {k}): {chain:?}"
+                );
             }
             if let Some(first) = chain.first() {
                 assert!(*first <= metric.bound());
@@ -242,7 +245,8 @@ mod tests {
     fn lemma9_and_10_path_vector_contraction_on_orbits_and_fixed_point() {
         type Pv = PathVector<ShortestPaths>;
         let pv: Pv = PathVector::new(ShortestPaths::new(), 4);
-        let topo = generators::ring(4).with_weights(|i, j| NatInf::fin(((i * 2 + j) % 4 + 1) as u64));
+        let topo =
+            generators::ring(4).with_weights(|i, j| NatInf::fin(((i * 2 + j) % 4 + 1) as u64));
         let adj = lift_topology(&pv, &topo);
         let metric = PathVectorMetric::new(pv, &adj);
         let pv: Pv = PathVector::new(ShortestPaths::new(), 4);
@@ -331,7 +335,10 @@ mod tests {
         y.set(0, 2, NatInf::fin(2));
         y.set(1, 2, NatInf::fin(2));
         let err = check_strictly_contracting(&alg, &adj, &metric, &[x, y]);
-        assert!(err.is_err(), "zero-weight edges must break strict contraction");
+        assert!(
+            err.is_err(),
+            "zero-weight edges must break strict contraction"
+        );
     }
 
     #[test]

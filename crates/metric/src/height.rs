@@ -47,7 +47,10 @@ impl<A: RoutingAlgebra> HeightMetric<A> {
     pub fn from_routes(alg: A, mut routes: Vec<A::Route>) -> Self {
         routes.sort_by(|a, b| alg.route_cmp(a, b));
         routes.dedup();
-        Self { alg, sorted: routes }
+        Self {
+            alg,
+            sorted: routes,
+        }
     }
 
     /// The maximum height `H = h(0̄)`.
@@ -64,9 +67,7 @@ impl<A: RoutingAlgebra> HeightMetric<A> {
         let idx = self
             .sorted
             .binary_search_by(|probe| self.alg.route_cmp(probe, x))
-            .unwrap_or_else(|_| {
-                panic!("route {x:?} is not in the carrier of this height metric")
-            });
+            .unwrap_or_else(|_| panic!("route {x:?} is not in the carrier of this height metric"));
         (self.sorted.len() - idx) as u64
     }
 
@@ -149,12 +150,18 @@ mod tests {
         let m = metric(6);
         assert_eq!(m.route_distance(&NatInf::fin(2), &NatInf::fin(2)), 0);
         // d(x, y) = max(h(x), h(y)) = h(best of the two)
-        assert_eq!(m.route_distance(&NatInf::fin(2), &NatInf::Inf), m.height(&NatInf::fin(2)));
+        assert_eq!(
+            m.route_distance(&NatInf::fin(2), &NatInf::Inf),
+            m.height(&NatInf::fin(2))
+        );
         assert_eq!(
             m.route_distance(&NatInf::fin(2), &NatInf::fin(5)),
             m.height(&NatInf::fin(2))
         );
-        assert!(m.route_distance(&NatInf::fin(0), &NatInf::fin(1)) > m.route_distance(&NatInf::fin(5), &NatInf::fin(6)));
+        assert!(
+            m.route_distance(&NatInf::fin(0), &NatInf::fin(1))
+                > m.route_distance(&NatInf::fin(5), &NatInf::fin(6))
+        );
     }
 
     #[test]
@@ -177,7 +184,12 @@ mod tests {
         let alg = ShortestPaths::new();
         let m = HeightMetric::from_routes(
             alg,
-            vec![NatInf::Inf, NatInf::fin(10), NatInf::fin(3), NatInf::fin(10)],
+            vec![
+                NatInf::Inf,
+                NatInf::fin(10),
+                NatInf::fin(3),
+                NatInf::fin(10),
+            ],
         );
         // deduplicated and sorted: [3, 10, ∞]
         assert_eq!(m.max_height(), 3);

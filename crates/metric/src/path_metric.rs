@@ -209,7 +209,8 @@ mod tests {
         let consistent_a = pv.trivial();
         let e = adj.get(0, 1).unwrap().clone();
         let consistent_b = pv.extend(&e, &pv.trivial());
-        let inconsistent = pv.lift_route(NatInf::fin(99), SimplePath::from_nodes(vec![0, 2]).unwrap());
+        let inconsistent =
+            pv.lift_route(NatInf::fin(99), SimplePath::from_nodes(vec![0, 2]).unwrap());
         let dc = metric.route_distance(&consistent_a, &consistent_b);
         let di = metric.route_distance(&consistent_a, &inconsistent);
         assert!(dc > 0);
@@ -244,7 +245,10 @@ mod tests {
         // The quantities of Figure 2 are all computable and related as the
         // paper describes.
         let (_pv, _adj, metric) = setup(4);
-        assert!(metric.consistent_height_max() >= 2, "S_c contains at least 0̄ and ∞̄");
+        assert!(
+            metric.consistent_height_max() >= 2,
+            "S_c contains at least 0̄ and ∞̄"
+        );
         assert_eq!(metric.inconsistent_height_max(), 5);
         assert_eq!(
             metric.bound(),

@@ -46,10 +46,7 @@ where
 
 /// Check the ultrametric axioms M1–M3 and the bound on the given route
 /// sample, returning the first violation found.
-pub fn check_ultrametric_axioms<A, M>(
-    metric: &M,
-    routes: &[A::Route],
-) -> Result<(), Violation>
+pub fn check_ultrametric_axioms<A, M>(metric: &M, routes: &[A::Route]) -> Result<(), Violation>
 where
     A: RoutingAlgebra,
     M: RouteUltrametric<A> + ?Sized,

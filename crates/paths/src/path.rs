@@ -399,7 +399,9 @@ mod tests {
     fn display_of_errors() {
         assert!(PathError::Loop { node: 3 }.to_string().contains('3'));
         assert!(PathError::SingletonSequence.to_string().contains("single"));
-        assert!(PathError::DuplicateNode { node: 2 }.to_string().contains('2'));
+        assert!(PathError::DuplicateNode { node: 2 }
+            .to_string()
+            .contains('2'));
         assert!(PathError::NotContiguous {
             expected_source: 1,
             actual_source: 2

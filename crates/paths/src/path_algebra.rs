@@ -215,7 +215,10 @@ mod tests {
         let p: Path = SimplePath::from_nodes(vec![0, 1, 2]).unwrap().into();
         let w = path_weight(&alg, &p, &lookup);
         // Two unit-weight hops.
-        let expected = alg.lift_route(NatInf::fin(2), SimplePath::from_nodes(vec![0, 1, 2]).unwrap());
+        let expected = alg.lift_route(
+            NatInf::fin(2),
+            SimplePath::from_nodes(vec![0, 1, 2]).unwrap(),
+        );
         assert_eq!(w, expected);
     }
 

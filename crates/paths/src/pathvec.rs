@@ -357,7 +357,10 @@ mod tests {
     #[test]
     fn looping_extensions_are_filtered() {
         let alg = pv();
-        let r = alg.lift_route(NatInf::fin(4), SimplePath::from_nodes(vec![1, 2, 3]).unwrap());
+        let r = alg.lift_route(
+            NatInf::fin(4),
+            SimplePath::from_nodes(vec![1, 2, 3]).unwrap(),
+        );
         // 2 is already on the path.
         assert!(alg.extend(&alg.edge(2, 1, NatInf::fin(1)), &r).is_invalid());
         // Discontiguous: the path starts at 1, not 3.

@@ -11,8 +11,12 @@ const NODES: usize = 6;
 fn simple_path() -> impl Strategy<Value = SimplePath> {
     // A permutation prefix: shuffle the node ids and take a prefix of
     // length 0 or 2..=NODES.
-    (Just(()), proptest::collection::vec(0usize..1_000_000, NODES), 0usize..=NODES).prop_map(
-        |((), keys, mut len)| {
+    (
+        Just(()),
+        proptest::collection::vec(0usize..1_000_000, NODES),
+        0usize..=NODES,
+    )
+        .prop_map(|((), keys, mut len)| {
             if len == 1 {
                 len = 2;
             }
@@ -20,8 +24,7 @@ fn simple_path() -> impl Strategy<Value = SimplePath> {
             ids.sort_by_key(|i| keys[*i]);
             ids.truncate(len);
             SimplePath::from_nodes(ids).expect("distinct prefix of a permutation")
-        },
-    )
+        })
 }
 
 /// A random (possibly inconsistent) route of the path-vector lifting of

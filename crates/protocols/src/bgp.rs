@@ -106,7 +106,10 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -378,7 +381,14 @@ mod tests {
         let shape = generators::grid(2, 3);
         let mut rng = SplitMix64::new(99);
         let topo = shape.with_weights(|_, _| random_policy(&mut rng, 1));
-        let calm = BgpEngine::new(&topo, BgpConfig { seed: 1, ..BgpConfig::default() }).run();
+        let calm = BgpEngine::new(
+            &topo,
+            BgpConfig {
+                seed: 1,
+                ..BgpConfig::default()
+            },
+        )
+        .run();
         let stormy = BgpEngine::new(
             &topo,
             BgpConfig {
@@ -452,7 +462,14 @@ mod tests {
     fn statistics_are_populated() {
         let shape = generators::star(5);
         let topo = uniform_policies(&shape, Policy::identity());
-        let report = BgpEngine::new(&topo, BgpConfig { seed: 7, ..BgpConfig::default() }).run();
+        let report = BgpEngine::new(
+            &topo,
+            BgpConfig {
+                seed: 7,
+                ..BgpConfig::default()
+            },
+        )
+        .run();
         assert!(report.converged);
         assert!(report.stats.updates_processed > 0);
         assert!(report.stats.finish_time >= report.stats.last_change_time);

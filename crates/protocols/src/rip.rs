@@ -134,7 +134,10 @@ struct Scheduled {
 
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Scheduled {
@@ -195,7 +198,9 @@ impl RipEngine {
         };
         // Stagger the first periodic update of each router.
         for i in 0..n {
-            let jitter = engine.rng.gen_range(0..engine.config.update_interval.max(1));
+            let jitter = engine
+                .rng
+                .gen_range(0..engine.config.update_interval.max(1));
             engine.schedule(jitter, Event::Periodic(i));
         }
         engine
@@ -212,7 +217,10 @@ impl RipEngine {
         next_hop: Option<NodeId>,
     ) -> Self {
         assert!(at < self.n && dest < self.n, "node out of range");
-        assert_ne!(at, dest, "a node's route to itself is always the trivial route");
+        assert_ne!(
+            at, dest,
+            "a node's route to itself is always the trivial route"
+        );
         self.tables[at][dest] = TableEntry {
             metric,
             next_hop,
@@ -421,8 +429,13 @@ mod tests {
                 None
             }
         });
-        iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, topo.node_count()), 200)
-            .state
+        iterate_to_fixed_point(
+            &alg,
+            &adj,
+            &RoutingState::identity(&alg, topo.node_count()),
+            200,
+        )
+        .state
     }
 
     #[test]
@@ -450,7 +463,11 @@ mod tests {
     #[test]
     fn all_split_horizon_modes_converge() {
         let topo = generators::grid(3, 3);
-        for mode in [SplitHorizon::Off, SplitHorizon::Simple, SplitHorizon::PoisonReverse] {
+        for mode in [
+            SplitHorizon::Off,
+            SplitHorizon::Simple,
+            SplitHorizon::PoisonReverse,
+        ] {
             let cfg = RipConfig {
                 split_horizon: mode,
                 ..RipConfig::default()
@@ -481,7 +498,10 @@ mod tests {
             .with_stale_route(0, 2, NatInf::fin(3), Some(1))
             .with_stale_route(1, 2, NatInf::fin(3), Some(0))
             .run();
-        assert!(report.converged, "the hop limit must eventually cure count-to-infinity");
+        assert!(
+            report.converged,
+            "the hop limit must eventually cure count-to-infinity"
+        );
         assert_eq!(report.final_state.get(0, 2), &NatInf::Inf);
         assert_eq!(report.final_state.get(1, 2), &NatInf::Inf);
         // the cure required many advertisements

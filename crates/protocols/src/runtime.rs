@@ -62,6 +62,12 @@ struct Advert<R> {
     route: R,
 }
 
+/// Per-router mailboxes: one channel pair per router.
+type Mailboxes<R> = (Vec<Sender<Advert<R>>>, Vec<Receiver<Advert<R>>>);
+
+/// The rows each router publishes when it halts.
+type SharedRows<R> = Arc<Mutex<Vec<Option<Vec<R>>>>>;
+
 /// Run one genuinely concurrent DBF computation over the given adjacency,
 /// starting from `initial` (row `i` is handed to router `i`).
 pub fn run_threaded<A>(
@@ -78,23 +84,21 @@ where
     let n = adj.node_count();
     assert_eq!(n, initial.node_count(), "initial state dimension mismatch");
 
-    let (senders, receivers): (Vec<Sender<Advert<A::Route>>>, Vec<Receiver<Advert<A::Route>>>) =
-        (0..n).map(|_| unbounded()).unzip();
+    let (senders, receivers): Mailboxes<A::Route> = (0..n).map(|_| unbounded()).unzip();
     let in_flight = Arc::new(AtomicI64::new(0));
     // Routers that have completed their cold-start announcements; quiescence
     // is only meaningful once every router has started.
     let started = Arc::new(AtomicU64::new(0));
     let messages_sent = Arc::new(AtomicU64::new(0));
     let table_changes = Arc::new(AtomicU64::new(0));
-    let final_rows: Arc<Mutex<Vec<Option<Vec<A::Route>>>>> =
-        Arc::new(Mutex::new(vec![None; n]));
+    let final_rows: SharedRows<A::Route> = Arc::new(Mutex::new(vec![None; n]));
 
     let start = std::time::Instant::now();
     let mut handles = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, receiver) in receivers.iter().enumerate() {
         let alg = alg.clone();
         let adj = adj.clone();
-        let rx = receivers[i].clone();
+        let rx = receiver.clone();
         let txs = senders.clone();
         let in_flight = Arc::clone(&in_flight);
         let started = Arc::clone(&started);
@@ -102,7 +106,6 @@ where
         let table_changes = Arc::clone(&table_changes);
         let final_rows = Arc::clone(&final_rows);
         let mut table: Vec<A::Route> = initial.row(i).to_vec();
-        let config = config;
 
         handles.push(std::thread::spawn(move || {
             // Who do I announce to?  Everyone that imports from me.
@@ -129,30 +132,41 @@ where
                 }
             };
 
+            // Best-response selection for one destination, over everything
+            // heard so far.
+            let decide = |adverts: &[Vec<A::Route>], dest: NodeId| -> A::Route {
+                if dest == i {
+                    return alg.trivial();
+                }
+                let mut best = alg.invalid();
+                for (k, heard) in adverts.iter().enumerate() {
+                    if k == i {
+                        continue;
+                    }
+                    let candidate = adj.apply(&alg, i, k, &heard[dest]);
+                    best = alg.choice(&best, &candidate);
+                }
+                best
+            };
+
             // Cold start: advertise the whole initial table.
-            for dest in 0..n {
-                send_route(dest, &table[dest], &in_flight, &messages_sent);
+            for (dest, route) in table.iter().enumerate() {
+                send_route(dest, route, &in_flight, &messages_sent);
             }
             started.fetch_add(1, Ordering::SeqCst);
+
+            // `adverts` changed since the last idle recomputation?  Starts
+            // true so every router performs at least one full decision
+            // (schedule axiom S1) before it may quiesce.
+            let mut dirty = true;
 
             loop {
                 match rx.recv_timeout(config.idle_poll) {
                     Ok(advert) => {
                         adverts[advert.from][advert.dest] = advert.route;
+                        dirty = true;
                         let dest = advert.dest;
-                        let new_route = if dest == i {
-                            alg.trivial()
-                        } else {
-                            let mut best = alg.invalid();
-                            for k in 0..n {
-                                if k == i {
-                                    continue;
-                                }
-                                let candidate = adj.apply(&alg, i, k, &adverts[k][dest]);
-                                best = alg.choice(&best, &candidate);
-                            }
-                            best
-                        };
+                        let new_route = decide(&adverts, dest);
                         if new_route != table[dest] {
                             table[dest] = new_route.clone();
                             table_changes.fetch_add(1, Ordering::SeqCst);
@@ -162,11 +176,38 @@ where
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                     Err(_) => {
-                        // Idle: quiesce when every router has started and
-                        // nothing is in flight anywhere, or bail out at the
-                        // wall-clock limit.
                         let all_started = started.load(Ordering::SeqCst) as usize == n;
-                        if (all_started && in_flight.load(Ordering::SeqCst) == 0)
+                        // Idle: re-run the full decision over everything
+                        // heard so far — the operational form of schedule
+                        // axiom S1 (every node activates even when no
+                        // messages arrive; a newly isolated router must
+                        // still drop its stale routes).  Only once everyone
+                        // has started (so cold-start adverts are not racing
+                        // a premature wipe of a stale initial table), and
+                        // only when an advert actually arrived since the
+                        // last recomputation (the inputs are otherwise
+                        // unchanged, so the result would be too).
+                        let mut changed = false;
+                        if dirty && all_started {
+                            for (dest, entry) in table.iter_mut().enumerate() {
+                                let new_route = decide(&adverts, dest);
+                                if new_route != *entry {
+                                    *entry = new_route.clone();
+                                    table_changes.fetch_add(1, Ordering::SeqCst);
+                                    send_route(dest, &new_route, &in_flight, &messages_sent);
+                                    changed = true;
+                                }
+                            }
+                            dirty = false;
+                        }
+                        // Then quiesce when every router has started,
+                        // everything heard has been decided on and nothing
+                        // is in flight anywhere, or bail out at the
+                        // wall-clock limit.
+                        if (!changed
+                            && !dirty
+                            && all_started
+                            && in_flight.load(Ordering::SeqCst) == 0)
                             || start.elapsed() > config.wall_clock_limit
                         {
                             break;

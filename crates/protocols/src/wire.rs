@@ -302,7 +302,11 @@ mod tests {
         let bytes = announce.encode();
         for cut in 1..bytes.len() {
             let short = bytes.slice(0..bytes.len() - cut);
-            assert_eq!(BgpUpdate::decode(short), Err(WireError::Truncated), "cut {cut}");
+            assert_eq!(
+                BgpUpdate::decode(short),
+                Err(WireError::Truncated),
+                "cut {cut}"
+            );
         }
         let mut bad_tag = BytesMut::from(&bytes[..]);
         bad_tag[4] = 7;

@@ -1,0 +1,106 @@
+//! The `BENCH_scenarios.json` emitter: a stable, machine-readable record
+//! of how much work each built-in scenario costs per engine, so future PRs
+//! have a performance trajectory to compare against.
+
+use crate::report::{Json, ScenarioReport};
+
+/// Aggregate a set of scenario reports into the benchmark JSON document.
+///
+/// Per scenario and engine run the document records total work, total
+/// messages and total wall-clock milliseconds across all phases, plus the
+/// differential verdict.
+pub fn bench_json(reports: &[ScenarioReport]) -> Json {
+    Json::Obj(vec![
+        ("suite".into(), Json::str("dbf-scenario builtins")),
+        ("schema_version".into(), Json::Int(1)),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(&r.scenario)),
+                            ("phases".into(), Json::Int(r.phase_labels.len() as i64)),
+                            ("converges".into(), Json::Bool(r.verdict.converges)),
+                            ("agreement".into(), Json::Bool(r.verdict.agreement)),
+                            ("expectation_met".into(), Json::Bool(r.expectation_met())),
+                            (
+                                "engines".into(),
+                                Json::Arr(
+                                    r.runs
+                                        .iter()
+                                        .map(|run| {
+                                            let work: u64 = run.phases.iter().map(|p| p.work).sum();
+                                            let messages: u64 =
+                                                run.phases.iter().map(|p| p.messages).sum();
+                                            let wall_ms: f64 =
+                                                run.phases.iter().map(|p| p.wall_ms).sum();
+                                            Json::Obj(vec![
+                                                ("engine".into(), Json::str(&run.engine)),
+                                                ("work".into(), Json::Int(work as i64)),
+                                                ("messages".into(), Json::Int(messages as i64)),
+                                                (
+                                                    "wall_ms".into(),
+                                                    Json::Num((wall_ms * 1000.0).round() / 1000.0),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Agreement, EngineRun, PhaseOutcome};
+
+    #[test]
+    fn bench_document_aggregates_work() {
+        let report = ScenarioReport {
+            scenario: "s".into(),
+            description: String::new(),
+            phase_labels: vec!["a".into(), "b".into()],
+            runs: vec![EngineRun {
+                engine: "sim[1]".into(),
+                phases: vec![
+                    PhaseOutcome {
+                        label: "a".into(),
+                        sigma_stable: true,
+                        work: 10,
+                        messages: 100,
+                        wall_ms: 0.5,
+                        digest: "d".into(),
+                    },
+                    PhaseOutcome {
+                        label: "b".into(),
+                        sigma_stable: true,
+                        work: 5,
+                        messages: 50,
+                        wall_ms: 0.25,
+                        digest: "d".into(),
+                    },
+                ],
+            }],
+            verdict: Agreement {
+                per_phase: vec![true, true],
+                converges: true,
+                agreement: true,
+            },
+            expected_converges: true,
+            expected_agreement: true,
+        };
+        let text = bench_json(&[report]).to_string();
+        assert!(text.contains("\"work\": 15"));
+        assert!(text.contains("\"messages\": 150"));
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"expectation_met\": true"));
+    }
+}

@@ -1,0 +1,236 @@
+//! The `scenarios` command-line driver.
+//!
+//! ```text
+//! scenarios list
+//! scenarios show <builtin>
+//! scenarios run <builtin|file.toml> [--engines sync,delta,sim,threaded]
+//!                                   [--seeds 1,2,3] [--json] [--out FILE]
+//! scenarios run-all [--json] [--out FILE]
+//! scenarios bench [--out BENCH_scenarios.json]
+//! ```
+//!
+//! `run` exits non-zero when the differential verdict does not match the
+//! scenario's expectation, so the binary doubles as an integration gate.
+
+use dbf_scenario::bench::bench_json;
+use dbf_scenario::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scenarios <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                     list built-in scenarios\n\
+         \x20 show <builtin>           print a built-in scenario as TOML\n\
+         \x20 run <builtin|file.toml>  execute a scenario on its engines\n\
+         \x20 run-all                  execute every built-in scenario\n\
+         \x20 bench                    run all builtins, write BENCH_scenarios.json\n\
+         \n\
+         options:\n\
+         \x20 --engines LIST   comma-separated subset of sync,delta,sim,threaded\n\
+         \x20 --seeds LIST     comma-separated seeds for delta/sim runs\n\
+         \x20 --json           print the full JSON report instead of a summary\n\
+         \x20 --out FILE       also write the JSON report/benchmark to FILE"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    engines: Option<Vec<EngineKind>>,
+    seeds: Option<Vec<u64>>,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        engines: None,
+        seeds: None,
+        json: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--engines" => {
+                let list = it.next().ok_or("--engines needs a value")?;
+                let engines = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| EngineKind::parse(s.trim()).map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if engines.is_empty() {
+                    return Err("--engines needs at least one engine".into());
+                }
+                opts.engines = Some(engines);
+            }
+            "--seeds" => {
+                let list = it.next().ok_or("--seeds needs a value")?;
+                let seeds = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {s:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+                opts.seeds = Some(seeds);
+            }
+            "--out" => opts.out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_scenario(name_or_path: &str) -> Result<Scenario, String> {
+    if let Some(builtin) = builtins::by_name(name_or_path) {
+        return Ok(builtin);
+    }
+    if name_or_path.ends_with(".toml") {
+        let text = std::fs::read_to_string(name_or_path)
+            .map_err(|e| format!("cannot read {name_or_path:?}: {e}"))?;
+        return Scenario::from_toml_str(&text).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "{name_or_path:?} is neither a built-in scenario nor a .toml file; \
+         `scenarios list` shows the builtins"
+    ))
+}
+
+fn apply_overrides(mut scenario: Scenario, opts: &Options) -> Scenario {
+    if let Some(engines) = &opts.engines {
+        scenario.engines = engines.clone();
+    }
+    if let Some(seeds) = &opts.seeds {
+        scenario.seeds = seeds.clone();
+    }
+    scenario
+}
+
+fn emit(opts: &Options, json: &Json, summary: &str) -> Result<(), String> {
+    if opts.json {
+        println!("{json}");
+    } else {
+        println!("{summary}");
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
+    let scenario = apply_overrides(load_scenario(target)?, opts);
+    let report = run_scenario(&scenario).map_err(|e| e.to_string())?;
+    emit(opts, &report.to_json(), &report.summary())?;
+    Ok(report.expectation_met())
+}
+
+fn cmd_run_all(opts: &Options) -> Result<bool, String> {
+    let mut reports = Vec::new();
+    let mut all_met = true;
+    for scenario in builtins::all() {
+        let scenario = apply_overrides(scenario, opts);
+        let report = run_scenario(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        if !opts.json {
+            println!("{}", report.summary());
+        }
+        all_met &= report.expectation_met();
+        reports.push(report);
+    }
+    let json = Json::Arr(reports.iter().map(ScenarioReport::to_json).collect());
+    if opts.json {
+        println!("{json}");
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(all_met)
+}
+
+fn cmd_bench(opts: &Options) -> Result<bool, String> {
+    let mut reports = Vec::new();
+    let mut all_met = true;
+    for scenario in builtins::all() {
+        let report = run_scenario(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        println!("{}", report.summary());
+        all_met &= report.expectation_met();
+        reports.push(report);
+    }
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_scenarios.json".into());
+    let json = bench_json(&reports);
+    std::fs::write(&path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(all_met)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result: Result<bool, String> = match command.as_str() {
+        "list" => {
+            for s in builtins::all() {
+                println!(
+                    "{:<22} {}",
+                    s.name,
+                    s.description.split('.').next().unwrap_or("")
+                );
+            }
+            Ok(true)
+        }
+        "show" => match args.get(1) {
+            None => return usage(),
+            Some(name) => match builtins::by_name(name) {
+                None => Err(format!("unknown builtin {name:?}")),
+                Some(s) => {
+                    println!("{}", s.to_toml_string());
+                    Ok(true)
+                }
+            },
+        },
+        "run" => match args.get(1) {
+            None => return usage(),
+            Some(target) => match parse_options(&args[2..]) {
+                Ok(opts) => cmd_run(target, &opts),
+                Err(e) => Err(e),
+            },
+        },
+        "run-all" => match parse_options(&args[1..]) {
+            Ok(opts) => cmd_run_all(&opts),
+            Err(e) => Err(e),
+        },
+        "bench" => match parse_options(&args[1..]) {
+            Ok(opts) => cmd_bench(&opts),
+            Err(e) => Err(e),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("differential verdict did not match the scenario expectation");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # dbf-scenario — declarative scenarios with cross-engine differential
+//! execution
+//!
+//! The repository has three independent execution engines for the same
+//! routing problems — the synchronous σ-iteration (`dbf-matrix`), the
+//! schedule-driven asynchronous iterate δ and the fault-injecting
+//! discrete-event simulator (`dbf-async`), and the genuinely concurrent
+//! threaded runtime (`dbf-protocols`).  The central claim of the paper
+//! (Daggitt–Gurney–Griffin, SIGCOMM 2018) is that for strictly-increasing
+//! algebras **all of them must agree**: every schedule, fault pattern and
+//! interleaving reaches the same σ-stable fixed point, and the 2020
+//! follow-up extends this across topology changes.
+//!
+//! This crate turns that claim into an executable, declarative oracle:
+//!
+//! * [`spec::Scenario`] — an experiment as *data*: topology (generator
+//!   family or explicit edges), algebra (shortest / widest / hop-count /
+//!   Section 7 BGP / Gao-Rexford / SPP gadgets), a timed script of
+//!   topology changes and fault-profile phases, and the engines to run;
+//!   TOML on disk with a lossless round trip;
+//! * [`run::run_scenario`] — executes the spec on every requested engine,
+//!   threading each epoch's final (stale) state into the next, and
+//!   computes the **differential verdict**: did every run converge, and
+//!   did they all land on the same fixed point?
+//! * [`builtins`] — a library of ready-made scenarios covering
+//!   count-to-infinity, the BGP wedgie, the BAD GADGET, flapping links,
+//!   partition-and-heal, adversarial loss, widest-path fabrics, growing
+//!   networks, policy-rich BGP and Gao-Rexford hierarchies;
+//! * [`report`] — machine-readable reports (JSON) with per-phase work,
+//!   message counts, wall time and state digests, plus the
+//!   `BENCH_scenarios.json` emitter used to track performance across PRs.
+//!
+//! The `scenarios` binary drives all of this from the command line:
+//!
+//! ```text
+//! cargo run -p dbf-scenario --bin scenarios -- run count-to-infinity --json
+//! cargo run -p dbf-scenario --bin scenarios -- run my_experiment.toml --engines sync,sim
+//! cargo run -p dbf-scenario --bin scenarios -- run-all
+//! cargo run -p dbf-scenario --bin scenarios -- bench --out BENCH_scenarios.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod builtins;
+pub mod report;
+pub mod run;
+pub mod spec;
+
+pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
+pub use run::run_scenario;
+pub use spec::{
+    AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, SpecError,
+    SppGadget, TopologySpec, WeightRule,
+};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::builtins;
+    pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
+    pub use crate::run::run_scenario;
+    pub use crate::spec::{
+        AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
+        SpecError, SppGadget, TopologySpec, WeightRule,
+    };
+}

@@ -1,0 +1,401 @@
+//! Machine-readable scenario reports and a tiny JSON emitter.
+//!
+//! Reports are deliberately engine- and algebra-agnostic: routing states
+//! are summarised by a stable digest (FNV-1a over the `Debug` rendering of
+//! every entry), so the differential checker can compare runs of *any*
+//! algebra without the report types being generic.
+
+use std::fmt;
+
+/// A minimal JSON value (the build environment has no serde; this covers
+/// everything the reports need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_json(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Num(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                write_json(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  \"");
+                escape_json(k, out);
+                out.push_str("\": ");
+                write_json(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_json(self, 0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// A stable 64-bit digest builder (FNV-1a).
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Digest {
+    /// Fold a string into the digest.
+    pub fn update(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The digest as a fixed-width hex string.
+    pub fn finish(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// The outcome of one phase on one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseOutcome {
+    /// The phase label.
+    pub label: String,
+    /// Whether the phase's final state is a fixed point of σ on the
+    /// phase's topology.
+    pub sigma_stable: bool,
+    /// Engine-specific work metric: σ iterations, δ activations, simulator
+    /// deliveries or threaded messages.
+    pub work: u64,
+    /// Messages sent, where the engine has a message concept (0 for σ/δ).
+    pub messages: u64,
+    /// Wall-clock time of the phase in milliseconds.
+    pub wall_ms: f64,
+    /// Digest of the phase's final routing state.
+    pub digest: String,
+}
+
+/// One engine execution of a scenario (σ and threaded run once; δ and the
+/// simulator once per seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// Engine label, e.g. `sync`, `delta[3]`, `sim[7]`, `threaded`.
+    pub engine: String,
+    /// Per-phase outcomes, in phase order.
+    pub phases: Vec<PhaseOutcome>,
+}
+
+/// The differential verdict across all runs of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agreement {
+    /// Per phase: did every run reach σ-stability *and* the same state?
+    pub per_phase: Vec<bool>,
+    /// Did every run of the final phase stabilise?
+    pub converges: bool,
+    /// Did every run of the final phase land on the same fixed point?
+    pub agreement: bool,
+}
+
+/// The full report of one scenario execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The scenario name.
+    pub scenario: String,
+    /// The scenario description.
+    pub description: String,
+    /// Phase labels, in order.
+    pub phase_labels: Vec<String>,
+    /// All engine runs.
+    pub runs: Vec<EngineRun>,
+    /// The differential verdict.
+    pub verdict: Agreement,
+    /// What the spec expected.
+    pub expected_converges: bool,
+    /// What the spec expected.
+    pub expected_agreement: bool,
+}
+
+impl ScenarioReport {
+    /// Did the observed verdict match the spec's expectation?
+    pub fn expectation_met(&self) -> bool {
+        self.verdict.converges == self.expected_converges
+            && self.verdict.agreement == self.expected_agreement
+    }
+
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::str(&self.scenario)),
+            ("description".into(), Json::str(&self.description)),
+            (
+                "phases".into(),
+                Json::Arr(self.phase_labels.iter().map(Json::str).collect()),
+            ),
+            (
+                "runs".into(),
+                Json::Arr(
+                    self.runs
+                        .iter()
+                        .map(|run| {
+                            Json::Obj(vec![
+                                ("engine".into(), Json::str(&run.engine)),
+                                (
+                                    "phases".into(),
+                                    Json::Arr(
+                                        run.phases
+                                            .iter()
+                                            .map(|p| {
+                                                Json::Obj(vec![
+                                                    ("label".into(), Json::str(&p.label)),
+                                                    (
+                                                        "sigma_stable".into(),
+                                                        Json::Bool(p.sigma_stable),
+                                                    ),
+                                                    ("work".into(), Json::Int(p.work as i64)),
+                                                    (
+                                                        "messages".into(),
+                                                        Json::Int(p.messages as i64),
+                                                    ),
+                                                    ("wall_ms".into(), Json::Num(p.wall_ms)),
+                                                    ("digest".into(), Json::str(&p.digest)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "verdict".into(),
+                Json::Obj(vec![
+                    (
+                        "per_phase".into(),
+                        Json::Arr(
+                            self.verdict
+                                .per_phase
+                                .iter()
+                                .map(|&b| Json::Bool(b))
+                                .collect(),
+                        ),
+                    ),
+                    ("converges".into(), Json::Bool(self.verdict.converges)),
+                    ("agreement".into(), Json::Bool(self.verdict.agreement)),
+                ]),
+            ),
+            (
+                "expected".into(),
+                Json::Obj(vec![
+                    ("converges".into(), Json::Bool(self.expected_converges)),
+                    ("agreement".into(), Json::Bool(self.expected_agreement)),
+                ]),
+            ),
+            ("expectation_met".into(), Json::Bool(self.expectation_met())),
+        ])
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("scenario {:<24} ", self.scenario));
+        out.push_str(&format!(
+            "converges={} agreement={} expected(c={}, a={}) {}",
+            self.verdict.converges,
+            self.verdict.agreement,
+            self.expected_converges,
+            self.expected_agreement,
+            if self.expectation_met() {
+                "OK"
+            } else {
+                "MISMATCH"
+            },
+        ));
+        for run in &self.runs {
+            let last = run.phases.last();
+            out.push_str(&format!(
+                "\n  {:<14} {}",
+                run.engine,
+                run.phases
+                    .iter()
+                    .map(|p| format!(
+                        "[{} stable={} work={} msgs={} {}]",
+                        p.label,
+                        p.sigma_stable,
+                        p.work,
+                        p.messages,
+                        &p.digest[..8]
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(" → "),
+            ));
+            let _ = last;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let j = Json::Obj(vec![
+            ("s".into(), Json::str("a\"b\\c\nd")),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Int(1), Json::Bool(true), Json::Null]),
+            ),
+            ("o".into(), Json::Obj(vec![("k".into(), Json::Num(1.5))])),
+        ]);
+        let text = j.to_string();
+        assert!(text.contains("\\\"b\\\\c\\nd"));
+        assert!(text.contains("\"xs\": [\n"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let mut a = Digest::default();
+        a.update("hello");
+        let mut b = Digest::default();
+        b.update("hello");
+        let mut c = Digest::default();
+        c.update("hellp");
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+        assert_eq!(a.finish().len(), 16);
+    }
+
+    fn report(stable: bool, digests: (&str, &str)) -> ScenarioReport {
+        let phase = |d: &str| PhaseOutcome {
+            label: "p".into(),
+            sigma_stable: stable,
+            work: 1,
+            messages: 0,
+            wall_ms: 0.1,
+            digest: d.into(),
+        };
+        ScenarioReport {
+            scenario: "t".into(),
+            description: String::new(),
+            phase_labels: vec!["p".into()],
+            runs: vec![
+                EngineRun {
+                    engine: "sync".into(),
+                    phases: vec![phase(digests.0)],
+                },
+                EngineRun {
+                    engine: "sim[1]".into(),
+                    phases: vec![phase(digests.1)],
+                },
+            ],
+            verdict: Agreement {
+                per_phase: vec![stable && digests.0 == digests.1],
+                converges: stable,
+                agreement: stable && digests.0 == digests.1,
+            },
+            expected_converges: true,
+            expected_agreement: true,
+        }
+    }
+
+    #[test]
+    fn expectation_matching() {
+        assert!(report(true, ("aa", "aa")).expectation_met());
+        assert!(!report(true, ("aa", "bb")).expectation_met());
+        assert!(!report(false, ("aa", "aa")).expectation_met());
+        let j = report(true, ("aa", "aa")).to_json().to_string();
+        assert!(j.contains("\"expectation_met\": true"));
+    }
+}

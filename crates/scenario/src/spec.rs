@@ -1,0 +1,1059 @@
+//! The declarative [`Scenario`] specification and its TOML codec.
+//!
+//! A scenario is *data*: a topology, an algebra, a sequence of phases
+//! (each optionally applying [`TopologyChange`]-style edits and switching
+//! the fault profile), the engines to execute it on, and the expected
+//! differential verdict.  The same spec runs unchanged on the synchronous
+//! σ-iteration, the schedule-driven asynchronous iterate δ, the
+//! fault-injecting discrete-event simulator and the genuinely concurrent
+//! threaded runtime — which is exactly the quantification of the paper's
+//! convergence theorems ("the same fixed point under *every* schedule").
+//!
+//! Specs serialize to TOML via [`Scenario::to_toml_string`] and parse back
+//! via [`Scenario::from_toml_str`]; the round trip is lossless.
+
+use std::fmt;
+use toml::{Table, Value};
+
+/// A fully described routing experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Machine-friendly name (used as the file stem and report key).
+    pub name: String,
+    /// Human description of what the scenario demonstrates.
+    pub description: String,
+    /// The network shape the first phase starts from.
+    pub topology: TopologySpec,
+    /// The routing algebra and its edge-weight/policy derivation.
+    pub algebra: AlgebraSpec,
+    /// Which engines to execute on.
+    pub engines: Vec<EngineKind>,
+    /// Seeds for the stochastic engines (δ schedules and the event
+    /// simulator run once per seed; σ and the threaded runtime once).
+    pub seeds: Vec<u64>,
+    /// The timed event script: each phase may edit the topology and
+    /// switches the fault profile.
+    pub phases: Vec<PhaseSpec>,
+    /// The expected differential verdict.
+    pub expect: Expectation,
+}
+
+/// Topology families understood by the scenario engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// A bidirectional line on `n` nodes.
+    Line {
+        /// Node count.
+        n: usize,
+    },
+    /// A bidirectional ring on `n ≥ 3` nodes.
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+    /// A star with node 0 at the centre.
+    Star {
+        /// Node count.
+        n: usize,
+    },
+    /// The complete graph on `n` nodes.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// A `rows × cols` grid.
+    Grid {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// A connected Gilbert random graph (spanning ring + `G(n, p)`).
+    ConnectedRandom {
+        /// Node count.
+        n: usize,
+        /// Extra-link probability.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A two-level Clos (leaf–spine) fabric.
+    LeafSpine {
+        /// Spine count.
+        spines: usize,
+        /// Leaf count.
+        leaves: usize,
+    },
+    /// A tiered provider/customer hierarchy (required by the Gao-Rexford
+    /// algebra).
+    Tiered {
+        /// Nodes per tier, top tier first.
+        tiers: Vec<usize>,
+        /// Intra-tier peering probability.
+        p_peer: f64,
+        /// Extra-provider probability.
+        p_extra: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// An explicit edge list (links are bidirectional).
+    Explicit {
+        /// Node count.
+        nodes: usize,
+        /// Bidirectional links.
+        links: Vec<(usize, usize)>,
+    },
+    /// The topology is implied by the algebra (SPP gadgets carry their own
+    /// shape).
+    Gadget,
+}
+
+/// Algebra families understood by the scenario engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraSpec {
+    /// Shortest paths (min-plus over ℕ∞); strictly increasing and
+    /// distributive.
+    Shortest {
+        /// Edge-weight derivation.
+        weights: WeightRule,
+    },
+    /// Widest paths (max-min over ℕ∞); increasing.
+    Widest {
+        /// Edge-capacity derivation.
+        weights: WeightRule,
+    },
+    /// Bounded hop count (the RIP algebra); finite and strictly
+    /// increasing, so Theorem 7 applies.
+    Hopcount {
+        /// The hop limit (classically 15/16).
+        limit: u64,
+    },
+    /// The Section 7 safe-by-design BGP algebra with per-edge random
+    /// policies; strictly increasing, so Theorem 11 applies.
+    Bgp {
+        /// Random policy nesting depth (0 = identity import policies).
+        policy_depth: usize,
+        /// Per-edge policy derivation seed.
+        policy_seed: u64,
+    },
+    /// The Gao-Rexford customer/peer/provider algebra over a tiered
+    /// hierarchy.
+    GaoRexford,
+    /// A Stable-Paths-Problem gadget (deliberately *not* increasing): the
+    /// negative-control algebras.
+    Spp {
+        /// Which gadget.
+        gadget: SppGadget,
+    },
+}
+
+/// The SPP gadget catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SppGadget {
+    /// DISAGREE: two stable states (the BGP wedgie).
+    Disagree,
+    /// BAD GADGET: no stable state (permanent oscillation).
+    Bad,
+    /// GOOD GADGET: converges despite the unconstrained algebra.
+    Good,
+}
+
+/// Deterministic edge-weight derivation: `w(i, j) = (i·mul_i + j·mul_j)
+/// mod modulus + base`.  With `modulus = 1` every edge weighs `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightRule {
+    /// Coefficient of the source index.
+    pub mul_i: u64,
+    /// Coefficient of the target index.
+    pub mul_j: u64,
+    /// Modulus (≥ 1).
+    pub modulus: u64,
+    /// Offset added after the modulus (keeps weights non-zero).
+    pub base: u64,
+}
+
+impl WeightRule {
+    /// Every edge gets weight `w`.
+    pub fn uniform(w: u64) -> Self {
+        Self {
+            mul_i: 0,
+            mul_j: 0,
+            modulus: 1,
+            base: w,
+        }
+    }
+
+    /// The varied default used by the repository's tests: coefficients 7
+    /// and 13 modulo 9, offset 1.
+    pub fn varied() -> Self {
+        Self {
+            mul_i: 7,
+            mul_j: 13,
+            modulus: 9,
+            base: 1,
+        }
+    }
+
+    /// Evaluate the rule for the directed edge `i → j`.
+    pub fn weight(&self, i: usize, j: usize) -> u64 {
+        (i as u64 * self.mul_i + j as u64 * self.mul_j) % self.modulus.max(1) + self.base
+    }
+}
+
+/// The execution engines a scenario can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Synchronous σ-iteration to a fixed point (`dbf-matrix`).
+    Sync,
+    /// The asynchronous iterate δ under seeded random schedules
+    /// (`dbf-async`).
+    Delta,
+    /// The fault-injecting discrete-event message simulator (`dbf-async`).
+    Sim,
+    /// The genuinely concurrent one-thread-per-router runtime
+    /// (`dbf-protocols`).
+    Threaded,
+}
+
+impl EngineKind {
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sync => "sync",
+            EngineKind::Delta => "delta",
+            EngineKind::Sim => "sim",
+            EngineKind::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a canonical name.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "sync" => Ok(EngineKind::Sync),
+            "delta" => Ok(EngineKind::Delta),
+            "sim" => Ok(EngineKind::Sim),
+            "threaded" => Ok(EngineKind::Threaded),
+            other => Err(SpecError::new(format!("unknown engine {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One epoch of the experiment: topology edits applied at its start plus
+/// the fault profile in force while it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Human label (shown in reports).
+    pub label: String,
+    /// Topology edits applied before the phase runs.
+    pub changes: Vec<ChangeSpec>,
+    /// The fault/schedule profile for the phase.
+    pub faults: FaultSpec,
+}
+
+impl PhaseSpec {
+    /// A quiet phase with no changes.
+    pub fn quiet(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            changes: Vec::new(),
+            faults: FaultSpec::default(),
+        }
+    }
+}
+
+/// A single topology edit (the spec-level mirror of
+/// `dbf_topology::TopologyChange`, weight-free because weights/policies are
+/// re-derived from the algebra spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeSpec {
+    /// Add (or restore) both directions of the link `a ↔ b`.
+    SetLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// Add (or restore) the directed edge `from → to`.
+    SetEdge {
+        /// Source.
+        from: usize,
+        /// Target.
+        to: usize,
+    },
+    /// Remove the directed edge `from → to`.
+    RemoveEdge {
+        /// Source.
+        from: usize,
+        /// Target.
+        to: usize,
+    },
+    /// Remove both directions of the link `a ↔ b` (a link failure).
+    FailLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// Add a fresh, initially isolated node.
+    AddNode,
+}
+
+/// Fault-injection and schedule parameters for one phase.
+///
+/// `loss`/`duplicate`/`min_delay`/`max_delay` drive the event simulator;
+/// `activation`/`reorder`/`duplicate`/`max_delay`/`horizon` drive the
+/// random δ-schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Message-loss probability (simulator).
+    pub loss: f64,
+    /// Message-duplication probability (simulator and schedules).
+    pub duplicate: f64,
+    /// Reordering probability (schedules).
+    pub reorder: f64,
+    /// Per-step activation probability (schedules).
+    pub activation: f64,
+    /// Minimum link delay (simulator ticks).
+    pub min_delay: u64,
+    /// Maximum link delay (simulator ticks; also the schedule lag bound).
+    pub max_delay: u64,
+    /// δ-schedule horizon (steps).
+    pub horizon: usize,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.15,
+            activation: 0.6,
+            min_delay: 1,
+            max_delay: 5,
+            horizon: 400,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A lossy, duplicating, heavily reordering profile.
+    pub fn adversarial() -> Self {
+        Self {
+            loss: 0.25,
+            duplicate: 0.25,
+            reorder: 0.3,
+            activation: 0.35,
+            min_delay: 1,
+            max_delay: 15,
+            horizon: 600,
+        }
+    }
+}
+
+/// The verdict the differential checker is expected to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expectation {
+    /// Every run ends each phase in a σ-stable state.
+    pub converges: bool,
+    /// All runs of the final phase agree on one fixed point.
+    pub agreement: bool,
+}
+
+impl Default for Expectation {
+    fn default() -> Self {
+        Self {
+            converges: true,
+            agreement: true,
+        }
+    }
+}
+
+/// A spec-level validation or decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+impl Scenario {
+    /// Check cross-field invariants that the type system cannot express.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("scenario name must not be empty"));
+        }
+        if self.phases.is_empty() {
+            return Err(SpecError::new("a scenario needs at least one phase"));
+        }
+        if self.engines.is_empty() {
+            return Err(SpecError::new("a scenario needs at least one engine"));
+        }
+        if self.seeds.is_empty() {
+            return Err(SpecError::new("a scenario needs at least one seed"));
+        }
+        match (&self.algebra, &self.topology) {
+            (AlgebraSpec::GaoRexford, TopologySpec::Tiered { .. }) => {}
+            (AlgebraSpec::GaoRexford, other) => {
+                return Err(SpecError::new(format!(
+                    "the gao_rexford algebra needs a tiered topology, got {other:?}"
+                )));
+            }
+            (AlgebraSpec::Spp { .. }, TopologySpec::Gadget) => {}
+            (AlgebraSpec::Spp { .. }, other) => {
+                return Err(SpecError::new(format!(
+                    "spp algebras carry their own gadget topology; use family = \"gadget\", got {other:?}"
+                )));
+            }
+            (_, TopologySpec::Gadget) => {
+                return Err(SpecError::new(
+                    "family = \"gadget\" is only valid with an spp algebra",
+                ));
+            }
+            _ => {}
+        }
+        let changes_allowed = !matches!(self.algebra, AlgebraSpec::Spp { .. });
+        for phase in &self.phases {
+            if !changes_allowed && !phase.changes.is_empty() {
+                return Err(SpecError::new(
+                    "topology changes are not supported on gadget scenarios",
+                ));
+            }
+            if matches!(self.algebra, AlgebraSpec::GaoRexford)
+                && phase.changes.iter().any(|c| {
+                    matches!(
+                        c,
+                        ChangeSpec::AddNode
+                            | ChangeSpec::SetLink { .. }
+                            | ChangeSpec::SetEdge { .. }
+                    )
+                })
+            {
+                return Err(SpecError::new(
+                    "gao_rexford scenarios only support edge/link removals (relationships of \
+                     fresh links would be ambiguous)",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML encoding
+// ---------------------------------------------------------------------
+
+fn str_val(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+fn int_val(i: u64) -> Value {
+    Value::Integer(i as i64)
+}
+
+impl Scenario {
+    /// Serialize to a TOML document.
+    pub fn to_toml(&self) -> Value {
+        let mut root = Table::new();
+        root.insert("name".into(), str_val(&self.name));
+        root.insert("description".into(), str_val(&self.description));
+        root.insert(
+            "engines".into(),
+            Value::Array(self.engines.iter().map(|e| str_val(e.name())).collect()),
+        );
+        root.insert(
+            "seeds".into(),
+            Value::Array(self.seeds.iter().map(|&s| int_val(s)).collect()),
+        );
+        root.insert("topology".into(), self.topology.to_toml());
+        root.insert("algebra".into(), self.algebra.to_toml());
+        let mut expect = Table::new();
+        expect.insert("converges".into(), Value::Boolean(self.expect.converges));
+        expect.insert("agreement".into(), Value::Boolean(self.expect.agreement));
+        root.insert("expect".into(), Value::Table(expect));
+        root.insert(
+            "phases".into(),
+            Value::Array(self.phases.iter().map(PhaseSpec::to_toml).collect()),
+        );
+        Value::Table(root)
+    }
+
+    /// Serialize to TOML text.
+    pub fn to_toml_string(&self) -> String {
+        self.to_toml().to_string()
+    }
+
+    /// Parse a TOML document.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let value =
+            toml::from_str(input).map_err(|e| SpecError::new(format!("invalid TOML: {e}")))?;
+        let scenario = Self::from_toml(&value)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Decode from a parsed TOML value.
+    pub fn from_toml(value: &Value) -> Result<Self, SpecError> {
+        let name = req_str(value, "name")?;
+        let description = opt_str(value, "description").unwrap_or_default();
+        let engines = match value.get("engines") {
+            None => vec![EngineKind::Sync, EngineKind::Sim],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError::new("engines must be an array of strings"))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .ok_or_else(|| SpecError::new("engines must be an array of strings"))
+                        .and_then(EngineKind::parse)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let seeds = match value.get("seeds") {
+            None => vec![1],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError::new("seeds must be an array of integers"))?
+                .iter()
+                .map(|e| {
+                    e.as_integer()
+                        .map(|i| i as u64)
+                        .ok_or_else(|| SpecError::new("seeds must be an array of integers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let topology = TopologySpec::from_toml(
+            value
+                .get("topology")
+                .ok_or_else(|| SpecError::new("missing [topology]"))?,
+        )?;
+        let algebra = AlgebraSpec::from_toml(
+            value
+                .get("algebra")
+                .ok_or_else(|| SpecError::new("missing [algebra]"))?,
+        )?;
+        let expect = match value.get("expect") {
+            None => Expectation::default(),
+            Some(v) => Expectation {
+                converges: v.get("converges").and_then(Value::as_bool).unwrap_or(true),
+                agreement: v.get("agreement").and_then(Value::as_bool).unwrap_or(true),
+            },
+        };
+        let phases = match value.get("phases") {
+            None => vec![PhaseSpec::quiet("run")],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError::new("phases must be an array of tables"))?
+                .iter()
+                .map(PhaseSpec::from_toml)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Self {
+            name,
+            description,
+            topology,
+            algebra,
+            engines,
+            seeds,
+            phases,
+            expect,
+        })
+    }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, SpecError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| SpecError::new(format!("missing or non-string key {key:?}")))
+}
+
+fn opt_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+fn req_usize(v: &Value, key: &str) -> Result<usize, SpecError> {
+    v.get(key)
+        .and_then(Value::as_integer)
+        .map(|i| i as usize)
+        .ok_or_else(|| SpecError::new(format!("missing or non-integer key {key:?}")))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, SpecError> {
+    v.get(key)
+        .and_then(Value::as_integer)
+        .map(|i| i as u64)
+        .ok_or_else(|| SpecError::new(format!("missing or non-integer key {key:?}")))
+}
+
+fn opt_u64(v: &Value, key: &str, default: u64) -> u64 {
+    v.get(key)
+        .and_then(Value::as_integer)
+        .map(|i| i as u64)
+        .unwrap_or(default)
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, SpecError> {
+    v.get(key)
+        .and_then(Value::as_float)
+        .ok_or_else(|| SpecError::new(format!("missing or non-numeric key {key:?}")))
+}
+
+fn opt_f64(v: &Value, key: &str, default: f64) -> f64 {
+    v.get(key).and_then(Value::as_float).unwrap_or(default)
+}
+
+impl TopologySpec {
+    fn to_toml(&self) -> Value {
+        let mut t = Table::new();
+        match self {
+            TopologySpec::Line { n } => {
+                t.insert("family".into(), str_val("line"));
+                t.insert("n".into(), int_val(*n as u64));
+            }
+            TopologySpec::Ring { n } => {
+                t.insert("family".into(), str_val("ring"));
+                t.insert("n".into(), int_val(*n as u64));
+            }
+            TopologySpec::Star { n } => {
+                t.insert("family".into(), str_val("star"));
+                t.insert("n".into(), int_val(*n as u64));
+            }
+            TopologySpec::Complete { n } => {
+                t.insert("family".into(), str_val("complete"));
+                t.insert("n".into(), int_val(*n as u64));
+            }
+            TopologySpec::Grid { rows, cols } => {
+                t.insert("family".into(), str_val("grid"));
+                t.insert("rows".into(), int_val(*rows as u64));
+                t.insert("cols".into(), int_val(*cols as u64));
+            }
+            TopologySpec::ConnectedRandom { n, p, seed } => {
+                t.insert("family".into(), str_val("connected_random"));
+                t.insert("n".into(), int_val(*n as u64));
+                t.insert("p".into(), Value::Float(*p));
+                t.insert("seed".into(), int_val(*seed));
+            }
+            TopologySpec::LeafSpine { spines, leaves } => {
+                t.insert("family".into(), str_val("leaf_spine"));
+                t.insert("spines".into(), int_val(*spines as u64));
+                t.insert("leaves".into(), int_val(*leaves as u64));
+            }
+            TopologySpec::Tiered {
+                tiers,
+                p_peer,
+                p_extra,
+                seed,
+            } => {
+                t.insert("family".into(), str_val("tiered"));
+                t.insert(
+                    "tiers".into(),
+                    Value::Array(tiers.iter().map(|&x| int_val(x as u64)).collect()),
+                );
+                t.insert("p_peer".into(), Value::Float(*p_peer));
+                t.insert("p_extra".into(), Value::Float(*p_extra));
+                t.insert("seed".into(), int_val(*seed));
+            }
+            TopologySpec::Explicit { nodes, links } => {
+                t.insert("family".into(), str_val("explicit"));
+                t.insert("nodes".into(), int_val(*nodes as u64));
+                t.insert(
+                    "links".into(),
+                    Value::Array(
+                        links
+                            .iter()
+                            .map(|&(a, b)| Value::Array(vec![int_val(a as u64), int_val(b as u64)]))
+                            .collect(),
+                    ),
+                );
+            }
+            TopologySpec::Gadget => {
+                t.insert("family".into(), str_val("gadget"));
+            }
+        }
+        Value::Table(t)
+    }
+
+    fn from_toml(v: &Value) -> Result<Self, SpecError> {
+        let family = req_str(v, "family")?;
+        match family.as_str() {
+            "line" => Ok(TopologySpec::Line {
+                n: req_usize(v, "n")?,
+            }),
+            "ring" => Ok(TopologySpec::Ring {
+                n: req_usize(v, "n")?,
+            }),
+            "star" => Ok(TopologySpec::Star {
+                n: req_usize(v, "n")?,
+            }),
+            "complete" => Ok(TopologySpec::Complete {
+                n: req_usize(v, "n")?,
+            }),
+            "grid" => Ok(TopologySpec::Grid {
+                rows: req_usize(v, "rows")?,
+                cols: req_usize(v, "cols")?,
+            }),
+            "connected_random" => Ok(TopologySpec::ConnectedRandom {
+                n: req_usize(v, "n")?,
+                p: req_f64(v, "p")?,
+                seed: req_u64(v, "seed")?,
+            }),
+            "leaf_spine" => Ok(TopologySpec::LeafSpine {
+                spines: req_usize(v, "spines")?,
+                leaves: req_usize(v, "leaves")?,
+            }),
+            "tiered" => {
+                let tiers = v
+                    .get("tiers")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| SpecError::new("tiered topology needs a tiers array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_integer()
+                            .map(|i| i as usize)
+                            .ok_or_else(|| SpecError::new("tiers must be integers"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TopologySpec::Tiered {
+                    tiers,
+                    p_peer: opt_f64(v, "p_peer", 0.35),
+                    p_extra: opt_f64(v, "p_extra", 0.25),
+                    seed: opt_u64(v, "seed", 0),
+                })
+            }
+            "explicit" => {
+                let links = v
+                    .get("links")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| SpecError::new("explicit topology needs a links array"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| SpecError::new("each link must be [a, b]"))?;
+                        let a = pair[0]
+                            .as_integer()
+                            .ok_or_else(|| SpecError::new("link endpoints must be integers"))?;
+                        let b = pair[1]
+                            .as_integer()
+                            .ok_or_else(|| SpecError::new("link endpoints must be integers"))?;
+                        Ok((a as usize, b as usize))
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?;
+                Ok(TopologySpec::Explicit {
+                    nodes: req_usize(v, "nodes")?,
+                    links,
+                })
+            }
+            "gadget" => Ok(TopologySpec::Gadget),
+            other => Err(SpecError::new(format!("unknown topology family {other:?}"))),
+        }
+    }
+}
+
+impl WeightRule {
+    fn to_toml(self) -> Value {
+        let mut t = Table::new();
+        t.insert("mul_i".into(), int_val(self.mul_i));
+        t.insert("mul_j".into(), int_val(self.mul_j));
+        t.insert("modulus".into(), int_val(self.modulus));
+        t.insert("base".into(), int_val(self.base));
+        Value::Table(t)
+    }
+
+    fn from_toml(v: Option<&Value>) -> Self {
+        match v {
+            None => WeightRule::uniform(1),
+            Some(v) => WeightRule {
+                mul_i: opt_u64(v, "mul_i", 0),
+                mul_j: opt_u64(v, "mul_j", 0),
+                modulus: opt_u64(v, "modulus", 1),
+                base: opt_u64(v, "base", 1),
+            },
+        }
+    }
+}
+
+impl AlgebraSpec {
+    fn to_toml(&self) -> Value {
+        let mut t = Table::new();
+        match self {
+            AlgebraSpec::Shortest { weights } => {
+                t.insert("kind".into(), str_val("shortest"));
+                t.insert("weights".into(), weights.to_toml());
+            }
+            AlgebraSpec::Widest { weights } => {
+                t.insert("kind".into(), str_val("widest"));
+                t.insert("weights".into(), weights.to_toml());
+            }
+            AlgebraSpec::Hopcount { limit } => {
+                t.insert("kind".into(), str_val("hopcount"));
+                t.insert("limit".into(), int_val(*limit));
+            }
+            AlgebraSpec::Bgp {
+                policy_depth,
+                policy_seed,
+            } => {
+                t.insert("kind".into(), str_val("bgp"));
+                t.insert("policy_depth".into(), int_val(*policy_depth as u64));
+                t.insert("policy_seed".into(), int_val(*policy_seed));
+            }
+            AlgebraSpec::GaoRexford => {
+                t.insert("kind".into(), str_val("gao_rexford"));
+            }
+            AlgebraSpec::Spp { gadget } => {
+                t.insert("kind".into(), str_val("spp"));
+                t.insert(
+                    "gadget".into(),
+                    str_val(match gadget {
+                        SppGadget::Disagree => "disagree",
+                        SppGadget::Bad => "bad",
+                        SppGadget::Good => "good",
+                    }),
+                );
+            }
+        }
+        Value::Table(t)
+    }
+
+    fn from_toml(v: &Value) -> Result<Self, SpecError> {
+        let kind = req_str(v, "kind")?;
+        match kind.as_str() {
+            "shortest" => Ok(AlgebraSpec::Shortest {
+                weights: WeightRule::from_toml(v.get("weights")),
+            }),
+            "widest" => Ok(AlgebraSpec::Widest {
+                weights: WeightRule::from_toml(v.get("weights")),
+            }),
+            "hopcount" => Ok(AlgebraSpec::Hopcount {
+                limit: opt_u64(v, "limit", 16),
+            }),
+            "bgp" => Ok(AlgebraSpec::Bgp {
+                policy_depth: opt_u64(v, "policy_depth", 2) as usize,
+                policy_seed: opt_u64(v, "policy_seed", 0),
+            }),
+            "gao_rexford" => Ok(AlgebraSpec::GaoRexford),
+            "spp" => {
+                let gadget = req_str(v, "gadget")?;
+                Ok(AlgebraSpec::Spp {
+                    gadget: match gadget.as_str() {
+                        "disagree" => SppGadget::Disagree,
+                        "bad" => SppGadget::Bad,
+                        "good" => SppGadget::Good,
+                        other => {
+                            return Err(SpecError::new(format!("unknown spp gadget {other:?}")))
+                        }
+                    },
+                })
+            }
+            other => Err(SpecError::new(format!("unknown algebra kind {other:?}"))),
+        }
+    }
+}
+
+impl ChangeSpec {
+    fn to_toml(self) -> Value {
+        let mut t = Table::new();
+        match self {
+            ChangeSpec::SetLink { a, b } => {
+                t.insert("op".into(), str_val("set_link"));
+                t.insert("a".into(), int_val(a as u64));
+                t.insert("b".into(), int_val(b as u64));
+            }
+            ChangeSpec::SetEdge { from, to } => {
+                t.insert("op".into(), str_val("set_edge"));
+                t.insert("from".into(), int_val(from as u64));
+                t.insert("to".into(), int_val(to as u64));
+            }
+            ChangeSpec::RemoveEdge { from, to } => {
+                t.insert("op".into(), str_val("remove_edge"));
+                t.insert("from".into(), int_val(from as u64));
+                t.insert("to".into(), int_val(to as u64));
+            }
+            ChangeSpec::FailLink { a, b } => {
+                t.insert("op".into(), str_val("fail_link"));
+                t.insert("a".into(), int_val(a as u64));
+                t.insert("b".into(), int_val(b as u64));
+            }
+            ChangeSpec::AddNode => {
+                t.insert("op".into(), str_val("add_node"));
+            }
+        }
+        Value::Table(t)
+    }
+
+    fn from_toml(v: &Value) -> Result<Self, SpecError> {
+        let op = req_str(v, "op")?;
+        match op.as_str() {
+            "set_link" => Ok(ChangeSpec::SetLink {
+                a: req_usize(v, "a")?,
+                b: req_usize(v, "b")?,
+            }),
+            "set_edge" => Ok(ChangeSpec::SetEdge {
+                from: req_usize(v, "from")?,
+                to: req_usize(v, "to")?,
+            }),
+            "remove_edge" => Ok(ChangeSpec::RemoveEdge {
+                from: req_usize(v, "from")?,
+                to: req_usize(v, "to")?,
+            }),
+            "fail_link" => Ok(ChangeSpec::FailLink {
+                a: req_usize(v, "a")?,
+                b: req_usize(v, "b")?,
+            }),
+            "add_node" => Ok(ChangeSpec::AddNode),
+            other => Err(SpecError::new(format!("unknown change op {other:?}"))),
+        }
+    }
+}
+
+impl PhaseSpec {
+    fn to_toml(&self) -> Value {
+        let mut t = Table::new();
+        t.insert("label".into(), str_val(&self.label));
+        t.insert(
+            "changes".into(),
+            Value::Array(self.changes.iter().map(|c| c.to_toml()).collect()),
+        );
+        let mut f = Table::new();
+        f.insert("loss".into(), Value::Float(self.faults.loss));
+        f.insert("duplicate".into(), Value::Float(self.faults.duplicate));
+        f.insert("reorder".into(), Value::Float(self.faults.reorder));
+        f.insert("activation".into(), Value::Float(self.faults.activation));
+        f.insert("min_delay".into(), int_val(self.faults.min_delay));
+        f.insert("max_delay".into(), int_val(self.faults.max_delay));
+        f.insert("horizon".into(), int_val(self.faults.horizon as u64));
+        t.insert("faults".into(), Value::Table(f));
+        Value::Table(t)
+    }
+
+    fn from_toml(v: &Value) -> Result<Self, SpecError> {
+        let label = req_str(v, "label")?;
+        let changes = match v.get("changes") {
+            None => Vec::new(),
+            Some(c) => c
+                .as_array()
+                .ok_or_else(|| SpecError::new("changes must be an array"))?
+                .iter()
+                .map(ChangeSpec::from_toml)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let d = FaultSpec::default();
+        let faults = match v.get("faults") {
+            None => d,
+            Some(f) => FaultSpec {
+                loss: opt_f64(f, "loss", d.loss),
+                duplicate: opt_f64(f, "duplicate", d.duplicate),
+                reorder: opt_f64(f, "reorder", d.reorder),
+                activation: opt_f64(f, "activation", d.activation),
+                min_delay: opt_u64(f, "min_delay", d.min_delay),
+                max_delay: opt_u64(f, "max_delay", d.max_delay),
+                horizon: opt_u64(f, "horizon", d.horizon as u64) as usize,
+            },
+        };
+        Ok(Self {
+            label,
+            changes,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Scenario {
+        Scenario {
+            name: "demo".into(),
+            description: "a round-trip fixture".into(),
+            topology: TopologySpec::Ring { n: 6 },
+            algebra: AlgebraSpec::Hopcount { limit: 16 },
+            engines: vec![EngineKind::Sync, EngineKind::Delta, EngineKind::Sim],
+            seeds: vec![1, 2],
+            phases: vec![
+                PhaseSpec::quiet("baseline"),
+                PhaseSpec {
+                    label: "failure".into(),
+                    changes: vec![ChangeSpec::FailLink { a: 0, b: 5 }],
+                    faults: FaultSpec::adversarial(),
+                },
+            ],
+            expect: Expectation::default(),
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_is_lossless() {
+        let scenario = demo();
+        let text = scenario.to_toml_string();
+        let reparsed = Scenario::from_toml_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(scenario, reparsed, "serialized form:\n{text}");
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut s = demo();
+        s.topology = TopologySpec::Gadget;
+        assert!(
+            s.validate().is_err(),
+            "gadget topology needs an spp algebra"
+        );
+
+        let mut s = demo();
+        s.algebra = AlgebraSpec::GaoRexford;
+        assert!(s.validate().is_err(), "gao-rexford needs a tiered topology");
+
+        let mut s = demo();
+        s.phases.clear();
+        assert!(s.validate().is_err(), "at least one phase required");
+
+        assert!(demo().validate().is_ok());
+    }
+
+    #[test]
+    fn weight_rules_evaluate() {
+        assert_eq!(WeightRule::uniform(3).weight(5, 9), 3);
+        let varied = WeightRule::varied();
+        assert_eq!(varied.weight(1, 2), (7 + 26) % 9 + 1);
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [
+            EngineKind::Sync,
+            EngineKind::Delta,
+            EngineKind::Sim,
+            EngineKind::Threaded,
+        ] {
+            assert_eq!(EngineKind::parse(e.name()).unwrap(), e);
+        }
+        assert!(EngineKind::parse("warp").is_err());
+    }
+}

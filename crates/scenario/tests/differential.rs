@@ -1,0 +1,254 @@
+//! Integration tests for the scenario subsystem: every built-in scenario
+//! runs on all of its engines, the differential checker's verdict matches
+//! the spec's expectation, and the `scenarios` CLI emits well-formed JSON.
+
+use dbf_scenario::prelude::*;
+use std::process::Command;
+
+/// The acceptance test of the subsystem: every built-in scenario executes
+/// on every engine it requests and the cross-engine oracle returns the
+/// expected verdict — agreement for every strictly-increasing algebra
+/// scenario, disagreement for the wedgie, non-convergence for the BAD
+/// GADGET.
+#[test]
+fn every_builtin_meets_its_differential_expectation() {
+    for scenario in builtins::all() {
+        let report = run_scenario(&scenario)
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", scenario.name));
+        assert!(
+            report.expectation_met(),
+            "{}:\n{}",
+            scenario.name,
+            report.summary()
+        );
+        // Positive scenarios assert the full Theorem 7/11 statement: every
+        // phase, not just the last, ends in cross-engine agreement.
+        if scenario.expect.converges && scenario.expect.agreement {
+            assert!(
+                report.verdict.per_phase.iter().all(|&ok| ok),
+                "{} must agree in every phase:\n{}",
+                scenario.name,
+                report.summary()
+            );
+        }
+        let run_count: usize = scenario
+            .engines
+            .iter()
+            .map(|e| match e {
+                EngineKind::Sync | EngineKind::Threaded => 1,
+                EngineKind::Delta | EngineKind::Sim => scenario.seeds.len(),
+            })
+            .sum();
+        assert_eq!(report.runs.len(), run_count, "{}", scenario.name);
+    }
+}
+
+/// The wedgie scenario must actually *witness* both stable states across
+/// its seeds — otherwise the disagreement expectation would be vacuous.
+#[test]
+fn the_wedgie_witnesses_two_distinct_fixed_points() {
+    let report = run_scenario(&builtins::by_name("bgp-wedgie").unwrap()).unwrap();
+    let mut digests: Vec<&str> = report
+        .runs
+        .iter()
+        .map(|r| r.phases.last().unwrap().digest.as_str())
+        .collect();
+    assert!(report
+        .runs
+        .iter()
+        .all(|r| r.phases.last().unwrap().sigma_stable));
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(
+        digests.len(),
+        2,
+        "DISAGREE has exactly two stable states and the seeds should find both"
+    );
+}
+
+fn scenarios_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+#[test]
+fn cli_lists_every_builtin() {
+    let out = scenarios_bin()
+        .arg("list")
+        .output()
+        .expect("spawn scenarios");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for scenario in builtins::all() {
+        assert!(
+            stdout.contains(&scenario.name),
+            "list output is missing {}",
+            scenario.name
+        );
+    }
+}
+
+/// Crude but dependency-free JSON well-formedness check: balanced
+/// braces/brackets outside strings.
+fn assert_balanced_json(text: &str) {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced JSON:\n{text}");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON:\n{text}");
+    assert!(!in_string, "unterminated string in JSON:\n{text}");
+}
+
+#[test]
+fn cli_run_emits_machine_readable_json() {
+    let out = scenarios_bin()
+        .args(["run", "count-to-infinity", "--json"])
+        .output()
+        .expect("spawn scenarios");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_balanced_json(&stdout);
+    for key in [
+        "\"scenario\": \"count-to-infinity\"",
+        "\"runs\":",
+        "\"engine\": \"sync\"",
+        "\"engine\": \"threaded\"",
+        "\"sigma_stable\": true",
+        "\"digest\":",
+        "\"verdict\":",
+        "\"agreement\": true",
+        "\"expectation_met\": true",
+    ] {
+        assert!(
+            stdout.contains(key),
+            "JSON output is missing {key}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn cli_runs_scenarios_from_toml_files() {
+    let scenario = builtins::by_name("partition-and-heal").unwrap();
+    let dir = std::env::temp_dir().join("dbf-scenario-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("partition.toml");
+    std::fs::write(&path, scenario.to_toml_string()).unwrap();
+
+    let out = scenarios_bin()
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--engines",
+            "sync,sim",
+            "--seeds",
+            "9",
+        ])
+        .output()
+        .expect("spawn scenarios");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("agreement=true"), "{stdout}");
+    assert!(
+        stdout.contains("sim[9]"),
+        "--seeds must reach the sim engine: {stdout}"
+    );
+    assert!(
+        !stdout.contains("threaded"),
+        "--engines must filter engines: {stdout}"
+    );
+}
+
+#[test]
+fn cli_bench_writes_the_benchmark_document() {
+    let dir = std::env::temp_dir().join("dbf-scenario-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_scenarios.json");
+    let out = scenarios_bin()
+        .args(["bench", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("spawn scenarios");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert_balanced_json(&doc);
+    assert!(doc.contains("\"suite\": \"dbf-scenario builtins\""));
+    for scenario in builtins::all() {
+        assert!(doc.contains(&format!("\"name\": \"{}\"", scenario.name)));
+    }
+    assert!(doc.contains("\"wall_ms\":"));
+    assert!(doc.contains("\"messages\":"));
+}
+
+/// A scenario written by hand in TOML (not via the serializer) parses and
+/// runs — guarding the file-format contract, not just the round trip.
+#[test]
+fn handwritten_toml_scenarios_run() {
+    let text = r#"
+name = "handwritten"
+description = "bounded hop count on a line, written by hand"
+engines = ["sync", "sim"]
+seeds = [4]
+
+[topology]
+family = "line"
+n = 5
+
+[algebra]
+# NOTE: unbounded "shortest" would genuinely fail to reconverge here —
+# partitioning a network with stale routes is exactly the count-to-infinity
+# pathology of the paper's Section 5; the hop limit is the classical cure.
+kind = "hopcount"
+limit = 16
+
+[expect]
+converges = true
+agreement = true
+
+[[phases]]
+label = "quiet"
+
+[[phases]]
+label = "middle link lost"
+changes = [{ op = "fail_link", a = 2, b = 3 }]
+[phases.faults]
+loss = 0.2
+duplicate = 0.1
+max_delay = 8
+"#;
+    let scenario = Scenario::from_toml_str(text).expect("handwritten TOML parses");
+    assert_eq!(scenario.phases.len(), 2);
+    assert_eq!(scenario.phases[1].changes.len(), 1);
+    assert!((scenario.phases[1].faults.loss - 0.2).abs() < 1e-12);
+    let report = run_scenario(&scenario).unwrap();
+    assert!(report.expectation_met(), "{}", report.summary());
+    // the failed link partitions the line: destinations across the cut must
+    // be invalid, which still counts as (and must be) cross-engine agreement
+    assert!(report.verdict.agreement);
+}

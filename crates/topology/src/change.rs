@@ -104,7 +104,10 @@ mod tests {
 
         let removed = TopologyChange::RemoveEdge { from: 1, to: 2 }.apply(&failed);
         assert!(!removed.has_edge(1, 2));
-        assert!(removed.has_edge(2, 1), "only the requested direction is removed");
+        assert!(
+            removed.has_edge(2, 1),
+            "only the requested direction is removed"
+        );
 
         let grown = TopologyChange::<u32>::AddNode.apply(&removed);
         assert_eq!(grown.node_count(), 5);
@@ -123,6 +126,86 @@ mod tests {
         ];
         let out = TopologyChange::apply_all(&changes, &base);
         assert!(!out.has_edge(0, 2), "later changes win");
+    }
+
+    #[test]
+    fn set_edge_overwrites_and_is_directional() {
+        let base = generators::line(3).with_weights(|_, _| 1u32);
+        let overwritten = TopologyChange::SetEdge {
+            from: 0,
+            to: 1,
+            weight: 7,
+        }
+        .apply(&base);
+        assert_eq!(
+            overwritten.edge(0, 1),
+            Some(&7),
+            "existing edges are replaced"
+        );
+        assert_eq!(
+            overwritten.edge(1, 0),
+            Some(&1),
+            "the reverse direction is untouched"
+        );
+        assert_eq!(overwritten.edge_count(), base.edge_count());
+    }
+
+    #[test]
+    fn removals_of_absent_edges_are_no_ops() {
+        let base = generators::line(3).with_weights(|_, _| 1u32);
+        let removed = TopologyChange::RemoveEdge { from: 0, to: 2 }.apply(&base);
+        assert_eq!(removed, base);
+        let failed = TopologyChange::FailLink { a: 0, b: 2 }.apply(&base);
+        assert_eq!(failed, base);
+    }
+
+    #[test]
+    fn fail_link_removes_both_directions_only() {
+        let base = generators::ring(4).with_weights(|_, _| 1u32);
+        let failed = TopologyChange::FailLink { a: 1, b: 2 }.apply(&base);
+        assert!(!failed.has_edge(1, 2) && !failed.has_edge(2, 1));
+        assert_eq!(failed.edge_count(), base.edge_count() - 2);
+        assert!(
+            failed.has_edge(0, 1) && failed.has_edge(2, 3),
+            "other links survive"
+        );
+    }
+
+    #[test]
+    fn add_node_grows_by_one_and_preserves_edges() {
+        let base = generators::complete(3).with_weights(|i, j| (i * 10 + j) as u32);
+        let grown = TopologyChange::<u32>::AddNode.apply(&base);
+        assert_eq!(grown.node_count(), base.node_count() + 1);
+        assert_eq!(grown.edge_count(), base.edge_count());
+        for (i, j, w) in base.edges() {
+            assert_eq!(grown.edge(i, j), Some(w), "edge {i}→{j} must be preserved");
+        }
+        // the fresh node is isolated
+        let v = grown.node_count() - 1;
+        assert!(grown.out_neighbors(v).is_empty());
+        assert!(grown.in_neighbors(v).is_empty());
+    }
+
+    #[test]
+    fn failure_then_restore_round_trips() {
+        let base = generators::ring(5).with_weights(|_, _| 9u32);
+        let round_tripped = TopologyChange::apply_all(
+            &[
+                TopologyChange::FailLink { a: 2, b: 3 },
+                TopologyChange::SetEdge {
+                    from: 2,
+                    to: 3,
+                    weight: 9,
+                },
+                TopologyChange::SetEdge {
+                    from: 3,
+                    to: 2,
+                    weight: 9,
+                },
+            ],
+            &base,
+        );
+        assert_eq!(round_tripped, base);
     }
 
     #[test]

@@ -191,7 +191,7 @@ pub fn tiered_hierarchy(
     let n: usize = tiers.iter().sum();
     let mut tier_of = Vec::with_capacity(n);
     for (t, &count) in tiers.iter().enumerate() {
-        tier_of.extend(std::iter::repeat(t).take(count));
+        tier_of.extend(std::iter::repeat_n(t, count));
     }
     let first_of_tier: Vec<usize> = tiers
         .iter()
@@ -210,8 +210,7 @@ pub fn tiered_hierarchy(
     };
 
     // every node below tier 0 gets at least one provider in the tier above
-    for v in 0..n {
-        let tier = tier_of[v];
+    for (v, &tier) in tier_of.iter().enumerate() {
         if tier == 0 {
             continue;
         }
@@ -304,7 +303,10 @@ mod tests {
     fn connected_random_is_connected() {
         for seed in 0..10 {
             let t = connected_random(16, 0.05, seed);
-            assert!(t.is_weakly_connected(), "seed {seed} produced a disconnected graph");
+            assert!(
+                t.is_weakly_connected(),
+                "seed {seed} produced a disconnected graph"
+            );
             assert!(t.is_symmetric());
         }
     }

@@ -58,7 +58,10 @@ impl<W> Topology<W> {
     /// carry no routing information: a node always reaches itself via the
     /// trivial route).
     pub fn set_edge(&mut self, i: NodeId, j: NodeId, w: W) {
-        assert!(i < self.nodes && j < self.nodes, "edge endpoint out of range");
+        assert!(
+            i < self.nodes && j < self.nodes,
+            "edge endpoint out of range"
+        );
         assert_ne!(i, j, "self loops are not allowed");
         self.edges.insert((i, j), w);
     }

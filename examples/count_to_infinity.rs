@@ -79,7 +79,10 @@ fn main() {
             pv.trivial()
         } else if j == 2 {
             // a stale claim of reaching 2 through the other survivor
-            pv.lift_route(NatInf::fin(5), SimplePath::from_nodes(vec![i, 1 - i, 2]).unwrap())
+            pv.lift_route(
+                NatInf::fin(5),
+                SimplePath::from_nodes(vec![i, 1 - i, 2]).unwrap(),
+            )
         } else {
             pv.invalid()
         }

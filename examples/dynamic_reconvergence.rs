@@ -51,11 +51,15 @@ fn main() {
 
     // Leaf-to-leaf traffic still flows (through the surviving spines)…
     let after = &outcomes[1].outcome.final_state;
-    println!("\nleaf 3 → leaf 8 hop count after the failure: {}", after.get(3, 8));
+    println!(
+        "\nleaf 3 → leaf 8 hop count after the failure: {}",
+        after.get(3, 8)
+    );
     assert_eq!(after.get(3, 8), &NatInf::fin(2));
     // …and the re-converged state is exactly the fixed point of the new
     // topology, as absolute convergence demands.
-    let reference = iterate_to_fixed_point(&alg, &adj_degraded, &RoutingState::identity(&alg, 9), 100);
+    let reference =
+        iterate_to_fixed_point(&alg, &adj_degraded, &RoutingState::identity(&alg, 9), 100);
     assert_eq!(after, &reference.state);
     println!("re-converged state matches the fixed point of the degraded fabric");
 

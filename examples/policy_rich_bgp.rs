@@ -41,12 +41,19 @@ fn main() {
     topo.set_edge(
         0,
         2,
-        Policy::AddComm(BACKUP).then(Policy::when(Condition::InComm(BACKUP), Policy::IncrPrefBy(50))),
+        Policy::AddComm(BACKUP).then(Policy::when(
+            Condition::InComm(BACKUP),
+            Policy::IncrPrefBy(50),
+        )),
     );
     // 0's customer (AS 4) filters anything still carrying the backup tag —
     // a conditional policy, i.e. exactly the kind of route map that breaks
     // distributivity.
-    topo.set_edge(4, 0, Policy::when(Condition::InComm(BACKUP), Policy::Reject));
+    topo.set_edge(
+        4,
+        0,
+        Policy::when(Condition::InComm(BACKUP), Policy::Reject),
+    );
 
     println!("running the BGP-like engine with session resets...\n");
     let report = BgpEngine::new(
@@ -67,7 +74,10 @@ fn main() {
         report.stats.table_changes
     );
 
-    for (who, label) in [(0usize, "AS 0 (dual-homed customer)"), (4usize, "AS 4 (0's customer)")] {
+    for (who, label) in [
+        (0usize, "AS 0 (dual-homed customer)"),
+        (4usize, "AS 4 (0's customer)"),
+    ] {
         println!("{label} routing table:");
         for dest in 0..5 {
             let r = report.final_state.get(who, dest);
@@ -82,6 +92,9 @@ fn main() {
     // …and the backup path via 2 exists in principle but was depreffed, so
     // the chosen route carries no backup tag, and 4 is therefore not cut off.
     let r43 = report.final_state.get(4, 3);
-    assert!(!r43.is_invalid(), "AS 4 still reaches 3 through the primary path");
+    assert!(
+        !r43.is_invalid(),
+        "AS 4 still reaches 3 through the primary path"
+    );
     println!("intent honoured: primary via AS 1, backup depreffed, customer unaffected");
 }

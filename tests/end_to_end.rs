@@ -3,12 +3,12 @@
 //! asynchronous iterate, the message-level simulator, the protocol engines
 //! and the threaded runtime, and all of them must agree.
 
+use dbf_routing::algebra::algebra::SplitMix64;
+use dbf_routing::asynch::convergence::{schedule_ensemble, state_ensemble};
 use dbf_routing::bgp::algebra::random_policy;
 use dbf_routing::bgp::policy::Policy;
 use dbf_routing::prelude::*;
 use dbf_routing::topology::{generators, Topology};
-use dbf_routing::algebra::algebra::SplitMix64;
-use dbf_routing::asynch::convergence::{schedule_ensemble, state_ensemble};
 
 /// Every execution model agrees on a widest-paths problem (an increasing but
 /// not strictly increasing algebra, exercised through the path-vector
@@ -87,7 +87,15 @@ fn bgp_engine_agrees_with_the_section7_algebra() {
     let reference = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, n), 200);
     assert!(reference.converged);
 
-    let report = BgpEngine::new(&topo, BgpConfig { seed: 9, session_resets: 3, ..BgpConfig::default() }).run();
+    let report = BgpEngine::new(
+        &topo,
+        BgpConfig {
+            seed: 9,
+            session_resets: 3,
+            ..BgpConfig::default()
+        },
+    )
+    .run();
     assert!(report.converged);
     assert_eq!(report.final_state, reference.state);
 
@@ -138,7 +146,11 @@ fn dynamic_policy_and_topology_changes_reconverge() {
 
     let outcomes = run.execute(&alg, &RoutingState::identity(&alg, n));
     for epoch in &outcomes {
-        assert!(epoch.outcome.sigma_stable, "epoch '{}' must reconverge", epoch.label);
+        assert!(
+            epoch.outcome.sigma_stable,
+            "epoch '{}' must reconverge",
+            epoch.label
+        );
     }
     let last = &outcomes[2].outcome.final_state;
     let reference = iterate_to_fixed_point(

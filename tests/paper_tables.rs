@@ -47,7 +47,13 @@ fn table1_property_matrix_for_the_bundled_algebras() {
             true,
         ),
         (
-            PropertyReport::analyse("filtered-shortest", &FilteredShortestPaths::new(), 6, 48, 24),
+            PropertyReport::analyse(
+                "filtered-shortest",
+                &FilteredShortestPaths::new(),
+                6,
+                48,
+                24,
+            ),
             true,
             true,
             false,
@@ -96,14 +102,24 @@ fn table1_property_matrix_for_the_bundled_algebras() {
             "{}: every bundled algebra must satisfy the Definition 1 laws",
             report.algebra
         );
-        assert_eq!(report.increasing.holds(), incr, "{}: increasing", report.algebra);
+        assert_eq!(
+            report.increasing.holds(),
+            incr,
+            "{}: increasing",
+            report.algebra
+        );
         assert_eq!(
             report.strictly_increasing.holds(),
             strict,
             "{}: strictly increasing",
             report.algebra
         );
-        assert_eq!(report.distributive.holds(), distr, "{}: distributive", report.algebra);
+        assert_eq!(
+            report.distributive.holds(),
+            distr,
+            "{}: distributive",
+            report.algebra
+        );
     }
 
     // The deliberately broken direct product is rejected by the checkers.
@@ -145,7 +161,8 @@ fn table2_algebras_solve_their_path_problems() {
     // most reliable paths: max-times
     {
         let alg = MostReliablePaths::new();
-        let topo = shape.with_weights(|i, j| alg.edge(0.5 + 0.45 * (((i * 3 + j) % 10) as f64) / 10.0));
+        let topo =
+            shape.with_weights(|i, j| alg.edge(0.5 + 0.45 * (((i * 3 + j) % 10) as f64) / 10.0));
         let adj = AdjacencyMatrix::from_topology(&topo);
         let out = iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 6), 100);
         assert!(out.converged);
