@@ -2,7 +2,7 @@
 //! modelling RIP-style distance-vector routing.
 //!
 //! Section 5 of the paper notes that RIP sidesteps the count-to-infinity
-//! problem by "artificially limit[ing] the maximum hop count to 16, hence
+//! problem by "artificially limit\[ing\] the maximum hop count to 16, hence
 //! ensuring that the set S is finite".  This module is exactly that
 //! construction: routes are hop counts in `{0, 1, …, limit}` plus `∞`, every
 //! edge adds at least one hop, and any count exceeding the limit collapses

@@ -11,9 +11,16 @@ use std::fmt;
 /// `A[i][j]` (when present) is the edge function node `i` applies to routes
 /// announced by node `j` — the paper's `A_ij`.  Missing entries represent
 /// missing links and behave as the constant-∞̄ function.
+///
+/// Real topologies are sparse (a router has a handful of neighbours, not
+/// `n`), so the matrix is stored row-compressed: row `i` is the sorted list
+/// of `(j, A_ij)` pairs for the links that exist.  This keeps the memory
+/// footprint `O(n + |E|)` instead of `O(n²)` and lets `σ`/`δ` iterate over a
+/// node's actual neighbours, which is what makes 10⁴-node sweeps feasible.
 pub struct AdjacencyMatrix<A: RoutingAlgebra> {
     n: usize,
-    entries: Vec<Option<A::Edge>>,
+    /// `rows[i]` is sorted by neighbour index and never contains `i` itself.
+    rows: Vec<Vec<(NodeId, A::Edge)>>,
 }
 
 // Manual Clone: deriving would add an unnecessary `A: Clone` bound on the
@@ -23,7 +30,7 @@ impl<A: RoutingAlgebra> Clone for AdjacencyMatrix<A> {
     fn clone(&self) -> Self {
         Self {
             n: self.n,
-            entries: self.entries.clone(),
+            rows: self.rows.clone(),
         }
     }
 }
@@ -33,7 +40,7 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
     pub fn empty(n: usize) -> Self {
         Self {
             n,
-            entries: vec![None; n * n],
+            rows: (0..n).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -43,7 +50,9 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    adj.entries[i * n + j] = f(i, j);
+                    if let Some(e) = f(i, j) {
+                        adj.rows[i].push((j, e));
+                    }
                 }
             }
         }
@@ -55,8 +64,10 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
     pub fn from_topology(topo: &Topology<A::Edge>) -> Self {
         let n = topo.node_count();
         let mut adj = Self::empty(n);
+        // `Topology::edges` iterates in sorted `(i, j)` order, so each row is
+        // built already sorted.
         for (i, j, w) in topo.edges() {
-            adj.set(i, j, Some(w.clone()));
+            adj.rows[i].push((j, w.clone()));
         }
         adj
     }
@@ -68,13 +79,16 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
 
     /// The number of present (non-∞̄) entries.
     pub fn link_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.rows.iter().map(Vec::len).sum()
     }
 
     /// The entry `A_ij`, if the link exists.
     pub fn get(&self, i: NodeId, j: NodeId) -> Option<&A::Edge> {
         assert!(i < self.n && j < self.n, "adjacency index out of range");
-        self.entries[i * self.n + j].as_ref()
+        self.rows[i]
+            .binary_search_by_key(&j, |&(k, _)| k)
+            .ok()
+            .map(|pos| &self.rows[i][pos].1)
     }
 
     /// Set (or clear) the entry `A_ij`.
@@ -89,13 +103,29 @@ impl<A: RoutingAlgebra> AdjacencyMatrix<A> {
             i, j,
             "the diagonal of A is unused (see the identity matrix I)"
         );
-        self.entries[i * self.n + j] = e;
+        let row = &mut self.rows[i];
+        match (row.binary_search_by_key(&j, |&(k, _)| k), e) {
+            (Ok(pos), Some(e)) => row[pos].1 = e,
+            (Ok(pos), None) => {
+                row.remove(pos);
+            }
+            (Err(pos), Some(e)) => row.insert(pos, (j, e)),
+            (Err(_), None) => {}
+        }
+    }
+
+    /// Row `i` as a sorted slice of `(neighbour, A_ij)` pairs — the links
+    /// over which node `i` imports routes.  This is the representation `σ`
+    /// iterates over, giving per-round cost `O(n · |E|)` instead of `O(n³)`.
+    pub fn row(&self, i: NodeId) -> &[(NodeId, A::Edge)] {
+        assert!(i < self.n, "adjacency index out of range");
+        &self.rows[i]
     }
 
     /// The neighbours `j` from which node `i` can import routes
     /// (`A_ij` present).
     pub fn import_neighbors(&self, i: NodeId) -> Vec<NodeId> {
-        (0..self.n).filter(|&j| self.get(i, j).is_some()).collect()
+        self.rows[i].iter().map(|&(j, _)| j).collect()
     }
 
     /// Apply `A_ij` to a route, treating a missing entry as the constant-∞̄
@@ -162,6 +192,30 @@ mod tests {
         let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::from_topology(&topo);
         assert_eq!(adj.apply(&alg, 0, 1, &NatInf::fin(3)), NatInf::fin(4));
         assert_eq!(adj.apply(&alg, 0, 2, &NatInf::fin(3)), NatInf::Inf);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_track_set_and_clear() {
+        let mut adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::empty(4);
+        adj.set(1, 3, Some(NatInf::fin(3)));
+        adj.set(1, 0, Some(NatInf::fin(1)));
+        adj.set(1, 2, Some(NatInf::fin(2)));
+        assert_eq!(
+            adj.row(1),
+            &[
+                (0, NatInf::fin(1)),
+                (2, NatInf::fin(2)),
+                (3, NatInf::fin(3))
+            ]
+        );
+        adj.set(1, 2, Some(NatInf::fin(9))); // overwrite in place
+        assert_eq!(adj.get(1, 2), Some(&NatInf::fin(9)));
+        adj.set(1, 2, None); // clear
+        assert_eq!(adj.get(1, 2), None);
+        assert_eq!(adj.import_neighbors(1), vec![0, 3]);
+        adj.set(1, 2, None); // clearing a missing entry is a no-op
+        assert_eq!(adj.link_count(), 2);
+        assert!(adj.row(0).is_empty());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * [`state::RoutingState`] — the global routing state `X ∈ 𝕄ₙ(S)`, where
 //!   row `i` is node `i`'s routing table and `X[i][j]` is node `i`'s current
 //!   best route to destination `j`, together with the identity matrix `I`;
-//! * [`sigma`] — one synchronous round `σ(X) = A(X) ⊕ I` (Equation 5) and
+//! * [`sigma`](mod@crate::sigma) — one synchronous round
+//!   `σ(X) = A(X) ⊕ I` (Equation 5) and
 //!   per-entry recomputation reused by the asynchronous iterate `δ`;
 //! * [`sync`] — repeated synchronous iteration to a fixed point, stability
 //!   testing (Definition 4) and iteration counting (the quantity studied in
@@ -21,6 +22,31 @@
 //!   global path optimum (the classical theory), while policy-rich algebras
 //!   are only locally optimal — both facts are exercised by the tests and
 //!   the Table 2 experiment.
+//!
+//! The adjacency is stored row-compressed (`O(n + |E|)`), and one σ round
+//! costs `O(n · |E|)` — sparse, not `O(n³)` — which is what lets the sweep
+//! engine in `dbf-scenario` iterate 10⁴-node fabrics to their fixed point.
+//!
+//! Iterating a routing problem to its fixed point:
+//!
+//! ```
+//! use dbf_algebra::prelude::*;
+//! use dbf_matrix::prelude::*;
+//! use dbf_topology::generators;
+//!
+//! // Shortest paths on a 6-node ring with unit edge weights.
+//! let alg = ShortestPaths::new();
+//! let topo = generators::ring(6).with_weights(|_, _| NatInf::fin(1));
+//! let adj = AdjacencyMatrix::from_topology(&topo);
+//!
+//! let start = RoutingState::identity(&alg, 6);
+//! let out = iterate_to_fixed_point(&alg, &adj, &start, 100);
+//! assert!(out.converged);
+//! assert!(is_stable(&alg, &adj, &out.state));
+//! // Ring distance: the long way round is never chosen.
+//! assert_eq!(out.state.get(0, 3), &NatInf::fin(3));
+//! assert_eq!(out.state.get(0, 5), &NatInf::fin(1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +58,7 @@ pub mod state;
 pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
-pub use sigma::{sigma, sigma_entry};
+pub use sigma::{sigma, sigma_entry, sigma_into};
 pub use state::RoutingState;
 pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 
@@ -40,7 +66,7 @@ pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
     pub use crate::oracle::exhaustive_path_optimum;
-    pub use crate::sigma::{sigma, sigma_entry, sigma_k};
+    pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k};
     pub use crate::state::RoutingState;
     pub use crate::sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 }

@@ -24,18 +24,62 @@ pub fn sigma_entry<A: RoutingAlgebra>(
     if i == j {
         return alg.trivial();
     }
-    let n = adj.node_count();
+    // Only the links that exist contribute: a missing `A_ik` is the
+    // constant-∞̄ function and ∞̄ is the identity of ⊕, so folding over the
+    // sparse row is exactly the paper's sum over all `k`.
     let mut best = alg.invalid();
-    for k in 0..n {
-        if k == i {
-            // A_ii is absent (the diagonal is handled by I); skipping it is
-            // purely an optimisation since a missing entry contributes ∞̄.
-            continue;
-        }
-        let candidate = adj.apply(alg, i, k, x.get(k, j));
+    for (k, f) in adj.row(i) {
+        let candidate = alg.extend(f, x.get(*k, j));
         best = alg.choice(&best, &candidate);
     }
     best
+}
+
+/// One synchronous round `σ(X)`, written into an existing state buffer.
+///
+/// This is the allocation-free work-horse behind [`sigma`] and the
+/// double-buffered fixed-point loop in [`crate::sync`].  It sweeps row-wise:
+/// node `i`'s next table is the ⊕-fold of `A_ik` applied pointwise to
+/// neighbour `k`'s *entire current table*, so both the read of `X[k][·]`
+/// and the write of `σ(X)[i][·]` stream over contiguous memory — at
+/// `n = 10⁴` this is the difference between being memory-bandwidth-bound
+/// and being cache-miss-bound.
+///
+/// # Panics
+///
+/// Panics if `adj`, `x` and `out` do not all have the same node count.
+pub fn sigma_into<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    out: &mut RoutingState<A>,
+) {
+    let n = adj.node_count();
+    assert_eq!(
+        n,
+        x.node_count(),
+        "adjacency and state dimensions must match"
+    );
+    assert_eq!(n, out.node_count(), "output state dimension must match");
+    for i in 0..n {
+        {
+            let row = out.row_mut(i);
+            for r in row.iter_mut() {
+                *r = alg.invalid();
+            }
+        }
+        for (k, f) in adj.row(i) {
+            // Split borrows: `x` and `out` are distinct states, so reading
+            // `x.row(k)` while writing `out.row_mut(i)` is safe.
+            let src = x.row(*k);
+            let dst = out.row_mut(i);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                let candidate = alg.extend(f, s);
+                *d = alg.choice(d, &candidate);
+            }
+        }
+        out.set(i, i, alg.trivial());
+    }
 }
 
 /// One synchronous round of the Distributed Bellman-Ford computation:
@@ -51,7 +95,9 @@ pub fn sigma<A: RoutingAlgebra>(
         x.node_count(),
         "adjacency and state dimensions must match"
     );
-    RoutingState::from_fn(x.node_count(), |i, j| sigma_entry(alg, adj, x, i, j))
+    let mut out = RoutingState::uniform(x.node_count(), alg.invalid());
+    sigma_into(alg, adj, x, &mut out);
+    out
 }
 
 /// The `k`-fold iterate `σᵏ(X)`.
@@ -112,6 +158,17 @@ mod tests {
         let b = sigma(&alg, &adj, &sigma(&alg, &adj, &sigma(&alg, &adj, &x0)));
         assert_eq!(a, b);
         assert_eq!(sigma_k(&alg, &adj, &x0, 0), x0);
+    }
+
+    #[test]
+    fn sigma_into_reuses_a_buffer_and_matches_sigma() {
+        let (alg, adj) = line3();
+        let x = RoutingState::<ShortestPaths>::from_fn(3, |i, j| NatInf::fin((2 * i + j) as u64));
+        let fresh = sigma(&alg, &adj, &x);
+        // Start from a garbage buffer to prove every entry is overwritten.
+        let mut buf = RoutingState::<ShortestPaths>::uniform(3, NatInf::fin(77));
+        sigma_into(&alg, &adj, &x, &mut buf);
+        assert_eq!(buf, fresh);
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl<A: RoutingAlgebra> RoutingState<A> {
         &self.entries[i * self.n..(i + 1) * self.n]
     }
 
+    /// Mutable access to node `i`'s routing table (row `i`).  Used by the
+    /// streaming `σ` implementation to write a whole table at once.
+    pub fn row_mut(&mut self, i: NodeId) -> &mut [A::Route] {
+        assert!(i < self.n, "state index out of range");
+        &mut self.entries[i * self.n..(i + 1) * self.n]
+    }
+
     /// Iterate over all entries as `(i, j, &route)`.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, &A::Route)> {
         self.entries

@@ -2,7 +2,7 @@
 //! (Definition 4).
 
 use crate::adjacency::AdjacencyMatrix;
-use crate::sigma::sigma;
+use crate::sigma::{sigma, sigma_into};
 use crate::state::RoutingState;
 use dbf_algebra::RoutingAlgebra;
 
@@ -43,9 +43,13 @@ pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
     x0: &RoutingState<A>,
     max_iterations: usize,
 ) -> SyncOutcome<A> {
+    // Double-buffered: `σ` streams into a reusable second state and the
+    // buffers are swapped each round, so the loop performs no per-round
+    // allocation (at n = 10⁴ a state is ~1.6 GB, so this matters).
     let mut cur = x0.clone();
+    let mut next = cur.clone();
     for k in 0..max_iterations {
-        let next = sigma(alg, adj, &cur);
+        sigma_into(alg, adj, &cur, &mut next);
         if next == cur {
             return SyncOutcome {
                 state: cur,
@@ -53,11 +57,13 @@ pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
                 converged: true,
             };
         }
-        cur = next;
+        std::mem::swap(&mut cur, &mut next);
     }
     // One last check so that a state that becomes stable exactly at the
-    // budget boundary is still reported as converged.
-    let converged = is_stable(alg, adj, &cur);
+    // budget boundary is still reported as converged — into the idle
+    // buffer, not a fresh allocation.
+    sigma_into(alg, adj, &cur, &mut next);
+    let converged = next == cur;
     SyncOutcome {
         state: cur,
         iterations: max_iterations,

@@ -14,7 +14,7 @@
 //!   algebra into a (strictly increasing) path algebra by recording the path
 //!   along which each route was generated and filtering looping extensions.
 //!   This is the algebraic content of "path-vector protocols track the paths
-//!   along which the routes are generated [and] routes are then removed if
+//!   along which the routes are generated \[and\] routes are then removed if
 //!   they contain a looping path";
 //! * [`enumerate`] — enumeration of the simple paths of a network, used to
 //!   materialise the finite set of *consistent* routes `S_c` on which the

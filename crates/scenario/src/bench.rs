@@ -1,7 +1,9 @@
-//! The `BENCH_scenarios.json` emitter: a stable, machine-readable record
-//! of how much work each built-in scenario costs per engine, so future PRs
-//! have a performance trajectory to compare against.
+//! The `BENCH_scenarios.json` / `BENCH_sweeps.json` emitters: stable,
+//! machine-readable records of how much work each built-in scenario and
+//! sweep costs per engine, so future PRs have a performance trajectory to
+//! compare against.
 
+use crate::agg::SweepReport;
 use crate::report::{Json, ScenarioReport};
 
 /// Aggregate a set of scenario reports into the benchmark JSON document.
@@ -53,6 +55,23 @@ pub fn bench_json(reports: &[ScenarioReport]) -> Json {
                     })
                     .collect(),
             ),
+        ),
+    ])
+}
+
+/// Aggregate a set of sweep reports into the `BENCH_sweeps.json` document.
+///
+/// Each entry is the sweep's full aggregated report *including* the
+/// per-point wall-clock statistics (the whole purpose of the trajectory
+/// file), so unlike the `scenarios sweep --json` output this document is
+/// not byte-stable across machines or runs.
+pub fn bench_sweeps_json(reports: &[SweepReport]) -> Json {
+    Json::Obj(vec![
+        ("suite".into(), Json::str("dbf-scenario sweeps")),
+        ("schema_version".into(), Json::Int(1)),
+        (
+            "sweeps".into(),
+            Json::Arr(reports.iter().map(|r| r.to_json(true)).collect()),
         ),
     ])
 }

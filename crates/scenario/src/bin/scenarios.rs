@@ -7,12 +7,19 @@
 //!                                   [--seeds 1,2,3] [--json] [--out FILE]
 //! scenarios run-all [--json] [--out FILE]
 //! scenarios bench [--out BENCH_scenarios.json]
+//! scenarios list-sweeps
+//! scenarios show-sweep <builtin>
+//! scenarios sweep <builtin|file.toml> [--jobs N] [--json] [--timing]
+//!                                     [--point K] [--replicate R] [--out FILE]
+//! scenarios sweep-bench [--jobs N] [--out BENCH_sweeps.json]
 //! ```
 //!
-//! `run` exits non-zero when the differential verdict does not match the
-//! scenario's expectation, so the binary doubles as an integration gate.
+//! `run` and `sweep` exit non-zero when the differential verdict does not
+//! match the expectation, so the binary doubles as an integration gate; on
+//! failure both print the exact reproduction command.
 
-use dbf_scenario::bench::bench_json;
+use dbf_scenario::bench::{bench_json, bench_sweeps_json};
+use dbf_scenario::pool::default_jobs;
 use dbf_scenario::prelude::*;
 use std::process::ExitCode;
 
@@ -21,17 +28,25 @@ fn usage() -> ExitCode {
         "usage: scenarios <command> [options]\n\
          \n\
          commands:\n\
-         \x20 list                     list built-in scenarios\n\
-         \x20 show <builtin>           print a built-in scenario as TOML\n\
-         \x20 run <builtin|file.toml>  execute a scenario on its engines\n\
-         \x20 run-all                  execute every built-in scenario\n\
-         \x20 bench                    run all builtins, write BENCH_scenarios.json\n\
+         \x20 list                       list built-in scenarios\n\
+         \x20 show <builtin>             print a built-in scenario as TOML\n\
+         \x20 run <builtin|file.toml>    execute a scenario on its engines\n\
+         \x20 run-all                    execute every built-in scenario\n\
+         \x20 bench                      run all builtins, write BENCH_scenarios.json\n\
+         \x20 list-sweeps                list built-in parameter sweeps\n\
+         \x20 show-sweep <builtin>       print a built-in sweep as TOML\n\
+         \x20 sweep <builtin|file.toml>  expand and execute a parameter sweep\n\
+         \x20 sweep-bench                run all built-in sweeps, write BENCH_sweeps.json\n\
          \n\
          options:\n\
          \x20 --engines LIST   comma-separated subset of sync,delta,sim,threaded\n\
          \x20 --seeds LIST     comma-separated seeds for delta/sim runs\n\
          \x20 --json           print the full JSON report instead of a summary\n\
-         \x20 --out FILE       also write the JSON report/benchmark to FILE"
+         \x20 --out FILE       also write the JSON report/benchmark to FILE\n\
+         \x20 --jobs N         sweep worker threads (default: hardware threads)\n\
+         \x20 --timing         include wall-clock stats in the sweep JSON\n\
+         \x20 --point K        run only grid point K of a sweep\n\
+         \x20 --replicate R    run only replicate R of a sweep"
     );
     ExitCode::from(2)
 }
@@ -41,19 +56,70 @@ struct Options {
     seeds: Option<Vec<u64>>,
     json: bool,
     out: Option<String>,
+    jobs: Option<usize>,
+    timing: bool,
+    point: Option<usize>,
+    replicate: Option<usize>,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+/// The options each scenario command accepts.
+const SCENARIO_OPTS: &[&str] = &["--engines", "--seeds", "--json", "--out"];
+/// The options `sweep` accepts.
+const SWEEP_OPTS: &[&str] = &[
+    "--jobs",
+    "--json",
+    "--timing",
+    "--point",
+    "--replicate",
+    "--out",
+];
+/// The options the bench commands accept.
+const BENCH_OPTS: &[&str] = &["--out"];
+const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--out"];
+
+/// Parse options, rejecting any flag the current command does not use —
+/// a silently ignored `--seeds` on a sweep (which derives its own seeds)
+/// would mislead far more than an error does.
+fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
     let mut opts = Options {
         engines: None,
         seeds: None,
         json: false,
         out: None,
+        jobs: None,
+        timing: false,
+        point: None,
+        replicate: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg.starts_with("--") && !allowed.contains(&arg.as_str()) {
+            return Err(format!(
+                "option {arg} does not apply to this command (valid here: {})",
+                allowed.join(", ")
+            ));
+        }
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--timing" => opts.timing = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+            }
+            "--point" => {
+                let v = it.next().ok_or("--point needs a value")?;
+                opts.point = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --point: {e}"))?,
+                );
+            }
+            "--replicate" => {
+                let v = it.next().ok_or("--replicate needs a value")?;
+                opts.replicate = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --replicate: {e}"))?,
+                );
+            }
             "--engines" => {
                 let list = it.next().ok_or("--engines needs a value")?;
                 let engines = list
@@ -132,7 +198,118 @@ fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
     let scenario = apply_overrides(load_scenario(target)?, opts);
     let report = run_scenario(&scenario).map_err(|e| e.to_string())?;
     emit(opts, &report.to_json(), &report.summary())?;
-    Ok(report.expectation_met())
+    let met = report.expectation_met();
+    if !met {
+        // Pinpoint the runs that broke the verdict and print the exact
+        // command that reproduces the failure.
+        let reference = report
+            .runs
+            .iter()
+            .find(|r| r.engine == "sync")
+            .or(report.runs.first());
+        for run in &report.runs {
+            let last = run.phases.last();
+            let stable = last.map(|p| p.sigma_stable).unwrap_or(false);
+            let diverged = match (last, reference.and_then(|r| r.phases.last())) {
+                (Some(p), Some(q)) => p.digest != q.digest,
+                _ => false,
+            };
+            if !stable || diverged {
+                eprintln!(
+                    "checker failure: engine {} {}",
+                    run.engine,
+                    if stable {
+                        "diverged from the reference fixed point"
+                    } else {
+                        "did not reach a sigma-stable state"
+                    }
+                );
+            }
+        }
+        let engines = scenario
+            .engines
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(",");
+        let seeds = scenario
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        eprintln!("reproduce with: scenarios run {target} --engines {engines} --seeds {seeds}");
+    }
+    Ok(met)
+}
+
+fn load_sweep(name_or_path: &str) -> Result<Sweep, String> {
+    if let Some(builtin) = sweeps::by_name(name_or_path) {
+        return Ok(builtin);
+    }
+    if name_or_path.ends_with(".toml") {
+        let text = std::fs::read_to_string(name_or_path)
+            .map_err(|e| format!("cannot read {name_or_path:?}: {e}"))?;
+        return Sweep::from_toml_str(&text).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "{name_or_path:?} is neither a built-in sweep nor a .toml file; \
+         `scenarios list-sweeps` shows the builtins"
+    ))
+}
+
+fn run_one_sweep(sweep: &Sweep, target: &str, opts: &Options) -> Result<SweepReport, String> {
+    let run_opts = SweepRunOptions {
+        jobs: opts.jobs.unwrap_or_else(default_jobs),
+        point: opts.point,
+        replicate: opts.replicate,
+    };
+    let report = run_sweep(sweep, &run_opts).map_err(|e| e.to_string())?;
+    for point in &report.points {
+        for failure in &point.failures {
+            eprintln!(
+                "FAIL point #{} ({}) replicate {} seed {:#018x}: converges={} agreement={}",
+                point.index,
+                point.label,
+                failure.replicate,
+                failure.seed,
+                failure.converges,
+                failure.agreement,
+            );
+            eprintln!(
+                "  reproduce with: scenarios sweep {target} --point {} --replicate {} --jobs 1",
+                point.index, failure.replicate
+            );
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_sweep(target: &str, opts: &Options) -> Result<bool, String> {
+    let sweep = load_sweep(target)?;
+    let report = run_one_sweep(&sweep, target, opts)?;
+    emit(opts, &report.to_json(opts.timing), &report.summary())?;
+    Ok(report.ok())
+}
+
+fn cmd_sweep_bench(opts: &Options) -> Result<bool, String> {
+    let mut reports = Vec::new();
+    let mut all_ok = true;
+    for sweep in sweeps::all() {
+        let report = run_one_sweep(&sweep, &sweep.name.clone(), opts)?;
+        println!("{}", report.summary());
+        all_ok &= report.ok();
+        reports.push(report);
+    }
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_sweeps.json".into());
+    let json = bench_sweeps_json(&reports);
+    std::fs::write(&path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(all_ok)
 }
 
 fn cmd_run_all(opts: &Options) -> Result<bool, String> {
@@ -207,17 +384,48 @@ fn main() -> ExitCode {
         },
         "run" => match args.get(1) {
             None => return usage(),
-            Some(target) => match parse_options(&args[2..]) {
+            Some(target) => match parse_options(&args[2..], SCENARIO_OPTS) {
                 Ok(opts) => cmd_run(target, &opts),
                 Err(e) => Err(e),
             },
         },
-        "run-all" => match parse_options(&args[1..]) {
+        "run-all" => match parse_options(&args[1..], SCENARIO_OPTS) {
             Ok(opts) => cmd_run_all(&opts),
             Err(e) => Err(e),
         },
-        "bench" => match parse_options(&args[1..]) {
+        "bench" => match parse_options(&args[1..], BENCH_OPTS) {
             Ok(opts) => cmd_bench(&opts),
+            Err(e) => Err(e),
+        },
+        "list-sweeps" => {
+            for s in sweeps::all() {
+                println!(
+                    "{:<28} {}",
+                    s.name,
+                    s.description.split('.').next().unwrap_or("")
+                );
+            }
+            Ok(true)
+        }
+        "show-sweep" => match args.get(1) {
+            None => return usage(),
+            Some(name) => match sweeps::by_name(name) {
+                None => Err(format!("unknown built-in sweep {name:?}")),
+                Some(s) => {
+                    println!("{}", s.to_toml_string());
+                    Ok(true)
+                }
+            },
+        },
+        "sweep" => match args.get(1) {
+            None => return usage(),
+            Some(target) => match parse_options(&args[2..], SWEEP_OPTS) {
+                Ok(opts) => cmd_sweep(target, &opts),
+                Err(e) => Err(e),
+            },
+        },
+        "sweep-bench" => match parse_options(&args[1..], SWEEP_BENCH_OPTS) {
+            Ok(opts) => cmd_sweep_bench(&opts),
             Err(e) => Err(e),
         },
         _ => return usage(),

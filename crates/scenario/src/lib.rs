@@ -28,7 +28,40 @@
 //!   networks, policy-rich BGP and Gao-Rexford hierarchies;
 //! * [`report`] — machine-readable reports (JSON) with per-phase work,
 //!   message counts, wall time and state digests, plus the
-//!   `BENCH_scenarios.json` emitter used to track performance across PRs.
+//!   `BENCH_scenarios.json` emitter used to track performance across PRs;
+//! * [`sweep`] / [`sweeps`] / [`agg`] — **parameter sweeps**: a base
+//!   scenario plus axes (topology size up to 10⁴+ nodes, loss rate, delay
+//!   bound) expands into a grid of runs, fanned out across worker threads
+//!   with deterministic per-run seeds and reduced to per-grid-point
+//!   mean/median/p95 statistics — convergence *as a function of* network
+//!   size and fault rate, with the differential checker on for every run.
+//!
+//! Running a built-in scenario through the differential oracle:
+//!
+//! ```
+//! use dbf_scenario::prelude::*;
+//!
+//! let scenario = builtins::by_name("count-to-infinity").expect("built-in");
+//! let report = run_scenario(&scenario).expect("the spec is valid");
+//! // Theorem 7: every engine, schedule and fault pattern reaches the same
+//! // σ-stable fixed point, before and after the link failure.
+//! assert!(report.verdict.converges && report.verdict.agreement);
+//! assert!(report.expectation_met());
+//! ```
+//!
+//! Expanding and executing a sweep (here filtered to one cell; drop the
+//! filters to run the whole grid):
+//!
+//! ```
+//! use dbf_scenario::prelude::*;
+//!
+//! let sweep = sweeps::by_name("smoke").expect("built-in sweep");
+//! assert_eq!(sweep.point_count(), 4); // 2 sizes × 2 loss rates
+//! let opts = SweepRunOptions { jobs: 1, point: Some(0), replicate: Some(0) };
+//! let report = run_sweep(&sweep, &opts).expect("the sweep is valid");
+//! assert!(report.ok());
+//! assert_eq!(report.points[0].label, "n=4,loss=0");
+//! ```
 //!
 //! The `scenarios` binary drives all of this from the command line:
 //!
@@ -37,26 +70,35 @@
 //! cargo run -p dbf-scenario --bin scenarios -- run my_experiment.toml --engines sync,sim
 //! cargo run -p dbf-scenario --bin scenarios -- run-all
 //! cargo run -p dbf-scenario --bin scenarios -- bench --out BENCH_scenarios.json
+//! cargo run -p dbf-scenario --bin scenarios -- sweep loss-rate-robustness --jobs 8
+//! cargo run -p dbf-scenario --bin scenarios -- sweep-bench --out BENCH_sweeps.json
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod bench;
 pub mod builtins;
+pub mod pool;
 pub mod report;
 pub mod run;
 pub mod spec;
+pub mod sweep;
+pub mod sweeps;
 
+pub use agg::{PointReport, Stats, SweepReport};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
 pub use run::run_scenario;
 pub use spec::{
     AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, SpecError,
     SppGadget, TopologySpec, WeightRule,
 };
+pub use sweep::{run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRunOptions};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
+    pub use crate::agg::{PointReport, Stats, SweepReport};
     pub use crate::builtins;
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
     pub use crate::run::run_scenario;
@@ -64,4 +106,8 @@ pub mod prelude {
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
         SpecError, SppGadget, TopologySpec, WeightRule,
     };
+    pub use crate::sweep::{
+        run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRunOptions,
+    };
+    pub use crate::sweeps;
 }

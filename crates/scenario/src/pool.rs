@@ -1,0 +1,107 @@
+//! A small order-preserving parallel executor for sweep runs.
+//!
+//! [`parallel_map`] fans a vector of independent tasks out across worker
+//! threads and returns the results **in input order**, so callers observe
+//! exactly the same output for any job count — the property behind the
+//! sweep guarantee that `--jobs 1` and `--jobs 8` emit byte-identical
+//! aggregated JSON.  Tasks are distributed through the `crossbeam` channel
+//! shim; results land in per-index slots, so no ordering depends on thread
+//! scheduling.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, using up to `jobs` worker threads, and return
+/// the results in input order.
+///
+/// With `jobs <= 1` the items are processed inline on the calling thread
+/// (the deterministic baseline the parallel path is compared against).
+/// Panics in `f` propagate to the caller when the worker scope joins.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = jobs.min(n);
+    let (tx, rx) = channel::unbounded();
+    for task in items.into_iter().enumerate() {
+        // The shim's unbounded sender cannot fail.
+        let _ = tx.send(task);
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some((index, item)) = rx.try_recv() {
+                    let result = f(item);
+                    *slots[index]
+                        .lock()
+                        .unwrap_or_else(|poison| poison.into_inner()) = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .expect("every task slot is filled once the worker scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 8] {
+            let got = parallel_map(jobs, items.clone(), |x| x * x);
+            assert_eq!(got, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = parallel_map(4, (0..57).collect::<Vec<_>>(), |x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(results.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = parallel_map(8, Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

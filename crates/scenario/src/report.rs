@@ -142,6 +142,12 @@ impl Digest {
     pub fn finish(&self) -> String {
         format!("{:016x}", self.state)
     }
+
+    /// The raw 64-bit digest value (used for deterministic seed
+    /// derivation in the sweep engine).
+    pub fn value(&self) -> u64 {
+        self.state
+    }
 }
 
 /// The outcome of one phase on one engine run.

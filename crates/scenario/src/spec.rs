@@ -1,7 +1,7 @@
 //! The declarative [`Scenario`] specification and its TOML codec.
 //!
 //! A scenario is *data*: a topology, an algebra, a sequence of phases
-//! (each optionally applying [`TopologyChange`]-style edits and switching
+//! (each optionally applying `TopologyChange`-style edits and switching
 //! the fault profile), the engines to execute it on, and the expected
 //! differential verdict.  The same spec runs unchanged on the synchronous
 //! σ-iteration, the schedule-driven asynchronous iterate δ, the

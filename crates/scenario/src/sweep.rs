@@ -1,0 +1,858 @@
+//! Parameter sweeps: a [`Sweep`] takes a base [`Scenario`] plus a set of
+//! [`Axis`] declarations (topology size `n`, loss rate, delay bound, …) and
+//! expands them into a grid of concrete scenario runs — `replicates`
+//! independent runs per grid point, each with a deterministic seed derived
+//! from `(sweep name, axis point, replicate index)`.
+//!
+//! This is how the repository reproduces convergence *as a function of*
+//! network size and fault rate (the shape of the claims in the paper's
+//! Section 8 and the follow-up literature) instead of one topology at a
+//! time: [`run_sweep`] fans the grid out across worker threads, keeps the
+//! cross-engine differential checker on for **every** run, and reduces the
+//! per-run metrics into per-grid-point statistics (see [`crate::agg`]).
+//!
+//! Sweeps are TOML documents just like scenarios:
+//!
+//! ```toml
+//! name = "loss-rate-robustness"
+//! description = "messages to convergence vs. message-loss probability"
+//! base = "adversarial-loss"      # a built-in scenario, or an inline [base] table
+//! replicates = 5
+//!
+//! [[axes]]
+//! param = "loss"
+//! values = [0.0, 0.1, 0.2, 0.3]
+//! ```
+//!
+//! Determinism contract: the same sweep spec produces the same grid, the
+//! same per-run seeds and therefore byte-identical aggregated JSON,
+//! regardless of `--jobs`.
+
+use crate::agg::{PointReport, ReplicateMetrics, SweepReport};
+use crate::builtins;
+use crate::pool::parallel_map;
+use crate::report::Digest;
+use crate::run::run_scenario;
+use crate::spec::{Scenario, SpecError, TopologySpec};
+use toml::{Table, Value};
+
+/// A parameter a sweep axis can vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisParam {
+    /// Topology size (node count); resizes the base topology family.
+    N,
+    /// Message-loss probability (simulator), applied to every phase.
+    Loss,
+    /// Duplication probability (simulator + schedules), every phase.
+    Duplicate,
+    /// Reordering probability (schedules), every phase.
+    Reorder,
+    /// Per-step activation probability (schedules), every phase.
+    Activation,
+    /// Minimum link delay (simulator ticks), every phase.
+    MinDelay,
+    /// Maximum link delay / schedule lag bound, every phase.
+    MaxDelay,
+    /// δ-schedule horizon (steps), every phase.
+    Horizon,
+}
+
+impl AxisParam {
+    /// The canonical lowercase name used in TOML and point labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            AxisParam::N => "n",
+            AxisParam::Loss => "loss",
+            AxisParam::Duplicate => "duplicate",
+            AxisParam::Reorder => "reorder",
+            AxisParam::Activation => "activation",
+            AxisParam::MinDelay => "min_delay",
+            AxisParam::MaxDelay => "max_delay",
+            AxisParam::Horizon => "horizon",
+        }
+    }
+
+    /// Parse a canonical name.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        Ok(match s {
+            "n" => AxisParam::N,
+            "loss" => AxisParam::Loss,
+            "duplicate" => AxisParam::Duplicate,
+            "reorder" => AxisParam::Reorder,
+            "activation" => AxisParam::Activation,
+            "min_delay" => AxisParam::MinDelay,
+            "max_delay" => AxisParam::MaxDelay,
+            "horizon" => AxisParam::Horizon,
+            other => return Err(SpecError::new(format!("unknown axis param {other:?}"))),
+        })
+    }
+}
+
+/// One value on an axis; integers and floats keep their TOML type so the
+/// round trip is lossless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AxisValue {
+    /// An integer value (`n`, delays, horizon).
+    Int(u64),
+    /// A floating-point value (probabilities).
+    Float(f64),
+}
+
+impl AxisValue {
+    /// The value as a float (used for aggregation labels).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            AxisValue::Int(v) => v as f64,
+            AxisValue::Float(v) => v,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            AxisValue::Int(v) => Some(v),
+            AxisValue::Float(_) => None,
+        }
+    }
+
+    fn to_toml(self) -> Value {
+        match self {
+            AxisValue::Int(v) => Value::Integer(v as i64),
+            AxisValue::Float(v) => Value::Float(v),
+        }
+    }
+
+    pub(crate) fn to_json(self) -> crate::report::Json {
+        match self {
+            AxisValue::Int(v) => crate::report::Json::Int(v as i64),
+            AxisValue::Float(v) => crate::report::Json::Num(v),
+        }
+    }
+}
+
+impl std::fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxisValue::Int(v) => write!(f, "{v}"),
+            AxisValue::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One sweep axis: a parameter and the values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Which parameter this axis varies.
+    pub param: AxisParam,
+    /// The values the parameter takes, in declaration order.
+    pub values: Vec<AxisValue>,
+}
+
+/// A parameter sweep over a base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Machine-friendly name (used as the report key and in seed
+    /// derivation, so renaming a sweep reseeds it).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// The scenario every grid point is derived from.
+    pub base: Scenario,
+    /// When the base was referenced by built-in name, that name (kept so
+    /// the TOML round trip is lossless).
+    pub base_ref: Option<String>,
+    /// Independent runs per grid point (each with its own derived seed).
+    pub replicates: usize,
+    /// The axes; the grid is their cartesian product (first axis slowest).
+    pub axes: Vec<Axis>,
+}
+
+/// One point of the expanded grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Position in the full grid (stable under `--point` filtering, so
+    /// reproduction commands can name it).
+    pub index: usize,
+    /// The `(param, value)` assignments of this point, in axis order.
+    pub assignments: Vec<(AxisParam, AxisValue)>,
+}
+
+impl GridPoint {
+    /// A compact human label, e.g. `n=64,loss=0.2`.
+    pub fn label(&self) -> String {
+        self.assignments
+            .iter()
+            .map(|(p, v)| format!("{}={v}", p.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl Sweep {
+    /// Check cross-field invariants, including that every grid point can be
+    /// derived from the base scenario (e.g. the `n` axis is rejected for
+    /// topology families without a meaningful size knob).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("sweep name must not be empty"));
+        }
+        if self.replicates == 0 {
+            return Err(SpecError::new("a sweep needs at least one replicate"));
+        }
+        if self.axes.is_empty() {
+            return Err(SpecError::new("a sweep needs at least one axis"));
+        }
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(SpecError::new(format!(
+                    "axis {:?} needs at least one value",
+                    axis.param.name()
+                )));
+            }
+            // Duplicate values would give distinct grid points identical
+            // labels and therefore identical derived seeds, breaking the
+            // one-seed-per-cell contract.  Compare rendered labels, not
+            // variants: `0` and `0.0` alias the same label.
+            for (k, v) in axis.values.iter().enumerate() {
+                let label = v.to_string();
+                if axis.values[..k].iter().any(|w| w.to_string() == label) {
+                    return Err(SpecError::new(format!(
+                        "axis {:?} lists the value {v} twice",
+                        axis.param.name()
+                    )));
+                }
+            }
+        }
+        for (k, axis) in self.axes.iter().enumerate() {
+            if self.axes[..k].iter().any(|a| a.param == axis.param) {
+                return Err(SpecError::new(format!(
+                    "axis param {:?} appears twice",
+                    axis.param.name()
+                )));
+            }
+        }
+        self.base.validate()?;
+        for point in self.grid() {
+            self.derive_scenario(&point, 0)?;
+        }
+        Ok(())
+    }
+
+    /// The total number of grid points (the product of the axis lengths).
+    pub fn point_count(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Expand the axes into the full grid: the cartesian product of the
+    /// axis values, first axis slowest (row-major).
+    pub fn grid(&self) -> Vec<GridPoint> {
+        let total = self.point_count();
+        let mut out = Vec::with_capacity(total);
+        for index in 0..total {
+            let mut rest = index;
+            let mut assignments = Vec::with_capacity(self.axes.len());
+            for axis in self.axes.iter().rev() {
+                let len = axis.values.len();
+                assignments.push((axis.param, axis.values[rest % len]));
+                rest /= len;
+            }
+            assignments.reverse();
+            out.push(GridPoint { index, assignments });
+        }
+        out
+    }
+
+    /// The deterministic seed of one run: a hash of the sweep name, the
+    /// grid point label and the replicate index.  Independent of job count
+    /// and execution order by construction.
+    pub fn run_seed(&self, point: &GridPoint, replicate: usize) -> u64 {
+        let mut d = Digest::default();
+        d.update(&format!("{}|{}|r{replicate}", self.name, point.label()));
+        // One SplitMix64 finalisation round so nearby labels do not yield
+        // nearby seeds.
+        let mut z = d.value().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The concrete scenario of one `(grid point, replicate)` cell: the
+    /// base with the point's parameter overrides applied, seeded with
+    /// [`Sweep::run_seed`] (which also reseeds random topology families, so
+    /// replicates sample different graphs).
+    pub fn derive_scenario(
+        &self,
+        point: &GridPoint,
+        replicate: usize,
+    ) -> Result<Scenario, SpecError> {
+        let mut s = self.base.clone();
+        for &(param, value) in &point.assignments {
+            match param {
+                AxisParam::N => {
+                    let n = value.as_u64().ok_or_else(|| {
+                        SpecError::new(format!("axis n needs integer values, got {value}"))
+                    })? as usize;
+                    s.topology = resize_topology(&s.topology, n)?;
+                }
+                AxisParam::Loss => for_each_phase(&mut s, |f| f.loss = value.as_f64()),
+                AxisParam::Duplicate => for_each_phase(&mut s, |f| f.duplicate = value.as_f64()),
+                AxisParam::Reorder => for_each_phase(&mut s, |f| f.reorder = value.as_f64()),
+                AxisParam::Activation => for_each_phase(&mut s, |f| f.activation = value.as_f64()),
+                AxisParam::MinDelay => {
+                    let v = int_axis(param, value)?;
+                    for_each_phase(&mut s, |f| f.min_delay = v);
+                }
+                AxisParam::MaxDelay => {
+                    let v = int_axis(param, value)?;
+                    for_each_phase(&mut s, |f| f.max_delay = v);
+                }
+                AxisParam::Horizon => {
+                    let v = int_axis(param, value)? as usize;
+                    for_each_phase(&mut s, |f| f.horizon = v);
+                }
+            }
+        }
+        let seed = self.run_seed(point, replicate);
+        // Stochastic engines get the derived seed; random topology families
+        // are reseeded too, so replicates are statistically independent.
+        s.seeds = vec![seed];
+        match &mut s.topology {
+            TopologySpec::ConnectedRandom { seed: t, .. } => *t = seed ^ 0x5EED_5EED_5EED_5EED,
+            TopologySpec::Tiered { seed: t, .. } => *t = seed ^ 0x5EED_5EED_5EED_5EED,
+            _ => {}
+        }
+        s.name = format!("{}[{}]r{replicate}", self.base.name, point.label());
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+fn int_axis(param: AxisParam, value: AxisValue) -> Result<u64, SpecError> {
+    value.as_u64().ok_or_else(|| {
+        SpecError::new(format!(
+            "axis {} needs integer values, got {value}",
+            param.name()
+        ))
+    })
+}
+
+fn for_each_phase(s: &mut Scenario, mut f: impl FnMut(&mut crate::spec::FaultSpec)) {
+    for phase in &mut s.phases {
+        f(&mut phase.faults);
+    }
+}
+
+/// Resize a topology family to (approximately) `n` nodes.
+///
+/// Families with a single size knob (`line`, `ring`, `star`, `complete`,
+/// `connected_random`) get exactly `n` nodes; `grid` gets the most square
+/// `rows × cols ≥ n` arrangement; `leaf_spine` keeps its spine count and
+/// resizes the leaf tier to `n - spines`.  Families whose shape is not
+/// parameterised by a node count (`tiered`, `explicit`, `gadget`) reject
+/// the `n` axis.
+pub fn resize_topology(t: &TopologySpec, n: usize) -> Result<TopologySpec, SpecError> {
+    Ok(match t {
+        TopologySpec::Line { .. } => TopologySpec::Line { n },
+        TopologySpec::Ring { .. } => {
+            if n < 3 {
+                return Err(SpecError::new("axis n: a ring needs at least 3 nodes"));
+            }
+            TopologySpec::Ring { n }
+        }
+        TopologySpec::Star { .. } => {
+            if n < 2 {
+                return Err(SpecError::new("axis n: a star needs at least 2 nodes"));
+            }
+            TopologySpec::Star { n }
+        }
+        TopologySpec::Complete { .. } => TopologySpec::Complete { n },
+        TopologySpec::Grid { .. } => {
+            if n == 0 {
+                return Err(SpecError::new("axis n: a grid needs at least 1 node"));
+            }
+            let rows = (n as f64).sqrt().floor().max(1.0) as usize;
+            let cols = n.div_ceil(rows);
+            TopologySpec::Grid { rows, cols }
+        }
+        TopologySpec::ConnectedRandom { p, seed, .. } => {
+            if n < 3 {
+                return Err(SpecError::new(
+                    "axis n: connected_random needs at least 3 nodes",
+                ));
+            }
+            TopologySpec::ConnectedRandom {
+                n,
+                p: *p,
+                seed: *seed,
+            }
+        }
+        TopologySpec::LeafSpine { spines, .. } => {
+            let leaves = n.checked_sub(*spines).filter(|&l| l >= 1).ok_or_else(|| {
+                SpecError::new(format!(
+                    "axis n: a leaf_spine fabric with {spines} spines needs n > {spines}"
+                ))
+            })?;
+            TopologySpec::LeafSpine {
+                spines: *spines,
+                leaves,
+            }
+        }
+        other @ (TopologySpec::Tiered { .. }
+        | TopologySpec::Explicit { .. }
+        | TopologySpec::Gadget) => {
+            return Err(SpecError::new(format!(
+                "the n axis cannot resize topology family {other:?}"
+            )));
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// TOML codec
+// ---------------------------------------------------------------------
+
+impl Sweep {
+    /// Serialize to a TOML document.
+    pub fn to_toml(&self) -> Value {
+        let mut root = Table::new();
+        root.insert("name".into(), Value::String(self.name.clone()));
+        root.insert(
+            "description".into(),
+            Value::String(self.description.clone()),
+        );
+        root.insert("replicates".into(), Value::Integer(self.replicates as i64));
+        match &self.base_ref {
+            Some(name) => {
+                root.insert("base".into(), Value::String(name.clone()));
+            }
+            None => {
+                root.insert("base".into(), self.base.to_toml());
+            }
+        }
+        root.insert(
+            "axes".into(),
+            Value::Array(
+                self.axes
+                    .iter()
+                    .map(|a| {
+                        let mut t = Table::new();
+                        t.insert("param".into(), Value::String(a.param.name().into()));
+                        t.insert(
+                            "values".into(),
+                            Value::Array(a.values.iter().map(|v| v.to_toml()).collect()),
+                        );
+                        Value::Table(t)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Table(root)
+    }
+
+    /// Serialize to TOML text.
+    pub fn to_toml_string(&self) -> String {
+        self.to_toml().to_string()
+    }
+
+    /// Parse a TOML document.  A string `base` is resolved against the
+    /// built-in scenario library; a table `base` is parsed as an inline
+    /// scenario.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let value =
+            toml::from_str(input).map_err(|e| SpecError::new(format!("invalid TOML: {e}")))?;
+        let sweep = Self::from_toml(&value)?;
+        sweep.validate()?;
+        Ok(sweep)
+    }
+
+    /// Decode from a parsed TOML value (see [`Sweep::from_toml_str`]).
+    pub fn from_toml(value: &Value) -> Result<Self, SpecError> {
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| SpecError::new("missing or non-string key \"name\""))?;
+        let description = value
+            .get("description")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let replicates = match value.get("replicates") {
+            None => 1,
+            Some(v) => v
+                .as_integer()
+                .ok_or_else(|| SpecError::new("replicates must be an integer"))?,
+        };
+        if replicates < 1 {
+            return Err(SpecError::new("replicates must be >= 1"));
+        }
+        let replicates = replicates as usize;
+        let (base, base_ref) = match value.get("base") {
+            Some(Value::String(builtin)) => {
+                let scenario = builtins::by_name(builtin).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "base {builtin:?} is not a built-in scenario; \
+                         `scenarios list` shows the builtins"
+                    ))
+                })?;
+                (scenario, Some(builtin.clone()))
+            }
+            Some(table @ Value::Table(_)) => (Scenario::from_toml(table)?, None),
+            Some(_) => {
+                return Err(SpecError::new(
+                    "base must be a built-in scenario name or an inline scenario table",
+                ))
+            }
+            None => return Err(SpecError::new("missing key \"base\"")),
+        };
+        let axes = value
+            .get("axes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| SpecError::new("missing [[axes]] array"))?
+            .iter()
+            .map(|a| {
+                let param = AxisParam::parse(
+                    a.get("param")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| SpecError::new("each axis needs a string param"))?,
+                )?;
+                let values = a
+                    .get("values")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| SpecError::new("each axis needs a values array"))?
+                    .iter()
+                    .map(|v| match v {
+                        Value::Integer(i) if *i >= 0 => Ok(AxisValue::Int(*i as u64)),
+                        Value::Integer(i) => Err(SpecError::new(format!(
+                            "axis values must be non-negative, got {i}"
+                        ))),
+                        Value::Float(f) => Ok(AxisValue::Float(*f)),
+                        other => Err(SpecError::new(format!(
+                            "axis values must be numbers, got {other:?}"
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Axis { param, values })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        Ok(Self {
+            name,
+            description,
+            base,
+            base_ref,
+            replicates,
+            axes,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Options for [`run_sweep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepRunOptions {
+    /// Worker threads (`0`/`1` means run inline on the calling thread).
+    pub jobs: usize,
+    /// Run only the grid point with this index (reproduction mode).
+    pub point: Option<usize>,
+    /// Run only this replicate index (reproduction mode).
+    pub replicate: Option<usize>,
+}
+
+/// Execute a sweep: expand the grid, fan the runs out across `jobs` worker
+/// threads, keep the differential checker on for every run, and aggregate
+/// per-grid-point statistics.
+///
+/// The aggregated report is deterministic in the spec: the same sweep with
+/// the same seeds produces byte-identical [`SweepReport::to_json`] output
+/// for any job count (wall-clock timing is kept out of the deterministic
+/// section).
+pub fn run_sweep(sweep: &Sweep, opts: &SweepRunOptions) -> Result<SweepReport, SpecError> {
+    sweep.validate()?;
+    let grid = sweep.grid();
+    let selected: Vec<GridPoint> = grid
+        .into_iter()
+        .filter(|p| opts.point.is_none_or(|want| p.index == want))
+        .collect();
+    if selected.is_empty() {
+        return Err(SpecError::new(format!(
+            "--point {} is out of range (the grid has {} points)",
+            opts.point.unwrap_or(0),
+            sweep.point_count()
+        )));
+    }
+    if let Some(r) = opts.replicate {
+        if r >= sweep.replicates {
+            return Err(SpecError::new(format!(
+                "--replicate {r} is out of range (the sweep has {} replicates)",
+                sweep.replicates
+            )));
+        }
+    }
+    let replicate_ids: Vec<usize> = (0..sweep.replicates)
+        .filter(|r| opts.replicate.is_none_or(|want| *r == want))
+        .collect();
+    // Derive every cell up front so spec-level errors surface before any
+    // work is spawned.
+    let mut tasks = Vec::with_capacity(selected.len() * replicate_ids.len());
+    for point in &selected {
+        for &r in &replicate_ids {
+            let scenario = sweep.derive_scenario(point, r)?;
+            let seed = sweep.run_seed(point, r);
+            tasks.push((point.index, r, seed, scenario));
+        }
+    }
+    let results = parallel_map(
+        opts.jobs,
+        tasks,
+        |(point_index, replicate, seed, scenario)| {
+            let outcome = run_scenario(&scenario);
+            (point_index, replicate, seed, outcome)
+        },
+    );
+    let mut by_point: Vec<Vec<ReplicateMetrics>> = vec![Vec::new(); selected.len()];
+    for (point_index, replicate, seed, outcome) in results {
+        let report = outcome.map_err(|e| {
+            SpecError::new(format!(
+                "point {point_index} replicate {replicate}: {}",
+                e.message
+            ))
+        })?;
+        let slot = selected
+            .iter()
+            .position(|p| p.index == point_index)
+            .expect("result for a point that was scheduled");
+        by_point[slot].push(ReplicateMetrics::from_report(replicate, seed, &report));
+    }
+    let points: Vec<PointReport> = selected
+        .iter()
+        .zip(by_point)
+        .map(|(point, mut metrics)| {
+            // Replicates arrive in scheduling order already, but sort
+            // defensively: aggregation must not depend on worker timing.
+            metrics.sort_by_key(|m| m.replicate);
+            PointReport::aggregate(point, metrics)
+        })
+        .collect();
+    Ok(SweepReport {
+        sweep: sweep.name.clone(),
+        description: sweep.description.clone(),
+        base: sweep.base.name.clone(),
+        replicates: sweep.replicates,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgebraSpec, EngineKind, Expectation, PhaseSpec};
+
+    fn tiny_sweep() -> Sweep {
+        Sweep {
+            name: "t-sweep".into(),
+            description: "test fixture".into(),
+            base: Scenario {
+                name: "t-base".into(),
+                description: String::new(),
+                topology: TopologySpec::Ring { n: 4 },
+                algebra: AlgebraSpec::Hopcount { limit: 16 },
+                engines: vec![EngineKind::Sync, EngineKind::Sim],
+                seeds: vec![1],
+                phases: vec![PhaseSpec::quiet("run")],
+                expect: Expectation::default(),
+            },
+            base_ref: None,
+            replicates: 2,
+            axes: vec![
+                Axis {
+                    param: AxisParam::N,
+                    values: vec![AxisValue::Int(4), AxisValue::Int(6), AxisValue::Int(8)],
+                },
+                Axis {
+                    param: AxisParam::Loss,
+                    values: vec![AxisValue::Float(0.0), AxisValue::Float(0.2)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_the_cartesian_product_first_axis_slowest() {
+        let sweep = tiny_sweep();
+        let grid = sweep.grid();
+        assert_eq!(grid.len(), 6);
+        assert_eq!(sweep.point_count(), 6);
+        assert_eq!(grid[0].label(), "n=4,loss=0");
+        assert_eq!(grid[1].label(), "n=4,loss=0.2");
+        assert_eq!(grid[2].label(), "n=6,loss=0");
+        assert_eq!(grid[5].label(), "n=8,loss=0.2");
+        for (k, p) in grid.iter().enumerate() {
+            assert_eq!(p.index, k);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct_per_cell() {
+        let sweep = tiny_sweep();
+        let grid = sweep.grid();
+        let mut seeds = Vec::new();
+        for p in &grid {
+            for r in 0..sweep.replicates {
+                seeds.push(sweep.run_seed(p, r));
+            }
+        }
+        let rerun: Vec<u64> = grid
+            .iter()
+            .flat_map(|p| (0..sweep.replicates).map(|r| sweep.run_seed(p, r)))
+            .collect();
+        assert_eq!(seeds, rerun, "seeds are a pure function of the spec");
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "every cell gets its own seed");
+    }
+
+    #[test]
+    fn derived_scenarios_apply_overrides() {
+        let sweep = tiny_sweep();
+        let grid = sweep.grid();
+        let s = sweep.derive_scenario(&grid[5], 1).unwrap();
+        assert_eq!(s.topology, TopologySpec::Ring { n: 8 });
+        assert!((s.phases[0].faults.loss - 0.2).abs() < 1e-12);
+        assert_eq!(s.seeds, vec![sweep.run_seed(&grid[5], 1)]);
+    }
+
+    #[test]
+    fn resize_covers_the_sized_families_and_rejects_the_rest() {
+        assert_eq!(
+            resize_topology(&TopologySpec::Line { n: 2 }, 9).unwrap(),
+            TopologySpec::Line { n: 9 }
+        );
+        assert_eq!(
+            resize_topology(
+                &TopologySpec::LeafSpine {
+                    spines: 4,
+                    leaves: 2
+                },
+                10
+            )
+            .unwrap(),
+            TopologySpec::LeafSpine {
+                spines: 4,
+                leaves: 6
+            }
+        );
+        let TopologySpec::Grid { rows, cols } =
+            resize_topology(&TopologySpec::Grid { rows: 1, cols: 1 }, 12).unwrap()
+        else {
+            panic!("grid stays a grid")
+        };
+        assert!(rows * cols >= 12 && rows <= cols);
+        assert!(resize_topology(&TopologySpec::Ring { n: 5 }, 2).is_err());
+        assert!(resize_topology(&TopologySpec::Gadget, 5).is_err());
+        assert!(resize_topology(
+            &TopologySpec::Explicit {
+                nodes: 2,
+                links: vec![(0, 1)]
+            },
+            5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn toml_round_trip_is_lossless() {
+        let sweep = tiny_sweep();
+        let text = sweep.to_toml_string();
+        let back = Sweep::from_toml_str(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(sweep, back, "serialized form:\n{text}");
+    }
+
+    #[test]
+    fn base_can_reference_a_builtin_by_name() {
+        let text = r#"
+            name = "by-ref"
+            base = "count-to-infinity"
+            replicates = 2
+            [[axes]]
+            param = "loss"
+            values = [0.0, 0.1]
+        "#;
+        let sweep = Sweep::from_toml_str(text).unwrap();
+        assert_eq!(sweep.base.name, "count-to-infinity");
+        assert_eq!(sweep.base_ref.as_deref(), Some("count-to-infinity"));
+        let again = Sweep::from_toml_str(&sweep.to_toml_string()).unwrap();
+        assert_eq!(sweep, again);
+    }
+
+    #[test]
+    fn negative_axis_values_are_rejected_not_wrapped() {
+        let text = r#"
+            name = "negative"
+            base = "count-to-infinity"
+            [[axes]]
+            param = "max_delay"
+            values = [-1]
+        "#;
+        let err = Sweep::from_toml_str(text).expect_err("-1 must not wrap to u64::MAX");
+        assert!(err.message.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_sweeps() {
+        let mut s = tiny_sweep();
+        s.axes.clear();
+        assert!(s.validate().is_err(), "no axes");
+
+        let mut s = tiny_sweep();
+        s.replicates = 0;
+        assert!(s.validate().is_err(), "no replicates");
+
+        let mut s = tiny_sweep();
+        s.axes.push(s.axes[0].clone());
+        assert!(s.validate().is_err(), "duplicate axis param");
+
+        let mut s = tiny_sweep();
+        s.axes[1].values.push(AxisValue::Float(0.2));
+        assert!(
+            s.validate().is_err(),
+            "duplicate axis values would alias grid-point seeds"
+        );
+
+        let mut s = tiny_sweep();
+        s.base.topology = TopologySpec::Explicit {
+            nodes: 4,
+            links: vec![(0, 1), (1, 2), (2, 3)],
+        };
+        assert!(s.validate().is_err(), "n axis on an unsized family");
+
+        assert!(tiny_sweep().validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_filters_are_rejected() {
+        let sweep = tiny_sweep();
+        assert!(run_sweep(
+            &sweep,
+            &SweepRunOptions {
+                jobs: 1,
+                point: Some(99),
+                replicate: None
+            }
+        )
+        .is_err());
+        assert!(run_sweep(
+            &sweep,
+            &SweepRunOptions {
+                jobs: 1,
+                point: Some(0),
+                replicate: Some(7)
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! The built-in sweep library.
+//!
+//! Each sweep reproduces one "convergence as a function of …" claim:
+//! scaling curves over topology size, robustness curves over fault rates,
+//! and sensitivity to the schedule's delay bound.  `smoke` is deliberately
+//! tiny — it is the CI gate and the determinism fixture.
+
+use crate::spec::{
+    AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, TopologySpec,
+    WeightRule,
+};
+use crate::sweep::{Axis, AxisParam, AxisValue, Sweep};
+
+fn ints(values: &[u64]) -> Vec<AxisValue> {
+    values.iter().map(|&v| AxisValue::Int(v)).collect()
+}
+
+fn floats(values: &[f64]) -> Vec<AxisValue> {
+    values.iter().map(|&v| AxisValue::Float(v)).collect()
+}
+
+/// Reconvergence cost after a link failure as the ring grows: the
+/// count-to-infinity workload of the RIP literature, measured across the
+/// synchronous, δ-schedule and simulator engines with the differential
+/// checker on at every size.
+pub fn count_to_infinity_scaling() -> Sweep {
+    Sweep {
+        name: "count-to-infinity-scaling".into(),
+        description: "Work and messages to reconverge after a ring link failure, as a \
+                      function of ring size, under the bounded hop-count algebra."
+            .into(),
+        base: Scenario {
+            name: "ring-link-failure".into(),
+            description: "A ring link fails; hop-count routes must re-form the long way \
+                          round (or count up to the limit)."
+                .into(),
+            topology: TopologySpec::Ring { n: 8 },
+            algebra: AlgebraSpec::Hopcount { limit: 16 },
+            engines: vec![EngineKind::Sync, EngineKind::Delta, EngineKind::Sim],
+            seeds: vec![1],
+            phases: vec![
+                PhaseSpec::quiet("baseline"),
+                PhaseSpec {
+                    label: "link 0-1 fails".into(),
+                    changes: vec![ChangeSpec::FailLink { a: 0, b: 1 }],
+                    faults: FaultSpec::default(),
+                },
+            ],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 3,
+        axes: vec![Axis {
+            param: AxisParam::N,
+            values: ints(&[8, 16, 32, 64]),
+        }],
+    }
+}
+
+/// Message cost of convergence as the loss rate climbs: the paper's
+/// theorems say loss can never change the fixed point, only the price of
+/// reaching it — so every grid point must still agree.
+pub fn loss_rate_robustness() -> Sweep {
+    Sweep {
+        name: "loss-rate-robustness".into(),
+        description: "Messages and work to converge on random connected graphs as the \
+                      simulator's message-loss probability rises; agreement must hold \
+                      at every loss rate."
+            .into(),
+        base: Scenario {
+            name: "lossy-random-graph".into(),
+            description: "Shortest paths on a connected random graph under configurable \
+                          loss (replicates sample fresh graphs)."
+                .into(),
+            topology: TopologySpec::ConnectedRandom {
+                n: 12,
+                p: 0.3,
+                seed: 7,
+            },
+            algebra: AlgebraSpec::Shortest {
+                weights: WeightRule::varied(),
+            },
+            engines: vec![EngineKind::Sync, EngineKind::Sim],
+            seeds: vec![1],
+            phases: vec![PhaseSpec {
+                label: "storm".into(),
+                changes: vec![],
+                faults: FaultSpec {
+                    duplicate: 0.1,
+                    ..FaultSpec::default()
+                },
+            }],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 5,
+        axes: vec![Axis {
+            param: AxisParam::Loss,
+            values: floats(&[0.0, 0.1, 0.2, 0.3, 0.4]),
+        }],
+    }
+}
+
+/// Synchronous scaling on a low-diameter fabric up to 10⁴ nodes: the
+/// sparse σ engine converges in O(diameter) rounds, so this sweep measures
+/// raw per-round throughput at production-ish sizes.
+pub fn widest_fabric_scaling() -> Sweep {
+    Sweep {
+        name: "widest-fabric-scaling".into(),
+        description: "Widest-path (bottleneck bandwidth) routing on a 4-spine leaf-spine \
+                      fabric, scaled from 10 to 10,000 nodes; σ rounds stay O(diameter) \
+                      while per-round cost grows with n·|E|."
+            .into(),
+        base: Scenario {
+            name: "widest-leaf-spine".into(),
+            description: "Bottleneck-bandwidth routing on a leaf-spine fabric.".into(),
+            topology: TopologySpec::LeafSpine {
+                spines: 4,
+                leaves: 6,
+            },
+            algebra: AlgebraSpec::Widest {
+                weights: WeightRule {
+                    mul_i: 11,
+                    mul_j: 5,
+                    modulus: 90,
+                    base: 10,
+                },
+            },
+            engines: vec![EngineKind::Sync],
+            seeds: vec![1],
+            phases: vec![PhaseSpec::quiet("scale")],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 2,
+        axes: vec![Axis {
+            param: AxisParam::N,
+            values: ints(&[10, 100, 1000, 10_000]),
+        }],
+    }
+}
+
+/// Sensitivity to the schedule's staleness bound: larger delay bounds mean
+/// staler data and more wasted work, but (Theorem 7) never a different
+/// answer.
+pub fn delay_bound_stress() -> Sweep {
+    Sweep {
+        name: "delay-bound-stress".into(),
+        description: "Work to converge on a ring as the maximum message delay (the \
+                      schedule lag bound) grows; stale data costs activations but \
+                      cannot change the fixed point."
+            .into(),
+        base: Scenario {
+            name: "delayed-ring".into(),
+            description: "Hop-count routing on a ring with duplication, reordering and a \
+                          configurable delay bound."
+                .into(),
+            topology: TopologySpec::Ring { n: 8 },
+            algebra: AlgebraSpec::Hopcount { limit: 16 },
+            engines: vec![EngineKind::Sync, EngineKind::Delta, EngineKind::Sim],
+            seeds: vec![1],
+            phases: vec![PhaseSpec {
+                label: "jitter".into(),
+                changes: vec![],
+                faults: FaultSpec {
+                    duplicate: 0.2,
+                    reorder: 0.3,
+                    ..FaultSpec::default()
+                },
+            }],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 3,
+        axes: vec![Axis {
+            param: AxisParam::MaxDelay,
+            values: ints(&[1, 5, 15, 40]),
+        }],
+    }
+}
+
+/// A deliberately tiny sweep (2×2 grid, 2 replicates, seconds to run):
+/// the CI smoke gate and the `--jobs` determinism fixture.
+pub fn smoke() -> Sweep {
+    Sweep {
+        name: "smoke".into(),
+        description: "A tiny 2x2 grid over ring size and loss rate; used by CI as the \
+                      sweep smoke test and by the determinism tests."
+            .into(),
+        base: Scenario {
+            name: "smoke-ring".into(),
+            description: "Hop-count routing on a small ring.".into(),
+            topology: TopologySpec::Ring { n: 4 },
+            algebra: AlgebraSpec::Hopcount { limit: 16 },
+            engines: vec![EngineKind::Sync, EngineKind::Sim],
+            seeds: vec![1],
+            phases: vec![PhaseSpec::quiet("run")],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 2,
+        axes: vec![
+            Axis {
+                param: AxisParam::N,
+                values: ints(&[4, 6]),
+            },
+            Axis {
+                param: AxisParam::Loss,
+                values: floats(&[0.0, 0.2]),
+            },
+        ],
+    }
+}
+
+/// All built-in sweeps, in presentation order.
+pub fn all() -> Vec<Sweep> {
+    vec![
+        smoke(),
+        count_to_infinity_scaling(),
+        loss_rate_robustness(),
+        delay_bound_stress(),
+        widest_fabric_scaling(),
+    ]
+}
+
+/// Look up a built-in sweep by name.
+pub fn by_name(name: &str) -> Option<Sweep> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_sweeps_validate_and_have_unique_names() {
+        let sweeps = all();
+        assert!(sweeps.len() >= 4, "the library promises >= 4 sweeps");
+        let mut names: Vec<&str> = sweeps.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "names must be unique");
+        for s in &sweeps {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!s.description.is_empty(), "{} needs a description", s.name);
+        }
+        assert!(by_name("smoke").is_some());
+        assert!(by_name("no-such-sweep").is_none());
+    }
+
+    #[test]
+    fn builtin_sweeps_round_trip_through_toml() {
+        for s in all() {
+            let text = s.to_toml_string();
+            let back = Sweep::from_toml_str(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n---\n{text}", s.name));
+            assert_eq!(s, back, "{} must round-trip", s.name);
+        }
+    }
+
+    #[test]
+    fn the_scaling_sweep_reaches_ten_thousand_nodes() {
+        let sweep = widest_fabric_scaling();
+        let max_n = sweep.axes[0]
+            .values
+            .iter()
+            .filter_map(|v| v.as_u64())
+            .max()
+            .unwrap();
+        assert!(max_n >= 10_000, "the ROADMAP promises n = 10^4+");
+    }
+}

@@ -81,18 +81,63 @@ pub fn binary_tree(depth: u32) -> Topology<()> {
     t
 }
 
+/// Visit each unordered pair `{i, j}` (`i < j`) with probability `p`,
+/// skipping geometrically between hits so the cost is `O(n + p·n²)` rather
+/// than `O(n²)` — at `n = 10⁴` and sweep-typical sparse `p` this is the
+/// difference between microseconds and a second of pure RNG draws.
+/// Deterministic in the `rng` stream.
+fn sample_pairs(n: usize, p: f64, rng: &mut StdRng, mut hit: impl FnMut(NodeId, NodeId)) {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 || n < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                hit(i, j);
+            }
+        }
+        return;
+    }
+    let ln_q = (1.0 - p).ln();
+    if ln_q >= 0.0 {
+        // `1 - p` rounded to 1.0: p is below f64 resolution, so no pair
+        // would realistically be sampled.
+        return;
+    }
+    let pairs = n * (n - 1) / 2;
+    // Cursor over the linearised pair index `m`: row `i` (with `i < j`)
+    // holds the `n - 1 - i` pair indices starting at `row_start`.  `i` only
+    // ever advances, so unranking is amortised O(n) across the whole walk.
+    let mut m = 0usize;
+    let mut i = 0usize;
+    let mut row_start = 0usize;
+    loop {
+        // Geometric skip: the number of misses before the next hit.
+        let unit = (rng.gen_range(0.0..1.0f64)).max(f64::MIN_POSITIVE);
+        let skip = (unit.ln() / ln_q).floor();
+        if skip >= (pairs - m) as f64 {
+            return;
+        }
+        m += skip as usize;
+        while m >= row_start + (n - 1 - i) {
+            row_start += n - 1 - i;
+            i += 1;
+        }
+        hit(i, i + 1 + (m - row_start));
+        m += 1;
+        if m >= pairs {
+            return;
+        }
+    }
+}
+
 /// A Gilbert random graph `G(n, p)`: every unordered pair is linked
 /// (bidirectionally) with probability `p`.  Deterministic in `seed`.
 pub fn random_gnp(n: usize, p: f64, seed: u64) -> Topology<()> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Topology::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                t.set_link(i, j, ());
-            }
-        }
-    }
+    sample_pairs(n, p, &mut rng, |i, j| t.set_link(i, j, ()));
     t
 }
 
@@ -111,13 +156,11 @@ pub fn connected_random(n: usize, p: f64, seed: u64) -> Topology<()> {
     for k in 0..n {
         t.set_link(perm[k], perm[(k + 1) % n], ());
     }
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if !t.has_edge(i, j) && rng.gen_bool(p.clamp(0.0, 1.0)) {
-                t.set_link(i, j, ());
-            }
+    sample_pairs(n, p, &mut rng, |i, j| {
+        if !t.has_edge(i, j) {
+            t.set_link(i, j, ());
         }
-    }
+    });
     t
 }
 
@@ -297,6 +340,27 @@ mod tests {
     fn gnp_extremes() {
         assert_eq!(random_gnp(10, 0.0, 1).edge_count(), 0);
         assert_eq!(random_gnp(10, 1.0, 1).edge_count(), 90);
+        // Sub-resolution p (1 - p rounds to 1.0) must behave like p = 0,
+        // not degenerate into a complete graph.
+        assert_eq!(random_gnp(50, 1e-18, 1).edge_count(), 0);
+        // Out-of-range p is clamped.
+        assert_eq!(random_gnp(6, 7.5, 1).edge_count(), 30);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        // The geometric-skip sampler must hit roughly p · C(n,2) pairs.
+        let n = 200;
+        let pairs = (n * (n - 1) / 2) as f64;
+        for &p in &[0.01, 0.1, 0.5] {
+            let links = random_gnp(n, p, 97).edge_count() as f64 / 2.0;
+            let expected = p * pairs;
+            let sd = (pairs * p * (1.0 - p)).sqrt();
+            assert!(
+                (links - expected).abs() < 6.0 * sd,
+                "p={p}: got {links} links, expected ~{expected}"
+            );
+        }
     }
 
     #[test]
