@@ -16,6 +16,14 @@
 //! route `k` advertised for `j` (`adv[k][j]`), and recomputes
 //! `table[j] = I_ij ⊕ ⨁_k A_ik(adv[k][j])` whenever an advertisement
 //! arrives.  Changed table entries are re-advertised to every neighbour.
+//!
+//! Like the real protocols it models (BGP's ordered transport, RIP's
+//! freshest-route rule), a receiver discards an advert that has been
+//! *superseded* by a newer one from the same sender for the same
+//! destination: reordering still scrambles the interleaving across links
+//! and destinations — the asynchrony the theorems quantify over — but an
+//! overtaken stale advert cannot masquerade as current information forever,
+//! which is what schedule axiom S3 rules out.
 
 use dbf_algebra::RoutingAlgebra;
 use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
@@ -99,7 +107,8 @@ pub struct SimStats {
     /// The simulated time at which the event queue drained.
     pub finish_time: u64,
     /// Periodic full-table refresh rounds that were needed (non-zero only
-    /// when fault injection withheld information for a whole drain).
+    /// when fault injection or message reordering withheld information past
+    /// a refresh period).
     pub refreshes: u64,
 }
 
@@ -121,6 +130,15 @@ pub struct SimOutcome<A: RoutingAlgebra> {
 struct Message<R> {
     deliver_at: u64,
     seq: u64,
+    /// Per-`(from, dest)` send generation.  Receivers discard a message
+    /// that has been superseded by a newer advert from the same sender for
+    /// the same destination — the miniature of BGP's ordered transport and
+    /// RIP's freshest-route rule.  Without this, a delayed cold-start
+    /// ∞-advert can overtake the real one and permanently poison the
+    /// receiver's `adv` slot (the sender's table never changes again, so
+    /// nothing overwrites it), which `scenarios fuzz` exposed as
+    /// count-to-infinity livelocks on plain *trees*.
+    gen: u64,
     from: NodeId,
     to: NodeId,
     dest: NodeId,
@@ -162,6 +180,13 @@ pub struct EventSim<'a, A: RoutingAlgebra> {
     /// `adverts[i][k][j]`: the last route for destination `j` that node `i`
     /// has heard from neighbour `k` (∞̄ if none yet).
     adverts: Vec<Vec<Vec<A::Route>>>,
+    /// `send_gen[i][j]`: how many adverts node `i` has sent for
+    /// destination `j` (stamped onto outgoing messages).
+    send_gen: Vec<Vec<u64>>,
+    /// `seen_gen[i][k][j]`: the newest generation node `i` has accepted
+    /// from neighbour `k` for destination `j`; older arrivals are
+    /// superseded and ignored.
+    seen_gen: Vec<Vec<Vec<u64>>>,
     stats: SimStats,
 }
 
@@ -197,6 +222,8 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
             queue: BinaryHeap::new(),
             tables,
             adverts,
+            send_gen: vec![vec![0; n]; n],
+            seen_gen: vec![vec![vec![0; n]; n]; n],
             stats: SimStats::default(),
         };
         // Every node initially advertises its whole table to its neighbours
@@ -223,6 +250,8 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
     }
 
     fn send_advert(&mut self, from: NodeId, dest: NodeId, route: A::Route) {
+        self.send_gen[from][dest] += 1;
+        let gen = self.send_gen[from][dest];
         for to in self.neighbors_importing_from(from) {
             self.stats.sent += 1;
             if self.rng.gen_bool(self.config.loss_prob.clamp(0.0, 1.0)) {
@@ -246,6 +275,7 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
                 self.queue.push(Message {
                     deliver_at: self.now + delay,
                     seq: self.seq,
+                    gen,
                     from,
                     to,
                     dest,
@@ -292,15 +322,27 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
         }
     }
 
-    /// Deliver queued messages until the queue drains or the event budget
-    /// is exhausted.  Returns `true` if the budget was hit.
-    fn drain(&mut self) -> bool {
-        while let Some(msg) = self.queue.pop() {
+    /// Deliver queued messages until the queue drains, the total delivery
+    /// count reaches `slice_end`, or the event budget is exhausted.
+    /// Returns `true` if the budget was hit.
+    fn drain(&mut self, slice_end: Option<usize>) -> bool {
+        while !self.queue.is_empty() {
             if self.stats.delivered as usize >= self.config.max_events {
                 return true;
             }
+            if slice_end.is_some_and(|e| self.stats.delivered as usize >= e) {
+                return false;
+            }
+            let msg = self.queue.pop().expect("queue is non-empty");
             self.now = msg.deliver_at;
             self.stats.delivered += 1;
+            // A superseded advert (an older generation overtaken in flight)
+            // is discarded; a duplicate of the newest generation is
+            // re-applied, which is idempotent.
+            if msg.gen < self.seen_gen[msg.to][msg.from][msg.dest] {
+                continue;
+            }
+            self.seen_gen[msg.to][msg.from][msg.dest] = msg.gen;
             // Record the advertisement and recompute the affected entry.
             self.adverts[msg.to][msg.from][msg.dest] = msg.route;
             self.recompute_entry(msg.to, msg.dest);
@@ -313,22 +355,54 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
     }
 
     /// Run the simulation: deliver messages until the network quiesces; if
-    /// the quiescent state is not σ-stable (some information was withheld by
-    /// fault injection), perform a periodic full-table refresh — as RIP's
-    /// update timer or BGP's retransmission would — and continue, up to
-    /// `refresh_rounds` times.
+    /// the state is not σ-stable, perform a periodic full-table refresh —
+    /// as RIP's update timer or BGP's retransmission would — and continue,
+    /// up to `refresh_rounds` times.
+    ///
+    /// The refresh timer fires every `32·n²` *delivered events*, not only
+    /// when the event queue drains.  This matters: a reordered cold-start
+    /// advertisement can permanently poison a neighbour's `adv` slot (the
+    /// sender's table never changes again, so the stale entry is never
+    /// overwritten), and the resulting churn can keep the queue occupied
+    /// indefinitely — schedule axiom S3 ("stale information is eventually
+    /// replaced") would silently fail exactly when it is needed most.
+    /// `scenarios fuzz` found this as a livelock on a 5-node *line*: an
+    /// in-flight ∞-advert overtook the real one, made a reachable
+    /// destination look unreachable, and fed a count-to-infinity loop that
+    /// never let the queue drain.  The trigger is event-count-based rather
+    /// than simulated-time-based because churn density is unbounded: a
+    /// livelocked network can pack millions of deliveries into a few ticks
+    /// of simulated time, burning the whole event budget before any clock
+    /// deadline arrives.
     pub fn run(mut self) -> SimOutcome<A> {
+        // Generous relative to a healthy cold start (O(n·|E|) ≤ O(n³)
+        // deliveries for bounded metrics), so fast convergences drain
+        // inside the first slice and see zero refresh overhead, while
+        // sustained churn is interrupted and repaired promptly.
+        let n = self.adj.node_count();
+        let slice = (32 * n * n).max(2048);
         let mut truncated = false;
         loop {
-            if self.drain() {
+            let can_refresh = (self.stats.refreshes as usize) < self.config.refresh_rounds;
+            // While refreshes remain, deliver in bounded event slices so
+            // the refresh can interrupt sustained churn; once the refresh
+            // budget is spent, drain to quiescence (the event budget is the
+            // backstop for genuinely diverging runs).
+            let slice_end = can_refresh.then(|| self.stats.delivered as usize + slice);
+            if self.drain(slice_end) {
                 truncated = true;
                 break;
             }
             let state = self.current_state();
-            if is_stable(self.alg, self.adj, &state)
-                || self.stats.refreshes as usize >= self.config.refresh_rounds
-            {
+            let stable = is_stable(self.alg, self.adj, &state);
+            if self.queue.is_empty() && (stable || !can_refresh) {
                 break;
+            }
+            if stable || !can_refresh {
+                // Stable with messages still in flight (they may yet
+                // destabilise us), or churning with no refreshes left:
+                // keep delivering.
+                continue;
             }
             self.stats.refreshes += 1;
             // A refresh is an *activation* of every node (the finite form of

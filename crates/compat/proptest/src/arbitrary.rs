@@ -1,6 +1,6 @@
 //! The `any::<T>()` entry point for primitive types.
 
-use crate::strategy::Strategy;
+use crate::strategy::{BisectTree, Strategy};
 use crate::test_runner::TestRng;
 
 /// Types with a canonical full-range strategy.
@@ -24,8 +24,13 @@ macro_rules! impl_arbitrary_int {
     ($($t:ty),*) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
-                rng.next_u64() as $t
+            type Tree = BisectTree<$t>;
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                // Shrink toward 0, preserving the sign of signed values.
+                let v = rng.next_u64() as $t;
+                let raw = v as i128;
+                let dir = if raw < 0 { -1 } else { 1 };
+                BisectTree::new(0, dir, raw.unsigned_abs(), |raw| raw as $t)
             }
         }
         impl Arbitrary for $t {
@@ -41,8 +46,11 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Any<bool> {
     type Value = bool;
-    fn generate(&self, rng: &mut TestRng) -> bool {
-        rng.next_u64() & 1 == 1
+    type Tree = BisectTree<bool>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        // `true` shrinks to `false`.
+        let v = rng.next_u64() & 1;
+        BisectTree::new(0, 1, v as u128, |raw| raw != 0)
     }
 }
 
@@ -56,6 +64,7 @@ impl Arbitrary for bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::ValueTree;
 
     #[test]
     fn any_u32_covers_high_bits() {
@@ -68,5 +77,20 @@ mod tests {
             }
         }
         assert!(saw_high);
+    }
+
+    #[test]
+    fn signed_values_shrink_toward_zero_keeping_their_sign() {
+        let mut rng = TestRng::new(8);
+        let strat = any::<i64>();
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            if tree.current() >= -10 {
+                continue;
+            }
+            // Fails iff value <= -5: minimal counterexample is -5.
+            assert_eq!(crate::shrink_fully(&mut tree, |&x| x <= -5), -5);
+            break;
+        }
     }
 }

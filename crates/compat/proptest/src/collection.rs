@@ -1,6 +1,7 @@
-//! Collection strategies: `vec` and `btree_set`.
+//! Collection strategies: `vec` and `btree_set`, with element-dropping and
+//! element-wise shrinking.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use crate::test_runner::TestRng;
 use std::collections::BTreeSet;
 
@@ -42,6 +43,90 @@ impl SizeRange {
     }
 }
 
+/// The tree of a collection strategy.
+///
+/// Shrinks in two phases: first drop elements one by one (down to the
+/// spec's minimum length), then shrink the surviving elements in place via
+/// their own trees.
+pub struct VecTree<T> {
+    elems: Vec<T>,
+    include: Vec<bool>,
+    min_len: usize,
+    next_remove: usize,
+    last_removed: Option<usize>,
+    active_elem: usize,
+}
+
+impl<T: ValueTree> VecTree<T> {
+    fn new(elems: Vec<T>, min_len: usize) -> Self {
+        let include = vec![true; elems.len()];
+        Self {
+            elems,
+            include,
+            min_len,
+            next_remove: 0,
+            last_removed: None,
+            active_elem: 0,
+        }
+    }
+
+    fn included_count(&self) -> usize {
+        self.include.iter().filter(|&&b| b).count()
+    }
+
+    fn current_vec(&self) -> Vec<T::Value> {
+        self.elems
+            .iter()
+            .zip(&self.include)
+            .filter(|(_, &inc)| inc)
+            .map(|(t, _)| t.current())
+            .collect()
+    }
+}
+
+impl<T: ValueTree> ValueTree for VecTree<T> {
+    type Value = Vec<T::Value>;
+
+    fn current(&self) -> Vec<T::Value> {
+        self.current_vec()
+    }
+
+    fn simplify(&mut self) -> bool {
+        // Phase 1: drop elements.
+        while self.next_remove < self.elems.len() {
+            let i = self.next_remove;
+            self.next_remove += 1;
+            if self.include[i] && self.included_count() > self.min_len {
+                self.include[i] = false;
+                self.last_removed = Some(i);
+                return true;
+            }
+        }
+        self.last_removed = None;
+        // Phase 2: shrink surviving elements in place.
+        while self.active_elem < self.elems.len() {
+            let k = self.active_elem;
+            if self.include[k] && self.elems[k].simplify() {
+                return true;
+            }
+            self.active_elem += 1;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        if let Some(i) = self.last_removed.take() {
+            // The collection without element i passed: keep the element.
+            self.include[i] = true;
+            return true;
+        }
+        if self.active_elem < self.elems.len() {
+            return self.elems[self.active_elem].complicate();
+        }
+        false
+    }
+}
+
 /// A strategy producing `Vec`s of values from an element strategy.
 #[derive(Clone)]
 pub struct VecStrategy<S> {
@@ -59,9 +144,11 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+    type Tree = VecTree<S::Tree>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         let n = self.size.sample(rng);
-        (0..n).map(|_| self.element.generate(rng)).collect()
+        let elems = (0..n).map(|_| self.element.new_tree(rng)).collect();
+        VecTree::new(elems, self.size.lo)
     }
 }
 
@@ -85,15 +172,40 @@ where
     }
 }
 
+/// The tree of a [`BTreeSetStrategy`]: a [`VecTree`] whose current value is
+/// collected into a set.
+pub struct BTreeSetTree<T>(VecTree<T>);
+
+impl<T> ValueTree for BTreeSetTree<T>
+where
+    T: ValueTree,
+    T::Value: Ord,
+{
+    type Value = BTreeSet<T::Value>;
+    fn current(&self) -> BTreeSet<T::Value> {
+        self.0.current().into_iter().collect()
+    }
+    fn simplify(&mut self) -> bool {
+        self.0.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.0.complicate()
+    }
+}
+
 impl<S> Strategy for BTreeSetStrategy<S>
 where
     S: Strategy,
     S::Value: Ord,
 {
     type Value = BTreeSet<S::Value>;
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+    type Tree = BTreeSetTree<S::Tree>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         let n = self.size.sample(rng);
-        (0..n).map(|_| self.element.generate(rng)).collect()
+        let elems = (0..n).map(|_| self.element.new_tree(rng)).collect();
+        // The set may dedup below the nominal minimum anyway, so shrink
+        // removal keeps the vec-level minimum only.
+        BTreeSetTree(VecTree::new(elems, self.size.lo))
     }
 }
 
@@ -120,5 +232,24 @@ mod tests {
         for _ in 0..50 {
             assert!(s.generate(&mut rng).len() <= 3);
         }
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements() {
+        // Property: fails iff the vector contains an element >= 50.
+        let strat = vec(0u64..100, 0..12);
+        let mut rng = TestRng::new(17);
+        let mut tree = loop {
+            let t = strat.new_tree(&mut rng);
+            if t.current().iter().any(|&x| x >= 50) {
+                break t;
+            }
+        };
+        let best = crate::shrink_fully(&mut tree, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(
+            best,
+            std::vec![50],
+            "minimal counterexample is [50], got {best:?}"
+        );
     }
 }

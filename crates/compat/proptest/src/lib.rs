@@ -2,8 +2,8 @@
 //! crates.io `proptest` API that this repository's property tests use.
 //!
 //! The build environment is fully offline, so the real `proptest` crate
-//! cannot be fetched.  This shim implements randomised (non-shrinking)
-//! property testing with the same surface syntax:
+//! cannot be fetched.  This shim implements randomised property testing —
+//! **including shrinking** — with the same surface syntax:
 //!
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
@@ -14,8 +14,13 @@
 //!   [`collection::vec`] and [`collection::btree_set`],
 //! * [`arbitrary::any`] for the primitive types the tests request.
 //!
-//! Failures are reported with the generating case's deterministic seed so
-//! runs are reproducible; shrinking is not implemented.
+//! Like real proptest, strategies produce [`strategy::ValueTree`]s rather
+//! than bare values: the generated value plus a lazily explored space of
+//! simpler values.  On failure the runner bisects integers toward their
+//! range minimum, drops collection elements and shrinks tuples
+//! component-wise — through `prop_map`/`prop_filter_map` pipelines — and
+//! panics with the failure message of the *minimal* counterexample.  Case
+//! generation is deterministic in the test name, so runs are reproducible.
 
 #![forbid(unsafe_code)]
 
@@ -24,10 +29,41 @@ pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
+/// Shared helper for this crate's own tests: drive a tree exactly the way
+/// [`test_runner::run_cases_with`] does, returning the smallest failing
+/// value found.  Kept in one place so the tests cannot silently drift from
+/// the real runner's shrink contract.
+#[cfg(test)]
+pub(crate) fn shrink_fully<T: strategy::ValueTree>(
+    tree: &mut T,
+    fails: impl Fn(&T::Value) -> bool,
+) -> T::Value {
+    let mut best = tree.current();
+    assert!(fails(&best), "shrink starts from a failing value");
+    let mut budget = 10_000;
+    'outer: while budget > 0 {
+        if !tree.simplify() {
+            break;
+        }
+        loop {
+            budget -= 1;
+            let v = tree.current();
+            if fails(&v) {
+                best = v;
+                break;
+            }
+            if budget == 0 || !tree.complicate() {
+                break 'outer;
+            }
+        }
+    }
+    best
+}
+
 /// The glob-import prelude, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
@@ -132,7 +168,8 @@ macro_rules! prop_oneof {
 }
 
 /// Define property tests.  Each function's arguments are drawn from the
-/// given strategies; the body runs once per generated case.
+/// given strategies; the body runs once per generated case, and the first
+/// failing case is shrunk to a minimal counterexample before panicking.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -146,8 +183,7 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let strat = ($($strat,)+);
-            $crate::test_runner::run_cases(config, stringify!($name), |rng| {
-                let ($($pat,)+) = $crate::strategy::Strategy::generate(&strat, rng);
+            $crate::test_runner::run_cases_with(config, stringify!($name), &strat, |($($pat,)+)| {
                 $body
                 ::core::result::Result::Ok(())
             });

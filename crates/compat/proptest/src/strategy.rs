@@ -1,26 +1,84 @@
-//! The [`Strategy`] trait and the combinators the workspace uses.
+//! The [`Strategy`] trait, the [`ValueTree`] shrinking model and the
+//! combinators the workspace uses.
+//!
+//! Mirroring real proptest, a strategy does not produce bare values: it
+//! produces a [`ValueTree`] — the generated value *plus* a lazily explored
+//! space of simpler values.  When a property fails, the runner walks the
+//! tree ([`ValueTree::simplify`] / [`ValueTree::complicate`]) to find a
+//! minimal failing input, so combinator pipelines (`prop_map`, tuples,
+//! collections, unions) shrink through their *inputs* rather than trying to
+//! invert arbitrary functions.
 
 use crate::test_runner::TestRng;
 use std::rc::Rc;
 
-/// A generator of values of type [`Strategy::Value`].
+/// A generated value together with its shrink space.
 ///
-/// Unlike real proptest there is no shrinking: a strategy is just a
-/// deterministic function of the test RNG.
+/// The runner's contract: after a call that returns `true`, [`current`]
+/// yields the newly proposed value.  [`simplify`] is called when the
+/// current value *failed* the property (propose something simpler);
+/// [`complicate`] when it *passed* (back off toward the last failure).
+/// Both return `false` when the search in that direction is exhausted, and
+/// must leave the tree at a readable value either way.
+///
+/// [`current`]: ValueTree::current
+/// [`simplify`]: ValueTree::simplify
+/// [`complicate`]: ValueTree::complicate
+pub trait ValueTree {
+    /// The type of the value this tree holds.
+    type Value;
+
+    /// The value at the tree's current position.
+    fn current(&self) -> Self::Value;
+
+    /// Propose a simpler value.  Returns `false` when none remains.
+    fn simplify(&mut self) -> bool;
+
+    /// The last simplification overshot (the property passed): move back
+    /// toward the last failing value.  Returns `false` when exhausted.
+    fn complicate(&mut self) -> bool;
+}
+
+impl<V: ValueTree + ?Sized> ValueTree for Box<V> {
+    type Value = V::Value;
+    fn current(&self) -> Self::Value {
+        (**self).current()
+    }
+    fn simplify(&mut self) -> bool {
+        (**self).simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        (**self).complicate()
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
-    /// Generate one value.
-    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// The shrinkable tree this strategy produces.
+    type Tree: ValueTree<Value = Self::Value>;
 
-    /// Map generated values through `f`.
+    /// Generate one value tree.
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+    /// Generate one value (the root of a fresh tree, shrink space unused).
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.new_tree(rng).current()
+    }
+
+    /// Map generated values through `f`.  Shrinking happens on the *input*
+    /// side: the mapped tree simplifies the inner value and re-applies `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> U,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
     }
 
     /// Map generated values through `f`, regenerating whenever `f` returns
@@ -29,10 +87,11 @@ pub trait Strategy {
     where
         Self: Sized,
         F: Fn(Self::Value) -> Option<U>,
+        U: Clone,
     {
         FilterMap {
             inner: self,
-            f,
+            f: Rc::new(f),
             reason,
         }
     }
@@ -51,8 +110,10 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
         Self::Value: 'static,
+        Self::Tree: 'static,
         F: Fn(BoxedStrategy<Self::Value>) -> S,
         S: Strategy<Value = Self::Value> + 'static,
+        S::Tree: 'static,
     {
         let leaf = self.boxed();
         let mut current = leaf.clone();
@@ -68,6 +129,7 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
         Self::Value: 'static,
+        Self::Tree: 'static,
     {
         BoxedStrategy {
             inner: Rc::new(self),
@@ -77,12 +139,16 @@ pub trait Strategy {
 
 /// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
 trait StrategyObj<T> {
-    fn generate_obj(&self, rng: &mut TestRng) -> T;
+    fn new_tree_obj(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>>;
 }
 
-impl<S: Strategy> StrategyObj<S::Value> for S {
-    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
-        self.generate(rng)
+impl<S> StrategyObj<S::Value> for S
+where
+    S: Strategy,
+    S::Tree: 'static,
+{
+    fn new_tree_obj(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value>> {
+        Box::new(self.new_tree(rng))
     }
 }
 
@@ -101,27 +167,77 @@ impl<T> Clone for BoxedStrategy<T> {
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
-    fn generate(&self, rng: &mut TestRng) -> T {
-        self.inner.generate_obj(rng)
+    type Tree = Box<dyn ValueTree<Value = T>>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        self.inner.new_tree_obj(rng)
     }
 }
 
-/// A strategy that always yields a clone of one value.
+/// A strategy that always yields a clone of one value (no shrink space).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
 
+/// The tree of a [`Just`] (and of any other single-point strategy).
+#[derive(Debug, Clone)]
+pub struct JustTree<T: Clone>(T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-    fn generate(&self, _rng: &mut TestRng) -> T {
-        self.0.clone()
+    type Tree = JustTree<T>;
+    fn new_tree(&self, _rng: &mut TestRng) -> JustTree<T> {
+        JustTree(self.0.clone())
     }
 }
 
 /// See [`Strategy::prop_map`].
-#[derive(Clone)]
 pub struct Map<S, F> {
     inner: S,
-    f: F,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+/// The tree of a [`Map`]: shrinks the inner value, re-applies `f`.
+pub struct MapTree<T, F> {
+    inner: T,
+    f: Rc<F>,
+}
+
+impl<T, F, U> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> U,
+{
+    type Value = U;
+    fn current(&self) -> U {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
 }
 
 impl<S, F, U> Strategy for Map<S, F>
@@ -130,29 +246,117 @@ where
     F: Fn(S::Value) -> U,
 {
     type Value = U;
-    fn generate(&self, rng: &mut TestRng) -> U {
-        (self.f)(self.inner.generate(rng))
+    type Tree = MapTree<S::Tree, F>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Rc::clone(&self.f),
+        }
     }
 }
 
 /// See [`Strategy::prop_filter_map`].
-#[derive(Clone)]
 pub struct FilterMap<S, F> {
     inner: S,
-    f: F,
+    f: Rc<F>,
     reason: &'static str,
+}
+
+impl<S: Clone, F> Clone for FilterMap<S, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+            reason: self.reason,
+        }
+    }
+}
+
+/// The tree of a [`FilterMap`]: shrinks the inner value, skipping shrink
+/// candidates the filter rejects.  The last accepted value is cached so the
+/// tree always rests on a valid value even when a shrink direction dead-ends
+/// on rejections.
+pub struct FilterMapTree<T, F, U> {
+    inner: T,
+    f: Rc<F>,
+    last_valid: U,
+}
+
+impl<T, F, U> FilterMapTree<T, F, U>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> Option<U>,
+    U: Clone,
+{
+    fn accept_if_valid(&mut self) -> bool {
+        if let Some(v) = (self.f)(self.inner.current()) {
+            self.last_valid = v;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T, F, U> ValueTree for FilterMapTree<T, F, U>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> Option<U>,
+    U: Clone,
+{
+    type Value = U;
+    fn current(&self) -> U {
+        // Every accepted move refreshes `last_valid` (and new_tree seeds
+        // it), so the cache is always the mapping of the inner tree's
+        // current resting point — no need to re-run the filter closure.
+        self.last_valid.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        // A rejected candidate says nothing about pass/fail, so keep
+        // moving *downward* past it — calling complicate here would raise
+        // the inner tree's lower bound and permanently fence off the
+        // smaller half of the search space.  If the property later passes
+        // on an overshoot, the runner's ordinary complicate() recovers.
+        for _ in 0..64 {
+            if !self.inner.simplify() {
+                return false;
+            }
+            if self.accept_if_valid() {
+                return true;
+            }
+        }
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        for _ in 0..8 {
+            if !self.inner.complicate() {
+                return false;
+            }
+            if self.accept_if_valid() {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl<S, F, U> Strategy for FilterMap<S, F>
 where
     S: Strategy,
     F: Fn(S::Value) -> Option<U>,
+    U: Clone,
 {
     type Value = U;
-    fn generate(&self, rng: &mut TestRng) -> U {
+    type Tree = FilterMapTree<S::Tree, F, U>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         for _ in 0..1000 {
-            if let Some(v) = (self.f)(self.inner.generate(rng)) {
-                return v;
+            let inner = self.inner.new_tree(rng);
+            if let Some(v) = (self.f)(inner.current()) {
+                return FilterMapTree {
+                    inner,
+                    f: Rc::clone(&self.f),
+                    last_valid: v,
+                };
             }
         }
         panic!(
@@ -163,7 +367,8 @@ where
 }
 
 /// A weighted union of strategies over the same value type (the expansion
-/// of [`prop_oneof!`](crate::prop_oneof)).
+/// of [`prop_oneof!`](crate::prop_oneof)).  Shrinking stays within the
+/// chosen variant.
 pub struct Union<T> {
     variants: Vec<(u32, BoxedStrategy<T>)>,
     total: u64,
@@ -190,17 +395,76 @@ impl<T> Clone for Union<T> {
     }
 }
 
-impl<T> Strategy for Union<T> {
+impl<T: 'static> Strategy for Union<T> {
     type Value = T;
-    fn generate(&self, rng: &mut TestRng) -> T {
+    type Tree = Box<dyn ValueTree<Value = T>>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         let mut pick = rng.next_below(self.total);
         for (w, strat) in &self.variants {
             if pick < *w as u64 {
-                return strat.generate(rng);
+                return strat.new_tree(rng);
             }
             pick -= *w as u64;
         }
-        self.variants.last().unwrap().1.generate(rng)
+        self.variants.last().unwrap().1.new_tree(rng)
+    }
+}
+
+/// A binary-search shrink tree over an integer-like value space.
+///
+/// Values are encoded as a non-negative offset from `base` along direction
+/// `dir` (`value = base + dir · offset`), with `offset = 0` the simplest
+/// value.  [`simplify`](ValueTree::simplify) bisects toward 0;
+/// [`complicate`](ValueTree::complicate) bisects back toward the smallest
+/// offset still known to fail.
+pub struct BisectTree<T> {
+    base: i128,
+    dir: i128,
+    lo: u128,
+    curr: u128,
+    hi: u128,
+    decode: fn(i128) -> T,
+}
+
+impl<T> BisectTree<T> {
+    /// A tree whose current value is `base + dir · offset`.
+    pub fn new(base: i128, dir: i128, offset: u128, decode: fn(i128) -> T) -> Self {
+        Self {
+            base,
+            dir,
+            lo: 0,
+            curr: offset,
+            hi: offset,
+            decode,
+        }
+    }
+}
+
+impl<T> ValueTree for BisectTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        (self.decode)(self.base + self.dir * self.curr as i128)
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr <= self.lo {
+            return false;
+        }
+        self.hi = self.curr;
+        self.curr = self.lo + (self.curr - self.lo) / 2;
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        if self.curr >= self.hi {
+            return false;
+        }
+        self.lo = self.curr + 1;
+        if self.lo >= self.hi {
+            // Only the known-failing upper bound remains; nothing new.
+            self.curr = self.hi;
+            return false;
+        }
+        self.curr = self.lo + (self.hi - self.lo) / 2;
+        true
     }
 }
 
@@ -208,19 +472,28 @@ macro_rules! impl_range_strategy_uint {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            type Tree = BisectTree<$t>;
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end - self.start) as u64;
-                self.start + (rng.next_below(span)) as $t
+                let v = self.start + (rng.next_below(span)) as $t;
+                BisectTree::new(
+                    self.start as i128,
+                    1,
+                    (v - self.start) as u128,
+                    |raw| raw as $t,
+                )
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut TestRng) -> $t {
+            type Tree = BisectTree<$t>;
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi - lo) as u128 + 1;
-                lo + ((rng.next_u64() as u128 % span) as $t)
+                let v = lo + ((rng.next_u64() as u128 % span) as $t);
+                BisectTree::new(lo as i128, 1, (v - lo) as u128, |raw| raw as $t)
             }
         }
     )*};
@@ -228,40 +501,136 @@ macro_rules! impl_range_strategy_uint {
 
 impl_range_strategy_uint!(u8, u16, u32, u64, usize);
 
+/// A bisection shrink tree over a floating-point interval, shrinking toward
+/// the interval's lower end with a bounded number of refinement steps.
+pub struct F64Tree {
+    lo: f64,
+    curr: f64,
+    hi: f64,
+    steps: u32,
+}
+
+impl ValueTree for F64Tree {
+    type Value = f64;
+    fn current(&self) -> f64 {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.steps == 0 || self.curr <= self.lo {
+            return false;
+        }
+        let next = self.lo + (self.curr - self.lo) / 2.0;
+        if next == self.curr {
+            return false;
+        }
+        self.steps -= 1;
+        self.hi = self.curr;
+        self.curr = next;
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        if self.steps == 0 || self.curr >= self.hi {
+            return false;
+        }
+        let next = self.curr + (self.hi - self.curr) / 2.0;
+        if next == self.curr {
+            return false;
+        }
+        self.steps -= 1;
+        self.lo = self.curr;
+        self.curr = next;
+        true
+    }
+}
+
 impl Strategy for std::ops::Range<f64> {
     type Value = f64;
-    fn generate(&self, rng: &mut TestRng) -> f64 {
-        self.start + (self.end - self.start) * rng.next_unit_f64()
+    type Tree = F64Tree;
+    fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
+        let v = self.start + (self.end - self.start) * rng.next_unit_f64();
+        F64Tree {
+            lo: self.start,
+            curr: v,
+            hi: v,
+            steps: 32,
+        }
     }
 }
 
 impl Strategy for std::ops::RangeInclusive<f64> {
     type Value = f64;
-    fn generate(&self, rng: &mut TestRng) -> f64 {
-        self.start() + (self.end() - self.start()) * rng.next_unit_f64()
+    type Tree = F64Tree;
+    fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
+        let v = self.start() + (self.end() - self.start()) * rng.next_unit_f64();
+        F64Tree {
+            lo: *self.start(),
+            curr: v,
+            hi: v,
+            steps: 32,
+        }
     }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+);)*) => {$(
+    ($(($tree:ident: $(($field:ident, $name:ident)),+);)*) => {$(
+        /// The tree of a tuple strategy: components shrink left to right.
+        pub struct $tree<$($name),+> {
+            $($field: $name,)+
+            active: usize,
+        }
+
+        impl<$($name: ValueTree),+> ValueTree for $tree<$($name),+> {
+            type Value = ($($name::Value,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.$field.current(),)+)
+            }
+            fn simplify(&mut self) -> bool {
+                let mut idx = 0usize;
+                $(
+                    if self.active <= idx && self.$field.simplify() {
+                        self.active = idx;
+                        return true;
+                    }
+                    idx += 1;
+                )+
+                let _ = idx;
+                false
+            }
+            fn complicate(&mut self) -> bool {
+                let mut idx = 0usize;
+                $(
+                    if self.active == idx {
+                        return self.$field.complicate();
+                    }
+                    idx += 1;
+                )+
+                let _ = idx;
+                false
+            }
+        }
+
         #[allow(non_snake_case)]
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            type Tree = $tree<$($name::Tree),+>;
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
                 let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                $tree {
+                    $($field: $name.new_tree(rng),)+
+                    active: 0,
+                }
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
-    (A);
-    (A, B);
-    (A, B, C);
-    (A, B, C, D);
-    (A, B, C, D, E);
-    (A, B, C, D, E, F);
+    (TupleTree1: (t0, A));
+    (TupleTree2: (t0, A), (t1, B));
+    (TupleTree3: (t0, A), (t1, B), (t2, C));
+    (TupleTree4: (t0, A), (t1, B), (t2, C), (t3, D));
+    (TupleTree5: (t0, A), (t1, B), (t2, C), (t3, D), (t4, E));
+    (TupleTree6: (t0, A), (t1, B), (t2, C), (t3, D), (t4, E), (t5, F));
 }
 
 #[cfg(test)]
@@ -318,6 +687,78 @@ mod tests {
         let mut rng = TestRng::new(1);
         for _ in 0..100 {
             assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    use crate::shrink_fully;
+
+    #[test]
+    fn integer_shrinking_finds_the_boundary() {
+        // Property fails iff v >= 17: the minimal counterexample is 17.
+        let mut rng = TestRng::new(3);
+        loop {
+            let mut tree = (0u64..1000).new_tree(&mut rng);
+            if tree.current() < 17 {
+                continue;
+            }
+            assert_eq!(shrink_fully(&mut tree, |&v| v >= 17), 17);
+            break;
+        }
+    }
+
+    #[test]
+    fn mapped_shrinking_shrinks_through_the_map() {
+        let strat = (0u64..1000).prop_map(|x| x * 3);
+        let mut rng = TestRng::new(5);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            if tree.current() < 300 {
+                continue;
+            }
+            // Fails iff v >= 300 (i.e. inner >= 100): minimal is 300.
+            assert_eq!(shrink_fully(&mut tree, |&v| v >= 300), 300);
+            break;
+        }
+    }
+
+    #[test]
+    fn tuple_shrinking_minimises_every_component() {
+        let strat = (0u64..100, 0u64..100);
+        let mut rng = TestRng::new(9);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            let (a, b) = tree.current();
+            if a < 5 || b < 7 {
+                continue;
+            }
+            let min = shrink_fully(&mut tree, |&(a, b)| a >= 5 && b >= 7);
+            assert_eq!(min, (5, 7));
+            break;
+        }
+    }
+
+    #[test]
+    fn filter_map_shrinking_skips_rejected_candidates() {
+        let strat = (0u64..1000).prop_filter_map("even", |x| (x % 2 == 0).then_some(x));
+        let mut rng = TestRng::new(11);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            if tree.current() < 100 {
+                continue;
+            }
+            let start = tree.current();
+            let min = shrink_fully(&mut tree, |&v| v >= 100);
+            assert!(
+                min >= 100 && min % 2 == 0,
+                "minimal even failure, got {min}"
+            );
+            // The parity filter skews the bisection, so the result is
+            // best-effort rather than exactly 100 — but it must have moved.
+            assert!(
+                min < start.max(200),
+                "shrinks toward the boundary: start {start}, got {min}"
+            );
+            break;
         }
     }
 }

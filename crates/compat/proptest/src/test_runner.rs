@@ -1,4 +1,7 @@
-//! The case runner behind the [`proptest!`](crate::proptest) macro.
+//! The case runner behind the [`proptest!`](crate::proptest) macro,
+//! including the shrinking loop that minimises failing cases.
+
+use crate::strategy::{Strategy, ValueTree};
 
 /// Configuration for a property test.
 #[derive(Debug, Clone)]
@@ -91,8 +94,94 @@ fn name_seed(name: &str) -> u64 {
     h
 }
 
+/// Run `body` over `config.cases` cases generated from `strat`, shrinking
+/// the first failing case to a minimal counterexample before panicking.
+///
+/// This is what the [`proptest!`](crate::proptest) macro expands to.  The
+/// panic message carries the *minimal* case's failure message (typically a
+/// `prop_assert!` rendering of the offending values) plus the case index,
+/// so the run is reproducible.
+pub fn run_cases_with<S: Strategy>(
+    config: ProptestConfig,
+    name: &str,
+    strat: &S,
+    mut body: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let base = name_seed(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u64;
+    let max_rejects = (config.cases as u64) * 50 + 1000;
+    let mut case = 0u64;
+    while successes < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(case.wrapping_mul(0x9E37_79B9)));
+        let case_index = case;
+        case += 1;
+        let mut tree = strat.new_tree(&mut rng);
+        match body(tree.current()) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases ({rejects}); \
+                         assumptions are too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, steps) = shrink_failure(&mut tree, &mut body, msg);
+                panic!(
+                    "proptest '{name}' failed at case #{case_index} \
+                     (minimised through {steps} accepted shrink steps): {minimal}"
+                );
+            }
+        }
+    }
+}
+
+/// Walk a failing tree toward a minimal counterexample: keep simplifying
+/// while the property still fails, back off (`complicate`) when a candidate
+/// passes, and give up after a bounded number of evaluations.  Returns the
+/// failure message of the smallest failing value and the number of accepted
+/// shrink steps.
+fn shrink_failure<T: ValueTree>(
+    tree: &mut T,
+    body: &mut impl FnMut(T::Value) -> TestCaseResult,
+    first_message: String,
+) -> (String, usize) {
+    let mut best = first_message;
+    let mut accepted = 0usize;
+    let mut budget = 512usize;
+    'outer: while budget > 0 {
+        if !tree.simplify() {
+            break;
+        }
+        loop {
+            budget -= 1;
+            match body(tree.current()) {
+                Err(TestCaseError::Fail(msg)) => {
+                    best = msg;
+                    accepted += 1;
+                    break; // keep simplifying from here
+                }
+                Ok(()) | Err(TestCaseError::Reject(_)) => {
+                    if budget == 0 || !tree.complicate() {
+                        break 'outer;
+                    }
+                }
+            }
+            if budget == 0 {
+                break 'outer;
+            }
+        }
+    }
+    (best, accepted)
+}
+
 /// Run `body` over `config.cases` generated cases, panicking (with the
-/// case's seed, for reproduction) on the first failure.
+/// case's seed, for reproduction) on the first failure.  Unlike
+/// [`run_cases_with`] this drives the RNG directly and therefore cannot
+/// shrink.
 pub fn run_cases(
     config: ProptestConfig,
     name: &str,
@@ -148,6 +237,46 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    #[test]
+    fn run_cases_with_passes_clean_properties() {
+        run_cases_with(
+            ProptestConfig::with_cases(32),
+            "s",
+            &(0u64..100, 0u64..100),
+            |(a, b)| {
+                if a >= 100 || b >= 100 {
+                    return Err(TestCaseError::fail("out of range"));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failures_are_shrunk_to_the_minimal_counterexample() {
+        let caught = std::panic::catch_unwind(|| {
+            run_cases_with(
+                ProptestConfig::with_cases(64),
+                "shrinker",
+                &(0u64..10_000,),
+                |(v,)| {
+                    if v >= 1234 {
+                        return Err(TestCaseError::fail(format!("v = {v}")));
+                    }
+                    Ok(())
+                },
+            );
+        })
+        .expect_err("the property must fail");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(
+            msg.contains("v = 1234"),
+            "panic must report the minimal failing value, got: {msg}"
+        );
     }
 
     #[test]

@@ -12,7 +12,17 @@
 //! Termination uses a global in-flight message counter: a message is counted
 //! before it is sent and un-counted only after its receiver has finished
 //! processing it (including sending any consequent messages), so the counter
-//! can only reach zero when the whole computation has quiesced.
+//! can only reach zero when the whole computation has quiesced.  A second
+//! counter tracks routers that have completed their *first* idle
+//! recomputation (the S1 activation that wipes stale routes on routers no
+//! message will ever reach): a router may only halt once every router has
+//! settled, because before that point a first recomputation can still emit
+//! messages out of an `in_flight == 0` lull — and a message sent to a router
+//! that already halted is never processed, wedging the counter above zero
+//! until the wall-clock limit.  (This exact hang was found by
+//! `scenarios fuzz`: a spec whose topology change removes a router's last
+//! in-edge made the other routers exit before the isolated router's first
+//! recomputation announced its wiped table.)
 
 use crate::stats::ProtocolStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -89,6 +99,10 @@ where
     // Routers that have completed their cold-start announcements; quiescence
     // is only meaningful once every router has started.
     let started = Arc::new(AtomicU64::new(0));
+    // Routers that have completed their first full idle recomputation (and
+    // sent any updates it produced).  Until every router has, the in-flight
+    // counter may transiently read zero while a table change is still coming.
+    let settled = Arc::new(AtomicU64::new(0));
     let messages_sent = Arc::new(AtomicU64::new(0));
     let table_changes = Arc::new(AtomicU64::new(0));
     let final_rows: SharedRows<A::Route> = Arc::new(Mutex::new(vec![None; n]));
@@ -102,6 +116,7 @@ where
         let txs = senders.clone();
         let in_flight = Arc::clone(&in_flight);
         let started = Arc::clone(&started);
+        let settled = Arc::clone(&settled);
         let messages_sent = Arc::clone(&messages_sent);
         let table_changes = Arc::clone(&table_changes);
         let final_rows = Arc::clone(&final_rows);
@@ -159,6 +174,7 @@ where
             // true so every router performs at least one full decision
             // (schedule axiom S1) before it may quiesce.
             let mut dirty = true;
+            let mut has_settled = false;
 
             loop {
                 match rx.recv_timeout(config.idle_poll) {
@@ -199,14 +215,27 @@ where
                                 }
                             }
                             dirty = false;
+                            if !has_settled {
+                                // Counted only after the recomputation's
+                                // updates are on the wire, so a peer that
+                                // reads `settled == n` and then
+                                // `in_flight == 0` cannot miss them.
+                                has_settled = true;
+                                settled.fetch_add(1, Ordering::SeqCst);
+                            }
                         }
-                        // Then quiesce when every router has started,
-                        // everything heard has been decided on and nothing
-                        // is in flight anywhere, or bail out at the
-                        // wall-clock limit.
+                        // Then quiesce when every router has performed its
+                        // first full decision, everything heard has been
+                        // decided on and nothing is in flight anywhere — or
+                        // bail out at the wall-clock limit.  (After every
+                        // router settles, a table change can only be a
+                        // response to an in-flight message, so observing
+                        // `settled == n && in_flight == 0` really is global
+                        // quiescence.)
+                        let all_settled = settled.load(Ordering::SeqCst) as usize == n;
                         if (!changed
                             && !dirty
-                            && all_started
+                            && all_settled
                             && in_flight.load(Ordering::SeqCst) == 0)
                             || start.elapsed() > config.wall_clock_limit
                         {
@@ -289,6 +318,47 @@ mod tests {
         assert!(!report.timed_out);
         assert!(report.sigma_stable);
         assert_eq!(report.final_state, reference.state);
+    }
+
+    #[test]
+    fn routers_stripped_of_every_in_edge_do_not_wedge_quiescence() {
+        // Regression for a hang found by `scenarios fuzz` (seed
+        // 0x09a23c3a0ffedfe9): start from the fixed point of a 3-ring, then
+        // run on the topology with edges 1→2, 0→1 and 1→0 removed — router
+        // 1 can no longer import from anyone, so its stale routes are
+        // dropped only by its first idle recomputation.  Before quiescence
+        // required every router to settle, routers 0 and 2 could observe
+        // `in_flight == 0` and halt first; router 1's late update then sat
+        // in a dead mailbox and wedged the counter above zero until the
+        // wall-clock limit.  The race was timing-dependent, hence the
+        // repetitions.
+        let alg = ShortestPaths::new();
+        let ring = generators::ring(3).with_weights(|_, _| NatInf::fin(1));
+        let ring_adj = AdjacencyMatrix::from_topology(&ring);
+        let stale = iterate_to_fixed_point(&alg, &ring_adj, &RoutingState::identity(&alg, 3), 100);
+        assert!(stale.converged);
+        let mut adj = ring_adj.clone();
+        adj.set(1, 2, None);
+        adj.set(0, 1, None);
+        adj.set(1, 0, None);
+        for _run in 0..10 {
+            let report = run_threaded(
+                &alg,
+                &adj,
+                &stale.state,
+                ThreadedConfig {
+                    idle_poll: Duration::from_millis(1),
+                    wall_clock_limit: Duration::from_secs(5),
+                },
+            );
+            assert!(!report.timed_out, "quiescence must not wedge");
+            assert!(report.sigma_stable);
+            // Router 1 imports from no one: everything except its self-route
+            // must have been dropped.
+            assert_eq!(report.final_state.get(1, 1), &alg.trivial());
+            assert_eq!(report.final_state.get(1, 0), &alg.invalid());
+            assert_eq!(report.final_state.get(1, 2), &alg.invalid());
+        }
     }
 
     #[test]

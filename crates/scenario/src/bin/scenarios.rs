@@ -12,6 +12,9 @@
 //! scenarios sweep <builtin|file.toml> [--jobs N] [--json] [--timing]
 //!                                     [--point K] [--replicate R] [--out FILE]
 //! scenarios sweep-bench [--jobs N] [--out BENCH_sweeps.json]
+//! scenarios fuzz [--cases N] [--seed S] [--case K] [--jobs J]
+//!                [--corpus DIR] [--json] [--out FILE]
+//! scenarios replay <dir>
 //! ```
 //!
 //! `run` and `sweep` exit non-zero when the differential verdict does not
@@ -19,8 +22,10 @@
 //! failure both print the exact reproduction command.
 
 use dbf_scenario::bench::{bench_json, bench_sweeps_json};
+use dbf_scenario::fuzz::replay_corpus;
 use dbf_scenario::pool::default_jobs;
 use dbf_scenario::prelude::*;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -37,16 +42,22 @@ fn usage() -> ExitCode {
          \x20 show-sweep <builtin>       print a built-in sweep as TOML\n\
          \x20 sweep <builtin|file.toml>  expand and execute a parameter sweep\n\
          \x20 sweep-bench                run all built-in sweeps, write BENCH_sweeps.json\n\
+         \x20 fuzz                       run random specs through the differential checker\n\
+         \x20 replay <dir>               re-run every minimized corpus TOML in a directory\n\
          \n\
          options:\n\
          \x20 --engines LIST   comma-separated subset of sync,delta,sim,threaded\n\
          \x20 --seeds LIST     comma-separated seeds for delta/sim runs\n\
          \x20 --json           print the full JSON report instead of a summary\n\
          \x20 --out FILE       also write the JSON report/benchmark to FILE\n\
-         \x20 --jobs N         sweep worker threads (default: hardware threads)\n\
+         \x20 --jobs N         worker threads for sweep/fuzz (default: hardware threads)\n\
          \x20 --timing         include wall-clock stats in the sweep JSON\n\
          \x20 --point K        run only grid point K of a sweep\n\
-         \x20 --replicate R    run only replicate R of a sweep"
+         \x20 --replicate R    run only replicate R of a sweep\n\
+         \x20 --cases N        fuzz: how many random cases to run (default 100)\n\
+         \x20 --seed S         fuzz: root seed of the case stream (default 1)\n\
+         \x20 --case K         fuzz: run only case K (reproduction mode)\n\
+         \x20 --corpus DIR     fuzz: where minimized failures are written (default corpus)"
     );
     ExitCode::from(2)
 }
@@ -60,6 +71,10 @@ struct Options {
     timing: bool,
     point: Option<usize>,
     replicate: Option<usize>,
+    cases: Option<usize>,
+    seed: Option<u64>,
+    case: Option<usize>,
+    corpus: Option<String>,
 }
 
 /// The options each scenario command accepts.
@@ -76,6 +91,12 @@ const SWEEP_OPTS: &[&str] = &[
 /// The options the bench commands accept.
 const BENCH_OPTS: &[&str] = &["--out"];
 const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--out"];
+/// The options `fuzz` accepts.
+const FUZZ_OPTS: &[&str] = &[
+    "--cases", "--seed", "--case", "--jobs", "--corpus", "--json", "--out",
+];
+/// The options `replay` accepts.
+const REPLAY_OPTS: &[&str] = &[];
 
 /// Parse options, rejecting any flag the current command does not use —
 /// a silently ignored `--seeds` on a sweep (which derives its own seeds)
@@ -90,6 +111,10 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         timing: false,
         point: None,
         replicate: None,
+        cases: None,
+        seed: None,
+        case: None,
+        corpus: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -149,6 +174,22 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 opts.seeds = Some(seeds);
             }
             "--out" => opts.out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--cases" => {
+                let v = it.next().ok_or("--cases needs a value")?;
+                opts.cases = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --cases: {e}"))?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--case" => {
+                let v = it.next().ok_or("--case needs a value")?;
+                opts.case = Some(v.parse::<usize>().map_err(|e| format!("bad --case: {e}"))?);
+            }
+            "--corpus" => opts.corpus = Some(it.next().ok_or("--corpus needs a value")?.clone()),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -312,6 +353,46 @@ fn cmd_sweep_bench(opts: &Options) -> Result<bool, String> {
     Ok(all_ok)
 }
 
+fn cmd_fuzz(opts: &Options) -> Result<bool, String> {
+    let fuzz_opts = FuzzOptions {
+        cases: opts.cases.unwrap_or(100),
+        seed: opts.seed.unwrap_or(1),
+        jobs: opts.jobs.unwrap_or_else(default_jobs),
+        case: opts.case,
+        corpus: Some(PathBuf::from(opts.corpus.as_deref().unwrap_or("corpus"))),
+    };
+    let report = run_fuzz(&fuzz_opts).map_err(|e| e.to_string())?;
+    emit(opts, &report.to_json(), &report.summary())?;
+    for failure in &report.failures {
+        eprintln!(
+            "fuzz failure: case #{} (seed {:#018x}); reproduce with: {}",
+            failure.index, failure.case_seed, failure.repro
+        );
+        if let Some(path) = &failure.written_to {
+            eprintln!("  minimized spec written to {path}");
+        }
+    }
+    Ok(report.ok())
+}
+
+fn cmd_replay(dir: &str) -> Result<bool, String> {
+    let results = replay_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    if results.is_empty() {
+        println!("corpus {dir} holds no .toml specs");
+        return Ok(true);
+    }
+    let mut all_ok = true;
+    for (path, ok) in results {
+        println!(
+            "replay {:<48} {}",
+            path.display(),
+            if ok { "OK" } else { "MISMATCH" }
+        );
+        all_ok &= ok;
+    }
+    Ok(all_ok)
+}
+
 fn cmd_run_all(opts: &Options) -> Result<bool, String> {
     let mut reports = Vec::new();
     let mut all_met = true;
@@ -427,6 +508,17 @@ fn main() -> ExitCode {
         "sweep-bench" => match parse_options(&args[1..], SWEEP_BENCH_OPTS) {
             Ok(opts) => cmd_sweep_bench(&opts),
             Err(e) => Err(e),
+        },
+        "fuzz" => match parse_options(&args[1..], FUZZ_OPTS) {
+            Ok(opts) => cmd_fuzz(&opts),
+            Err(e) => Err(e),
+        },
+        "replay" => match args.get(1) {
+            None => return usage(),
+            Some(dir) => match parse_options(&args[2..], REPLAY_OPTS) {
+                Ok(_) => cmd_replay(dir),
+                Err(e) => Err(e),
+            },
         },
         _ => return usage(),
     };

@@ -34,7 +34,13 @@
 //!   bound) expands into a grid of runs, fanned out across worker threads
 //!   with deterministic per-run seeds and reduced to per-grid-point
 //!   mean/median/p95 statistics — convergence *as a function of* network
-//!   size and fault rate, with the differential checker on for every run.
+//!   size and fault rate, with the differential checker on for every run;
+//! * [`gen`] / [`fuzz`] — **property-based fuzzing**: seeded random
+//!   generators for complete scenario specs and sweep grids, funnelled
+//!   through the checker under the invariant "any strictly-increasing spec
+//!   must agree across all engines" (the theorems' universal
+//!   quantification, sampled).  Failures are minimized by a greedy spec
+//!   shrinker and written to a corpus directory as self-reproducing TOML.
 //!
 //! Running a built-in scenario through the differential oracle:
 //!
@@ -72,6 +78,20 @@
 //! cargo run -p dbf-scenario --bin scenarios -- bench --out BENCH_scenarios.json
 //! cargo run -p dbf-scenario --bin scenarios -- sweep loss-rate-robustness --jobs 8
 //! cargo run -p dbf-scenario --bin scenarios -- sweep-bench --out BENCH_sweeps.json
+//! cargo run -p dbf-scenario --bin scenarios -- fuzz --cases 200 --seed 1 --jobs 8
+//! ```
+//!
+//! Fuzzing one case programmatically (the differential oracle with a
+//! generated input):
+//!
+//! ```
+//! use dbf_scenario::prelude::*;
+//!
+//! let spec = gen::scenario_case(gen::case_seed(1, 0));
+//! assert!(spec.validate().is_ok());
+//! let report = run_scenario(&spec).expect("generated specs are valid");
+//! // The fuzz invariant: strictly-increasing algebras always agree.
+//! assert!(report.verdict.converges && report.verdict.agreement);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -80,6 +100,8 @@
 pub mod agg;
 pub mod bench;
 pub mod builtins;
+pub mod fuzz;
+pub mod gen;
 pub mod pool;
 pub mod report;
 pub mod run;
@@ -88,11 +110,12 @@ pub mod sweep;
 pub mod sweeps;
 
 pub use agg::{PointReport, Stats, SweepReport};
+pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
 pub use run::run_scenario;
 pub use spec::{
-    AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, SpecError,
-    SppGadget, TopologySpec, WeightRule,
+    AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, ScheduleSpec,
+    SpecError, SppGadget, TopologySpec, WeightRule,
 };
 pub use sweep::{run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRunOptions};
 
@@ -100,11 +123,13 @@ pub use sweep::{run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRu
 pub mod prelude {
     pub use crate::agg::{PointReport, Stats, SweepReport};
     pub use crate::builtins;
+    pub use crate::fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
+    pub use crate::gen;
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
     pub use crate::run::run_scenario;
     pub use crate::spec::{
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
-        SpecError, SppGadget, TopologySpec, WeightRule,
+        ScheduleSpec, SpecError, SppGadget, TopologySpec, WeightRule,
     };
     pub use crate::sweep::{
         run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRunOptions,

@@ -104,4 +104,62 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
     }
+
+    #[test]
+    fn order_is_preserved_under_uneven_task_durations() {
+        // Early tasks sleep longest, so with naive completion-order
+        // collection the results would come back reversed.
+        let items: Vec<u64> = (0..24).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 10).collect();
+        let got = parallel_map(6, items, |x| {
+            std::thread::sleep(std::time::Duration::from_millis(24 - x));
+            x * 10
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn jobs_1_and_jobs_8_produce_identical_results() {
+        let items: Vec<u64> = (0..200).collect();
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let sequential = parallel_map(1, items.clone(), f);
+        let parallel = parallel_map(8, items, f);
+        assert_eq!(sequential, parallel);
+    }
+
+    // `std::thread::scope` re-raises worker panics with its own payload
+    // ("a scoped thread panicked"), so the match is on that wrapper rather
+    // than the original message.
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn a_panicking_task_propagates_when_the_worker_scope_joins() {
+        parallel_map(4, (0..57).collect::<Vec<i32>>(), |x| {
+            if x == 13 {
+                panic!("task 13 exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn surviving_tasks_still_run_when_one_panics() {
+        // A panicking task kills its worker, but the scope only propagates
+        // the panic after the remaining workers drain the queue — no task
+        // is silently dropped mid-flight without a panic surfacing.
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(2, (0..40).collect::<Vec<i32>>(), |x| {
+                if x == 0 {
+                    panic!("first task dies");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+                x
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        assert!(
+            ran.load(Ordering::SeqCst) >= 1,
+            "the surviving worker keeps processing"
+        );
+    }
 }

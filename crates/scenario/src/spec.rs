@@ -304,11 +304,39 @@ pub enum ChangeSpec {
     AddNode,
 }
 
+/// Which δ-schedule family a phase requests.
+///
+/// The paper's theorems quantify over *every* admissible schedule, so a
+/// spec may ask for the worst case instead of a random sample: the
+/// adversarial-staleness schedule starves one victim node (it activates
+/// only every `period` steps and always reads the stalest data the lag
+/// bound `max_delay` allows) while everyone else runs synchronously.
+/// Only the δ engine consumes this; the event simulator's faults are
+/// governed by the probabilistic knobs regardless.  The adversarial
+/// schedule is a pure function of the phase parameters, so when every
+/// phase of a spec uses it the δ engine runs once rather than once per
+/// seed (identical seeds would only duplicate the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// Seeded random schedules (`Schedule::random`) — the default.
+    Random,
+    /// `Schedule::adversarial_stale`: the victim activates every `period`
+    /// steps and always reads maximally stale data.
+    AdversarialStale {
+        /// The starved node (clamped modulo the node count at run time, so
+        /// the same spec stays valid under `n`-axis sweeps).
+        victim: usize,
+        /// Activation period of the victim (≥ 1).
+        period: u64,
+    },
+}
+
 /// Fault-injection and schedule parameters for one phase.
 ///
 /// `loss`/`duplicate`/`min_delay`/`max_delay` drive the event simulator;
 /// `activation`/`reorder`/`duplicate`/`max_delay`/`horizon` drive the
-/// random δ-schedules.
+/// random δ-schedules, and `schedule` can replace those with a worst-case
+/// staleness schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Message-loss probability (simulator).
@@ -325,6 +353,8 @@ pub struct FaultSpec {
     pub max_delay: u64,
     /// δ-schedule horizon (steps).
     pub horizon: usize,
+    /// The δ-schedule family for this phase.
+    pub schedule: ScheduleSpec,
 }
 
 impl Default for FaultSpec {
@@ -337,6 +367,7 @@ impl Default for FaultSpec {
             min_delay: 1,
             max_delay: 5,
             horizon: 400,
+            schedule: ScheduleSpec::Random,
         }
     }
 }
@@ -352,6 +383,16 @@ impl FaultSpec {
             min_delay: 1,
             max_delay: 15,
             horizon: 600,
+            schedule: ScheduleSpec::Random,
+        }
+    }
+
+    /// A worst-case staleness profile: node `victim` activates only every
+    /// `period` steps and always reads maximally stale data.
+    pub fn adversarial_stale(victim: usize, period: u64) -> Self {
+        Self {
+            schedule: ScheduleSpec::AdversarialStale { victim, period },
+            ..Self::default()
         }
     }
 }
@@ -401,6 +442,40 @@ impl std::error::Error for SpecError {}
 // Validation
 // ---------------------------------------------------------------------
 
+impl TopologySpec {
+    /// The node count of the initial shape, when the family determines it
+    /// (`Gadget` carries its own shape, so it answers `None`).
+    pub fn initial_nodes(&self) -> Option<usize> {
+        Some(match self {
+            TopologySpec::Line { n }
+            | TopologySpec::Ring { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::Complete { n }
+            | TopologySpec::ConnectedRandom { n, .. } => *n,
+            TopologySpec::Grid { rows, cols } => rows * cols,
+            TopologySpec::LeafSpine { spines, leaves } => spines + leaves,
+            TopologySpec::Tiered { tiers, .. } => tiers.iter().sum(),
+            TopologySpec::Explicit { nodes, .. } => *nodes,
+            TopologySpec::Gadget => return None,
+        })
+    }
+}
+
+impl ChangeSpec {
+    /// Is the change addressable on an `n`-node topology?  Self-loops and
+    /// out-of-range nodes are rejected; removals of absent edges are *not*
+    /// (they are defined no-ops, see `dbf_topology::TopologyChange`).
+    pub fn in_bounds(&self, n: usize) -> bool {
+        match *self {
+            ChangeSpec::SetLink { a, b } => a < n && b < n && a != b,
+            ChangeSpec::SetEdge { from, to } => from < n && to < n && from != to,
+            ChangeSpec::RemoveEdge { from, to } => from < n && to < n,
+            ChangeSpec::FailLink { a, b } => a < n && b < n,
+            ChangeSpec::AddNode => true,
+        }
+    }
+}
+
 impl Scenario {
     /// Check cross-field invariants that the type system cannot express.
     pub fn validate(&self) -> Result<(), SpecError> {
@@ -437,11 +512,36 @@ impl Scenario {
             _ => {}
         }
         let changes_allowed = !matches!(self.algebra, AlgebraSpec::Spp { .. });
+        // Simulate the node count through the phases so out-of-range
+        // changes are rejected at spec-validation time, before any engine
+        // runs.  `AddNode` grows the count, so later changes may reference
+        // nodes earlier changes introduced.
+        let mut nodes = self.topology.initial_nodes();
         for phase in &self.phases {
             if !changes_allowed && !phase.changes.is_empty() {
                 return Err(SpecError::new(
                     "topology changes are not supported on gadget scenarios",
                 ));
+            }
+            for c in &phase.changes {
+                if let Some(n) = nodes.as_mut() {
+                    if !c.in_bounds(*n) {
+                        return Err(SpecError::new(format!(
+                            "change {c:?} in phase {:?} is out of range for a {n}-node topology",
+                            phase.label
+                        )));
+                    }
+                    if matches!(c, ChangeSpec::AddNode) {
+                        *n += 1;
+                    }
+                }
+            }
+            if let ScheduleSpec::AdversarialStale { period, .. } = phase.faults.schedule {
+                if period == 0 {
+                    return Err(SpecError::new(
+                        "adversarial_stale schedules need period >= 1",
+                    ));
+                }
             }
             if matches!(self.algebra, AlgebraSpec::GaoRexford)
                 && phase.changes.iter().any(|c| {
@@ -948,6 +1048,14 @@ impl PhaseSpec {
         f.insert("min_delay".into(), int_val(self.faults.min_delay));
         f.insert("max_delay".into(), int_val(self.faults.max_delay));
         f.insert("horizon".into(), int_val(self.faults.horizon as u64));
+        match self.faults.schedule {
+            ScheduleSpec::Random => {}
+            ScheduleSpec::AdversarialStale { victim, period } => {
+                f.insert("schedule".into(), str_val("adversarial_stale"));
+                f.insert("victim".into(), int_val(victim as u64));
+                f.insert("period".into(), int_val(period));
+            }
+        }
         t.insert("faults".into(), Value::Table(f));
         Value::Table(t)
     }
@@ -974,6 +1082,21 @@ impl PhaseSpec {
                 min_delay: opt_u64(f, "min_delay", d.min_delay),
                 max_delay: opt_u64(f, "max_delay", d.max_delay),
                 horizon: opt_u64(f, "horizon", d.horizon as u64) as usize,
+                schedule: match f.get("schedule").and_then(Value::as_str) {
+                    None | Some("random") => ScheduleSpec::Random,
+                    // No clamping here: a `period = 0` typo must surface as
+                    // the validate() error, not be silently rewritten.
+                    Some("adversarial_stale") => ScheduleSpec::AdversarialStale {
+                        victim: opt_u64(f, "victim", 0) as usize,
+                        period: opt_u64(f, "period", 3),
+                    },
+                    Some(other) => {
+                        return Err(SpecError::new(format!(
+                            "unknown schedule kind {other:?} (expected \"random\" or \
+                             \"adversarial_stale\")"
+                        )))
+                    }
+                },
             },
         };
         Ok(Self {
@@ -1035,6 +1158,109 @@ mod tests {
         assert!(s.validate().is_err(), "at least one phase required");
 
         assert!(demo().validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_changes_are_rejected_at_validation_time() {
+        let mut s = demo();
+        s.phases[1].changes = vec![ChangeSpec::FailLink { a: 0, b: 99 }];
+        let err = s.validate().expect_err("node 99 does not exist");
+        assert!(err.message.contains("out of range"), "{err}");
+
+        let mut s = demo();
+        s.phases[1].changes = vec![ChangeSpec::SetEdge { from: 2, to: 2 }];
+        assert!(s.validate().is_err(), "self-loops are rejected");
+
+        // AddNode grows the simulated count, so a change may reference the
+        // node a previous change introduced — even across phases.
+        let mut s = demo();
+        s.phases[0].changes = vec![ChangeSpec::AddNode];
+        s.phases[1].changes = vec![ChangeSpec::SetLink { a: 0, b: 6 }];
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        s.phases[1].changes = vec![ChangeSpec::SetLink { a: 0, b: 7 }];
+        assert!(s.validate().is_err(), "node 7 was never added");
+    }
+
+    #[test]
+    fn redundant_changes_are_valid_no_ops_not_errors() {
+        // Removing an absent edge and re-adding an existing link must be
+        // accepted by validation (they are defined no-ops downstream).
+        let mut s = demo();
+        s.phases[1].changes = vec![
+            ChangeSpec::RemoveEdge { from: 0, to: 3 }, // absent in a ring
+            ChangeSpec::RemoveEdge { from: 0, to: 3 }, // twice
+            ChangeSpec::SetLink { a: 0, b: 1 },        // already present
+            ChangeSpec::FailLink { a: 2, b: 5 },       // absent link
+        ];
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+    }
+
+    #[test]
+    fn adversarial_stale_schedules_round_trip_and_validate() {
+        let mut s = demo();
+        s.phases[1].faults = FaultSpec::adversarial_stale(2, 3);
+        assert!(s.validate().is_ok());
+        let text = s.to_toml_string();
+        assert!(text.contains("adversarial_stale"), "{text}");
+        let back = Scenario::from_toml_str(&text).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(
+            back.phases[1].faults.schedule,
+            ScheduleSpec::AdversarialStale {
+                victim: 2,
+                period: 3
+            }
+        );
+
+        s.phases[1].faults.schedule = ScheduleSpec::AdversarialStale {
+            victim: 0,
+            period: 0,
+        };
+        assert!(s.validate().is_err(), "period 0 would never activate");
+        // ... and the same typo in a TOML file is rejected rather than
+        // silently clamped.
+        assert!(
+            Scenario::from_toml_str(&s.to_toml_string()).is_err(),
+            "period = 0 in TOML must surface the validation error"
+        );
+    }
+
+    #[test]
+    fn unknown_schedule_kinds_are_rejected() {
+        let mut s = demo();
+        s.phases.truncate(1);
+        let text = s
+            .to_toml_string()
+            .replace("[phases.faults]", "[phases.faults]\nschedule = \"warp\"");
+        assert!(Scenario::from_toml_str(&text).is_err(), "{text}");
+    }
+
+    #[test]
+    fn initial_nodes_follows_the_family() {
+        assert_eq!(TopologySpec::Ring { n: 6 }.initial_nodes(), Some(6));
+        assert_eq!(
+            TopologySpec::Grid { rows: 3, cols: 4 }.initial_nodes(),
+            Some(12)
+        );
+        assert_eq!(
+            TopologySpec::LeafSpine {
+                spines: 2,
+                leaves: 5
+            }
+            .initial_nodes(),
+            Some(7)
+        );
+        assert_eq!(
+            TopologySpec::Tiered {
+                tiers: vec![1, 2, 3],
+                p_peer: 0.2,
+                p_extra: 0.2,
+                seed: 0
+            }
+            .initial_nodes(),
+            Some(6)
+        );
+        assert_eq!(TopologySpec::Gadget.initial_nodes(), None);
     }
 
     #[test]
