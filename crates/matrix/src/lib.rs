@@ -17,6 +17,10 @@
 //! * [`sync`] — repeated synchronous iteration to a fixed point, stability
 //!   testing (Definition 4) and iteration counting (the quantity studied in
 //!   Section 8.1);
+//! * [`incremental`] — dirty-row iteration: only rows whose inputs changed
+//!   are recomputed, reproducing the full σ trajectory while making
+//!   reconvergence after a topology change proportional to the perturbed
+//!   region rather than to the whole network;
 //! * [`oracle`] — an exhaustive all-simple-paths optimum used to cross-check
 //!   fixed points: for distributive algebras the fixed point must equal the
 //!   global path optimum (the classical theory), while policy-rich algebras
@@ -52,21 +56,26 @@
 #![warn(missing_docs)]
 
 pub mod adjacency;
+pub mod incremental;
 pub mod oracle;
 pub mod sigma;
 pub mod state;
 pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
-pub use sigma::{sigma, sigma_entry, sigma_into};
+pub use incremental::{dirty_rows_after_change, iterate_dirty_to_fixed_point, IncrementalOutcome};
+pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
 pub use state::RoutingState;
 pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
+    pub use crate::incremental::{
+        dirty_rows_after_change, iterate_dirty_to_fixed_point, IncrementalOutcome,
+    };
     pub use crate::oracle::exhaustive_path_optimum;
-    pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k};
+    pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
     pub use crate::state::RoutingState;
     pub use crate::sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 }

@@ -62,24 +62,47 @@ pub fn sigma_into<A: RoutingAlgebra>(
     );
     assert_eq!(n, out.node_count(), "output state dimension must match");
     for i in 0..n {
-        {
-            let row = out.row_mut(i);
-            for r in row.iter_mut() {
-                *r = alg.invalid();
-            }
-        }
-        for (k, f) in adj.row(i) {
-            // Split borrows: `x` and `out` are distinct states, so reading
-            // `x.row(k)` while writing `out.row_mut(i)` is safe.
-            let src = x.row(*k);
-            let dst = out.row_mut(i);
-            for (d, s) in dst.iter_mut().zip(src.iter()) {
-                let candidate = alg.extend(f, s);
-                *d = alg.choice(d, &candidate);
-            }
-        }
-        out.set(i, i, alg.trivial());
+        sigma_row_into(alg, adj, x, i, out.row_mut(i));
     }
+}
+
+/// Recompute node `i`'s entire next table `σ(X)[i][·]` into `out` (a slice
+/// of length `n`).
+///
+/// This is one row of [`sigma_into`], exposed so the incremental engine in
+/// [`crate::incremental`] can recompute only the rows a topology change (or
+/// a neighbour's update) actually perturbs.  The write streams over `out`
+/// once per present link, so the cost is `O(deg(i) · n)`.
+///
+/// # Panics
+///
+/// Panics if `adj` and `x` disagree on the node count or if `out` is not
+/// exactly `n` entries long.
+pub fn sigma_row_into<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    i: NodeId,
+    out: &mut [A::Route],
+) {
+    let n = adj.node_count();
+    assert_eq!(
+        n,
+        x.node_count(),
+        "adjacency and state dimensions must match"
+    );
+    assert_eq!(n, out.len(), "output row length must match");
+    for r in out.iter_mut() {
+        *r = alg.invalid();
+    }
+    for (k, f) in adj.row(i) {
+        let src = x.row(*k);
+        for (d, s) in out.iter_mut().zip(src.iter()) {
+            let candidate = alg.extend(f, s);
+            *d = alg.choice(d, &candidate);
+        }
+    }
+    out[i] = alg.trivial();
 }
 
 /// One synchronous round of the Distributed Bellman-Ford computation:

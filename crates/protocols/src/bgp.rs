@@ -23,6 +23,8 @@
 //! delays or session resets — which is what the tests verify.
 
 use crate::stats::ProtocolStats;
+use crate::wire::BgpUpdate;
+use bytes::Bytes;
 use dbf_algebra::RoutingAlgebra;
 use dbf_bgp::algebra::BgpAlgebra;
 use dbf_bgp::policy::Policy;
@@ -76,10 +78,10 @@ pub struct BgpReport {
 
 #[derive(Debug, Clone)]
 enum Payload {
-    /// Announce the sender's (post-selection) route for a destination.
-    Announce(NodeId, BgpRoute),
-    /// Withdraw the sender's route for a destination.
-    Withdraw(NodeId),
+    /// A wire-encoded [`BgpUpdate`]: an announcement (route present) or a
+    /// withdrawal (route absent).  Delivery decodes the bytes again, so the
+    /// codec of [`crate::wire`] runs on every session message.
+    Update(Bytes),
     /// Tear down and re-establish the session between the two endpoints.
     ResetSession,
 }
@@ -139,9 +141,20 @@ impl BgpEngine {
     /// policies (`topo.edge(i, j)` = the policy node `i` applies to routes
     /// announced by `j`).
     pub fn new(topo: &Topology<Policy>, config: BgpConfig) -> Self {
-        let n = topo.node_count();
-        let alg = BgpAlgebra::new(n);
+        let alg = BgpAlgebra::new(topo.node_count());
         let adj = alg.adjacency_from_topology(topo);
+        Self::from_parts(alg, adj, config)
+    }
+
+    /// Create an engine directly from an algebra and its adjacency of edge
+    /// functions — the constructor the scenario layer uses, so the engine
+    /// selects routes with *exactly* the algebra instance σ iterates.
+    pub fn from_parts(
+        alg: BgpAlgebra,
+        adj: AdjacencyMatrix<BgpAlgebra>,
+        config: BgpConfig,
+    ) -> Self {
+        let n = adj.node_count();
         let loc_rib: Vec<Vec<BgpRoute>> = (0..n)
             .map(|i| {
                 (0..n)
@@ -202,7 +215,9 @@ impl BgpEngine {
             .collect()
     }
 
-    fn send(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+    /// Encode and enqueue one update (announcement or withdrawal) on the
+    /// reliable, in-order session `from → to`.
+    fn send_update(&mut self, from: NodeId, to: NodeId, dest: NodeId, route: &BgpRoute) {
         // Reliable, in-order per session: the delivery time is monotone per
         // (from, to) pair.
         let delay = self
@@ -211,29 +226,26 @@ impl BgpEngine {
         let at = (self.now + delay).max(self.session_clock[from][to] + 1);
         self.session_clock[from][to] = at;
         self.seq += 1;
-        match payload {
-            Payload::Withdraw(_) => self.stats.withdrawals_sent += 1,
-            Payload::Announce(..) => self.stats.updates_sent += 1,
-            Payload::ResetSession => {}
+        if route.is_invalid() {
+            self.stats.withdrawals_sent += 1;
+        } else {
+            self.stats.updates_sent += 1;
         }
+        let encoded = BgpUpdate::from_route(from, dest, route).encode();
+        self.stats.bytes_sent += encoded.len() as u64;
         self.queue.push(Scheduled {
             at,
             seq: self.seq,
             from,
             to,
-            payload,
+            payload: Payload::Update(encoded),
         });
     }
 
     fn announce_to_neighbors(&mut self, i: NodeId, dest: NodeId) {
         let route = self.loc_rib[i][dest].clone();
         for to in self.listeners_of(i) {
-            let payload = if route.is_invalid() {
-                Payload::Withdraw(dest)
-            } else {
-                Payload::Announce(dest, route.clone())
-            };
-            self.send(i, to, payload);
+            self.send_update(i, to, dest, &route);
         }
     }
 
@@ -262,12 +274,7 @@ impl BgpEngine {
     fn full_readvertise(&mut self, i: NodeId, to: NodeId) {
         for dest in 0..self.n {
             let route = self.loc_rib[i][dest].clone();
-            let payload = if route.is_invalid() {
-                Payload::Withdraw(dest)
-            } else {
-                Payload::Announce(dest, route)
-            };
-            self.send(i, to, payload);
+            self.send_update(i, to, dest, &route);
         }
     }
 
@@ -279,16 +286,15 @@ impl BgpEngine {
             }
             self.now = msg.at;
             match msg.payload {
-                Payload::Announce(dest, route) => {
+                Payload::Update(bytes) => {
                     self.stats.updates_processed += 1;
+                    let update = BgpUpdate::decode(bytes)
+                        .expect("the engine only delivers messages it encoded");
+                    let route = update
+                        .to_route()
+                        .expect("the engine only announces simple paths");
+                    let dest = update.dest;
                     self.rib_in[msg.to][msg.from][dest] = route;
-                    if self.decide(msg.to, dest) {
-                        self.announce_to_neighbors(msg.to, dest);
-                    }
-                }
-                Payload::Withdraw(dest) => {
-                    self.stats.updates_processed += 1;
-                    self.rib_in[msg.to][msg.from][dest] = BgpRoute::Invalid;
                     if self.decide(msg.to, dest) {
                         self.announce_to_neighbors(msg.to, dest);
                     }
@@ -474,5 +480,26 @@ mod tests {
         assert!(report.stats.updates_processed > 0);
         assert!(report.stats.finish_time >= report.stats.last_change_time);
         assert_eq!(report.stats.updates_lost, 0, "sessions are reliable");
+        // Every session message crossed the wire codec (a withdrawal is the
+        // 5-byte minimum).
+        assert!(report.stats.bytes_sent >= 5 * report.stats.messages_sent());
+    }
+
+    #[test]
+    fn from_parts_matches_the_topology_constructor() {
+        let shape = generators::ring(5);
+        let mut rng = SplitMix64::new(31);
+        let topo = shape.with_weights(|_, _| random_policy(&mut rng, 1));
+        let alg = BgpAlgebra::new(5);
+        let adj = alg.adjacency_from_topology(&topo);
+        let cfg = BgpConfig {
+            seed: 3,
+            ..BgpConfig::default()
+        };
+        let a = BgpEngine::new(&topo, cfg).run();
+        let b = BgpEngine::from_parts(alg, adj, cfg).run();
+        assert!(a.converged && b.converged);
+        assert_eq!(a.final_state, b.final_state);
+        assert_eq!(a.stats.bytes_sent, b.stats.bytes_sent);
     }
 }

@@ -21,6 +21,8 @@
 //! exactly that against the synchronous fixed point.
 
 use crate::stats::ProtocolStats;
+use crate::wire::{RipUpdate, WIRE_INFINITY};
+use bytes::Bytes;
 use dbf_algebra::instances::hopcount::BoundedHopCount;
 use dbf_algebra::instances::nat_inf::NatInf;
 use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
@@ -29,6 +31,29 @@ use dbf_topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BinaryHeap;
+
+/// Encode a metric for the wire (`∞` ⇒ [`WIRE_INFINITY`]).
+///
+/// Finite metrics are bounded by the hop limit, which the constructor
+/// asserts fits in a `u32` — so the conversion is lossless, never a clamp
+/// to some *different* finite value.
+fn metric_to_wire(m: NatInf) -> u32 {
+    match m {
+        NatInf::Inf => WIRE_INFINITY,
+        NatInf::Fin(v) => {
+            u32::try_from(v).expect("hop metrics fit the wire (asserted at construction)")
+        }
+    }
+}
+
+/// Decode a wire metric (`WIRE_INFINITY` ⇒ `∞`).
+fn metric_from_wire(m: u32) -> NatInf {
+    if m == WIRE_INFINITY {
+        NatInf::Inf
+    } else {
+        NatInf::fin(m as u64)
+    }
+}
 
 /// The split-horizon behaviour of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,13 +181,20 @@ struct TableEntry {
 /// The RIP-like engine.
 pub struct RipEngine {
     config: RipConfig,
-    topo: Topology<()>,
+    /// The routing problem: `adj.get(i, j)` is the hop cost node `i` pays to
+    /// import routes announced by `j` (1 for plain topologies).
+    adj: AdjacencyMatrix<BoundedHopCount>,
+    /// `listeners[i]` = the routers that import from `i` (the recipients of
+    /// `i`'s advertisements).
+    listeners: Vec<Vec<NodeId>>,
     n: usize,
     rng: StdRng,
     now: u64,
     seq: u64,
     queue: BinaryHeap<Scheduled>,
-    messages: Vec<Vec<(NodeId, NatInf)>>,
+    /// Wire-encoded updates in flight; delivery decodes them again, so the
+    /// encode/decode path of [`crate::wire`] runs on every message.
+    messages: Vec<Bytes>,
     tables: Vec<Vec<TableEntry>>,
     stats: ProtocolStats,
 }
@@ -171,7 +203,39 @@ impl RipEngine {
     /// Create an engine over an (undirected) topology shape; every link has
     /// a cost of one hop.
     pub fn new(topo: &Topology<()>, config: RipConfig) -> Self {
-        let n = topo.node_count();
+        let adj = AdjacencyMatrix::<BoundedHopCount>::from_fn(topo.node_count(), |i, j| {
+            if topo.has_edge(i, j) {
+                Some(1u64)
+            } else {
+                None
+            }
+        });
+        Self::from_adjacency(adj, config)
+    }
+
+    /// Create an engine directly over a bounded-hop-count adjacency matrix
+    /// (`A_ij` = the hop cost node `i` pays on routes announced by `j`).
+    /// This is the constructor the scenario layer uses: directed edges and
+    /// non-unit hop costs are respected exactly as `σ` sees them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hop_limit` does not fit the u32 wire metric
+    /// (metrics above [`WIRE_INFINITY`] would be ambiguous on the wire).
+    pub fn from_adjacency(adj: AdjacencyMatrix<BoundedHopCount>, config: RipConfig) -> Self {
+        assert!(
+            config.hop_limit < WIRE_INFINITY as u64,
+            "hop limit {} does not fit the u32 wire metric",
+            config.hop_limit
+        );
+        let n = adj.node_count();
+        let mut listeners: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for (j, _) in adj.row(i) {
+                // i imports from j, so j advertises to i.
+                listeners[*j].push(i);
+            }
+        }
         let mut tables = Vec::with_capacity(n);
         for i in 0..n {
             let mut row = Vec::with_capacity(n);
@@ -186,7 +250,8 @@ impl RipEngine {
         }
         let mut engine = Self {
             config,
-            topo: topo.clone(),
+            adj,
+            listeners,
             n,
             rng: StdRng::seed_from_u64(config.seed),
             now: 0,
@@ -229,6 +294,30 @@ impl RipEngine {
         self
     }
 
+    /// Seed every table from a (possibly stale) routing state, as when the
+    /// protocol keeps running across a topology change.  Next hops are
+    /// unknown for carried entries, so they are seeded ownerless: a
+    /// neighbour whose advert matches the metric claims the entry (and its
+    /// refresh timer), and entries no advert ever matches expire at
+    /// `route_timeout` — the protocol's own cure for routes that were
+    /// better than the new topology allows.
+    pub fn with_initial_state(mut self, state: &RoutingState<BoundedHopCount>) -> Self {
+        assert_eq!(state.node_count(), self.n, "state dimension mismatch");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                self.tables[i][j] = TableEntry {
+                    metric: *state.get(i, j),
+                    next_hop: None,
+                    refreshed_at: 0,
+                };
+            }
+        }
+        self
+    }
+
     fn schedule(&mut self, at: u64, event: Event) {
         self.seq += 1;
         self.queue.push(Scheduled {
@@ -236,10 +325,6 @@ impl RipEngine {
             seq: self.seq,
             event,
         });
-    }
-
-    fn neighbors(&self, i: NodeId) -> Vec<NodeId> {
-        self.topo.out_neighbors(i)
     }
 
     /// Build the advertisement `from` sends to `to`, honouring split
@@ -271,7 +356,16 @@ impl RipEngine {
 
     fn send_advert(&mut self, from: NodeId, to: NodeId) {
         let entries = self.build_advert(from, to);
+        let update = RipUpdate {
+            from,
+            entries: entries
+                .into_iter()
+                .map(|(dest, m)| (dest, metric_to_wire(m)))
+                .collect(),
+        };
+        let encoded = update.encode();
         self.stats.updates_sent += 1;
+        self.stats.bytes_sent += encoded.len() as u64;
         if self.rng.gen_bool(self.config.loss_prob.clamp(0.0, 1.0)) {
             self.stats.updates_lost += 1;
             return;
@@ -279,18 +373,20 @@ impl RipEngine {
         let delay = self
             .rng
             .gen_range(self.config.min_delay..=self.config.max_delay.max(self.config.min_delay));
-        self.messages.push(entries);
+        self.messages.push(encoded);
         let msg = self.messages.len() - 1;
         self.schedule(self.now + delay, Event::Delivery { from, to, msg });
     }
 
     fn broadcast(&mut self, from: NodeId) {
-        for to in self.neighbors(from) {
+        for to in self.listeners[from].clone() {
             self.send_advert(from, to);
         }
     }
 
-    /// Age out routes that have not been refreshed.
+    /// Age out routes that have not been refreshed.  Ownerless entries
+    /// (seeded from a carried stale state) expire too: if no neighbour's
+    /// advertisements ever justified the metric, the route is a ghost.
     fn expire_routes(&mut self, i: NodeId) -> bool {
         let mut changed = false;
         for dest in 0..self.n {
@@ -299,7 +395,6 @@ impl RipEngine {
             }
             let entry = &mut self.tables[i][dest];
             if entry.metric.is_fin()
-                && entry.next_hop.is_some()
                 && self.now.saturating_sub(entry.refreshed_at) > self.config.route_timeout
             {
                 entry.metric = NatInf::Inf;
@@ -314,16 +409,22 @@ impl RipEngine {
 
     fn process_advert(&mut self, from: NodeId, to: NodeId, msg: usize) -> bool {
         let mut changed = false;
-        let entries = self.messages[msg].clone();
-        for (dest, advertised) in entries {
+        let update = RipUpdate::decode(self.messages[msg].clone())
+            .expect("the engine only delivers messages it encoded");
+        // The hop cost of the link the advert crossed (`A_{to,from}`); the
+        // link exists because `to` listens to `from`.
+        let Some(&hops) = self.adj.get(to, from) else {
+            return false;
+        };
+        for (dest, advertised) in update.entries {
             if dest == to {
                 continue;
             }
-            // one hop across the link, saturating at the hop limit
-            let candidate = match advertised {
+            // across the link, saturating at the hop limit
+            let candidate = match metric_from_wire(advertised) {
                 NatInf::Inf => NatInf::Inf,
                 NatInf::Fin(m) => {
-                    let nm = m.saturating_add(1);
+                    let nm = m.saturating_add(hops);
                     if nm > self.config.hop_limit {
                         NatInf::Inf
                     } else {
@@ -354,6 +455,12 @@ impl RipEngine {
                 changed = true;
                 self.stats.table_changes += 1;
                 self.stats.last_change_time = self.now;
+            } else if candidate == entry.metric && entry.next_hop.is_none() && candidate.is_fin() {
+                // A carried stale entry whose metric a live advert confirms:
+                // the advertiser claims ownership (and the refresh timer),
+                // so correct carried routes survive without an expiry flap.
+                entry.next_hop = Some(from);
+                entry.refreshed_at = self.now;
             }
         }
         changed
@@ -388,19 +495,11 @@ impl RipEngine {
         let alg = BoundedHopCount::new(self.config.hop_limit);
         let final_state =
             RoutingState::<BoundedHopCount>::from_fn(self.n, |i, j| self.tables[i][j].metric);
-        // The reference adjacency: one hop per (directed) link.
-        let adj = AdjacencyMatrix::<BoundedHopCount>::from_fn(self.n, |i, j| {
-            if self.topo.has_edge(i, j) {
-                Some(1u64)
-            } else {
-                None
-            }
-        });
-        let converged = is_stable(&alg, &adj, &final_state)
+        let converged = is_stable(&alg, &self.adj, &final_state)
             && final_state == {
                 let from_clean = dbf_matrix::iterate_to_fixed_point(
                     &alg,
-                    &adj,
+                    &self.adj,
                     &RoutingState::identity(&alg, self.n),
                     4 * self.n + 8,
                 );
@@ -545,5 +644,48 @@ mod tests {
         assert!(report.stats.finish_time > 0);
         assert!(report.stats.delivery_ratio() > 0.99);
         assert!(report.stats.messages_sent() >= report.stats.updates_sent);
+        // Every update crossed the wire codec, so bytes were counted.
+        assert!(report.stats.bytes_sent > 4 * report.stats.updates_sent);
+    }
+
+    #[test]
+    fn carried_stale_states_reconverge_after_a_topology_change() {
+        // The scenario-engine usage: converge on a ring, remove a link, keep
+        // running from the stale tables.  Ownerless carried entries must be
+        // claimed (when still correct) or timed out (when the change made
+        // them too good), and the final tables must be the new fixed point.
+        let alg = BoundedHopCount::new(15);
+        let ring = generators::ring(6);
+        let before = RipEngine::new(&ring, RipConfig::default()).run();
+        assert!(before.converged);
+
+        let mut cut = ring.clone();
+        cut.remove_link(0, 5);
+        let report = RipEngine::new(&cut, RipConfig::default())
+            .with_initial_state(&before.final_state)
+            .run();
+        assert!(report.converged, "{}", report.stats);
+        assert_eq!(report.final_state, reference(&cut, 15));
+        let _ = alg;
+    }
+
+    #[test]
+    fn adjacency_construction_respects_direction_and_weights() {
+        // A directed 3-line with a 2-hop cost on the back edge: the σ fixed
+        // point is asymmetric and the engine must reproduce it exactly.
+        let mut adj = AdjacencyMatrix::<BoundedHopCount>::empty(3);
+        adj.set(1, 0, Some(1)); // 1 imports from 0
+        adj.set(0, 1, Some(2)); // 0 imports from 1 at cost 2
+        adj.set(2, 1, Some(1));
+        adj.set(1, 2, Some(1));
+        let report = RipEngine::from_adjacency(adj.clone(), RipConfig::default()).run();
+        assert!(report.converged);
+        let alg = BoundedHopCount::new(15);
+        let reference =
+            dbf_matrix::iterate_to_fixed_point(&alg, &adj, &RoutingState::identity(&alg, 3), 50);
+        assert!(reference.converged);
+        assert_eq!(report.final_state, reference.state);
+        assert_eq!(report.final_state.get(0, 2), &NatInf::fin(3));
+        assert_eq!(report.final_state.get(2, 0), &NatInf::fin(2));
     }
 }

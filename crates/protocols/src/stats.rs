@@ -15,6 +15,9 @@ pub struct ProtocolStats {
     pub withdrawals_sent: u64,
     /// Routing-table entry changes across all routers.
     pub table_changes: u64,
+    /// Bytes put on the wire (engines that encode their updates through
+    /// [`crate::wire`]; 0 for engines that exchange in-memory values).
+    pub bytes_sent: u64,
     /// Simulated time of the last table change.
     pub last_change_time: u64,
     /// Simulated time at which the run finished.
@@ -43,12 +46,13 @@ impl fmt::Display for ProtocolStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} lost={} processed={} withdrawals={} changes={} last_change={} finish={} rounds={}",
+            "sent={} lost={} processed={} withdrawals={} changes={} bytes={} last_change={} finish={} rounds={}",
             self.updates_sent,
             self.updates_lost,
             self.updates_processed,
             self.withdrawals_sent,
             self.table_changes,
+            self.bytes_sent,
             self.last_change_time,
             self.finish_time,
             self.periodic_rounds,

@@ -9,8 +9,10 @@ use crate::report::{Json, ScenarioReport};
 /// Aggregate a set of scenario reports into the benchmark JSON document.
 ///
 /// Per scenario and engine run the document records total work, total
-/// messages and total wall-clock milliseconds across all phases, plus the
-/// differential verdict.
+/// messages, total wire bytes and total wall-clock milliseconds, plus a
+/// per-phase breakdown (so e.g. the incremental engine's advantage on the
+/// *topology-change* phases is directly visible next to the full σ
+/// engine's numbers) and the differential verdict.
 pub fn bench_json(reports: &[ScenarioReport]) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario builtins")),
@@ -36,15 +38,46 @@ pub fn bench_json(reports: &[ScenarioReport]) -> Json {
                                             let work: u64 = run.phases.iter().map(|p| p.work).sum();
                                             let messages: u64 =
                                                 run.phases.iter().map(|p| p.messages).sum();
+                                            let bytes: u64 =
+                                                run.phases.iter().map(|p| p.bytes).sum();
                                             let wall_ms: f64 =
                                                 run.phases.iter().map(|p| p.wall_ms).sum();
                                             Json::Obj(vec![
                                                 ("engine".into(), Json::str(&run.engine)),
                                                 ("work".into(), Json::Int(work as i64)),
                                                 ("messages".into(), Json::Int(messages as i64)),
+                                                ("bytes".into(), Json::Int(bytes as i64)),
                                                 (
                                                     "wall_ms".into(),
                                                     Json::Num((wall_ms * 1000.0).round() / 1000.0),
+                                                ),
+                                                (
+                                                    "phases".into(),
+                                                    Json::Arr(
+                                                        run.phases
+                                                            .iter()
+                                                            .map(|p| {
+                                                                Json::Obj(vec![
+                                                                    (
+                                                                        "label".into(),
+                                                                        Json::str(&p.label),
+                                                                    ),
+                                                                    (
+                                                                        "work".into(),
+                                                                        Json::Int(p.work as i64),
+                                                                    ),
+                                                                    (
+                                                                        "wall_ms".into(),
+                                                                        Json::Num(
+                                                                            (p.wall_ms * 1000.0)
+                                                                                .round()
+                                                                                / 1000.0,
+                                                                        ),
+                                                                    ),
+                                                                ])
+                                                            })
+                                                            .collect(),
+                                                    ),
                                                 ),
                                             ])
                                         })
@@ -95,6 +128,7 @@ mod tests {
                         sigma_stable: true,
                         work: 10,
                         messages: 100,
+                        bytes: 640,
                         wall_ms: 0.5,
                         digest: "d".into(),
                     },
@@ -103,6 +137,7 @@ mod tests {
                         sigma_stable: true,
                         work: 5,
                         messages: 50,
+                        bytes: 320,
                         wall_ms: 0.25,
                         digest: "d".into(),
                     },
@@ -119,6 +154,7 @@ mod tests {
         let text = bench_json(&[report]).to_string();
         assert!(text.contains("\"work\": 15"));
         assert!(text.contains("\"messages\": 150"));
+        assert!(text.contains("\"bytes\": 960"));
         assert!(text.contains("\"schema_version\": 1"));
         assert!(text.contains("\"expectation_met\": true"));
     }

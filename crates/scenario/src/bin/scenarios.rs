@@ -29,11 +29,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
+    let engine_names = dbf_scenario::engine::descriptors()
+        .iter()
+        .map(|d| d.name)
+        .collect::<Vec<_>>()
+        .join(",");
     eprintln!(
         "usage: scenarios <command> [options]\n\
          \n\
          commands:\n\
          \x20 list                       list built-in scenarios\n\
+         \x20 list-engines               list registered execution engines\n\
          \x20 show <builtin>             print a built-in scenario as TOML\n\
          \x20 run <builtin|file.toml>    execute a scenario on its engines\n\
          \x20 run-all                    execute every built-in scenario\n\
@@ -46,8 +52,10 @@ fn usage() -> ExitCode {
          \x20 replay <dir>               re-run every minimized corpus TOML in a directory\n\
          \n\
          options:\n\
-         \x20 --engines LIST   comma-separated subset of sync,delta,sim,threaded\n\
-         \x20 --seeds LIST     comma-separated seeds for delta/sim runs\n\
+         \x20 --engines LIST   comma-separated subset of {engine_names}\n\
+         \x20                  (run/run-all: engines an algebra does not support are skipped;\n\
+         \x20                  run-all additionally skips the negative-control scenarios)\n\
+         \x20 --seeds LIST     comma-separated seeds for the seeded engines\n\
          \x20 --json           print the full JSON report instead of a summary\n\
          \x20 --out FILE       also write the JSON report/benchmark to FILE\n\
          \x20 --jobs N         worker threads for sweep/fuzz (default: hardware threads)\n\
@@ -213,7 +221,19 @@ fn load_scenario(name_or_path: &str) -> Result<Scenario, String> {
 
 fn apply_overrides(mut scenario: Scenario, opts: &Options) -> Scenario {
     if let Some(engines) = &opts.engines {
-        scenario.engines = engines.clone();
+        // Keep only the engines that support this scenario's algebra
+        // (protocol engines are algebra-gated): `run-all --engines
+        // sync,rip,bgp` then exercises each engine exactly where it
+        // applies.  Size recommendations are NOT enforced here — an
+        // explicit `--engines` request outranks them.  If nothing
+        // survives, pass the list through unchanged so validation reports
+        // *why* instead of silently running nothing.
+        let supported = dbf_scenario::engine::eligible_engines(&scenario, engines, true);
+        scenario.engines = if supported.is_empty() {
+            engines.clone()
+        } else {
+            supported
+        };
     }
     if let Some(seeds) = &opts.seeds {
         scenario.seeds = seeds.clone();
@@ -397,6 +417,35 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
     let mut reports = Vec::new();
     let mut all_met = true;
     for scenario in builtins::all() {
+        // An engine-matrix run (`run-all --engines …`) quantifies over the
+        // *positive* theorems: the negative controls (wedgie, bad gadget)
+        // expect disagreement or divergence from their own specific engine
+        // sets, which an override would invalidate.
+        if let Some(requested) = &opts.engines {
+            if !(scenario.expect.converges && scenario.expect.agreement) {
+                if !opts.json {
+                    println!(
+                        "scenario {:<24} skipped (negative control; engine overrides apply to \
+                         the positive theorems)",
+                        scenario.name
+                    );
+                }
+                continue;
+            }
+            // A scenario whose algebra none of the requested engines
+            // support is skipped, not a hard error: `run-all --engines rip`
+            // means "run rip everywhere it applies".
+            if dbf_scenario::engine::eligible_engines(&scenario, requested, true).is_empty() {
+                if !opts.json {
+                    println!(
+                        "scenario {:<24} skipped (none of the requested engines support \
+                         its algebra)",
+                        scenario.name
+                    );
+                }
+                continue;
+            }
+        }
         let scenario = apply_overrides(scenario, opts);
         let report = run_scenario(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
         if !opts.json {
@@ -449,6 +498,23 @@ fn main() -> ExitCode {
                     "{:<22} {}",
                     s.name,
                     s.description.split('.').next().unwrap_or("")
+                );
+            }
+            Ok(true)
+        }
+        "list-engines" => {
+            for d in dbf_scenario::engine::descriptors() {
+                let runs = match d.determinism {
+                    dbf_scenario::engine::Determinism::Fixed => "once",
+                    dbf_scenario::engine::Determinism::Seeded => "per-seed",
+                };
+                let max_n = d
+                    .max_recommended_n
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{:<12} runs={:<8} max_n={:<6} {}",
+                    d.name, runs, max_n, d.summary
                 );
             }
             Ok(true)

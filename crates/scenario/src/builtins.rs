@@ -12,13 +12,15 @@ use crate::spec::{
     TopologySpec, WeightRule,
 };
 
-fn all_engines() -> Vec<EngineKind> {
-    vec![
-        EngineKind::Sync,
-        EngineKind::Delta,
-        EngineKind::Sim,
-        EngineKind::Threaded,
-    ]
+/// Fill a scenario's engine list with **every registered engine that
+/// supports it** (algebra capability and recommended size both consulted).
+/// The positive builtins go through this, so a newly registered engine is
+/// automatically subjected to the whole differential suite — engine lists
+/// are data derived from the registry, not code.
+fn on_all_supported_engines(mut s: Scenario) -> Scenario {
+    let all: Vec<EngineKind> = EngineKind::all().collect();
+    s.engines = crate::engine::eligible_engines(&s, &all, false);
+    s
 }
 
 fn phase(label: &str, changes: Vec<ChangeSpec>, faults: FaultSpec) -> PhaseSpec {
@@ -34,7 +36,7 @@ fn phase(label: &str, changes: Vec<ChangeSpec>, faults: FaultSpec) -> PhaseSpec 
 /// before every engine agrees it is gone (Theorem 7 in its most hostile
 /// classical setting).
 pub fn count_to_infinity() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "count-to-infinity".into(),
         description: "A destination becomes unreachable; the finite strictly-increasing \
                       hop-count algebra counts the stale routes up to the limit and every \
@@ -45,7 +47,7 @@ pub fn count_to_infinity() -> Scenario {
             links: vec![(0, 1), (1, 2), (2, 3), (0, 2)],
         },
         algebra: AlgebraSpec::Hopcount { limit: 16 },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![1, 2],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -56,7 +58,7 @@ pub fn count_to_infinity() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// The RFC 4264 BGP wedgie: the DISAGREE gadget has two stable states and
@@ -113,14 +115,14 @@ pub fn flapping_link() -> Scenario {
         duplicate: 0.1,
         ..FaultSpec::default()
     };
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "flapping-link".into(),
         description: "A ring link fails, heals, fails and heals again; every epoch \
                       reconverges from the stale state of the previous one."
             .into(),
         topology: TopologySpec::Ring { n: 6 },
         algebra: AlgebraSpec::Hopcount { limit: 16 },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![3],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -146,13 +148,13 @@ pub fn flapping_link() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// A ring partitions into two components and later heals; unreachable
 /// destinations go invalid, then recover.
 pub fn partition_and_heal() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "partition-and-heal".into(),
         description: "Two link failures partition a ring; destinations across the cut \
                       become invalid everywhere, then the partition heals and all \
@@ -160,7 +162,7 @@ pub fn partition_and_heal() -> Scenario {
             .into(),
         topology: TopologySpec::Ring { n: 6 },
         algebra: AlgebraSpec::Hopcount { limit: 16 },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![5],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -182,13 +184,13 @@ pub fn partition_and_heal() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// Heavy loss, duplication and reordering on a random graph: the faults
 /// cost work but never change the answer.
 pub fn adversarial_loss() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "adversarial-loss".into(),
         description: "Shortest paths on a random connected graph under 25% loss, 25% \
                       duplication and heavy reordering: every engine still reaches the \
@@ -202,16 +204,16 @@ pub fn adversarial_loss() -> Scenario {
         algebra: AlgebraSpec::Shortest {
             weights: WeightRule::varied(),
         },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![1, 2, 3],
         phases: vec![phase("storm", vec![], FaultSpec::adversarial())],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// Widest paths (increasing but not strictly) on a leaf-spine fabric.
 pub fn widest_fabric() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "widest-fabric".into(),
         description: "Bottleneck-bandwidth (widest-paths) routing on a leaf–spine \
                       fabric with a spine failure mid-run."
@@ -228,7 +230,7 @@ pub fn widest_fabric() -> Scenario {
                 base: 10,
             },
         },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![2],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -243,13 +245,13 @@ pub fn widest_fabric() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// The network grows mid-computation: a node joins and is wired into the
 /// ring (the dynamic case of the 2020 follow-up paper).
 pub fn growing_network() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "growing-network".into(),
         description: "A line network gains a node mid-run and closes into a ring; \
                       states grow with the network and all engines agree on the new \
@@ -257,7 +259,7 @@ pub fn growing_network() -> Scenario {
             .into(),
         topology: TopologySpec::Line { n: 5 },
         algebra: AlgebraSpec::Hopcount { limit: 16 },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![4],
         phases: vec![
             phase("line", vec![], FaultSpec::default()),
@@ -273,13 +275,13 @@ pub fn growing_network() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// The Section 7 policy-rich BGP algebra with random safe-by-design
 /// policies: convergence is impossible to break by construction.
 pub fn policy_rich_bgp() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "policy-rich-bgp".into(),
         description: "Random safe-by-design Section 7 policies on a random graph, \
                       with a policy-relevant link failing mid-run: Theorem 11 says no \
@@ -294,7 +296,7 @@ pub fn policy_rich_bgp() -> Scenario {
             policy_depth: 2,
             policy_seed: 0xBEEF,
         },
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![1, 2],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -309,13 +311,13 @@ pub fn policy_rich_bgp() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// Gao-Rexford routing over a provider/customer hierarchy, with a peering
 /// link failing mid-run.
 pub fn gao_rexford_mesh() -> Scenario {
-    Scenario {
+    on_all_supported_engines(Scenario {
         name: "gao-rexford-mesh".into(),
         description: "Valley-free customer/peer/provider routing on a tiered AS \
                       hierarchy; strictly increasing, so all engines agree before and \
@@ -328,7 +330,7 @@ pub fn gao_rexford_mesh() -> Scenario {
             seed: 11,
         },
         algebra: AlgebraSpec::GaoRexford,
-        engines: all_engines(),
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
         seeds: vec![1, 2],
         phases: vec![
             phase("baseline", vec![], FaultSpec::default()),
@@ -343,7 +345,7 @@ pub fn gao_rexford_mesh() -> Scenario {
             ),
         ],
         expect: Expectation::default(),
-    }
+    })
 }
 
 /// All built-in scenarios, in presentation order.

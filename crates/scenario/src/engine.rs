@@ -1,0 +1,805 @@
+//! The pluggable [`Engine`] trait and its registry.
+//!
+//! Every way this repository can execute a routing problem — the
+//! synchronous σ-iteration, the incremental dirty-row σ, the asynchronous
+//! iterate δ, the fault-injecting event simulator, the genuinely concurrent
+//! threaded runtime, and the message-level RIP/BGP protocol engines — is
+//! one implementation of [`Engine`].  The registry turns the engine list
+//! into *data*: the scenario runner, the TOML codec, the sweep deriver, the
+//! fuzz generator and the `scenarios` CLI all consult [`descriptors`]
+//! instead of matching on engine kinds, so adding an engine is one trait
+//! impl plus one registration and nothing else.
+//!
+//! Running a single engine against a hand-built problem:
+//!
+//! ```
+//! use dbf_algebra::prelude::*;
+//! use dbf_matrix::AdjacencyMatrix;
+//! use dbf_scenario::engine::{engine_for, Problem};
+//! use dbf_scenario::spec::{EngineKind, FaultSpec};
+//! use dbf_topology::generators;
+//!
+//! let alg = BoundedHopCount::new(16);
+//! let topo = generators::ring(5).with_weights(|_, _| 1u64);
+//! let problems = vec![Problem::new(
+//!     "ring",
+//!     AdjacencyMatrix::from_topology(&topo),
+//!     FaultSpec::default(),
+//! )];
+//!
+//! // The registry hands back any engine by kind; `rip` here exchanges real
+//! // wire-encoded protocol messages and must land on the same fixed point
+//! // as the synchronous reference.
+//! let sync = engine_for::<BoundedHopCount>(EngineKind::Sync);
+//! let rip = engine_for::<BoundedHopCount>(EngineKind::Rip);
+//! let a = sync.run(&alg, &problems, 1);
+//! let b = rip.run(&alg, &problems, 1);
+//! assert!(a.phases[0].sigma_stable && b.phases[0].sigma_stable);
+//! assert_eq!(a.phases[0].digest, b.phases[0].digest);
+//! assert!(b.phases[0].bytes > 0, "protocol engines report wire bytes");
+//! ```
+
+use crate::report::{Digest, EngineRun, PhaseOutcome};
+use crate::spec::{AlgebraSpec, EngineKind, FaultSpec, Scenario, ScheduleSpec, SpecError};
+use dbf_algebra::prelude::BoundedHopCount;
+use dbf_algebra::RoutingAlgebra;
+use dbf_async::schedule::{Schedule, ScheduleParams};
+use dbf_async::sim::{EventSim, SimConfig};
+use dbf_async::{run_delta, DeltaOutcome};
+use dbf_bgp::algebra::BgpAlgebra;
+use dbf_matrix::{
+    dirty_rows_after_change, is_stable, iterate_dirty_to_fixed_point, iterate_to_fixed_point,
+    AdjacencyMatrix, RoutingState,
+};
+use dbf_protocols::bgp::{BgpConfig, BgpEngine};
+use dbf_protocols::rip::{RipConfig, RipEngine};
+use dbf_protocols::runtime::{run_threaded, ThreadedConfig};
+use std::any::Any;
+use std::time::Instant;
+
+/// The algebra bounds every engine can rely on: the threaded runtime needs
+/// `Send + Sync + 'static`, the incremental engine compares adjacency rows
+/// (`Edge: PartialEq`), and the protocol adapters downcast the algebra and
+/// adjacency (`'static`).  Blanket-implemented for every qualifying
+/// [`RoutingAlgebra`].
+pub trait ScenarioAlgebra: RoutingAlgebra + Clone + Send + Sync + 'static
+where
+    Self::Route: Send + 'static,
+    Self::Edge: PartialEq + Send + Sync + 'static,
+{
+}
+
+impl<A> ScenarioAlgebra for A
+where
+    A: RoutingAlgebra + Clone + Send + Sync + 'static,
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+}
+
+/// One phase of a scenario as a concrete routing problem: a label, the
+/// adjacency in force, and the fault profile driving the stochastic
+/// engines.
+pub struct Problem<A: RoutingAlgebra> {
+    /// The phase label (copied into each [`PhaseOutcome`]).
+    pub label: String,
+    /// The adjacency matrix of edge functions in force during the phase.
+    pub adj: AdjacencyMatrix<A>,
+    /// The fault/schedule profile of the phase.
+    pub faults: FaultSpec,
+}
+
+impl<A: RoutingAlgebra> Problem<A> {
+    /// Build a problem phase.
+    pub fn new(label: impl Into<String>, adj: AdjacencyMatrix<A>, faults: FaultSpec) -> Self {
+        Self {
+            label: label.into(),
+            adj,
+            faults,
+        }
+    }
+}
+
+/// How an engine's outcome depends on the scenario seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// A pure function of the problem (or of OS scheduling, which seeds
+    /// cannot influence either): executed once per scenario.
+    Fixed,
+    /// Seeded randomness (schedules, delays, jitter): executed once per
+    /// scenario seed.
+    Seeded,
+}
+
+/// Static metadata of one registered engine.  The non-generic face of the
+/// registry: spec parsing, validation, sweeps, the fuzz generator and the
+/// CLI consult this table and never match on [`EngineKind`] themselves.
+pub struct EngineInfo {
+    /// The engine's spec-level kind.
+    pub kind: EngineKind,
+    /// The canonical lowercase name used in TOML and on the CLI.
+    pub name: &'static str,
+    /// One line for `scenarios list-engines` and the docs.
+    pub summary: &'static str,
+    /// Seed handling (how many runs one scenario produces).
+    pub determinism: Determinism,
+    /// The largest node count the engine is recommended for; sweeps drop
+    /// the engine from grid points above it (`None` = unbounded).
+    pub max_recommended_n: Option<usize>,
+    /// Capability check: can this engine execute the given scenario?
+    /// Engines tied to one algebra (the protocol adapters) reject the rest.
+    pub supports: fn(&Scenario) -> Result<(), SpecError>,
+}
+
+fn supports_any(_spec: &Scenario) -> Result<(), SpecError> {
+    Ok(())
+}
+
+fn supports_hopcount(spec: &Scenario) -> Result<(), SpecError> {
+    match spec.algebra {
+        // The wire format carries metrics as u32 with u32::MAX meaning ∞;
+        // a larger hop limit would make huge-but-finite metrics ambiguous
+        // on the wire, so it is rejected here rather than silently
+        // corrupted (the engine constructor asserts the same bound).
+        AlgebraSpec::Hopcount { limit } if limit >= dbf_protocols::wire::WIRE_INFINITY as u64 => {
+            Err(SpecError::new(format!(
+                "engine \"rip\" encodes metrics as u32 on the wire; hop limit {limit} \
+                 does not fit (must be < {})",
+                dbf_protocols::wire::WIRE_INFINITY
+            )))
+        }
+        AlgebraSpec::Hopcount { .. } => Ok(()),
+        ref other => Err(SpecError::new(format!(
+            "engine \"rip\" runs the RIP protocol machinery and requires the hopcount \
+             algebra, got {other:?}"
+        ))),
+    }
+}
+
+fn supports_bgp(spec: &Scenario) -> Result<(), SpecError> {
+    match spec.algebra {
+        AlgebraSpec::Bgp { .. } => Ok(()),
+        ref other => Err(SpecError::new(format!(
+            "engine \"bgp\" runs the BGP protocol machinery and requires the bgp \
+             algebra, got {other:?}"
+        ))),
+    }
+}
+
+/// The registered engines, in presentation order.  **This table and
+/// [`engine_for`] are the only places a new engine must be added.**
+pub fn descriptors() -> &'static [EngineInfo] {
+    static DESCRIPTORS: [EngineInfo; 7] = [
+        EngineInfo {
+            kind: EngineKind::Sync,
+            name: "sync",
+            summary: "synchronous σ-iteration to a fixed point (the reference semantics)",
+            determinism: Determinism::Fixed,
+            max_recommended_n: None,
+            supports: supports_any,
+        },
+        EngineInfo {
+            kind: EngineKind::Incremental,
+            name: "incremental",
+            summary: "dirty-row σ: after a topology change only perturbed rows recompute",
+            determinism: Determinism::Fixed,
+            max_recommended_n: None,
+            supports: supports_any,
+        },
+        EngineInfo {
+            kind: EngineKind::Delta,
+            name: "delta",
+            summary: "the asynchronous iterate δ under seeded random or adversarial schedules",
+            determinism: Determinism::Seeded,
+            max_recommended_n: Some(512),
+            supports: supports_any,
+        },
+        EngineInfo {
+            kind: EngineKind::Sim,
+            name: "sim",
+            summary: "discrete-event message simulator with loss, duplication and delay",
+            determinism: Determinism::Seeded,
+            max_recommended_n: Some(512),
+            supports: supports_any,
+        },
+        EngineInfo {
+            kind: EngineKind::Threaded,
+            name: "threaded",
+            summary: "one OS thread per router over channels (genuine concurrency)",
+            determinism: Determinism::Fixed,
+            max_recommended_n: Some(64),
+            supports: supports_any,
+        },
+        EngineInfo {
+            kind: EngineKind::Rip,
+            name: "rip",
+            summary: "RIP protocol machinery: periodic/triggered updates, split horizon, \
+                      timeouts, wire-encoded messages (hopcount algebra only)",
+            determinism: Determinism::Seeded,
+            max_recommended_n: Some(256),
+            supports: supports_hopcount,
+        },
+        EngineInfo {
+            kind: EngineKind::Bgp,
+            name: "bgp",
+            summary: "BGP protocol machinery: per-session RIBs, incremental announce/withdraw, \
+                      wire-encoded messages (bgp algebra only)",
+            determinism: Determinism::Seeded,
+            max_recommended_n: Some(64),
+            supports: supports_bgp,
+        },
+    ];
+    &DESCRIPTORS
+}
+
+/// The descriptor of one engine kind.
+pub fn descriptor(kind: EngineKind) -> &'static EngineInfo {
+    descriptors()
+        .iter()
+        .find(|d| d.kind == kind)
+        .expect("every EngineKind is registered")
+}
+
+/// The seeds one engine consumes for a scenario: deterministic engines run
+/// once (on the first seed, which they ignore), seeded engines once per
+/// seed.  The δ engine additionally collapses to a single run when every
+/// phase requests the adversarial-staleness schedule — that schedule is a
+/// pure function of the phase parameters, so further seeds would only
+/// duplicate the run byte-for-byte.
+pub fn engine_seeds(kind: EngineKind, spec: &Scenario) -> &[u64] {
+    let info = descriptor(kind);
+    let collapsed = kind == EngineKind::Delta
+        && spec
+            .phases
+            .iter()
+            .all(|p| matches!(p.faults.schedule, ScheduleSpec::AdversarialStale { .. }));
+    match info.determinism {
+        Determinism::Fixed => &spec.seeds[..1],
+        Determinism::Seeded if collapsed => &spec.seeds[..1],
+        Determinism::Seeded => &spec.seeds[..],
+    }
+}
+
+/// The number of engine runs a scenario will produce (used by reports and
+/// tests; a pure function of the spec).
+pub fn planned_runs(spec: &Scenario) -> usize {
+    spec.engines
+        .iter()
+        .map(|&e| engine_seeds(e, spec).len())
+        .sum()
+}
+
+/// The subset of `candidates` that can execute `spec` — the one
+/// capability filter every consumer shares (builtins derive their engine
+/// lists from it, the CLI's `--engines` overrides intersect through it,
+/// and sweep derivation prunes grid points with it), so the semantics
+/// cannot drift between call sites.
+///
+/// Algebra support is always required.  Engines whose
+/// [`EngineInfo::max_recommended_n`] the spec's initial node count exceeds
+/// are dropped unless `keep_oversized` (an *explicit* request outranks a
+/// size recommendation; an automatically derived list does not).
+pub fn eligible_engines(
+    spec: &Scenario,
+    candidates: &[EngineKind],
+    keep_oversized: bool,
+) -> Vec<EngineKind> {
+    let n = spec.topology.initial_nodes();
+    candidates
+        .iter()
+        .copied()
+        .filter(|&e| (descriptor(e).supports)(spec).is_ok())
+        .filter(|&e| {
+            keep_oversized
+                || match (descriptor(e).max_recommended_n, n) {
+                    (Some(max), Some(n)) => n <= max,
+                    _ => true,
+                }
+        })
+        .collect()
+}
+
+/// An execution engine: anything that can take a sequence of phase
+/// [`Problem`]s to (per phase) a claimed fixed point.
+///
+/// The contract every implementation must honour (and that
+/// `tests/engine_contract.rs` enforces for each registered engine):
+///
+/// * one [`PhaseOutcome`] per problem, in order, carrying that phase's
+///   final-state digest produced by [`state_digest`];
+/// * `sigma_stable` is true only if the phase's final state is genuinely
+///   σ-stable on the phase's adjacency;
+/// * on strictly-increasing algebras the final digest must agree with the
+///   synchronous engine (Theorems 7/11 — this is what the differential
+///   checker asserts);
+/// * runs are deterministic in `(problems, seed)`.
+pub trait Engine<A: ScenarioAlgebra>
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    /// The engine's static metadata.
+    fn info(&self) -> &'static EngineInfo;
+
+    /// Execute the phase sequence.  Deterministic engines receive the first
+    /// scenario seed and may ignore it.
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun;
+}
+
+/// Look up the runner for an engine kind.  **This match and
+/// [`descriptors`] are the only places a new engine must be added.**
+pub fn engine_for<A: ScenarioAlgebra>(kind: EngineKind) -> Box<dyn Engine<A>>
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    match kind {
+        EngineKind::Sync => Box::new(SyncEngine),
+        EngineKind::Incremental => Box::new(IncrementalEngine),
+        EngineKind::Delta => Box::new(DeltaEngine),
+        EngineKind::Sim => Box::new(SimEngine),
+        EngineKind::Threaded => Box::new(ThreadedEngine),
+        EngineKind::Rip => Box::new(RipCheckerEngine),
+        EngineKind::Bgp => Box::new(BgpCheckerEngine),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// The stable digest of a routing state (FNV-1a over the `Debug` rendering
+/// of every entry) — the currency of the differential checker.
+pub fn state_digest<A: RoutingAlgebra>(state: &RoutingState<A>) -> String {
+    let mut d = Digest::default();
+    for (i, j, r) in state.entries() {
+        d.update(&format!("({i},{j})={r:?};"));
+    }
+    d.finish()
+}
+
+/// Carry a state into a phase whose problem may have more nodes (a node
+/// joined the network).
+fn carry<A: RoutingAlgebra>(alg: &A, state: RoutingState<A>, n: usize) -> RoutingState<A> {
+    if state.node_count() < n {
+        state.grown(alg, n)
+    } else {
+        state
+    }
+}
+
+fn sync_iteration_budget(n: usize) -> usize {
+    4 * n * n + 64
+}
+
+fn schedule_for(faults: &FaultSpec, n: usize, seed: u64) -> Schedule {
+    match faults.schedule {
+        ScheduleSpec::AdversarialStale { victim, period } => Schedule::adversarial_stale(
+            n,
+            faults.horizon.max(1),
+            victim % n.max(1),
+            (period.max(1)) as usize,
+            (faults.max_delay as usize).max(1),
+        ),
+        ScheduleSpec::Random => {
+            let params = ScheduleParams {
+                activation_prob: faults.activation.clamp(0.05, 1.0),
+                max_delay: (faults.max_delay as usize).max(1),
+                duplicate_prob: faults.duplicate.clamp(0.0, 1.0),
+                reorder_prob: faults.reorder.clamp(0.0, 1.0),
+            };
+            Schedule::random(n, faults.horizon.max(1), params, seed)
+        }
+    }
+}
+
+fn sim_config_for(faults: &FaultSpec, seed: u64) -> SimConfig {
+    SimConfig {
+        loss_prob: faults.loss.clamp(0.0, 1.0),
+        duplicate_prob: faults.duplicate.clamp(0.0, 1.0),
+        min_delay: faults.min_delay.max(1),
+        max_delay: faults.max_delay.max(faults.min_delay.max(1)),
+        seed,
+        max_events: 2_000_000,
+        refresh_rounds: 64,
+    }
+}
+
+/// Downcast helper for the algebra-specific protocol adapters: the
+/// registry is generic over `A`, the RIP/BGP machinery is not.
+fn downcast<Src: Any, Dst: Any>(value: &Src) -> Option<&Dst> {
+    (value as &dyn Any).downcast_ref::<Dst>()
+}
+
+// ---------------------------------------------------------------------
+// Engine 1: synchronous σ
+// ---------------------------------------------------------------------
+
+/// Synchronous σ-iteration to a fixed point (`dbf-matrix`) — the reference
+/// semantics every other engine is checked against.
+pub struct SyncEngine;
+
+impl<A: ScenarioAlgebra> Engine<A> for SyncEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Sync)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+        let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        for p in problems {
+            let n = p.adj.node_count();
+            state = carry(alg, state, n);
+            let start = Instant::now();
+            let out = iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n));
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = out.state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: is_stable(alg, &p.adj, &state),
+                work: out.iterations as u64,
+                messages: 0,
+                bytes: 0,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: "sync".into(),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 2: incremental dirty-row σ
+// ---------------------------------------------------------------------
+
+/// Incremental σ (`dbf-matrix::incremental`): tracks dirty rows so a
+/// topology change recomputes only the perturbed region, while reproducing
+/// the synchronous trajectory state-for-state.  `work` counts row
+/// recomputations (a full σ round costs `n` of them).
+pub struct IncrementalEngine;
+
+impl<A: ScenarioAlgebra> Engine<A> for IncrementalEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Incremental)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+        let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        // The dirty-start optimisation is only sound from a fixed point of
+        // the previous phase; a phase that failed to converge (budget
+        // exhausted on a non-increasing algebra) poisons it.
+        let mut prev: Option<(usize, bool)> = None;
+        for (k, p) in problems.iter().enumerate() {
+            let n = p.adj.node_count();
+            state = carry(alg, state, n);
+            let start = Instant::now();
+            let dirty = match prev {
+                Some((prev_k, true)) => dirty_rows_after_change(&problems[prev_k].adj, &p.adj),
+                _ => vec![true; n],
+            };
+            let out =
+                iterate_dirty_to_fixed_point(alg, &p.adj, &state, &dirty, sync_iteration_budget(n));
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = out.state;
+            prev = Some((k, out.converged));
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                // An empty dirty set is a proof of σ-stability (every row
+                // was recomputed after its inputs last changed), so no
+                // separate full-σ stability sweep is needed — that sweep
+                // would cost more than the incremental phase itself.
+                sigma_stable: out.converged,
+                work: out.row_recomputations,
+                messages: 0,
+                bytes: 0,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: "incremental".into(),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 3: the asynchronous iterate δ
+// ---------------------------------------------------------------------
+
+/// The asynchronous iterate δ under seeded random (or worst-case
+/// adversarial-staleness) schedules (`dbf-async`).
+pub struct DeltaEngine;
+
+impl<A: ScenarioAlgebra> Engine<A> for DeltaEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Delta)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+        let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        for (k, p) in problems.iter().enumerate() {
+            let n = p.adj.node_count();
+            state = carry(alg, state, n);
+            let sched = schedule_for(&p.faults, n, seed.wrapping_add(k as u64 * 0x9E37));
+            let start = Instant::now();
+            let out: DeltaOutcome<A> = run_delta(alg, &p.adj, &state, &sched);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = out.final_state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: out.sigma_stable,
+                work: out.activations as u64,
+                messages: 0,
+                bytes: 0,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: format!("delta[{seed}]"),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 4: the discrete-event message simulator
+// ---------------------------------------------------------------------
+
+/// The fault-injecting discrete-event message simulator (`dbf-async`).
+pub struct SimEngine;
+
+impl<A: ScenarioAlgebra> Engine<A> for SimEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Sim)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+        let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        for (k, p) in problems.iter().enumerate() {
+            let n = p.adj.node_count();
+            state = carry(alg, state, n);
+            let cfg = sim_config_for(&p.faults, seed.wrapping_add(k as u64 * 0xA5A5));
+            let start = Instant::now();
+            let out = EventSim::with_initial_state(alg, &p.adj, cfg, &state).run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = out.final_state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: out.sigma_stable && !out.truncated,
+                work: out.stats.delivered,
+                messages: out.stats.sent,
+                bytes: 0,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: format!("sim[{seed}]"),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 5: the threaded runtime
+// ---------------------------------------------------------------------
+
+/// The genuinely concurrent one-thread-per-router runtime
+/// (`dbf-protocols`).
+pub struct ThreadedEngine;
+
+impl<A: ScenarioAlgebra> Engine<A> for ThreadedEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Threaded)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+        let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        for p in problems {
+            let n = p.adj.node_count();
+            state = carry(alg, state, n);
+            let start = Instant::now();
+            let report = run_threaded(alg, &p.adj, &state, ThreadedConfig::default());
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = report.final_state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: report.sigma_stable && !report.timed_out,
+                work: report.stats.table_changes,
+                messages: report.stats.updates_sent,
+                bytes: 0,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: "threaded".into(),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 6: the RIP protocol engine
+// ---------------------------------------------------------------------
+
+/// The message-level RIP engine (`dbf-protocols::rip`) as a checker
+/// engine: routers exchange wire-encoded periodic and triggered updates
+/// with split horizon and route timeouts, each phase carrying the previous
+/// phase's (stale) tables, and the result is projected back into a
+/// [`RoutingState`] for the differential oracle.
+///
+/// The adapter keeps the oracle sound by not forwarding the simulator's
+/// loss probability: RIP cures ghost routes with its route timeout, and a
+/// run whose horizon falls inside a loss-induced expiry/recovery window
+/// would read as a spurious disagreement.  Lossy RIP convergence is
+/// exercised directly by `dbf-protocols`' own tests; the scenario layer
+/// samples schedules via per-message delays and per-router timer jitter,
+/// which the seed controls.
+pub struct RipCheckerEngine;
+
+impl RipCheckerEngine {
+    fn config(alg: &BoundedHopCount, faults: &FaultSpec, seed: u64) -> RipConfig {
+        let min_delay = faults.min_delay.clamp(1, 10);
+        RipConfig {
+            hop_limit: alg.limit(),
+            update_interval: 30,
+            route_timeout: 150,
+            split_horizon: dbf_protocols::rip::SplitHorizon::PoisonReverse,
+            triggered_updates: true,
+            loss_prob: 0.0,
+            min_delay,
+            max_delay: faults.max_delay.clamp(min_delay, 10),
+            // Generous: stale carried entries expire at `route_timeout` and
+            // the hop limit bounds any counting episode after that.
+            max_time: 6_000,
+            seed,
+        }
+    }
+}
+
+impl<A: ScenarioAlgebra> Engine<A> for RipCheckerEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Rip)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+        let hop_alg: &BoundedHopCount = downcast(alg)
+            .expect("the rip engine supports only the hopcount algebra (enforced by validate)");
+        let mut state = RoutingState::identity(hop_alg, problems[0].adj.node_count());
+        let mut phases = Vec::with_capacity(problems.len());
+        for (k, p) in problems.iter().enumerate() {
+            let adj: &AdjacencyMatrix<BoundedHopCount> =
+                downcast(&p.adj).expect("a hopcount scenario builds hopcount adjacencies");
+            let n = adj.node_count();
+            state = carry(hop_alg, state, n);
+            let cfg = Self::config(hop_alg, &p.faults, seed.wrapping_add(k as u64 * 0x51F1));
+            let start = Instant::now();
+            let report = RipEngine::from_adjacency(adj.clone(), cfg)
+                .with_initial_state(&state)
+                .run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            state = report.final_state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: is_stable(hop_alg, adj, &state),
+                work: report.stats.updates_processed,
+                messages: report.stats.messages_sent(),
+                bytes: report.stats.bytes_sent,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: format!("rip[{seed}]"),
+            phases,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine 7: the BGP protocol engine
+// ---------------------------------------------------------------------
+
+/// The message-level BGP engine (`dbf-protocols::bgp`) as a checker
+/// engine: per-neighbour sessions with reliable in-order delivery,
+/// adj-RIB-in bookkeeping, incremental wire-encoded announcements and
+/// withdrawals, and seeded session resets.
+///
+/// BGP is a *hard-state* protocol: a topology change tears sessions down
+/// and the loc-RIB is re-derived entirely from what the re-established
+/// sessions announce.  Each phase therefore starts from session
+/// establishment rather than from the previous phase's tables — Theorem 11
+/// makes the fixed point unique, so the digests must (and do) agree with
+/// the stale-state-carrying engines.
+pub struct BgpCheckerEngine;
+
+impl BgpCheckerEngine {
+    fn config(faults: &FaultSpec, seed: u64) -> BgpConfig {
+        let min_delay = faults.min_delay.clamp(1, 10);
+        BgpConfig {
+            min_delay,
+            max_delay: faults.max_delay.clamp(min_delay, 12),
+            // Fault knobs have no loss to map to (sessions are reliable);
+            // noisy phases instead get session resets mid-run.
+            session_resets: if faults.loss > 0.0 || faults.duplicate > 0.0 {
+                2
+            } else {
+                0
+            },
+            max_time: 200_000,
+            seed,
+        }
+    }
+}
+
+impl<A: ScenarioAlgebra> Engine<A> for BgpCheckerEngine
+where
+    A::Route: Send + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    fn info(&self) -> &'static EngineInfo {
+        descriptor(EngineKind::Bgp)
+    }
+
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+        let bgp_alg: &BgpAlgebra = downcast(alg)
+            .expect("the bgp engine supports only the bgp algebra (enforced by validate)");
+        let mut phases = Vec::with_capacity(problems.len());
+        for (k, p) in problems.iter().enumerate() {
+            let adj: &AdjacencyMatrix<BgpAlgebra> =
+                downcast(&p.adj).expect("a bgp scenario builds bgp adjacencies");
+            let cfg = Self::config(&p.faults, seed.wrapping_add(k as u64 * 0xB690));
+            let start = Instant::now();
+            let report = BgpEngine::from_parts(*bgp_alg, adj.clone(), cfg).run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let state = report.final_state;
+            phases.push(PhaseOutcome {
+                label: p.label.clone(),
+                sigma_stable: is_stable(bgp_alg, adj, &state),
+                work: report.stats.updates_processed,
+                messages: report.stats.messages_sent(),
+                bytes: report.stats.bytes_sent,
+                wall_ms,
+                digest: state_digest(&state),
+            });
+        }
+        EngineRun {
+            engine: format!("bgp[{seed}]"),
+            phases,
+        }
+    }
+}

@@ -231,6 +231,18 @@ pub fn scenario_case(seed: u64) -> Scenario {
     }
 
     let mut engines = vec![EngineKind::Sync, EngineKind::Delta, EngineKind::Sim];
+    // The incremental dirty-row σ works on every algebra; sample it often
+    // so change-script reconvergence is fuzzed against the full iteration.
+    if rng.next_bool(0.5) {
+        engines.push(EngineKind::Incremental);
+    }
+    // The protocol engines are algebra-gated (the registry's `supports`
+    // would reject anything else), so only matching specs sample them.
+    match algebra {
+        AlgebraSpec::Hopcount { .. } if rng.next_bool(0.25) => engines.push(EngineKind::Rip),
+        AlgebraSpec::Bgp { .. } if rng.next_bool(0.25) => engines.push(EngineKind::Bgp),
+        _ => {}
+    }
     if nodes <= 6 && rng.next_bool(1.0 / 8.0) {
         engines.push(EngineKind::Threaded);
     }
@@ -384,10 +396,16 @@ mod tests {
         let mut saw_add_node = false;
         let mut saw_gao = false;
         let mut saw_threaded = false;
+        let mut saw_incremental = false;
+        let mut saw_rip = false;
+        let mut saw_bgp = false;
         for i in 0..300 {
             let s = scenario_case(case_seed(11, i));
             saw_gao |= matches!(s.algebra, AlgebraSpec::GaoRexford);
             saw_threaded |= s.engines.contains(&EngineKind::Threaded);
+            saw_incremental |= s.engines.contains(&EngineKind::Incremental);
+            saw_rip |= s.engines.contains(&EngineKind::Rip);
+            saw_bgp |= s.engines.contains(&EngineKind::Bgp);
             for p in &s.phases {
                 saw_adversarial |=
                     matches!(p.faults.schedule, ScheduleSpec::AdversarialStale { .. });
@@ -398,5 +416,8 @@ mod tests {
         assert!(saw_add_node, "growing networks are generated");
         assert!(saw_gao, "gao-rexford specs are generated");
         assert!(saw_threaded, "the threaded engine is sometimes requested");
+        assert!(saw_incremental, "the incremental engine is sampled");
+        assert!(saw_rip, "the rip protocol engine is sampled");
+        assert!(saw_bgp, "the bgp protocol engine is sampled");
     }
 }

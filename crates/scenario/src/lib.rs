@@ -1,15 +1,18 @@
 //! # dbf-scenario — declarative scenarios with cross-engine differential
 //! execution
 //!
-//! The repository has three independent execution engines for the same
-//! routing problems — the synchronous σ-iteration (`dbf-matrix`), the
-//! schedule-driven asynchronous iterate δ and the fault-injecting
-//! discrete-event simulator (`dbf-async`), and the genuinely concurrent
-//! threaded runtime (`dbf-protocols`).  The central claim of the paper
-//! (Daggitt–Gurney–Griffin, SIGCOMM 2018) is that for strictly-increasing
-//! algebras **all of them must agree**: every schedule, fault pattern and
-//! interleaving reaches the same σ-stable fixed point, and the 2020
-//! follow-up extends this across topology changes.
+//! The repository has seven independent execution engines for the same
+//! routing problems, all behind the pluggable [`engine::Engine`] trait —
+//! the synchronous σ-iteration and its incremental dirty-row variant
+//! (`dbf-matrix`), the schedule-driven asynchronous iterate δ and the
+//! fault-injecting discrete-event simulator (`dbf-async`), the genuinely
+//! concurrent threaded runtime, and the message-level RIP and BGP
+//! protocol engines with their wire encodings (`dbf-protocols`).  The
+//! central claim of the paper (Daggitt–Gurney–Griffin, SIGCOMM 2018) is
+//! that for strictly-increasing algebras **all of them must agree**:
+//! every schedule, fault pattern and interleaving reaches the same
+//! σ-stable fixed point, and the 2020 follow-up extends this across
+//! topology changes.
 //!
 //! This crate turns that claim into an executable, declarative oracle:
 //!
@@ -22,6 +25,11 @@
 //!   threading each epoch's final (stale) state into the next, and
 //!   computes the **differential verdict**: did every run converge, and
 //!   did they all land on the same fixed point?
+//! * [`engine`] — the pluggable [`engine::Engine`] trait and its registry:
+//!   per-engine descriptors (name, determinism/seed handling, size
+//!   capability, algebra support) that `run`, `spec`, `sweep`, `gen`, the
+//!   builtins and the CLI all consult — adding an engine is one trait
+//!   impl plus one registration;
 //! * [`builtins`] — a library of ready-made scenarios covering
 //!   count-to-infinity, the BGP wedgie, the BAD GADGET, flapping links,
 //!   partition-and-heal, adversarial loss, widest-path fabrics, growing
@@ -100,6 +108,7 @@
 pub mod agg;
 pub mod bench;
 pub mod builtins;
+pub mod engine;
 pub mod fuzz;
 pub mod gen;
 pub mod pool;
@@ -110,6 +119,10 @@ pub mod sweep;
 pub mod sweeps;
 
 pub use agg::{PointReport, Stats, SweepReport};
+pub use engine::{
+    descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
+    EngineInfo, Problem, ScenarioAlgebra,
+};
 pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
 pub use run::run_scenario;
@@ -123,6 +136,10 @@ pub use sweep::{run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRu
 pub mod prelude {
     pub use crate::agg::{PointReport, Stats, SweepReport};
     pub use crate::builtins;
+    pub use crate::engine::{
+        descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
+        EngineInfo, Problem, ScenarioAlgebra,
+    };
     pub use crate::fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
     pub use crate::gen;
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};

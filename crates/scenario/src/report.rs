@@ -163,6 +163,9 @@ pub struct PhaseOutcome {
     pub work: u64,
     /// Messages sent, where the engine has a message concept (0 for σ/δ).
     pub messages: u64,
+    /// Bytes put on the wire, where the engine encodes its messages through
+    /// `dbf-protocols::wire` (0 for the in-memory engines).
+    pub bytes: u64,
     /// Wall-clock time of the phase in milliseconds.
     pub wall_ms: f64,
     /// Digest of the phase's final routing state.
@@ -250,6 +253,7 @@ impl ScenarioReport {
                                                         "messages".into(),
                                                         Json::Int(p.messages as i64),
                                                     ),
+                                                    ("bytes".into(), Json::Int(p.bytes as i64)),
                                                     ("wall_ms".into(), Json::Num(p.wall_ms)),
                                                     ("digest".into(), Json::str(&p.digest)),
                                                 ])
@@ -313,14 +317,26 @@ impl ScenarioReport {
                 run.engine,
                 run.phases
                     .iter()
-                    .map(|p| format!(
-                        "[{} stable={} work={} msgs={} {}]",
-                        p.label,
-                        p.sigma_stable,
-                        p.work,
-                        p.messages,
-                        &p.digest[..8]
-                    ))
+                    .map(|p| if p.bytes > 0 {
+                        format!(
+                            "[{} stable={} work={} msgs={} bytes={} {}]",
+                            p.label,
+                            p.sigma_stable,
+                            p.work,
+                            p.messages,
+                            p.bytes,
+                            &p.digest[..8]
+                        )
+                    } else {
+                        format!(
+                            "[{} stable={} work={} msgs={} {}]",
+                            p.label,
+                            p.sigma_stable,
+                            p.work,
+                            p.messages,
+                            &p.digest[..8]
+                        )
+                    })
                     .collect::<Vec<_>>()
                     .join(" → "),
             ));
@@ -369,6 +385,7 @@ mod tests {
             sigma_stable: stable,
             work: 1,
             messages: 0,
+            bytes: 0,
             wall_ms: 0.1,
             digest: d.into(),
         };

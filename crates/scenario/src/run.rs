@@ -10,33 +10,20 @@
 //! σ-stable state (Theorems 7/11); for the non-increasing SPP gadgets it
 //! exhibits exactly the wedgies and oscillation the theorems rule out.
 
-use crate::report::{Agreement, Digest, EngineRun, PhaseOutcome, ScenarioReport};
+use crate::engine::{engine_for, engine_seeds, Problem, ScenarioAlgebra};
+use crate::report::{Agreement, EngineRun, ScenarioReport};
 use crate::spec::{
-    AlgebraSpec, ChangeSpec, EngineKind, FaultSpec, Scenario, ScheduleSpec, SpecError, SppGadget,
-    TopologySpec, WeightRule,
+    AlgebraSpec, ChangeSpec, FaultSpec, Scenario, SpecError, SppGadget, TopologySpec, WeightRule,
 };
 use dbf_algebra::algebra::SplitMix64;
 use dbf_algebra::prelude::*;
-use dbf_async::schedule::{Schedule, ScheduleParams};
-use dbf_async::sim::{EventSim, SimConfig};
-use dbf_async::{run_delta, DeltaOutcome};
 use dbf_bgp::algebra::{random_policy, BgpAlgebra};
 use dbf_bgp::gao_rexford::GaoRexford;
 use dbf_bgp::policy::Policy;
 use dbf_bgp::spp::SppAlgebra;
-use dbf_matrix::{is_stable, iterate_to_fixed_point, AdjacencyMatrix, RoutingState};
-use dbf_protocols::runtime::{run_threaded, ThreadedConfig};
+use dbf_matrix::AdjacencyMatrix;
 use dbf_topology::generators::{self, TierRelation};
 use dbf_topology::{Topology, TopologyChange};
-use std::time::Instant;
-
-/// One phase as a concrete routing problem: a label, the adjacency in
-/// force, and the fault profile driving the stochastic engines.
-struct Problem<A: RoutingAlgebra> {
-    label: String,
-    adj: AdjacencyMatrix<A>,
-    faults: FaultSpec,
-}
 
 /// Execute a scenario on its requested engines and return the report.
 pub fn run_scenario(spec: &Scenario) -> Result<ScenarioReport, SpecError> {
@@ -292,203 +279,20 @@ fn gao_rexford_problems(spec: &Scenario) -> Result<Vec<Problem<GaoRexford>>, Spe
 // Engine execution
 // ---------------------------------------------------------------------
 
-fn state_digest<A: RoutingAlgebra>(state: &RoutingState<A>) -> String {
-    let mut d = Digest::default();
-    for (i, j, r) in state.entries() {
-        d.update(&format!("({i},{j})={r:?};"));
-    }
-    d.finish()
-}
-
-/// Carry a state into a phase whose problem may have more nodes (a node
-/// joined the network).
-fn carry<A: RoutingAlgebra>(alg: &A, state: RoutingState<A>, n: usize) -> RoutingState<A> {
-    if state.node_count() < n {
-        state.grown(alg, n)
-    } else {
-        state
-    }
-}
-
-fn sync_iteration_budget(n: usize) -> usize {
-    4 * n * n + 64
-}
-
-fn run_sync_engine<A: RoutingAlgebra>(alg: &A, problems: &[Problem<A>]) -> EngineRun {
-    let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
-    let mut phases = Vec::with_capacity(problems.len());
-    for p in problems {
-        let n = p.adj.node_count();
-        state = carry(alg, state, n);
-        let start = Instant::now();
-        let out = iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n));
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        state = out.state;
-        phases.push(PhaseOutcome {
-            label: p.label.clone(),
-            sigma_stable: is_stable(alg, &p.adj, &state),
-            work: out.iterations as u64,
-            messages: 0,
-            wall_ms,
-            digest: state_digest(&state),
-        });
-    }
-    EngineRun {
-        engine: "sync".into(),
-        phases,
-    }
-}
-
-fn schedule_for(faults: &FaultSpec, n: usize, seed: u64) -> Schedule {
-    match faults.schedule {
-        ScheduleSpec::AdversarialStale { victim, period } => Schedule::adversarial_stale(
-            n,
-            faults.horizon.max(1),
-            victim % n.max(1),
-            (period.max(1)) as usize,
-            (faults.max_delay as usize).max(1),
-        ),
-        ScheduleSpec::Random => {
-            let params = ScheduleParams {
-                activation_prob: faults.activation.clamp(0.05, 1.0),
-                max_delay: (faults.max_delay as usize).max(1),
-                duplicate_prob: faults.duplicate.clamp(0.0, 1.0),
-                reorder_prob: faults.reorder.clamp(0.0, 1.0),
-            };
-            Schedule::random(n, faults.horizon.max(1), params, seed)
-        }
-    }
-}
-
-fn run_delta_engine<A: RoutingAlgebra>(alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
-    let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
-    let mut phases = Vec::with_capacity(problems.len());
-    for (k, p) in problems.iter().enumerate() {
-        let n = p.adj.node_count();
-        state = carry(alg, state, n);
-        let sched = schedule_for(&p.faults, n, seed.wrapping_add(k as u64 * 0x9E37));
-        let start = Instant::now();
-        let out: DeltaOutcome<A> = run_delta(alg, &p.adj, &state, &sched);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        state = out.final_state;
-        phases.push(PhaseOutcome {
-            label: p.label.clone(),
-            sigma_stable: out.sigma_stable,
-            work: out.activations as u64,
-            messages: 0,
-            wall_ms,
-            digest: state_digest(&state),
-        });
-    }
-    EngineRun {
-        engine: format!("delta[{seed}]"),
-        phases,
-    }
-}
-
-fn sim_config_for(faults: &FaultSpec, seed: u64) -> SimConfig {
-    SimConfig {
-        loss_prob: faults.loss.clamp(0.0, 1.0),
-        duplicate_prob: faults.duplicate.clamp(0.0, 1.0),
-        min_delay: faults.min_delay.max(1),
-        max_delay: faults.max_delay.max(faults.min_delay.max(1)),
-        seed,
-        max_events: 2_000_000,
-        refresh_rounds: 64,
-    }
-}
-
-fn run_sim_engine<A: RoutingAlgebra>(alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
-    let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
-    let mut phases = Vec::with_capacity(problems.len());
-    for (k, p) in problems.iter().enumerate() {
-        let n = p.adj.node_count();
-        state = carry(alg, state, n);
-        let cfg = sim_config_for(&p.faults, seed.wrapping_add(k as u64 * 0xA5A5));
-        let start = Instant::now();
-        let out = EventSim::with_initial_state(alg, &p.adj, cfg, &state).run();
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        state = out.final_state;
-        phases.push(PhaseOutcome {
-            label: p.label.clone(),
-            sigma_stable: out.sigma_stable && !out.truncated,
-            work: out.stats.delivered,
-            messages: out.stats.sent,
-            wall_ms,
-            digest: state_digest(&state),
-        });
-    }
-    EngineRun {
-        engine: format!("sim[{seed}]"),
-        phases,
-    }
-}
-
-fn run_threaded_engine<A>(alg: &A, problems: &[Problem<A>]) -> EngineRun
-where
-    A: RoutingAlgebra + Clone + Send + Sync + 'static,
-    A::Route: Send + 'static,
-    A::Edge: Send + Sync + 'static,
-{
-    let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
-    let mut phases = Vec::with_capacity(problems.len());
-    for p in problems {
-        let n = p.adj.node_count();
-        state = carry(alg, state, n);
-        let start = Instant::now();
-        let report = run_threaded(alg, &p.adj, &state, ThreadedConfig::default());
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        state = report.final_state;
-        phases.push(PhaseOutcome {
-            label: p.label.clone(),
-            sigma_stable: report.sigma_stable && !report.timed_out,
-            work: report.stats.table_changes,
-            messages: report.stats.updates_sent,
-            wall_ms,
-            digest: state_digest(&state),
-        });
-    }
-    EngineRun {
-        engine: "threaded".into(),
-        phases,
-    }
-}
-
 /// Run every requested engine over the phase problems and compute the
-/// differential verdict.
-fn execute<A>(alg: &A, problems: &[Problem<A>], spec: &Scenario) -> ScenarioReport
+/// differential verdict.  Pure registry dispatch: the engine list is data,
+/// and every engine — including the protocol adapters and any future
+/// addition — arrives here through [`crate::engine::engine_for`].
+fn execute<A: ScenarioAlgebra>(alg: &A, problems: &[Problem<A>], spec: &Scenario) -> ScenarioReport
 where
-    A: RoutingAlgebra + Clone + Send + Sync + 'static,
     A::Route: Send + 'static,
-    A::Edge: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
 {
     let mut runs = Vec::new();
-    for engine in &spec.engines {
-        match engine {
-            EngineKind::Sync => runs.push(run_sync_engine(alg, problems)),
-            EngineKind::Threaded => runs.push(run_threaded_engine(alg, problems)),
-            EngineKind::Delta => {
-                // adversarial_stale schedules are pure functions of the
-                // phase parameters, so when every phase uses one the seeds
-                // would produce byte-identical runs — run the engine once.
-                let deterministic = spec
-                    .phases
-                    .iter()
-                    .all(|p| matches!(p.faults.schedule, ScheduleSpec::AdversarialStale { .. }));
-                let seeds = if deterministic {
-                    &spec.seeds[..1]
-                } else {
-                    &spec.seeds[..]
-                };
-                for &seed in seeds {
-                    runs.push(run_delta_engine(alg, problems, seed));
-                }
-            }
-            EngineKind::Sim => {
-                for &seed in &spec.seeds {
-                    runs.push(run_sim_engine(alg, problems, seed));
-                }
-            }
+    for &kind in &spec.engines {
+        let engine = engine_for::<A>(kind);
+        for &seed in engine_seeds(kind, spec) {
+            runs.push(engine.run(alg, problems, seed));
         }
     }
     let verdict = differential_verdict(&runs, problems.len());
@@ -533,7 +337,7 @@ fn differential_verdict(runs: &[EngineRun], phase_count: usize) -> Agreement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{Expectation, PhaseSpec};
+    use crate::spec::{EngineKind, Expectation, PhaseSpec};
 
     fn hopcount_ring() -> Scenario {
         Scenario {

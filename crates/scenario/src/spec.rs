@@ -201,10 +201,20 @@ impl WeightRule {
 }
 
 /// The execution engines a scenario can request.
+///
+/// This enum is purely nominal: names, parsing, seed handling, size
+/// capabilities and algebra support all live in the engine registry
+/// ([`crate::engine::descriptors`]), and execution is dispatched through
+/// the [`crate::engine::Engine`] trait — adding an engine means adding a
+/// variant here, a descriptor there, and one trait impl; no other dispatch
+/// site exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// Synchronous σ-iteration to a fixed point (`dbf-matrix`).
     Sync,
+    /// Incremental dirty-row σ (`dbf-matrix::incremental`): after a
+    /// topology change only the perturbed rows recompute.
+    Incremental,
     /// The asynchronous iterate δ under seeded random schedules
     /// (`dbf-async`).
     Delta,
@@ -213,28 +223,41 @@ pub enum EngineKind {
     /// The genuinely concurrent one-thread-per-router runtime
     /// (`dbf-protocols`).
     Threaded,
+    /// The message-level RIP protocol engine (`dbf-protocols::rip`);
+    /// requires the hopcount algebra.
+    Rip,
+    /// The message-level BGP protocol engine (`dbf-protocols::bgp`);
+    /// requires the bgp algebra.
+    Bgp,
 }
 
 impl EngineKind {
-    /// The canonical lowercase name.
+    /// The canonical lowercase name (from the engine registry).
     pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Sync => "sync",
-            EngineKind::Delta => "delta",
-            EngineKind::Sim => "sim",
-            EngineKind::Threaded => "threaded",
-        }
+        crate::engine::descriptor(self).name
     }
 
-    /// Parse a canonical name.
+    /// Every registered engine, in presentation order.
+    pub fn all() -> impl Iterator<Item = EngineKind> {
+        crate::engine::descriptors().iter().map(|d| d.kind)
+    }
+
+    /// Parse a canonical name (consulting the engine registry).
     pub fn parse(s: &str) -> Result<Self, SpecError> {
-        match s {
-            "sync" => Ok(EngineKind::Sync),
-            "delta" => Ok(EngineKind::Delta),
-            "sim" => Ok(EngineKind::Sim),
-            "threaded" => Ok(EngineKind::Threaded),
-            other => Err(SpecError::new(format!("unknown engine {other:?}"))),
-        }
+        crate::engine::descriptors()
+            .iter()
+            .find(|d| d.name == s)
+            .map(|d| d.kind)
+            .ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown engine {s:?} (registered: {})",
+                    crate::engine::descriptors()
+                        .iter()
+                        .map(|d| d.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
     }
 }
 
@@ -490,6 +513,12 @@ impl Scenario {
         }
         if self.seeds.is_empty() {
             return Err(SpecError::new("a scenario needs at least one seed"));
+        }
+        // Capability gating lives in the registry: engines tied to one
+        // algebra (the protocol adapters) reject everything else here, at
+        // validation time, before any engine runs.
+        for &engine in &self.engines {
+            (crate::engine::descriptor(engine).supports)(self)?;
         }
         match (&self.algebra, &self.topology) {
             (AlgebraSpec::GaoRexford, TopologySpec::Tiered { .. }) => {}
@@ -1272,14 +1301,42 @@ mod tests {
 
     #[test]
     fn engine_names_round_trip() {
-        for e in [
-            EngineKind::Sync,
-            EngineKind::Delta,
-            EngineKind::Sim,
-            EngineKind::Threaded,
-        ] {
+        let mut seen = 0;
+        for e in EngineKind::all() {
             assert_eq!(EngineKind::parse(e.name()).unwrap(), e);
+            seen += 1;
         }
+        assert!(seen >= 7, "the registry promises at least seven engines");
         assert!(EngineKind::parse("warp").is_err());
+    }
+
+    #[test]
+    fn protocol_engines_are_gated_to_their_algebras() {
+        let mut s = demo(); // hopcount
+        s.engines = vec![EngineKind::Sync, EngineKind::Rip, EngineKind::Incremental];
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+
+        s.engines = vec![EngineKind::Bgp];
+        let err = s.validate().expect_err("bgp engine on a hopcount algebra");
+        assert!(err.message.contains("bgp"), "{err}");
+
+        s.algebra = AlgebraSpec::Bgp {
+            policy_depth: 1,
+            policy_seed: 7,
+        };
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        s.engines = vec![EngineKind::Rip];
+        assert!(s.validate().is_err(), "rip engine on a bgp algebra");
+
+        // A hop limit that does not fit the u32 wire metric is rejected for
+        // the rip engine (huge finite metrics would be ambiguous on the
+        // wire) but fine for the in-memory engines.
+        s.algebra = AlgebraSpec::Hopcount {
+            limit: u32::MAX as u64,
+        };
+        let err = s.validate().expect_err("hop limit beyond the wire metric");
+        assert!(err.message.contains("does not fit"), "{err}");
+        s.engines = vec![EngineKind::Sync, EngineKind::Incremental];
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
     }
 }

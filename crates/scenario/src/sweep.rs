@@ -312,6 +312,17 @@ impl Sweep {
                 }
             }
         }
+        // Per-engine size capabilities: engines whose recommended maximum
+        // the derived topology exceeds are dropped automatically, so one
+        // sweep can span 10¹–10⁴ nodes without hand-tuning a per-point
+        // engine list (the registry's shared eligibility filter, not the
+        // sweep, knows each engine's limits).  If every requested engine
+        // is over budget the list is kept as written — an explicit request
+        // beats a recommendation.
+        let kept = crate::engine::eligible_engines(&s, &s.engines, false);
+        if !kept.is_empty() {
+            s.engines = kept;
+        }
         let seed = self.run_seed(point, replicate);
         // Stochastic engines get the derived seed; random topology families
         // are reseeded too, so replicates are statistically independent.
@@ -761,6 +772,60 @@ mod tests {
             5
         )
         .is_err());
+    }
+
+    #[test]
+    fn engine_capabilities_prune_oversized_grid_points() {
+        // The registry declares per-engine size recommendations; the sweep
+        // deriver consults them so one grid can span 10¹–10⁴ nodes without
+        // a hand-tuned per-point engine list.
+        let mut sweep = tiny_sweep();
+        sweep.base.engines = vec![
+            EngineKind::Sync,
+            EngineKind::Incremental,
+            EngineKind::Sim,
+            EngineKind::Threaded,
+        ];
+        sweep.axes = vec![Axis {
+            param: AxisParam::N,
+            values: vec![AxisValue::Int(8), AxisValue::Int(100), AxisValue::Int(600)],
+        }];
+        let grid = sweep.grid();
+        let small = sweep.derive_scenario(&grid[0], 0).unwrap();
+        assert_eq!(small.engines.len(), 4, "all engines fit n=8");
+        let medium = sweep.derive_scenario(&grid[1], 0).unwrap();
+        assert_eq!(
+            medium.engines,
+            vec![EngineKind::Sync, EngineKind::Incremental, EngineKind::Sim],
+            "threaded (max 64) is dropped at n=100"
+        );
+        let large = sweep.derive_scenario(&grid[2], 0).unwrap();
+        assert_eq!(
+            large.engines,
+            vec![EngineKind::Sync, EngineKind::Incremental],
+            "sim (max 512) is dropped at n=600"
+        );
+
+        // An explicit request that nothing survives is kept as written so
+        // validation can explain the problem instead of running nothing.
+        sweep.base.engines = vec![EngineKind::Threaded];
+        let kept = sweep.derive_scenario(&grid[2], 0).unwrap();
+        assert_eq!(kept.engines, vec![EngineKind::Threaded]);
+    }
+
+    #[test]
+    fn the_builtin_scaling_sweep_derives_engines_from_capabilities() {
+        let sweep = crate::sweeps::by_name("widest-fabric-scaling").unwrap();
+        let grid = sweep.grid();
+        let at = |k: usize| sweep.derive_scenario(&grid[k], 0).unwrap().engines;
+        assert!(at(0).contains(&EngineKind::Sim), "n=10 keeps the simulator");
+        assert!(at(1).contains(&EngineKind::Delta), "n=100 keeps delta");
+        assert_eq!(
+            at(2),
+            vec![EngineKind::Sync, EngineKind::Incremental],
+            "n=1000 drops the per-message engines automatically"
+        );
+        assert_eq!(at(3), vec![EngineKind::Sync, EngineKind::Incremental]);
     }
 
     #[test]

@@ -101,19 +101,26 @@ pub fn loss_rate_robustness() -> Sweep {
     }
 }
 
-/// Synchronous scaling on a low-diameter fabric up to 10⁴ nodes: the
-/// sparse σ engine converges in O(diameter) rounds, so this sweep measures
-/// raw per-round throughput at production-ish sizes.
+/// Scaling on a low-diameter fabric up to 10⁴ nodes, with a mid-run spine
+/// link failure: the sparse σ engine converges in O(diameter) rounds, the
+/// incremental dirty-row engine must reconverge after the failure touching
+/// only the perturbed region, and the δ/sim engines ride along at the
+/// small sizes until their registry-declared `max_recommended_n` drops
+/// them from the larger grid points automatically.
 pub fn widest_fabric_scaling() -> Sweep {
     Sweep {
         name: "widest-fabric-scaling".into(),
         description: "Widest-path (bottleneck bandwidth) routing on a 4-spine leaf-spine \
-                      fabric, scaled from 10 to 10,000 nodes; σ rounds stay O(diameter) \
-                      while per-round cost grows with n·|E|."
+                      fabric, scaled from 10 to 10,000 nodes, with a spine link failing \
+                      mid-run; σ rounds stay O(diameter) while per-round cost grows with \
+                      n·|E|, and the incremental engine reconverges after the failure in \
+                      work proportional to the perturbed region."
             .into(),
         base: Scenario {
             name: "widest-leaf-spine".into(),
-            description: "Bottleneck-bandwidth routing on a leaf-spine fabric.".into(),
+            description: "Bottleneck-bandwidth routing on a leaf-spine fabric with a \
+                          spine link failure."
+                .into(),
             topology: TopologySpec::LeafSpine {
                 spines: 4,
                 leaves: 6,
@@ -126,9 +133,21 @@ pub fn widest_fabric_scaling() -> Sweep {
                     base: 10,
                 },
             },
-            engines: vec![EngineKind::Sync],
+            engines: vec![
+                EngineKind::Sync,
+                EngineKind::Incremental,
+                EngineKind::Delta,
+                EngineKind::Sim,
+            ],
             seeds: vec![1],
-            phases: vec![PhaseSpec::quiet("scale")],
+            phases: vec![
+                PhaseSpec::quiet("scale"),
+                PhaseSpec {
+                    label: "spine 0 loses leaf 5".into(),
+                    changes: vec![ChangeSpec::FailLink { a: 0, b: 5 }],
+                    faults: FaultSpec::default(),
+                },
+            ],
             expect: Expectation::default(),
         },
         base_ref: None,

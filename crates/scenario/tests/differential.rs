@@ -31,15 +31,15 @@ fn every_builtin_meets_its_differential_expectation() {
                 report.summary()
             );
         }
-        let run_count: usize = scenario
-            .engines
-            .iter()
-            .map(|e| match e {
-                EngineKind::Sync | EngineKind::Threaded => 1,
-                EngineKind::Delta | EngineKind::Sim => scenario.seeds.len(),
-            })
-            .sum();
-        assert_eq!(report.runs.len(), run_count, "{}", scenario.name);
+        // The registry is the single source of truth for how many runs each
+        // engine contributes (deterministic engines once, seeded engines
+        // once per seed).
+        assert_eq!(
+            report.runs.len(),
+            planned_runs(&scenario),
+            "{}",
+            scenario.name
+        );
     }
 }
 

@@ -1,0 +1,200 @@
+//! The shared engine-conformance suite.
+//!
+//! Every engine in the registry is held to the same contract, over at
+//! least three scenarios it supports:
+//!
+//! 1. **σ-stability** — every phase of every run ends in a σ-stable state;
+//! 2. **agreement with sync** — on strictly-increasing algebras the
+//!    engine's per-phase digests equal the synchronous reference's
+//!    (Theorems 7/11 as a per-engine obligation);
+//! 3. **determinism** — two runs with the same seed produce the same
+//!    digests (and, for the single-process engines, the same work and
+//!    message counts; the threaded runtime's counters are legitimately
+//!    scheduling-dependent, but its fixed point is not).
+//!
+//! A newly registered engine is picked up automatically: the suite
+//! iterates `EngineKind::all()`, so failing to meet the contract is a test
+//! failure, not a code-review hope.
+
+use dbf_scenario::prelude::*;
+
+/// At least three positive scenarios the engine supports: the builtin
+/// library first, topped up with synthesized specs for algebra-gated
+/// engines whose builtin coverage is thinner (bgp has one builtin).
+fn conformance_scenarios(kind: EngineKind) -> Vec<Scenario> {
+    let mut specs: Vec<Scenario> = builtins::all()
+        .into_iter()
+        .filter(|s| s.expect.converges && s.expect.agreement)
+        .filter(|s| (descriptor(kind).supports)(s).is_ok())
+        .collect();
+    for extra in synthesized_specs() {
+        if specs.len() >= 3 {
+            break;
+        }
+        if (descriptor(kind).supports)(&extra).is_ok()
+            && !specs.iter().any(|s| s.name == extra.name)
+        {
+            specs.push(extra);
+        }
+    }
+    specs.truncate(3);
+    specs
+}
+
+/// Hand-rolled positive specs covering the algebra-gated engines.
+fn synthesized_specs() -> Vec<Scenario> {
+    let bgp = |name: &str, topology: TopologySpec, changes: Vec<ChangeSpec>| Scenario {
+        name: name.into(),
+        description: "engine-contract fixture".into(),
+        topology,
+        algebra: AlgebraSpec::Bgp {
+            policy_depth: 2,
+            policy_seed: 0x5EED,
+        },
+        engines: vec![EngineKind::Sync],
+        seeds: vec![11],
+        phases: vec![
+            PhaseSpec::quiet("baseline"),
+            PhaseSpec {
+                label: "change".into(),
+                changes,
+                faults: FaultSpec::default(),
+            },
+        ],
+        expect: Expectation::default(),
+    };
+    vec![
+        bgp(
+            "contract-bgp-ring",
+            TopologySpec::Ring { n: 6 },
+            vec![ChangeSpec::FailLink { a: 0, b: 5 }],
+        ),
+        bgp(
+            "contract-bgp-grid",
+            TopologySpec::Grid { rows: 2, cols: 3 },
+            vec![ChangeSpec::FailLink { a: 0, b: 1 }],
+        ),
+        bgp(
+            "contract-bgp-line",
+            TopologySpec::Line { n: 5 },
+            vec![ChangeSpec::SetLink { a: 0, b: 4 }],
+        ),
+    ]
+}
+
+fn digests(run: &EngineRun) -> Vec<&str> {
+    run.phases.iter().map(|p| p.digest.as_str()).collect()
+}
+
+#[test]
+fn every_registered_engine_meets_the_contract() {
+    for kind in EngineKind::all() {
+        let specs = conformance_scenarios(kind);
+        assert!(
+            specs.len() >= 3,
+            "engine {kind:?} needs at least 3 conformance scenarios, found {}",
+            specs.len()
+        );
+        for mut spec in specs {
+            // Run the engine side by side with the synchronous reference.
+            spec.engines = if kind == EngineKind::Sync {
+                vec![EngineKind::Sync]
+            } else {
+                vec![EngineKind::Sync, kind]
+            };
+            let name = spec.name.clone();
+            let report =
+                run_scenario(&spec).unwrap_or_else(|e| panic!("engine {kind:?} on {name}: {e}"));
+
+            // 1. σ-stability, every engine, every phase.
+            for run in &report.runs {
+                for phase in &run.phases {
+                    assert!(
+                        phase.sigma_stable,
+                        "engine {kind:?} on {name}: run {} phase {:?} is not σ-stable",
+                        run.engine, phase.label
+                    );
+                }
+            }
+            // 2. Agreement with sync in every phase.
+            assert!(
+                report.verdict.per_phase.iter().all(|&ok| ok),
+                "engine {kind:?} on {name} disagrees with sync:\n{}",
+                report.summary()
+            );
+
+            // 3. Determinism for a fixed seed: identical digests (and
+            //    identical deterministic counters for everything but the
+            //    genuinely concurrent runtime).
+            let again = run_scenario(&spec).unwrap();
+            assert_eq!(report.runs.len(), again.runs.len(), "{name}");
+            for (a, b) in report.runs.iter().zip(again.runs.iter()) {
+                assert_eq!(a.engine, b.engine, "{name}");
+                assert_eq!(
+                    digests(a),
+                    digests(b),
+                    "engine {kind:?} on {name}: digests must be deterministic"
+                );
+                if kind != EngineKind::Threaded {
+                    for (pa, pb) in a.phases.iter().zip(b.phases.iter()) {
+                        assert_eq!(
+                            (pa.work, pa.messages, pa.bytes),
+                            (pb.work, pb.messages, pb.bytes),
+                            "engine {kind:?} on {name}: counters must be deterministic"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The registry's run planning is what the reports and CLI rely on:
+/// deterministic engines contribute one run, seeded engines one per seed
+/// (with the δ adversarial collapse).
+#[test]
+fn planned_runs_matches_actual_runs_for_every_engine() {
+    for kind in EngineKind::all() {
+        let Some(mut spec) = conformance_scenarios(kind).into_iter().next() else {
+            continue;
+        };
+        spec.engines = vec![kind];
+        spec.seeds = vec![5, 6];
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(
+            report.runs.len(),
+            planned_runs(&spec),
+            "engine {kind:?}: planned vs actual run count"
+        );
+    }
+}
+
+/// The incremental engine's reason to exist: on the topology-change phase
+/// of a fabric scenario it must recompute dramatically fewer rows than the
+/// full σ sweep touches — while landing on the identical digest (that part
+/// is already enforced above; this pins the work asymmetry).
+#[test]
+fn incremental_sigma_is_cheaper_than_full_sigma_on_change_phases() {
+    let sweep = sweeps::by_name("widest-fabric-scaling").unwrap();
+    let grid = sweep.grid();
+    // n=100: big enough that the frontier is a small fraction of the
+    // network, small enough for a debug-profile test.
+    let mut spec = sweep.derive_scenario(&grid[1], 0).unwrap();
+    spec.engines = vec![EngineKind::Sync, EngineKind::Incremental];
+    let report = run_scenario(&spec).unwrap();
+    assert!(report.verdict.agreement, "{}", report.summary());
+    let n = 100u64;
+    let sync = &report.runs[0];
+    let inc = &report.runs[1];
+    let change = sync.phases.len() - 1;
+    assert_eq!(sync.phases[change].digest, inc.phases[change].digest);
+    // Full σ recomputes n rows per round (plus the final stability round);
+    // the dirty-row engine touches only the perturbed region.
+    let full_row_equivalents = (sync.phases[change].work + 1) * n;
+    assert!(
+        inc.phases[change].work * 10 <= full_row_equivalents,
+        "incremental change-phase work {} vs full-σ row equivalents {}",
+        inc.phases[change].work,
+        full_row_equivalents
+    );
+}

@@ -38,6 +38,35 @@ fn every_builtin_sweep_has_a_well_formed_grid() {
     }
 }
 
+/// The capability-driven engine pruning must keep the determinism
+/// contract: `widest-fabric-scaling` (which now derives per-point engine
+/// lists from `EngineInfo::max_recommended_n` instead of a hand-tuned
+/// list) still produces byte-identical aggregated JSON across job counts.
+/// Restricted to the n=10 grid point so the test stays seconds, not
+/// minutes — the pruning logic itself is size-independent.
+#[test]
+fn widest_fabric_scaling_json_is_byte_identical_across_job_counts() {
+    let sweep = sweeps::by_name("widest-fabric-scaling").unwrap();
+    let run = |jobs: usize| {
+        run_sweep(
+            &sweep,
+            &SweepRunOptions {
+                jobs,
+                point: Some(0),
+                replicate: None,
+            },
+        )
+        .expect("widest-fabric-scaling point 0 runs")
+    };
+    let sequential = run(1).to_json(false).to_string();
+    let parallel = run(8).to_json(false).to_string();
+    assert_eq!(sequential, parallel);
+    assert!(
+        sequential.contains("\"ok\": true"),
+        "the differential checker holds on the derived engine set:\n{sequential}"
+    );
+}
+
 /// The determinism contract behind the parallel executor: identical seeds
 /// must produce byte-identical aggregated JSON regardless of the job
 /// count, because the seeds are derived from `(sweep, point, replicate)`
