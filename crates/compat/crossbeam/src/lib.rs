@@ -1,10 +1,15 @@
 //! A workspace-local, dependency-free stand-in for the subset of the
 //! crates.io `crossbeam` API used by this repository: multi-producer,
-//! multi-consumer unbounded channels with `recv_timeout`.
+//! multi-consumer unbounded channels with `recv_timeout`, and scoped
+//! worker threads (`crossbeam::thread::scope`).
 //!
-//! Built on `std::sync::{Mutex, Condvar}`; performance is adequate for the
-//! threaded routing runtime, and semantics (FIFO per channel, cloneable
-//! senders *and* receivers) match what `dbf-protocols` relies on.
+//! Channels are built on `std::sync::{Mutex, Condvar}`; performance is
+//! adequate for the threaded routing runtime, and semantics (FIFO per
+//! channel, cloneable senders *and* receivers) match what `dbf-protocols`
+//! relies on.  Scoped threads wrap `std::thread::scope`, which provides the
+//! same borrow-the-stack guarantee the real crossbeam pioneered; the
+//! parallel σ row sweep in `dbf-matrix` runs its per-round worker pool
+//! through this module.
 
 #![forbid(unsafe_code)]
 
@@ -127,6 +132,89 @@ pub mod channel {
     }
 }
 
+/// Scoped threads mirroring `crossbeam::thread` (the `crossbeam_utils`
+/// re-export): spawn workers that may borrow from the enclosing stack and
+/// are all joined before `scope` returns.
+pub mod thread {
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// The spawn surface handed to the `scope` closure (and to every
+    /// spawned closure, so workers can spawn further workers).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread.  As in crossbeam, the closure receives
+        /// the scope again so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing scoped threads can be
+    /// spawned; every spawned thread is joined before this returns.
+    ///
+    /// Matching crossbeam's semantics: a panic in `f` *itself* resumes on
+    /// the caller (after all workers are joined), while `Err(payload)` is
+    /// reserved for panics of *unjoined* spawned threads — explicitly
+    /// `join`ed panics are delivered through the handle instead.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // `std::thread::scope` re-raises unjoined child panics after
+        // joining everything; catching that panic is what turns the std
+        // semantics into crossbeam's `Result` contract.  `f`'s own panic
+        // is caught separately so it can resume as a panic rather than be
+        // misreported as a worker failure.  The closures only touch
+        // caller-owned data through the scope, so the unwind-safety
+        // assertions do not hide broken invariants beyond what crossbeam
+        // itself promises.
+        let mut f_panic: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+        let scope_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(&Scope { inner: s })
+                })) {
+                    Ok(r) => Some(r),
+                    Err(payload) => {
+                        f_panic = Some(payload);
+                        None
+                    }
+                }
+            })
+        }));
+        // As in crossbeam, the scope closure's own panic takes precedence
+        // over unjoined-worker panics.
+        if let Some(payload) = f_panic {
+            std::panic::resume_unwind(payload);
+        }
+        match scope_result {
+            Ok(r) => Ok(r.expect("f completed without panicking")),
+            Err(worker_payload) => Err(worker_payload),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, RecvTimeoutError};
@@ -174,5 +262,62 @@ mod tests {
         let a = rx1.recv_timeout(Duration::from_millis(10)).unwrap();
         let b = rx2.recv_timeout(Duration::from_millis(10)).unwrap();
         assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut partials = [0u64; 4];
+        crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (k, slot) in partials.iter_mut().enumerate() {
+                let chunk = &data[k * 25..(k + 1) * 25];
+                handles.push(s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                    k
+                }));
+            }
+            let ids: Vec<usize> = handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+        })
+        .expect("no unjoined panics");
+        assert_eq!(partials.iter().sum::<u64>(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn scoped_threads_can_spawn_nested_workers() {
+        let result = crate::thread::scope(|s| {
+            s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().expect("inner ok") * 2
+            })
+            .join()
+            .expect("outer ok")
+        })
+        .expect("scope ok");
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn unjoined_scoped_panics_surface_as_err() {
+        let outcome = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("worker exploded"));
+            // Not joined: the scope must deliver the panic as Err.
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "the scope closure itself")]
+    fn a_panic_in_the_scope_closure_resumes_as_a_panic_not_err() {
+        // Crossbeam semantics: Err is reserved for unjoined workers; the
+        // closure's own panic propagates (after workers are joined).
+        let _ = crate::thread::scope(|s| {
+            s.spawn(|_| 1 + 1);
+            panic!("the scope closure itself");
+        });
     }
 }

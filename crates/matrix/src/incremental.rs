@@ -23,6 +23,7 @@
 //! a change `O(perturbed region)` instead of `O(n · |E|)` per round.
 
 use crate::adjacency::AdjacencyMatrix;
+use crate::parallel::{par_recompute_rows, ParallelAlgebra};
 use crate::sigma::sigma_row_into;
 use crate::state::RoutingState;
 use dbf_algebra::RoutingAlgebra;
@@ -80,6 +81,35 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
     dirty0: &[bool],
     max_rounds: usize,
 ) -> IncrementalOutcome<A> {
+    let mut scratch: Vec<A::Route> = vec![alg.invalid(); adj.node_count()];
+    run_dirty_loop(adj, x0, dirty0, max_rounds, |state, worklist| {
+        let mut changed = Vec::new();
+        for &i in worklist {
+            sigma_row_into(alg, adj, state, i, &mut scratch);
+            if scratch[..] != *state.row(i) {
+                changed.push((i, scratch.clone()));
+            }
+        }
+        changed
+    })
+}
+
+/// The shared dirty-set engine behind the sequential and sharded dirty-row
+/// iterations: the round loop, the dependant bookkeeping and the outcome
+/// accounting live here *once*, parameterised only by how a round's work
+/// list is recomputed.  `recompute` receives the previous round's state and
+/// the ascending dirty-row work list and must return the rows whose tables
+/// changed (with their new values) in ascending row order — which is
+/// exactly what both the sequential kernel and
+/// [`crate::parallel::par_recompute_rows`] produce, so the trajectory is
+/// identical by construction rather than by keeping two loops in lockstep.
+fn run_dirty_loop<A: RoutingAlgebra>(
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    dirty0: &[bool],
+    max_rounds: usize,
+    mut recompute: impl FnMut(&RoutingState<A>, &[usize]) -> Vec<(usize, Vec<A::Route>)>,
+) -> IncrementalOutcome<A> {
     let n = adj.node_count();
     assert_eq!(
         n,
@@ -99,11 +129,6 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
     let mut state = x0.clone();
     let mut dirty = dirty0.to_vec();
     let mut next_dirty = vec![false; n];
-    // Changed rows are buffered and applied after the sweep so every
-    // recomputation reads the *previous* round's values (Jacobi order) —
-    // this is what keeps the trajectory identical to the full σ iteration.
-    let mut changed: Vec<(usize, Vec<A::Route>)> = Vec::new();
-    let mut scratch: Vec<A::Route> = vec![alg.invalid(); n];
     let mut rounds = 0usize;
     let mut row_recomputations = 0u64;
 
@@ -117,14 +142,13 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
             };
         }
         rounds += 1;
-        for i in (0..n).filter(|&i| dirty[i]) {
-            row_recomputations += 1;
-            sigma_row_into(alg, adj, &state, i, &mut scratch);
-            if scratch[..] != *state.row(i) {
-                changed.push((i, scratch.clone()));
-            }
-        }
-        for (i, row) in changed.drain(..) {
+        let worklist: Vec<usize> = (0..n).filter(|&i| dirty[i]).collect();
+        row_recomputations += worklist.len() as u64;
+        // Changed rows are buffered and applied after the whole work list
+        // is recomputed, so every recomputation reads the *previous*
+        // round's values (Jacobi order) — this is what keeps the
+        // trajectory identical to the full σ iteration.
+        for (i, row) in recompute(&state, &worklist) {
             state.row_mut(i).clone_from_slice(&row);
             for &d in &dependants[i] {
                 next_dirty[d] = true;
@@ -139,6 +163,41 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
         row_recomputations,
         converged: true,
     }
+}
+
+/// [`iterate_dirty_to_fixed_point`] with each round's dirty-row work list
+/// sharded across up to `threads` worker threads (see [`crate::parallel`]).
+///
+/// The trajectory is identical to the sequential engine for every thread
+/// count: a round recomputes exactly the dirty rows from the previous
+/// round's buffered state (each row by exactly one worker), the changed
+/// rows are applied in ascending row order, and the dirty bookkeeping is
+/// single-threaded — so `state`, `rounds` and `row_recomputations` are all
+/// pure functions of the problem.  `threads <= 1` runs the sequential
+/// engine directly.
+///
+/// # Panics
+///
+/// Panics if `adj`, `x0` and `dirty0` do not agree on the node count.
+pub fn par_iterate_dirty_to_fixed_point<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    dirty0: &[bool],
+    max_rounds: usize,
+    threads: usize,
+) -> IncrementalOutcome<A>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+    if threads <= 1 {
+        return iterate_dirty_to_fixed_point(alg, adj, x0, dirty0, max_rounds);
+    }
+    run_dirty_loop(adj, x0, dirty0, max_rounds, |state, worklist| {
+        par_recompute_rows(alg, adj, state, worklist, threads)
+    })
 }
 
 #[cfg(test)]
@@ -254,6 +313,38 @@ mod tests {
         let full = iterate_to_fixed_point(&alg, &grown, &state0, 100);
         assert!(inc.converged);
         assert_eq!(inc.state, full.state);
+    }
+
+    #[test]
+    fn the_sharded_engine_reproduces_the_sequential_trajectory() {
+        // Fresh start and change-phase start, across thread counts: state,
+        // round count and row-recomputation count must all be identical to
+        // the sequential dirty engine (which itself matches full σ).
+        let alg = ShortestPaths::new();
+        let adj = weighted_ring(23);
+        let x0 = RoutingState::identity(&alg, 23);
+        let seq = iterate_dirty_to_fixed_point(&alg, &adj, &x0, &[true; 23], 300);
+        for threads in [2, 3, 8] {
+            let par = par_iterate_dirty_to_fixed_point(&alg, &adj, &x0, &[true; 23], 300, threads);
+            assert_eq!(par.state, seq.state, "threads={threads}");
+            assert_eq!(par.rounds, seq.rounds, "threads={threads}");
+            assert_eq!(
+                par.row_recomputations, seq.row_recomputations,
+                "threads={threads}"
+            );
+            assert!(par.converged);
+        }
+
+        let mut cut = adj.clone();
+        cut.set(0, 1, None);
+        cut.set(1, 0, None);
+        let dirty = dirty_rows_after_change(&adj, &cut);
+        let seq2 = iterate_dirty_to_fixed_point(&alg, &cut, &seq.state, &dirty, 300);
+        let par2 = par_iterate_dirty_to_fixed_point(&alg, &cut, &seq.state, &dirty, 300, 4);
+        assert_eq!(par2.state, seq2.state);
+        assert_eq!(par2.rounds, seq2.rounds);
+        assert_eq!(par2.row_recomputations, seq2.row_recomputations);
+        assert!(is_stable(&alg, &cut, &par2.state));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   are recomputed, reproducing the full σ trajectory while making
 //!   reconvergence after a topology change proportional to the perturbed
 //!   region rather than to the whole network;
+//! * [`parallel`] — the same sweeps sharded across worker threads: the
+//!   Jacobi round is row-parallel by construction, so degree-balanced
+//!   contiguous row bands computed by a scoped worker pool produce results
+//!   **bit-identical** to the sequential iteration at any thread count;
 //! * [`oracle`] — an exhaustive all-simple-paths optimum used to cross-check
 //!   fixed points: for distributive algebras the fixed point must equal the
 //!   global path optimum (the classical theory), while policy-rich algebras
@@ -58,12 +62,17 @@
 pub mod adjacency;
 pub mod incremental;
 pub mod oracle;
+pub mod parallel;
 pub mod sigma;
 pub mod state;
 pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
-pub use incremental::{dirty_rows_after_change, iterate_dirty_to_fixed_point, IncrementalOutcome};
+pub use incremental::{
+    dirty_rows_after_change, iterate_dirty_to_fixed_point, par_iterate_dirty_to_fixed_point,
+    IncrementalOutcome,
+};
+pub use parallel::{par_iterate_to_fixed_point, par_sigma_into, ParallelAlgebra};
 pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
 pub use state::RoutingState;
 pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
@@ -72,9 +81,11 @@ pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
     pub use crate::incremental::{
-        dirty_rows_after_change, iterate_dirty_to_fixed_point, IncrementalOutcome,
+        dirty_rows_after_change, iterate_dirty_to_fixed_point, par_iterate_dirty_to_fixed_point,
+        IncrementalOutcome,
     };
     pub use crate::oracle::exhaustive_path_optimum;
+    pub use crate::parallel::{par_iterate_to_fixed_point, par_sigma_into, ParallelAlgebra};
     pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
     pub use crate::state::RoutingState;
     pub use crate::sync::{is_stable, iterate_to_fixed_point, SyncOutcome};

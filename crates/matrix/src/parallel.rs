@@ -1,0 +1,401 @@
+//! Deterministic multi-threaded σ: the row sweep sharded across worker
+//! threads.
+//!
+//! One Jacobi round `σ(X)` computes every row of the next state from the
+//! *previous* state only, so the row sweep is embarrassingly parallel: the
+//! sweep is partitioned into contiguous row bands, each band is written by
+//! exactly one worker into its disjoint slice of the double buffer, and the
+//! result is **bit-identical** to the sequential sweep for every thread
+//! count — no reduction order, no scheduling dependence, nothing for a
+//! thread to race on.  The differential checker therefore treats the
+//! parallel engine exactly like the sequential one: same digests, same
+//! iteration counts, same JSON.
+//!
+//! Bands are balanced by *work*, not by row count: one row of `σ(X)` costs
+//! `O(deg(i) · n)`, and real fabrics are skewed (a leaf–spine spine imports
+//! from thousands of leaves while a leaf imports from four spines), so
+//! equal-row bands would leave most workers idle behind the one holding the
+//! hubs.  The internal `balanced_chunks` planner cuts the row list at
+//! cumulative-degree boundaries instead.
+//!
+//! Workers run on scoped threads through the `crossbeam` shim
+//! ([`crossbeam::thread::scope`]); the calling thread executes the first
+//! band itself, so `threads = t` uses exactly `t` OS threads.
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::sigma::{sigma_into, sigma_row_into};
+use crate::state::RoutingState;
+use crate::sync::{iterate_to_fixed_point, SyncOutcome};
+use dbf_algebra::RoutingAlgebra;
+use std::ops::Range;
+
+/// The algebra bounds of the parallel sweep: the algebra and adjacency are
+/// shared read-only across workers and each worker writes `Route`s into its
+/// own band.
+pub trait ParallelAlgebra: RoutingAlgebra + Sync
+where
+    Self::Route: Send + Sync,
+    Self::Edge: Sync,
+{
+}
+
+impl<A> ParallelAlgebra for A
+where
+    A: RoutingAlgebra + Sync,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+}
+
+/// Partition `0..len` into at most `parts` non-empty contiguous ranges of
+/// approximately equal total `weight`.  Cuts fall where the cumulative
+/// weight crosses `k/parts` of the total, so a few heavy items early (hub
+/// rows) shrink the first range instead of starving the later workers.
+pub(crate) fn balanced_chunks(
+    len: usize,
+    parts: usize,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let total: u64 = (0..len).map(&weight).sum();
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    let mut acc = 0u64;
+    let mut pos = 0usize;
+    for k in 1..parts {
+        let target = total * k as u64 / parts as u64;
+        // Every range gets at least one item, and enough items are left
+        // over for the remaining ranges to be non-empty too.  A row is
+        // taken only while that lands the cut *nearer* the target than
+        // stopping would (closest-cut): crossing-then-cutting instead
+        // would glue two heavy hub rows into one band.
+        let min_end = bounds[k - 1] + 1;
+        let max_end = len - (parts - k);
+        while pos < max_end && (pos < min_end || (acc < target && 2 * (target - acc) > weight(pos)))
+        {
+            acc += weight(pos);
+            pos += 1;
+        }
+        bounds.push(pos);
+    }
+    bounds.push(len);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// One parallel round: compute `σ(cur)` into `next` across `threads`
+/// workers and report whether any row changed (`next != cur`).  The change
+/// test rides along with the sweep so the fixed-point loop needs no second
+/// full-matrix comparison pass.
+fn par_step<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    cur: &RoutingState<A>,
+    next: &mut RoutingState<A>,
+    threads: usize,
+) -> bool
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+    let n = adj.node_count();
+    let chunks = balanced_chunks(n, threads, |i| adj.row(i).len() as u64 + 1);
+    let sweep_band = |band: &mut [A::Route], rows: Range<usize>| -> bool {
+        let mut changed = false;
+        for (slot, i) in band.chunks_mut(n).zip(rows) {
+            sigma_row_into(alg, adj, cur, i, slot);
+            changed |= slot != cur.row(i);
+        }
+        changed
+    };
+    let mut rest = next.entries_mut();
+    let mut first: Option<(&mut [A::Route], Range<usize>)> = None;
+    let mut changed = false;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
+        for rows in chunks {
+            let (band, tail) = std::mem::take(&mut rest).split_at_mut((rows.end - rows.start) * n);
+            rest = tail;
+            if first.is_none() {
+                // The calling thread works too instead of idling at the
+                // join, so `threads` means `threads`, not `threads + 1`.
+                first = Some((band, rows));
+            } else {
+                handles.push(scope.spawn(move |_| sweep_band(band, rows)));
+            }
+        }
+        if let Some((band, rows)) = first.take() {
+            changed |= sweep_band(band, rows);
+        }
+        for handle in handles {
+            changed |= handle.join().expect("a σ sweep worker panicked");
+        }
+    })
+    .expect("the σ sweep worker scope panicked");
+    changed
+}
+
+/// One synchronous round `σ(X)` written into an existing buffer, with the
+/// row sweep sharded across up to `threads` worker threads.
+///
+/// The output is bit-identical to [`crate::sigma::sigma_into`] for every
+/// thread count (each row is computed by exactly one worker from the same
+/// immutable previous state); `threads <= 1` runs the sequential sweep
+/// directly.
+///
+/// # Panics
+///
+/// Panics if `adj`, `x` and `out` do not all have the same node count.
+pub fn par_sigma_into<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    out: &mut RoutingState<A>,
+    threads: usize,
+) where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+    let n = adj.node_count();
+    assert_eq!(
+        n,
+        x.node_count(),
+        "adjacency and state dimensions must match"
+    );
+    assert_eq!(n, out.node_count(), "output state dimension must match");
+    if threads <= 1 || n < 2 {
+        sigma_into(alg, adj, x, out);
+    } else {
+        par_step(alg, adj, x, out, threads);
+    }
+}
+
+/// Iterate `σ` to a fixed point exactly like
+/// [`crate::sync::iterate_to_fixed_point`], but with every round's row
+/// sweep sharded across up to `threads` worker threads.
+///
+/// The returned outcome — state, iteration count and convergence flag — is
+/// identical to the sequential iteration for every thread count, because
+/// each round is a pure function of the previous double-buffered state and
+/// the convergence test (`no row changed this round`) is exactly the
+/// sequential `next == cur` comparison.
+pub fn par_iterate_to_fixed_point<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    max_iterations: usize,
+    threads: usize,
+) -> SyncOutcome<A>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+    if threads <= 1 || adj.node_count() < 2 {
+        return iterate_to_fixed_point(alg, adj, x0, max_iterations);
+    }
+    let mut cur = x0.clone();
+    let mut next = cur.clone();
+    for k in 0..max_iterations {
+        if !par_step(alg, adj, &cur, &mut next, threads) {
+            return SyncOutcome {
+                state: cur,
+                iterations: k,
+                converged: true,
+            };
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Mirror the sequential budget-boundary check: one last round into the
+    // idle buffer decides convergence without moving the reported state.
+    let changed = par_step(alg, adj, &cur, &mut next, threads);
+    SyncOutcome {
+        state: cur,
+        iterations: max_iterations,
+        converged: !changed,
+    }
+}
+
+/// Recompute the rows of `worklist` (ascending, deduplicated) from `state`
+/// across up to `threads` workers, returning the rows that actually changed
+/// with their new values, in ascending row order.
+///
+/// This is the per-round kernel of the sharded incremental engine
+/// ([`crate::incremental::par_iterate_dirty_to_fixed_point`]): each worker
+/// owns one contiguous segment of the work list (degree-weighted, like the
+/// full sweep), computes into its own scratch row, and keeps only the
+/// changed rows; concatenating the segments in order makes the result — and
+/// therefore the whole trajectory — independent of the thread count.
+pub(crate) fn par_recompute_rows<A>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    state: &RoutingState<A>,
+    worklist: &[usize],
+    threads: usize,
+) -> Vec<(usize, Vec<A::Route>)>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
+    let n = adj.node_count();
+    let recompute_segment = |rows: &[usize]| -> Vec<(usize, Vec<A::Route>)> {
+        let mut scratch: Vec<A::Route> = vec![alg.invalid(); n];
+        let mut changed = Vec::new();
+        for &i in rows {
+            sigma_row_into(alg, adj, state, i, &mut scratch);
+            if scratch[..] != *state.row(i) {
+                changed.push((i, scratch.clone()));
+            }
+        }
+        changed
+    };
+    if threads <= 1 || worklist.len() < 2 {
+        return recompute_segment(worklist);
+    }
+    let chunks = balanced_chunks(worklist.len(), threads, |pos| {
+        adj.row(worklist[pos]).len() as u64 + 1
+    });
+    let mut segments: Vec<Vec<(usize, Vec<A::Route>)>> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
+        let mut first: Option<&[usize]> = None;
+        for range in chunks {
+            let rows = &worklist[range];
+            if first.is_none() {
+                first = Some(rows);
+            } else {
+                handles.push(scope.spawn(move |_| recompute_segment(rows)));
+            }
+        }
+        segments.push(recompute_segment(first.expect("chunks are non-empty")));
+        for handle in handles {
+            segments.push(handle.join().expect("a dirty-row worker panicked"));
+        }
+    })
+    .expect("the dirty-row worker scope panicked");
+    segments.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::sigma;
+    use dbf_algebra::prelude::*;
+    use dbf_topology::generators;
+
+    fn widest_fabric(spines: usize, leaves: usize) -> (WidestPaths, AdjacencyMatrix<WidestPaths>) {
+        let alg = WidestPaths::new();
+        let topo = generators::leaf_spine(spines, leaves)
+            .with_weights(|i, j| NatInf::fin(((i * 11 + j * 5) % 90 + 10) as u64));
+        (alg, AdjacencyMatrix::from_topology(&topo))
+    }
+
+    #[test]
+    fn balanced_chunks_cover_everything_without_overlap() {
+        for (len, parts) in [(1, 1), (1, 8), (7, 3), (64, 8), (10, 10), (10, 100)] {
+            let chunks = balanced_chunks(len, parts, |_| 1);
+            assert!(chunks.len() <= parts.max(1), "len={len} parts={parts}");
+            assert!(chunks.iter().all(|r| !r.is_empty()));
+            let flat: Vec<usize> = chunks.iter().cloned().flatten().collect();
+            assert_eq!(
+                flat,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} parts={parts}"
+            );
+        }
+        assert!(balanced_chunks(0, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn balanced_chunks_weight_by_degree_not_row_count() {
+        // Four hub rows followed by a thousand light rows — the leaf-spine
+        // degree profile.  Equal-ROW chunking would put all four hubs plus
+        // 247 light rows in the first chunk (weight 4247 of 5000); the
+        // weighted cut must keep every chunk within 2× the ideal share
+        // (the contiguous-partition optimum for this input is 2000, since
+        // all the light mass trails the hubs).
+        let weight = |i: usize| if i < 4 { 1000 } else { 1 };
+        let chunks = balanced_chunks(1004, 4, weight);
+        assert_eq!(chunks.len(), 4);
+        let chunk_weight = |r: &Range<usize>| -> u64 { r.clone().map(weight).sum() };
+        let weights: Vec<u64> = chunks.iter().map(chunk_weight).collect();
+        let total: u64 = weights.iter().sum();
+        let max = *weights.iter().max().unwrap();
+        assert!(
+            max <= 2 * total / 4,
+            "no chunk may exceed 2x the ideal share: {weights:?}"
+        );
+        // ... and with one worker per hub plus light tail (8 parts), every
+        // hub lands in its own chunk.
+        let chunks = balanced_chunks(1004, 8, weight);
+        for (k, r) in chunks.iter().take(4).enumerate() {
+            assert_eq!(*r, k..k + 1, "hub {k} gets a dedicated chunk: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn par_sigma_matches_sequential_sigma_for_every_thread_count() {
+        let (alg, adj) = widest_fabric(4, 29);
+        let n = adj.node_count();
+        let x =
+            RoutingState::<WidestPaths>::from_fn(n, |i, j| NatInf::fin(((i * 3 + j) % 40) as u64));
+        let expected = sigma(&alg, &adj, &x);
+        for threads in [1, 2, 3, 5, 8] {
+            let mut out = RoutingState::uniform(n, NatInf::fin(777));
+            par_sigma_into(&alg, &adj, &x, &mut out, threads);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_iterate_reproduces_the_sequential_outcome_exactly() {
+        let alg = ShortestPaths::new();
+        let topo = generators::ring(37)
+            .with_weights(|i, j| NatInf::fin(((i * 7 + j * 13) % 9 + 1) as u64));
+        let adj = AdjacencyMatrix::from_topology(&topo);
+        let x0 = RoutingState::identity(&alg, 37);
+        let seq = iterate_to_fixed_point(&alg, &adj, &x0, 500);
+        for threads in [2, 4, 8] {
+            let par = par_iterate_to_fixed_point(&alg, &adj, &x0, 500, threads);
+            assert_eq!(par.state, seq.state, "threads={threads}");
+            assert_eq!(par.iterations, seq.iterations, "threads={threads}");
+            assert_eq!(par.converged, seq.converged);
+        }
+    }
+
+    #[test]
+    fn budget_boundaries_agree_with_the_sequential_iteration() {
+        let (alg, adj) = widest_fabric(3, 13);
+        let x0 = RoutingState::identity(&alg, 16);
+        for budget in 0..6 {
+            let seq = iterate_to_fixed_point(&alg, &adj, &x0, budget);
+            let par = par_iterate_to_fixed_point(&alg, &adj, &x0, budget, 4);
+            assert_eq!(par.state, seq.state, "budget={budget}");
+            assert_eq!(par.iterations, seq.iterations, "budget={budget}");
+            assert_eq!(par.converged, seq.converged, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn par_recompute_rows_returns_changed_rows_in_ascending_order() {
+        let alg = BoundedHopCount::new(12);
+        let topo = generators::line(24).with_weights(|_, _| 1u64);
+        let adj = AdjacencyMatrix::<BoundedHopCount>::from_topology(&topo);
+        let x0 = RoutingState::identity(&alg, 24);
+        let worklist: Vec<usize> = (0..24).collect();
+        let seq = par_recompute_rows(&alg, &adj, &x0, &worklist, 1);
+        for threads in [2, 3, 8] {
+            let par = par_recompute_rows(&alg, &adj, &x0, &worklist, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        let rows: Vec<usize> = seq.iter().map(|(i, _)| *i).collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted, "ascending row order is part of the contract");
+    }
+}

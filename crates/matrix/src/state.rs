@@ -90,6 +90,14 @@ impl<A: RoutingAlgebra> RoutingState<A> {
         &mut self.entries[i * self.n..(i + 1) * self.n]
     }
 
+    /// The row-major backing storage (`n · n` routes, row `i` at
+    /// `[i·n, (i+1)·n)`).  The parallel row sweep in [`crate::parallel`]
+    /// splits this into disjoint contiguous row bands, one per worker, so
+    /// every thread writes its own region without synchronisation.
+    pub(crate) fn entries_mut(&mut self) -> &mut [A::Route] {
+        &mut self.entries
+    }
+
     /// Iterate over all entries as `(i, j, &route)`.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, &A::Route)> {
         self.entries

@@ -281,6 +281,11 @@ pub struct SweepReport {
     /// Replicates per grid point (as specified; `--replicate` filtering
     /// reduces the per-point count in [`PointReport::replicates`]).
     pub replicates: usize,
+    /// Intra-run worker threads the parallelizable engines were given.
+    /// Execution metadata, not spec: it can only move wall-clock numbers,
+    /// so it is emitted with the timing section and kept out of the
+    /// canonical (byte-stable) JSON.
+    pub threads: usize,
     /// Aggregated grid points, in grid order.
     pub points: Vec<PointReport>,
 }
@@ -294,26 +299,31 @@ impl SweepReport {
     /// Render as JSON.
     ///
     /// Without timing this document is **byte-identical** for any `--jobs`
-    /// value: every included metric is a pure function of the sweep spec.
-    /// `include_timing` adds per-point `wall_ms` statistics (useful for the
+    /// *and* `--threads` value: every included metric is a pure function of
+    /// the sweep spec.  `include_timing` adds per-point `wall_ms`
+    /// statistics and the intra-run thread count (useful for the
     /// `BENCH_sweeps.json` trajectory, unavoidably non-deterministic).
     pub fn to_json(&self, include_timing: bool) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("sweep".into(), Json::str(&self.sweep)),
             ("description".into(), Json::str(&self.description)),
             ("base".into(), Json::str(&self.base)),
             ("replicates".into(), Json::Int(self.replicates as i64)),
-            ("ok".into(), Json::Bool(self.ok())),
-            (
-                "points".into(),
-                Json::Arr(
-                    self.points
-                        .iter()
-                        .map(|p| p.to_json(include_timing))
-                        .collect(),
-                ),
+        ];
+        if include_timing {
+            fields.push(("threads".into(), Json::Int(self.threads as i64)));
+        }
+        fields.push(("ok".into(), Json::Bool(self.ok())));
+        fields.push((
+            "points".into(),
+            Json::Arr(
+                self.points
+                    .iter()
+                    .map(|p| p.to_json(include_timing))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Obj(fields)
     }
 
     /// A compact human-readable table.

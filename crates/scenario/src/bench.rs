@@ -12,11 +12,14 @@ use crate::report::{Json, ScenarioReport};
 /// messages, total wire bytes and total wall-clock milliseconds, plus a
 /// per-phase breakdown (so e.g. the incremental engine's advantage on the
 /// *topology-change* phases is directly visible next to the full σ
-/// engine's numbers) and the differential verdict.
-pub fn bench_json(reports: &[ScenarioReport]) -> Json {
+/// engine's numbers) and the differential verdict.  `threads` records the
+/// intra-run worker budget the parallelizable engines were given, so
+/// wall-time entries in the trajectory are comparable across PRs.
+pub fn bench_json(reports: &[ScenarioReport], threads: usize) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario builtins")),
         ("schema_version".into(), Json::Int(1)),
+        ("threads".into(), Json::Int(threads.max(1) as i64)),
         (
             "scenarios".into(),
             Json::Arr(
@@ -151,11 +154,12 @@ mod tests {
             expected_converges: true,
             expected_agreement: true,
         };
-        let text = bench_json(&[report]).to_string();
+        let text = bench_json(&[report], 4).to_string();
         assert!(text.contains("\"work\": 15"));
         assert!(text.contains("\"messages\": 150"));
         assert!(text.contains("\"bytes\": 960"));
         assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"expectation_met\": true"));
     }
 }

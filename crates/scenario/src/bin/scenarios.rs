@@ -58,7 +58,13 @@ fn usage() -> ExitCode {
          \x20 --seeds LIST     comma-separated seeds for the seeded engines\n\
          \x20 --json           print the full JSON report instead of a summary\n\
          \x20 --out FILE       also write the JSON report/benchmark to FILE\n\
-         \x20 --jobs N         worker threads for sweep/fuzz (default: hardware threads)\n\
+         \x20 --jobs N         worker threads across runs for sweep/fuzz (default:\n\
+         \x20                  hardware threads)\n\
+         \x20 --threads N      worker threads within one run for the parallelizable\n\
+         \x20                  engines (sync/incremental row sweeps; results are\n\
+         \x20                  bit-identical for any value).  Default: hardware threads\n\
+         \x20                  for run/run-all/bench, 1 for sweeps (which already\n\
+         \x20                  parallelize across runs via --jobs)\n\
          \x20 --timing         include wall-clock stats in the sweep JSON\n\
          \x20 --point K        run only grid point K of a sweep\n\
          \x20 --replicate R    run only replicate R of a sweep\n\
@@ -76,6 +82,7 @@ struct Options {
     json: bool,
     out: Option<String>,
     jobs: Option<usize>,
+    threads: Option<usize>,
     timing: bool,
     point: Option<usize>,
     replicate: Option<usize>,
@@ -86,10 +93,11 @@ struct Options {
 }
 
 /// The options each scenario command accepts.
-const SCENARIO_OPTS: &[&str] = &["--engines", "--seeds", "--json", "--out"];
+const SCENARIO_OPTS: &[&str] = &["--engines", "--seeds", "--json", "--out", "--threads"];
 /// The options `sweep` accepts.
 const SWEEP_OPTS: &[&str] = &[
     "--jobs",
+    "--threads",
     "--json",
     "--timing",
     "--point",
@@ -97,8 +105,8 @@ const SWEEP_OPTS: &[&str] = &[
     "--out",
 ];
 /// The options the bench commands accept.
-const BENCH_OPTS: &[&str] = &["--out"];
-const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--out"];
+const BENCH_OPTS: &[&str] = &["--out", "--threads"];
+const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--threads", "--out"];
 /// The options `fuzz` accepts.
 const FUZZ_OPTS: &[&str] = &[
     "--cases", "--seed", "--case", "--jobs", "--corpus", "--json", "--out",
@@ -116,6 +124,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         json: false,
         out: None,
         jobs: None,
+        threads: None,
         timing: false,
         point: None,
         replicate: None,
@@ -138,6 +147,13 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 opts.jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
             }
             "--point" => {
                 let v = it.next().ok_or("--point needs a value")?;
@@ -255,9 +271,19 @@ fn emit(opts: &Options, json: &Json, summary: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The intra-run thread budget of the single-run commands: every available
+/// core by default (a lone run has nothing else to share the machine
+/// with), overridable with `--threads`.
+fn run_threads(opts: &Options) -> usize {
+    opts.threads.unwrap_or_else(default_jobs).max(1)
+}
+
 fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
     let scenario = apply_overrides(load_scenario(target)?, opts);
-    let report = run_scenario(&scenario).map_err(|e| e.to_string())?;
+    let cfg = RunConfig {
+        threads: run_threads(opts),
+    };
+    let report = run_scenario_with(&scenario, &cfg).map_err(|e| e.to_string())?;
     emit(opts, &report.to_json(), &report.summary())?;
     let met = report.expectation_met();
     if !met {
@@ -324,6 +350,10 @@ fn run_one_sweep(sweep: &Sweep, target: &str, opts: &Options) -> Result<SweepRep
         jobs: opts.jobs.unwrap_or_else(default_jobs),
         point: opts.point,
         replicate: opts.replicate,
+        // Sweeps already parallelize across runs, so intra-run threads
+        // default to 1; `--threads` opts in (e.g. for grids whose wall time
+        // is one huge point, or single-cell reproductions).
+        threads: opts.threads.unwrap_or(1),
     };
     let report = run_sweep(sweep, &run_opts).map_err(|e| e.to_string())?;
     for point in &report.points {
@@ -447,7 +477,11 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
             }
         }
         let scenario = apply_overrides(scenario, opts);
-        let report = run_scenario(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        let cfg = RunConfig {
+            threads: run_threads(opts),
+        };
+        let report =
+            run_scenario_with(&scenario, &cfg).map_err(|e| format!("{}: {e}", scenario.name))?;
         if !opts.json {
             println!("{}", report.summary());
         }
@@ -469,8 +503,11 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
 fn cmd_bench(opts: &Options) -> Result<bool, String> {
     let mut reports = Vec::new();
     let mut all_met = true;
+    let threads = run_threads(opts);
+    let cfg = RunConfig { threads };
     for scenario in builtins::all() {
-        let report = run_scenario(&scenario).map_err(|e| format!("{}: {e}", scenario.name))?;
+        let report =
+            run_scenario_with(&scenario, &cfg).map_err(|e| format!("{}: {e}", scenario.name))?;
         println!("{}", report.summary());
         all_met &= report.expectation_met();
         reports.push(report);
@@ -479,7 +516,7 @@ fn cmd_bench(opts: &Options) -> Result<bool, String> {
         .out
         .clone()
         .unwrap_or_else(|| "BENCH_scenarios.json".into());
-    let json = bench_json(&reports);
+    let json = bench_json(&reports, threads);
     std::fs::write(&path, format!("{json}\n"))
         .map_err(|e| format!("cannot write {path:?}: {e}"))?;
     eprintln!("wrote {path}");
@@ -512,9 +549,10 @@ fn main() -> ExitCode {
                     .max_recommended_n
                     .map(|n| n.to_string())
                     .unwrap_or_else(|| "-".into());
+                let par = if d.parallelizable { "yes" } else { "no" };
                 println!(
-                    "{:<12} runs={:<8} max_n={:<6} {}",
-                    d.name, runs, max_n, d.summary
+                    "{:<12} runs={:<8} max_n={:<6} parallel={:<4} {}",
+                    d.name, runs, max_n, par, d.summary
                 );
             }
             Ok(true)

@@ -29,11 +29,13 @@
 //!
 //! // The registry hands back any engine by kind; `rip` here exchanges real
 //! // wire-encoded protocol messages and must land on the same fixed point
-//! // as the synchronous reference.
+//! // as the synchronous reference.  The last argument is the worker-thread
+//! // count: parallelizable engines shard their row sweep across it and the
+//! // result is bit-identical for every value.
 //! let sync = engine_for::<BoundedHopCount>(EngineKind::Sync);
 //! let rip = engine_for::<BoundedHopCount>(EngineKind::Rip);
-//! let a = sync.run(&alg, &problems, 1);
-//! let b = rip.run(&alg, &problems, 1);
+//! let a = sync.run(&alg, &problems, 1, 2);
+//! let b = rip.run(&alg, &problems, 1, 1);
 //! assert!(a.phases[0].sigma_stable && b.phases[0].sigma_stable);
 //! assert_eq!(a.phases[0].digest, b.phases[0].digest);
 //! assert!(b.phases[0].bytes > 0, "protocol engines report wire bytes");
@@ -48,8 +50,8 @@ use dbf_async::sim::{EventSim, SimConfig};
 use dbf_async::{run_delta, DeltaOutcome};
 use dbf_bgp::algebra::BgpAlgebra;
 use dbf_matrix::{
-    dirty_rows_after_change, is_stable, iterate_dirty_to_fixed_point, iterate_to_fixed_point,
-    AdjacencyMatrix, RoutingState,
+    dirty_rows_after_change, is_stable, par_iterate_dirty_to_fixed_point,
+    par_iterate_to_fixed_point, AdjacencyMatrix, RoutingState,
 };
 use dbf_protocols::bgp::{BgpConfig, BgpEngine};
 use dbf_protocols::rip::{RipConfig, RipEngine};
@@ -58,13 +60,14 @@ use std::any::Any;
 use std::time::Instant;
 
 /// The algebra bounds every engine can rely on: the threaded runtime needs
-/// `Send + Sync + 'static`, the incremental engine compares adjacency rows
+/// `Send + Sync + 'static`, the parallel σ row sweep shares routes across
+/// workers (`Route: Sync`), the incremental engine compares adjacency rows
 /// (`Edge: PartialEq`), and the protocol adapters downcast the algebra and
 /// adjacency (`'static`).  Blanket-implemented for every qualifying
 /// [`RoutingAlgebra`].
 pub trait ScenarioAlgebra: RoutingAlgebra + Clone + Send + Sync + 'static
 where
-    Self::Route: Send + 'static,
+    Self::Route: Send + Sync + 'static,
     Self::Edge: PartialEq + Send + Sync + 'static,
 {
 }
@@ -72,7 +75,7 @@ where
 impl<A> ScenarioAlgebra for A
 where
     A: RoutingAlgebra + Clone + Send + Sync + 'static,
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
 }
@@ -126,6 +129,11 @@ pub struct EngineInfo {
     /// The largest node count the engine is recommended for; sweeps drop
     /// the engine from grid points above it (`None` = unbounded).
     pub max_recommended_n: Option<usize>,
+    /// Can the engine shard its work across threads *within one run*?
+    /// Parallelizable engines receive the run's thread budget (and must be
+    /// bit-identical for every value of it); the rest always run on one
+    /// thread.
+    pub parallelizable: bool,
     /// Capability check: can this engine execute the given scenario?
     /// Engines tied to one algebra (the protocol adapters) reject the rest.
     pub supports: fn(&Scenario) -> Result<(), SpecError>,
@@ -176,6 +184,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             summary: "synchronous σ-iteration to a fixed point (the reference semantics)",
             determinism: Determinism::Fixed,
             max_recommended_n: None,
+            parallelizable: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -184,6 +193,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             summary: "dirty-row σ: after a topology change only perturbed rows recompute",
             determinism: Determinism::Fixed,
             max_recommended_n: None,
+            parallelizable: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -192,6 +202,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             summary: "the asynchronous iterate δ under seeded random or adversarial schedules",
             determinism: Determinism::Seeded,
             max_recommended_n: Some(512),
+            parallelizable: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -200,6 +211,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             summary: "discrete-event message simulator with loss, duplication and delay",
             determinism: Determinism::Seeded,
             max_recommended_n: Some(512),
+            parallelizable: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -208,6 +220,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             summary: "one OS thread per router over channels (genuine concurrency)",
             determinism: Determinism::Fixed,
             max_recommended_n: Some(64),
+            parallelizable: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -217,6 +230,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
                       timeouts, wire-encoded messages (hopcount algebra only)",
             determinism: Determinism::Seeded,
             max_recommended_n: Some(256),
+            parallelizable: false,
             supports: supports_hopcount,
         },
         EngineInfo {
@@ -226,6 +240,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
                       wire-encoded messages (bgp algebra only)",
             determinism: Determinism::Seeded,
             max_recommended_n: Some(64),
+            parallelizable: false,
             supports: supports_bgp,
         },
     ];
@@ -312,25 +327,29 @@ pub fn eligible_engines(
 /// * on strictly-increasing algebras the final digest must agree with the
 ///   synchronous engine (Theorems 7/11 — this is what the differential
 ///   checker asserts);
-/// * runs are deterministic in `(problems, seed)`.
+/// * runs are deterministic in `(problems, seed)` — **including the thread
+///   count**: a [parallelizable](EngineInfo::parallelizable) engine must
+///   produce bit-identical outcomes for every `threads` value (only
+///   `wall_ms` may differ), and non-parallelizable engines ignore it.
 pub trait Engine<A: ScenarioAlgebra>
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     /// The engine's static metadata.
     fn info(&self) -> &'static EngineInfo;
 
     /// Execute the phase sequence.  Deterministic engines receive the first
-    /// scenario seed and may ignore it.
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun;
+    /// scenario seed and may ignore it; `threads` is the intra-run
+    /// worker-thread budget for parallelizable engines.
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, threads: usize) -> EngineRun;
 }
 
 /// Look up the runner for an engine kind.  **This match and
 /// [`descriptors`] are the only places a new engine must be added.**
 pub fn engine_for<A: ScenarioAlgebra>(kind: EngineKind) -> Box<dyn Engine<A>>
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     match kind {
@@ -421,26 +440,35 @@ pub struct SyncEngine;
 
 impl<A: ScenarioAlgebra> Engine<A> for SyncEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Sync)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, threads: usize) -> EngineRun {
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for p in problems {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
             let start = Instant::now();
-            let out = iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n));
+            let out =
+                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n), threads);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            // A converged iteration *is* the stability proof (the last
+            // round changed no row); re-running σ to check would cost a
+            // full extra round plus an n² allocation — at n = 10⁴ a large
+            // slice of the phase's run time.  The fallback only fires on
+            // budget exhaustion, and sits outside the timed window like
+            // the pre-parallel engine's check did, keeping wall_ms
+            // entries comparable across the benchmark trajectory.
+            let sigma_stable = out.converged || is_stable(alg, &p.adj, &out.state);
             state = out.state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
-                sigma_stable: is_stable(alg, &p.adj, &state),
+                sigma_stable,
                 work: out.iterations as u64,
                 messages: 0,
                 bytes: 0,
@@ -467,14 +495,14 @@ pub struct IncrementalEngine;
 
 impl<A: ScenarioAlgebra> Engine<A> for IncrementalEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Incremental)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, threads: usize) -> EngineRun {
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         // The dirty-start optimisation is only sound from a fixed point of
@@ -489,8 +517,14 @@ where
                 Some((prev_k, true)) => dirty_rows_after_change(&problems[prev_k].adj, &p.adj),
                 _ => vec![true; n],
             };
-            let out =
-                iterate_dirty_to_fixed_point(alg, &p.adj, &state, &dirty, sync_iteration_budget(n));
+            let out = par_iterate_dirty_to_fixed_point(
+                alg,
+                &p.adj,
+                &state,
+                &dirty,
+                sync_iteration_budget(n),
+                threads,
+            );
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             state = out.state;
             prev = Some((k, out.converged));
@@ -525,14 +559,14 @@ pub struct DeltaEngine;
 
 impl<A: ScenarioAlgebra> Engine<A> for DeltaEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Delta)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
@@ -569,14 +603,14 @@ pub struct SimEngine;
 
 impl<A: ScenarioAlgebra> Engine<A> for SimEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Sim)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
@@ -614,14 +648,14 @@ pub struct ThreadedEngine;
 
 impl<A: ScenarioAlgebra> Engine<A> for ThreadedEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Threaded)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, _threads: usize) -> EngineRun {
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for p in problems {
@@ -689,14 +723,14 @@ impl RipCheckerEngine {
 
 impl<A: ScenarioAlgebra> Engine<A> for RipCheckerEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Rip)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
         let hop_alg: &BoundedHopCount = downcast(alg)
             .expect("the rip engine supports only the hopcount algebra (enforced by validate)");
         let mut state = RoutingState::identity(hop_alg, problems[0].adj.node_count());
@@ -768,14 +802,14 @@ impl BgpCheckerEngine {
 
 impl<A: ScenarioAlgebra> Engine<A> for BgpCheckerEngine
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     fn info(&self) -> &'static EngineInfo {
         descriptor(EngineKind::Bgp)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64) -> EngineRun {
+    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
         let bgp_alg: &BgpAlgebra = downcast(alg)
             .expect("the bgp engine supports only the bgp algebra (enforced by validate)");
         let mut phases = Vec::with_capacity(problems.len());

@@ -71,7 +71,7 @@
 //!
 //! let sweep = sweeps::by_name("smoke").expect("built-in sweep");
 //! assert_eq!(sweep.point_count(), 4); // 2 sizes × 2 loss rates
-//! let opts = SweepRunOptions { jobs: 1, point: Some(0), replicate: Some(0) };
+//! let opts = SweepRunOptions { jobs: 1, point: Some(0), replicate: Some(0), ..Default::default() };
 //! let report = run_sweep(&sweep, &opts).expect("the sweep is valid");
 //! assert!(report.ok());
 //! assert_eq!(report.points[0].label, "n=4,loss=0");
@@ -125,7 +125,7 @@ pub use engine::{
 };
 pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
-pub use run::run_scenario;
+pub use run::{run_scenario, run_scenario_with, RunConfig};
 pub use spec::{
     AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, ScheduleSpec,
     SpecError, SppGadget, TopologySpec, WeightRule,
@@ -143,7 +143,7 @@ pub mod prelude {
     pub use crate::fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
     pub use crate::gen;
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
-    pub use crate::run::run_scenario;
+    pub use crate::run::{run_scenario, run_scenario_with, RunConfig};
     pub use crate::spec::{
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
         ScheduleSpec, SpecError, SppGadget, TopologySpec, WeightRule,

@@ -10,7 +10,7 @@
 //! σ-stable state (Theorems 7/11); for the non-increasing SPP gadgets it
 //! exhibits exactly the wedgies and oscillation the theorems rule out.
 
-use crate::engine::{engine_for, engine_seeds, Problem, ScenarioAlgebra};
+use crate::engine::{descriptor, engine_for, engine_seeds, Problem, ScenarioAlgebra};
 use crate::report::{Agreement, EngineRun, ScenarioReport};
 use crate::spec::{
     AlgebraSpec, ChangeSpec, FaultSpec, Scenario, SpecError, SppGadget, TopologySpec, WeightRule,
@@ -25,24 +25,51 @@ use dbf_matrix::AdjacencyMatrix;
 use dbf_topology::generators::{self, TierRelation};
 use dbf_topology::{Topology, TopologyChange};
 
-/// Execute a scenario on its requested engines and return the report.
+/// Run-time knobs that are *not* part of the scenario spec: they may change
+/// how fast a report is produced, never what it contains (wall-clock timing
+/// aside), so they live outside the TOML codec and the digest streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Worker threads available to engines whose registry descriptor is
+    /// [parallelizable](crate::engine::EngineInfo::parallelizable) — the
+    /// sync and incremental σ engines shard their row sweeps across this
+    /// many OS threads *within a single run*.  `0`/`1` means sequential.
+    /// Results are bit-identical for every value.
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+/// Execute a scenario on its requested engines and return the report
+/// (single-threaded engines; see [`run_scenario_with`] for the `threads`
+/// knob).
 pub fn run_scenario(spec: &Scenario) -> Result<ScenarioReport, SpecError> {
+    run_scenario_with(spec, &RunConfig::default())
+}
+
+/// Execute a scenario on its requested engines under the given run-time
+/// configuration and return the report.
+pub fn run_scenario_with(spec: &Scenario, cfg: &RunConfig) -> Result<ScenarioReport, SpecError> {
     spec.validate()?;
     match &spec.algebra {
         AlgebraSpec::Shortest { weights } => {
             let alg = ShortestPaths::new();
             let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
         AlgebraSpec::Widest { weights } => {
             let alg = WidestPaths::new();
             let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
         AlgebraSpec::Hopcount { limit } => {
             let alg = BoundedHopCount::new(*limit);
             let problems = weighted_problems(spec, WeightRule::uniform(1), |w| w)?;
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
         AlgebraSpec::Bgp {
             policy_depth,
@@ -67,13 +94,13 @@ pub fn run_scenario(spec: &Scenario) -> Result<ScenarioReport, SpecError> {
                     }
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
         AlgebraSpec::GaoRexford => {
             let problems = gao_rexford_problems(spec)?;
             let n = problems.first().map(|p| p.adj.node_count()).unwrap_or(0);
             let alg = GaoRexford::new(n);
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
         AlgebraSpec::Spp { gadget } => {
             let alg = match gadget {
@@ -91,7 +118,7 @@ pub fn run_scenario(spec: &Scenario) -> Result<ScenarioReport, SpecError> {
                     faults: p.faults,
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec))
+            Ok(execute(&alg, &problems, spec, cfg))
         }
     }
 }
@@ -282,17 +309,29 @@ fn gao_rexford_problems(spec: &Scenario) -> Result<Vec<Problem<GaoRexford>>, Spe
 /// Run every requested engine over the phase problems and compute the
 /// differential verdict.  Pure registry dispatch: the engine list is data,
 /// and every engine — including the protocol adapters and any future
-/// addition — arrives here through [`crate::engine::engine_for`].
-fn execute<A: ScenarioAlgebra>(alg: &A, problems: &[Problem<A>], spec: &Scenario) -> ScenarioReport
+/// addition — arrives here through [`crate::engine::engine_for`].  The
+/// thread budget reaches exactly the engines whose descriptor opts into
+/// intra-run parallelism; everything else stays sequential by construction.
+fn execute<A: ScenarioAlgebra>(
+    alg: &A,
+    problems: &[Problem<A>],
+    spec: &Scenario,
+    cfg: &RunConfig,
+) -> ScenarioReport
 where
-    A::Route: Send + 'static,
+    A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
     let mut runs = Vec::new();
     for &kind in &spec.engines {
         let engine = engine_for::<A>(kind);
+        let threads = if descriptor(kind).parallelizable {
+            cfg.threads.max(1)
+        } else {
+            1
+        };
         for &seed in engine_seeds(kind, spec) {
-            runs.push(engine.run(alg, problems, seed));
+            runs.push(engine.run(alg, problems, seed, threads));
         }
     }
     let verdict = differential_verdict(&runs, problems.len());
@@ -368,6 +407,28 @@ mod tests {
         // sync + 2×delta + 2×sim
         assert_eq!(report.runs.len(), 5);
         assert!(report.verdict.per_phase.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn the_thread_knob_never_changes_a_report() {
+        // Parallelizable engines shard their row sweep; everything the
+        // report contains except wall time must be a pure function of the
+        // spec.  (tests/parallel.rs covers the JSON-level contract.)
+        let mut spec = hopcount_ring();
+        spec.engines.push(EngineKind::Incremental);
+        let base = run_scenario(&spec).unwrap();
+        for threads in [2, 8] {
+            let par = run_scenario_with(&spec, &RunConfig { threads }).unwrap();
+            assert_eq!(par.verdict, base.verdict, "threads={threads}");
+            for (a, b) in base.runs.iter().zip(par.runs.iter()) {
+                assert_eq!(a.engine, b.engine);
+                for (p, q) in a.phases.iter().zip(b.phases.iter()) {
+                    assert_eq!(p.digest, q.digest, "{} {}", a.engine, p.label);
+                    assert_eq!(p.work, q.work, "{} {}", a.engine, p.label);
+                    assert_eq!(p.sigma_stable, q.sigma_stable);
+                }
+            }
+        }
     }
 
     #[test]

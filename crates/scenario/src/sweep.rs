@@ -32,7 +32,7 @@ use crate::agg::{PointReport, ReplicateMetrics, SweepReport};
 use crate::builtins;
 use crate::pool::parallel_map;
 use crate::report::Digest;
-use crate::run::run_scenario;
+use crate::run::{run_scenario_with, RunConfig};
 use crate::spec::{Scenario, SpecError, TopologySpec};
 use toml::{Table, Value};
 
@@ -55,6 +55,10 @@ pub enum AxisParam {
     MaxDelay,
     /// δ-schedule horizon (steps), every phase.
     Horizon,
+    /// The hop limit of the bounded hop-count algebra (an *algebra*
+    /// parameter, not a fault knob); requires the base scenario to use the
+    /// hopcount algebra.
+    HopLimit,
 }
 
 impl AxisParam {
@@ -69,6 +73,7 @@ impl AxisParam {
             AxisParam::MinDelay => "min_delay",
             AxisParam::MaxDelay => "max_delay",
             AxisParam::Horizon => "horizon",
+            AxisParam::HopLimit => "hop_limit",
         }
     }
 
@@ -83,6 +88,7 @@ impl AxisParam {
             "min_delay" => AxisParam::MinDelay,
             "max_delay" => AxisParam::MaxDelay,
             "horizon" => AxisParam::Horizon,
+            "hop_limit" => AxisParam::HopLimit,
             other => return Err(SpecError::new(format!("unknown axis param {other:?}"))),
         })
     }
@@ -309,6 +315,21 @@ impl Sweep {
                 AxisParam::Horizon => {
                     let v = int_axis(param, value)? as usize;
                     for_each_phase(&mut s, |f| f.horizon = v);
+                }
+                AxisParam::HopLimit => {
+                    let v = int_axis(param, value)?;
+                    if v == 0 {
+                        return Err(SpecError::new("axis hop_limit needs values >= 1"));
+                    }
+                    match &mut s.algebra {
+                        crate::spec::AlgebraSpec::Hopcount { limit } => *limit = v,
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "axis hop_limit varies the hopcount algebra's limit; the base \
+                                 scenario uses {other:?}"
+                            )))
+                        }
+                    }
                 }
             }
         }
@@ -564,12 +585,19 @@ impl Sweep {
 /// Options for [`run_sweep`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepRunOptions {
-    /// Worker threads (`0`/`1` means run inline on the calling thread).
+    /// Worker threads across runs (`0`/`1` means run inline on the calling
+    /// thread).
     pub jobs: usize,
     /// Run only the grid point with this index (reproduction mode).
     pub point: Option<usize>,
     /// Run only this replicate index (reproduction mode).
     pub replicate: Option<usize>,
+    /// Worker threads *within* each run, for the parallelizable engines
+    /// (`0`/`1` means sequential — the right default while `jobs` already
+    /// saturates the machine across runs; raise it for single-run
+    /// reproduction or grids dominated by one huge point).  Never changes
+    /// the aggregated report, only its wall-clock section.
+    pub threads: usize,
 }
 
 /// Execute a sweep: expand the grid, fan the runs out across `jobs` worker
@@ -615,11 +643,14 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepRunOptions) -> Result<SweepReport, S
             tasks.push((point.index, r, seed, scenario));
         }
     }
+    let run_cfg = RunConfig {
+        threads: opts.threads.max(1),
+    };
     let results = parallel_map(
         opts.jobs,
         tasks,
         |(point_index, replicate, seed, scenario)| {
-            let outcome = run_scenario(&scenario);
+            let outcome = run_scenario_with(&scenario, &run_cfg);
             (point_index, replicate, seed, outcome)
         },
     );
@@ -652,6 +683,7 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepRunOptions) -> Result<SweepReport, S
         description: sweep.description.clone(),
         base: sweep.base.name.clone(),
         replicates: sweep.replicates,
+        threads: run_cfg.threads,
         points,
     })
 }
@@ -829,6 +861,38 @@ mod tests {
     }
 
     #[test]
+    fn hop_limit_axis_requires_the_hopcount_algebra() {
+        // On a hopcount base the axis rewrites the algebra's limit…
+        let mut sweep = tiny_sweep();
+        sweep.axes = vec![Axis {
+            param: AxisParam::HopLimit,
+            values: vec![AxisValue::Int(4), AxisValue::Int(32)],
+        }];
+        assert!(sweep.validate().is_ok(), "{:?}", sweep.validate());
+        let grid = sweep.grid();
+        let derived = sweep.derive_scenario(&grid[1], 0).unwrap();
+        assert_eq!(derived.algebra, AlgebraSpec::Hopcount { limit: 32 });
+
+        // …zero would make every route invalid-after-one-hop nonsense…
+        sweep.axes[0].values = vec![AxisValue::Int(0)];
+        assert!(sweep.validate().is_err(), "hop limit 0 is rejected");
+
+        // …and any other algebra rejects the axis at validation time.
+        let mut sweep = tiny_sweep();
+        sweep.base.algebra = AlgebraSpec::Shortest {
+            weights: crate::spec::WeightRule::uniform(1),
+        };
+        sweep.axes = vec![Axis {
+            param: AxisParam::HopLimit,
+            values: vec![AxisValue::Int(8)],
+        }];
+        let err = sweep
+            .validate()
+            .expect_err("shortest paths has no hop limit");
+        assert!(err.message.contains("hop_limit"), "{err}");
+    }
+
+    #[test]
     fn toml_round_trip_is_lossless() {
         let sweep = tiny_sweep();
         let text = sweep.to_toml_string();
@@ -906,7 +970,7 @@ mod tests {
             &SweepRunOptions {
                 jobs: 1,
                 point: Some(99),
-                replicate: None
+                ..Default::default()
             }
         )
         .is_err());
@@ -915,7 +979,8 @@ mod tests {
             &SweepRunOptions {
                 jobs: 1,
                 point: Some(0),
-                replicate: Some(7)
+                replicate: Some(7),
+                ..Default::default()
             }
         )
         .is_err());

@@ -198,6 +198,53 @@ pub fn delay_bound_stress() -> Sweep {
     }
 }
 
+/// The first *algebra-parameter* axis: reconvergence cost after a ring
+/// link failure as a function of the bounded hop-count limit.  A small
+/// limit caps how far bad news can count up (cheap, but distant
+/// destinations become unreachable); RIP's classic 16 lets the
+/// count-to-infinity episode run longer.  Theorem 7 applies at every
+/// limit — the algebra stays finite and strictly increasing — so every
+/// grid point must still converge and agree.
+pub fn hop_limit_scaling() -> Sweep {
+    Sweep {
+        name: "hop-limit-scaling".into(),
+        description: "Work and messages to reconverge after a ring link failure as a \
+                      function of the hop-count limit (the algebra parameter, not a \
+                      fault knob); agreement must hold at every limit."
+            .into(),
+        base: Scenario {
+            name: "hop-limited-ring".into(),
+            description: "A 16-node ring loses a link; the hop limit bounds both the \
+                          detour length and the count-to-infinity episode."
+                .into(),
+            topology: TopologySpec::Ring { n: 16 },
+            algebra: AlgebraSpec::Hopcount { limit: 16 },
+            engines: vec![
+                EngineKind::Sync,
+                EngineKind::Incremental,
+                EngineKind::Delta,
+                EngineKind::Sim,
+            ],
+            seeds: vec![1],
+            phases: vec![
+                PhaseSpec::quiet("baseline"),
+                PhaseSpec {
+                    label: "link 0-1 fails".into(),
+                    changes: vec![ChangeSpec::FailLink { a: 0, b: 1 }],
+                    faults: FaultSpec::default(),
+                },
+            ],
+            expect: Expectation::default(),
+        },
+        base_ref: None,
+        replicates: 3,
+        axes: vec![Axis {
+            param: AxisParam::HopLimit,
+            values: ints(&[4, 8, 16, 32]),
+        }],
+    }
+}
+
 /// A deliberately tiny sweep (2×2 grid, 2 replicates, seconds to run):
 /// the CI smoke gate and the `--jobs` determinism fixture.
 pub fn smoke() -> Sweep {
@@ -238,6 +285,7 @@ pub fn all() -> Vec<Sweep> {
         count_to_infinity_scaling(),
         loss_rate_robustness(),
         delay_bound_stress(),
+        hop_limit_scaling(),
         widest_fabric_scaling(),
     ]
 }
@@ -276,6 +324,27 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}\n---\n{text}", s.name));
             assert_eq!(s, back, "{} must round-trip", s.name);
         }
+    }
+
+    #[test]
+    fn the_hop_limit_sweep_varies_the_algebra_parameter() {
+        let sweep = hop_limit_scaling();
+        let grid = sweep.grid();
+        assert_eq!(grid.len(), 4);
+        for (point, expected) in grid.iter().zip([4u64, 8, 16, 32]) {
+            let s = sweep.derive_scenario(point, 0).unwrap();
+            assert_eq!(
+                s.algebra,
+                AlgebraSpec::Hopcount { limit: expected },
+                "{}",
+                point.label()
+            );
+        }
+        // The axis is an algebra parameter, so it must round-trip through
+        // TOML like any other.
+        let text = sweep.to_toml_string();
+        assert!(text.contains("hop_limit"), "{text}");
+        assert_eq!(Sweep::from_toml_str(&text).unwrap(), sweep);
     }
 
     #[test]

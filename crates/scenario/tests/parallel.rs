@@ -1,0 +1,166 @@
+//! Integration tests for intra-run parallelism: the sync and incremental
+//! engines shard their σ row sweeps across worker threads, and everything a
+//! report contains except wall-clock time must be **byte-identical** across
+//! `--threads 1/2/8` — per-phase digests, work counts, verdicts, and the
+//! rendered JSON (after dropping the wall-time lines, which is the only
+//! field allowed to move).
+
+use dbf_scenario::prelude::*;
+use std::process::Command;
+
+fn scenarios_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+/// A widest-paths leaf–spine fabric with a spine failure: the skewed
+/// degree profile (4 hub rows, many leaf rows) exercises the
+/// degree-weighted chunk planner, and the change phase exercises the
+/// sharded dirty-row work list.
+fn fabric_scenario() -> Scenario {
+    let mut s = builtins::by_name("widest-fabric").expect("built-in");
+    s.engines = vec![EngineKind::Sync, EngineKind::Incremental];
+    s
+}
+
+/// Drop the `wall_ms` lines from a rendered JSON report: wall time is the
+/// single field the thread count is allowed to move.
+fn strip_wall(json: &str) -> String {
+    json.lines()
+        .filter(|l| !l.trim_start().starts_with("\"wall_ms\""))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn digests_and_json_are_identical_across_thread_counts() {
+    let spec = fabric_scenario();
+    let reports: Vec<ScenarioReport> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| run_scenario_with(&spec, &RunConfig { threads }).expect("spec is valid"))
+        .collect();
+    let base = &reports[0];
+    assert!(base.verdict.agreement, "{}", base.summary());
+    for (report, threads) in reports.iter().zip([1usize, 2, 8]) {
+        assert_eq!(report.verdict, base.verdict, "threads={threads}");
+        for (a, b) in base.runs.iter().zip(report.runs.iter()) {
+            assert_eq!(a.engine, b.engine, "threads={threads}");
+            for (p, q) in a.phases.iter().zip(b.phases.iter()) {
+                assert_eq!(
+                    p.digest, q.digest,
+                    "{} {} threads={threads}",
+                    a.engine, p.label
+                );
+                assert_eq!(p.work, q.work, "{} {} threads={threads}", a.engine, p.label);
+                assert_eq!(p.sigma_stable, q.sigma_stable);
+            }
+        }
+        assert_eq!(
+            strip_wall(&report.to_json().to_string()),
+            strip_wall(&base.to_json().to_string()),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn the_incremental_engine_shards_its_dirty_rows_identically() {
+    // A change-phase-heavy scenario: after the failure only the dirty
+    // frontier recomputes, and the sharded work list must report the exact
+    // same row-recomputation counts (the `work` metric) at any width.
+    let mut spec = builtins::by_name("partition-and-heal").expect("built-in");
+    spec.engines = vec![EngineKind::Sync, EngineKind::Incremental];
+    let seq = run_scenario_with(&spec, &RunConfig { threads: 1 }).unwrap();
+    let par = run_scenario_with(&spec, &RunConfig { threads: 8 }).unwrap();
+    assert_eq!(
+        strip_wall(&seq.to_json().to_string()),
+        strip_wall(&par.to_json().to_string())
+    );
+}
+
+#[test]
+fn only_sigma_engines_advertise_intra_run_parallelism() {
+    for d in descriptors() {
+        let expected = matches!(d.kind, EngineKind::Sync | EngineKind::Incremental);
+        assert_eq!(
+            d.parallelizable, expected,
+            "engine {} parallelizable capability",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn cli_run_json_is_identical_across_threads() {
+    let run = |threads: &str| {
+        let out = scenarios_bin()
+            .args([
+                "run",
+                "widest-fabric",
+                "--engines",
+                "sync,incremental",
+                "--json",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("spawn scenarios");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = strip_wall(&run("1"));
+    let b = strip_wall(&run("2"));
+    let c = strip_wall(&run("8"));
+    assert_eq!(a, b, "--threads 1 vs 2");
+    assert_eq!(a, c, "--threads 1 vs 8");
+    assert!(a.contains("\"agreement\": true"));
+}
+
+#[test]
+fn sweep_json_stays_byte_identical_across_threads_and_jobs() {
+    let sweep = sweeps::by_name("smoke").unwrap();
+    let run = |jobs: usize, threads: usize| {
+        run_sweep(
+            &sweep,
+            &SweepRunOptions {
+                jobs,
+                threads,
+                ..Default::default()
+            },
+        )
+        .expect("smoke sweep runs")
+    };
+    let base = run(1, 1);
+    assert!(base.ok(), "{}", base.summary());
+    let canonical = base.to_json(false).to_string();
+    for (jobs, threads) in [(1, 8), (8, 2), (2, 4)] {
+        assert_eq!(
+            run(jobs, threads).to_json(false).to_string(),
+            canonical,
+            "jobs={jobs} threads={threads}"
+        );
+    }
+    // The thread count is execution metadata: it belongs to the timing
+    // (non-deterministic) section only.
+    assert!(!canonical.contains("\"threads\""));
+    let timed = run(1, 4).to_json(true).to_string();
+    assert!(timed.contains("\"threads\": 4"), "{timed}");
+}
+
+#[test]
+fn cli_list_engines_shows_the_parallel_capability_column() {
+    let out = scenarios_bin().arg("list-engines").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines() {
+        if line.starts_with("sync") || line.starts_with("incremental") {
+            assert!(line.contains("parallel=yes"), "{line}");
+        } else if !line.trim().is_empty() {
+            assert!(line.contains("parallel=no"), "{line}");
+        }
+    }
+}

@@ -54,6 +54,7 @@ fn widest_fabric_scaling_json_is_byte_identical_across_job_counts() {
                 jobs,
                 point: Some(0),
                 replicate: None,
+                threads: 1,
             },
         )
         .expect("widest-fabric-scaling point 0 runs")
@@ -81,6 +82,7 @@ fn aggregated_json_is_byte_identical_across_job_counts() {
                 jobs,
                 point: None,
                 replicate: None,
+                threads: 1,
             },
         )
         .expect("smoke sweep runs")
@@ -109,6 +111,7 @@ fn point_and_replicate_filters_reproduce_a_single_cell() {
             jobs: 1,
             point: None,
             replicate: None,
+            threads: 1,
         },
     )
     .unwrap();
@@ -118,6 +121,7 @@ fn point_and_replicate_filters_reproduce_a_single_cell() {
             jobs: 1,
             point: Some(2),
             replicate: Some(1),
+            threads: 1,
         },
     )
     .unwrap();
@@ -138,6 +142,7 @@ fn bench_sweeps_document_includes_timing_and_every_sweep() {
             jobs: 2,
             point: None,
             replicate: None,
+            threads: 1,
         },
     )
     .unwrap();
