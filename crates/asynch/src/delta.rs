@@ -15,7 +15,9 @@
 use crate::schedule::Schedule;
 use dbf_algebra::RoutingAlgebra;
 use dbf_matrix::{is_stable, AdjacencyMatrix, RoutingState};
+use dbf_telemetry::{NoopSink, TelemetrySink};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// The result of running `δ` to a schedule's horizon.
 #[derive(Clone, Debug)]
@@ -45,6 +47,29 @@ pub fn run_delta<A: RoutingAlgebra>(
     x0: &RoutingState<A>,
     schedule: &Schedule,
 ) -> DeltaOutcome<A> {
+    run_delta_traced(alg, adj, x0, schedule, &mut NoopSink)
+}
+
+/// [`run_delta`] with a telemetry sink: each time step `t` is reported as a
+/// round (`round_start` carries the number of nodes `α(t)` activates,
+/// `round_end` the number whose row actually changed), and once the horizon
+/// is reached every node reports the last time step its row changed via
+/// `node_settled` — the asynchronous convergence frontier.
+///
+/// The outcome is identical to the untraced run for every sink; with
+/// [`NoopSink`] the instrumentation compiles out ([`run_delta`] forwards
+/// here).
+pub fn run_delta_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    schedule: &Schedule,
+    tel: &mut S,
+) -> DeltaOutcome<A>
+where
+    A: RoutingAlgebra,
+    S: TelemetrySink + ?Sized,
+{
     let n = adj.node_count();
     assert_eq!(n, x0.node_count(), "adjacency/state dimension mismatch");
     assert_eq!(
@@ -58,6 +83,8 @@ pub fn run_delta<A: RoutingAlgebra>(
     let mut history: VecDeque<RoutingState<A>> = VecDeque::with_capacity(window + 1);
     history.push_back(x0.clone());
 
+    let on = tel.enabled();
+    let mut last_changed = vec![0u64; if on { n } else { 0 }];
     let mut quiescent_from = Some(0usize);
     let mut activations = 0usize;
 
@@ -65,12 +92,26 @@ pub fn run_delta<A: RoutingAlgebra>(
         let prev = history.back().expect("history is never empty").clone();
         let mut next = prev.clone();
         let mut changed = false;
+        let mut activated = 0u64;
+        let mut rows_changed = 0u64;
+        let t0 = on.then(Instant::now);
+        if on {
+            tel.round_start(
+                t as u64,
+                (0..n).filter(|&i| schedule.activates(t, i)).count() as u64,
+            );
+        }
 
+        // `last_changed` is intentionally empty when telemetry is off, so
+        // the node loop cannot be rewritten over it.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             if !schedule.activates(t, i) {
                 continue;
             }
             activations += 1;
+            activated += 1;
+            let mut node_changed = false;
             for j in 0..n {
                 let new_route = if i == j {
                     alg.trivial()
@@ -94,11 +135,20 @@ pub fn run_delta<A: RoutingAlgebra>(
                     best
                 };
                 if &new_route != next.get(i, j) {
-                    changed = true;
+                    node_changed = true;
                 }
                 next.set(i, j, new_route);
             }
+            if node_changed {
+                changed = true;
+                rows_changed += 1;
+                if on {
+                    last_changed[i] = t as u64;
+                }
+            }
         }
+        let wall_ns = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        tel.round_end(t as u64, activated, rows_changed, wall_ns);
 
         if changed {
             quiescent_from = None;
@@ -112,6 +162,11 @@ pub fn run_delta<A: RoutingAlgebra>(
         }
     }
 
+    if on {
+        for (node, &round) in last_changed.iter().enumerate() {
+            tel.node_settled(node, round);
+        }
+    }
     let final_state = history.back().expect("history is never empty").clone();
     let sigma_stable = is_stable(alg, adj, &final_state);
     DeltaOutcome {

@@ -35,7 +35,7 @@ pub mod schedule;
 pub mod sim;
 
 pub use convergence::{check_absolute_convergence, AbsoluteConvergence, ConvergenceFailure};
-pub use delta::{run_delta, DeltaOutcome};
+pub use delta::{run_delta, run_delta_traced, DeltaOutcome};
 pub use schedule::{Schedule, ScheduleParams};
 pub use sim::{EventSim, SimConfig, SimOutcome, SimStats};
 
@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::convergence::{
         check_absolute_convergence, AbsoluteConvergence, ConvergenceFailure,
     };
-    pub use crate::delta::{run_delta, DeltaOutcome};
+    pub use crate::delta::{run_delta, run_delta_traced, DeltaOutcome};
     pub use crate::dynamic::{DynamicEvent, DynamicRun};
     pub use crate::schedule::{Schedule, ScheduleParams};
     pub use crate::sim::{EventSim, SimConfig, SimOutcome, SimStats};

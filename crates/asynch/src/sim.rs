@@ -124,6 +124,10 @@ pub struct SimOutcome<A: RoutingAlgebra> {
     /// True if the run stopped because `max_events` was hit rather than
     /// because the network quiesced.
     pub truncated: bool,
+    /// Per-node settle times: `node_last_change[i]` is the simulated time
+    /// at which node `i`'s table last changed (0 if it never did) — the
+    /// asynchronous convergence frontier, deterministic in the seed.
+    pub node_last_change: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -188,6 +192,8 @@ pub struct EventSim<'a, A: RoutingAlgebra> {
     /// superseded and ignored.
     seen_gen: Vec<Vec<Vec<u64>>>,
     stats: SimStats,
+    /// Simulated time of each node's last table change (settle tracking).
+    node_last_change: Vec<u64>,
 }
 
 impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
@@ -225,6 +231,7 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
             send_gen: vec![vec![0; n]; n],
             seen_gen: vec![vec![vec![0; n]; n]; n],
             stats: SimStats::default(),
+            node_last_change: vec![0; n],
         };
         // Every node initially advertises its whole table to its neighbours
         // (the protocol's cold-start announcements).
@@ -313,6 +320,7 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
             self.tables[i][dest] = new_route.clone();
             self.stats.table_changes += 1;
             self.stats.last_change_time = self.now;
+            self.node_last_change[i] = self.now;
             if advertise {
                 self.send_advert(i, dest, new_route);
             }
@@ -428,6 +436,7 @@ impl<'a, A: RoutingAlgebra> EventSim<'a, A> {
             sigma_stable,
             stats: self.stats,
             truncated,
+            node_last_change: self.node_last_change,
         }
     }
 }

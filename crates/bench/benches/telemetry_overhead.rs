@@ -1,0 +1,78 @@
+//! Bench: the cost of observation — σ fixed-point iteration bare, through
+//! the traced kernel with the disabled [`NoopSink`], and with the
+//! [`AggregatingSink`] collecting per-round metrics and settle histograms.
+//!
+//! The telemetry layer's core promise is *zero cost when off*: the
+//! `NoopSink` rows must be indistinguishable from the untraced baseline
+//! (the disabled path monomorphizes away behind `enabled()`), and even the
+//! aggregating rows should stay within a few percent — the interesting
+//! comparison CI watches for.  All three paths are asserted to produce the
+//! identical fixed point and iteration count before any timing happens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbf_algebra::prelude::*;
+use dbf_matrix::prelude::*;
+use dbf_telemetry::{AggregatingSink, NoopSink, TelemetrySink};
+use dbf_topology::generators;
+use std::time::Duration;
+
+fn widest_fabric(n: usize) -> (WidestPaths, AdjacencyMatrix<WidestPaths>) {
+    let alg = WidestPaths::new();
+    let topo = generators::leaf_spine(4, n - 4)
+        .with_weights(|i, j| NatInf::fin(((i * 11 + j * 5) % 90 + 10) as u64));
+    (alg, AdjacencyMatrix::from_topology(&topo))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(3);
+
+    let n = 1000usize;
+    let (alg, adj) = widest_fabric(n);
+    let clean = RoutingState::identity(&alg, n);
+
+    // Observation must not perturb: all three paths land on the same
+    // fixed point in the same number of rounds.
+    let bare = iterate_to_fixed_point(&alg, &adj, &clean, 4 * n);
+    assert!(bare.converged);
+    let mut noop = NoopSink;
+    let quiet = iterate_traced(&alg, &adj, &clean, 4 * n, &mut noop);
+    assert_eq!(quiet.state, bare.state);
+    assert_eq!(quiet.iterations, bare.iterations);
+    let mut agg = AggregatingSink::new();
+    agg.run_start("sync", "sync");
+    agg.phase_start("bench", n);
+    let loud = iterate_traced(&alg, &adj, &clean, 4 * n, &mut agg);
+    agg.phase_end("bench");
+    assert_eq!(loud.state, bare.state);
+    assert_eq!(loud.iterations, bare.iterations);
+    let report = agg.finish();
+    assert_eq!(report.phases.len(), 1);
+    assert_eq!(report.phases[0].rounds, bare.iterations as u64 + 1);
+
+    group.bench_with_input(BenchmarkId::new("untraced", n), &n, |b, _| {
+        b.iter(|| iterate_to_fixed_point(&alg, &adj, &clean, 4 * n).iterations)
+    });
+    group.bench_with_input(BenchmarkId::new("noop_sink", n), &n, |b, _| {
+        b.iter(|| {
+            let mut tel = NoopSink;
+            iterate_traced(&alg, &adj, &clean, 4 * n, &mut tel).iterations
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("aggregating_sink", n), &n, |b, _| {
+        b.iter(|| {
+            let mut tel = AggregatingSink::new();
+            tel.run_start("sync", "sync");
+            tel.phase_start("bench", n);
+            let out = iterate_traced(&alg, &adj, &clean, 4 * n, &mut tel);
+            tel.phase_end("bench");
+            out.iterations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,7 +26,10 @@ use crate::adjacency::AdjacencyMatrix;
 use crate::parallel::{par_recompute_rows, ParallelAlgebra};
 use crate::sigma::sigma_row_into;
 use crate::state::RoutingState;
+use crate::sync::emit_settles;
 use dbf_algebra::RoutingAlgebra;
+use dbf_telemetry::{NoopSink, TelemetrySink};
+use std::time::Instant;
 
 /// The outcome of an incremental iteration run.
 #[derive(Clone, Debug)]
@@ -81,17 +84,44 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
     dirty0: &[bool],
     max_rounds: usize,
 ) -> IncrementalOutcome<A> {
+    iterate_dirty_traced(alg, adj, x0, dirty0, max_rounds, &mut NoopSink)
+}
+
+/// [`iterate_dirty_to_fixed_point`] with a telemetry sink: per-round
+/// `round_start`/`round_end` events carrying the dirty-set size (the work
+/// list is exactly the dirty rows), and per-node `node_settled` events once
+/// the loop stops.  The outcome is identical to the untraced iteration for
+/// every sink; with [`NoopSink`] the instrumentation compiles out.
+pub fn iterate_dirty_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    dirty0: &[bool],
+    max_rounds: usize,
+    tel: &mut S,
+) -> IncrementalOutcome<A>
+where
+    A: RoutingAlgebra,
+    S: TelemetrySink + ?Sized,
+{
     let mut scratch: Vec<A::Route> = vec![alg.invalid(); adj.node_count()];
-    run_dirty_loop(adj, x0, dirty0, max_rounds, |state, worklist| {
-        let mut changed = Vec::new();
-        for &i in worklist {
-            sigma_row_into(alg, adj, state, i, &mut scratch);
-            if scratch[..] != *state.row(i) {
-                changed.push((i, scratch.clone()));
+    run_dirty_loop(
+        adj,
+        x0,
+        dirty0,
+        max_rounds,
+        |state, worklist| {
+            let mut changed = Vec::new();
+            for &i in worklist {
+                sigma_row_into(alg, adj, state, i, &mut scratch);
+                if scratch[..] != *state.row(i) {
+                    changed.push((i, scratch.clone()));
+                }
             }
-        }
-        changed
-    })
+            changed
+        },
+        tel,
+    )
 }
 
 /// The shared dirty-set engine behind the sequential and sharded dirty-row
@@ -103,13 +133,18 @@ pub fn iterate_dirty_to_fixed_point<A: RoutingAlgebra>(
 /// exactly what both the sequential kernel and
 /// [`crate::parallel::par_recompute_rows`] produce, so the trajectory is
 /// identical by construction rather than by keeping two loops in lockstep.
-fn run_dirty_loop<A: RoutingAlgebra>(
+fn run_dirty_loop<A, S>(
     adj: &AdjacencyMatrix<A>,
     x0: &RoutingState<A>,
     dirty0: &[bool],
     max_rounds: usize,
     mut recompute: impl FnMut(&RoutingState<A>, &[usize]) -> Vec<(usize, Vec<A::Route>)>,
-) -> IncrementalOutcome<A> {
+    tel: &mut S,
+) -> IncrementalOutcome<A>
+where
+    A: RoutingAlgebra,
+    S: TelemetrySink + ?Sized,
+{
     let n = adj.node_count();
     assert_eq!(
         n,
@@ -126,6 +161,8 @@ fn run_dirty_loop<A: RoutingAlgebra>(
         }
     }
 
+    let on = tel.enabled();
+    let mut last_changed = vec![0u64; if on { n } else { 0 }];
     let mut state = x0.clone();
     let mut dirty = dirty0.to_vec();
     let mut next_dirty = vec![false; n];
@@ -134,6 +171,9 @@ fn run_dirty_loop<A: RoutingAlgebra>(
 
     while dirty.iter().any(|&d| d) {
         if rounds == max_rounds {
+            if on {
+                emit_settles(tel, &last_changed);
+            }
             return IncrementalOutcome {
                 state,
                 rounds,
@@ -144,18 +184,30 @@ fn run_dirty_loop<A: RoutingAlgebra>(
         rounds += 1;
         let worklist: Vec<usize> = (0..n).filter(|&i| dirty[i]).collect();
         row_recomputations += worklist.len() as u64;
+        let t0 = on.then(Instant::now);
+        tel.round_start(rounds as u64, worklist.len() as u64);
         // Changed rows are buffered and applied after the whole work list
         // is recomputed, so every recomputation reads the *previous*
         // round's values (Jacobi order) — this is what keeps the
         // trajectory identical to the full σ iteration.
-        for (i, row) in recompute(&state, &worklist) {
+        let applied = recompute(&state, &worklist);
+        let changed_rows = applied.len() as u64;
+        for (i, row) in applied {
             state.row_mut(i).clone_from_slice(&row);
+            if on {
+                last_changed[i] = rounds as u64;
+            }
             for &d in &dependants[i] {
                 next_dirty[d] = true;
             }
         }
+        let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        tel.round_end(rounds as u64, worklist.len() as u64, changed_rows, wall_ns);
         std::mem::swap(&mut dirty, &mut next_dirty);
         next_dirty.fill(false);
+    }
+    if on {
+        emit_settles(tel, &last_changed);
     }
     IncrementalOutcome {
         state,
@@ -195,9 +247,48 @@ where
     if threads <= 1 {
         return iterate_dirty_to_fixed_point(alg, adj, x0, dirty0, max_rounds);
     }
-    run_dirty_loop(adj, x0, dirty0, max_rounds, |state, worklist| {
-        par_recompute_rows(alg, adj, state, worklist, threads)
-    })
+    run_dirty_loop(
+        adj,
+        x0,
+        dirty0,
+        max_rounds,
+        |state, worklist| par_recompute_rows(alg, adj, state, worklist, threads),
+        &mut NoopSink,
+    )
+}
+
+/// [`par_iterate_dirty_to_fixed_point`] with a telemetry sink.  The
+/// deterministic event stream — round indices, work-list sizes, changed-row
+/// counts, settle rounds — is identical to [`iterate_dirty_traced`] for
+/// every thread count, because the dirty bookkeeping (and the sink) stay on
+/// the coordinating thread and the sharded recomputation returns changed
+/// rows in the sequential order.
+pub fn par_iterate_dirty_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    dirty0: &[bool],
+    max_rounds: usize,
+    threads: usize,
+    tel: &mut S,
+) -> IncrementalOutcome<A>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+    S: TelemetrySink + ?Sized,
+{
+    if threads <= 1 {
+        return iterate_dirty_traced(alg, adj, x0, dirty0, max_rounds, tel);
+    }
+    run_dirty_loop(
+        adj,
+        x0,
+        dirty0,
+        max_rounds,
+        |state, worklist| par_recompute_rows(alg, adj, state, worklist, threads),
+        tel,
+    )
 }
 
 #[cfg(test)]

@@ -69,24 +69,28 @@ pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
 pub use incremental::{
-    dirty_rows_after_change, iterate_dirty_to_fixed_point, par_iterate_dirty_to_fixed_point,
-    IncrementalOutcome,
+    dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
+    par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
 };
-pub use parallel::{par_iterate_to_fixed_point, par_sigma_into, ParallelAlgebra};
+pub use parallel::{
+    par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
+};
 pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
 pub use state::RoutingState;
-pub use sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
+pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, SyncOutcome};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
     pub use crate::incremental::{
-        dirty_rows_after_change, iterate_dirty_to_fixed_point, par_iterate_dirty_to_fixed_point,
-        IncrementalOutcome,
+        dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
+        par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
     };
     pub use crate::oracle::exhaustive_path_optimum;
-    pub use crate::parallel::{par_iterate_to_fixed_point, par_sigma_into, ParallelAlgebra};
+    pub use crate::parallel::{
+        par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
+    };
     pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
     pub use crate::state::RoutingState;
-    pub use crate::sync::{is_stable, iterate_to_fixed_point, SyncOutcome};
+    pub use crate::sync::{is_stable, iterate_to_fixed_point, iterate_traced, SyncOutcome};
 }

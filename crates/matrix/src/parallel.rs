@@ -25,9 +25,11 @@
 use crate::adjacency::AdjacencyMatrix;
 use crate::sigma::{sigma_into, sigma_row_into};
 use crate::state::RoutingState;
-use crate::sync::{iterate_to_fixed_point, SyncOutcome};
+use crate::sync::{emit_settles, iterate_to_fixed_point, iterate_traced, SyncOutcome};
 use dbf_algebra::RoutingAlgebra;
+use dbf_telemetry::TelemetrySink;
 use std::ops::Range;
+use std::time::Instant;
 
 /// The algebra bounds of the parallel sweep: the algebra and adjacency are
 /// shared read-only across workers and each worker writes `Route`s into its
@@ -220,6 +222,164 @@ where
     }
 }
 
+/// One instrumented parallel round: like `par_step`, but each worker also
+/// records which of its rows changed into its disjoint slice of a per-row
+/// flag vector and its own band sweep time into a per-band slot.  After the
+/// join, the *coordinating* thread emits one `band_sweep` event per band in
+/// band-index order — workers never touch the sink, so trace ordering is
+/// deterministic — and returns the flags for the caller to fold.
+///
+/// Only called on the enabled-telemetry path, so the per-round flag/wall
+/// allocations and `Instant` reads are never paid by untraced runs.
+fn par_step_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    cur: &RoutingState<A>,
+    next: &mut RoutingState<A>,
+    threads: usize,
+    round: u64,
+    tel: &mut S,
+) -> Vec<bool>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+    S: TelemetrySink + ?Sized,
+{
+    let n = adj.node_count();
+    let chunks = balanced_chunks(n, threads, |i| adj.row(i).len() as u64 + 1);
+    let mut flags = vec![false; n];
+    let mut walls = vec![0u64; chunks.len()];
+    let sweep_band = |band: &mut [A::Route], rows: Range<usize>, flags: &mut [bool]| -> u64 {
+        let t0 = Instant::now();
+        for ((slot, i), flag) in band.chunks_mut(n).zip(rows).zip(flags.iter_mut()) {
+            sigma_row_into(alg, adj, cur, i, slot);
+            *flag = slot != cur.row(i);
+        }
+        t0.elapsed().as_nanos() as u64
+    };
+    // One worker's share of the round: its disjoint band of the double
+    // buffer, the row range it covers, its change flags and its wall slot.
+    type BandWork<'a, R> = (&'a mut [R], Range<usize>, &'a mut [bool], &'a mut [u64]);
+    let mut rest = next.entries_mut();
+    let mut flags_rest = flags.as_mut_slice();
+    let mut walls_rest = walls.as_mut_slice();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
+        let mut first: Option<BandWork<'_, A::Route>> = None;
+        for rows in chunks.iter().cloned() {
+            let (band, tail) = std::mem::take(&mut rest).split_at_mut((rows.end - rows.start) * n);
+            rest = tail;
+            let (frow, ftail) = std::mem::take(&mut flags_rest).split_at_mut(rows.end - rows.start);
+            flags_rest = ftail;
+            let (wslot, wtail) = std::mem::take(&mut walls_rest).split_at_mut(1);
+            walls_rest = wtail;
+            if first.is_none() {
+                first = Some((band, rows, frow, wslot));
+            } else {
+                handles.push(scope.spawn(move |_| {
+                    wslot[0] = sweep_band(band, rows, frow);
+                }));
+            }
+        }
+        if let Some((band, rows, frow, wslot)) = first.take() {
+            wslot[0] = sweep_band(band, rows, frow);
+        }
+        for handle in handles {
+            handle.join().expect("a σ sweep worker panicked");
+        }
+    })
+    .expect("the σ sweep worker scope panicked");
+    for (b, rows) in chunks.iter().enumerate() {
+        let weight: u64 = rows.clone().map(|i| adj.row(i).len() as u64 + 1).sum();
+        tel.band_sweep(
+            round,
+            b as u64,
+            (rows.end - rows.start) as u64,
+            weight,
+            walls[b],
+        );
+    }
+    flags
+}
+
+/// [`par_iterate_to_fixed_point`] with a telemetry sink: per-round
+/// `round_start`/`round_end` events, per-band `band_sweep` profiling (the
+/// band-balance evidence: rows, degree weight, and worker sweep time per
+/// band), and per-node `node_settled` events once the loop stops.
+///
+/// The outcome — and every deterministic event argument (round indices,
+/// rows recomputed/changed, settle rounds) — is identical to the
+/// sequential [`iterate_traced`] for every thread count; only the band
+/// events and wall times depend on the execution geometry.  With a
+/// disabled sink this forwards to the untraced [`par_iterate_to_fixed_point`].
+pub fn par_iterate_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    max_iterations: usize,
+    threads: usize,
+    tel: &mut S,
+) -> SyncOutcome<A>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+    S: TelemetrySink + ?Sized,
+{
+    if !tel.enabled() {
+        return par_iterate_to_fixed_point(alg, adj, x0, max_iterations, threads);
+    }
+    let n = adj.node_count();
+    if threads <= 1 || n < 2 {
+        return iterate_traced(alg, adj, x0, max_iterations, tel);
+    }
+    let mut last_changed = vec![0u64; n];
+    let round_traced = |cur: &RoutingState<A>,
+                        next: &mut RoutingState<A>,
+                        round: u64,
+                        last_changed: &mut [u64],
+                        tel: &mut S|
+     -> u64 {
+        let t0 = Instant::now();
+        tel.round_start(round, n as u64);
+        let flags = par_step_traced(alg, adj, cur, next, threads, round, tel);
+        let mut changed = 0u64;
+        for (i, &flag) in flags.iter().enumerate() {
+            if flag {
+                changed += 1;
+                last_changed[i] = round;
+            }
+        }
+        tel.round_end(round, n as u64, changed, t0.elapsed().as_nanos() as u64);
+        changed
+    };
+    let mut cur = x0.clone();
+    let mut next = cur.clone();
+    let mut round = 0u64;
+    for k in 0..max_iterations {
+        round = k as u64 + 1;
+        if round_traced(&cur, &mut next, round, &mut last_changed, tel) == 0 {
+            emit_settles(tel, &last_changed);
+            return SyncOutcome {
+                state: cur,
+                iterations: k,
+                converged: true,
+            };
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Mirror the sequential budget-boundary check: one last round into the
+    // idle buffer decides convergence without moving the reported state.
+    let changed = round_traced(&cur, &mut next, round + 1, &mut last_changed, tel);
+    emit_settles(tel, &last_changed);
+    SyncOutcome {
+        state: cur,
+        iterations: max_iterations,
+        converged: changed == 0,
+    }
+}
+
 /// Recompute the rows of `worklist` (ascending, deduplicated) from `state`
 /// across up to `threads` workers, returning the rows that actually changed
 /// with their new values, in ascending row order.
@@ -379,6 +539,33 @@ mod tests {
             assert_eq!(par.iterations, seq.iterations, "budget={budget}");
             assert_eq!(par.converged, seq.converged, "budget={budget}");
         }
+    }
+
+    #[test]
+    fn traced_outcome_and_deterministic_events_are_thread_invariant() {
+        use dbf_telemetry::AggregatingSink;
+        let (alg, adj) = widest_fabric(4, 29);
+        let n = adj.node_count();
+        let x0 = RoutingState::identity(&alg, n);
+        let untraced = par_iterate_to_fixed_point(&alg, &adj, &x0, 500, 4);
+        let mut deterministic_sides = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut sink = AggregatingSink::new();
+            let out = par_iterate_traced(&alg, &adj, &x0, 500, threads, &mut sink);
+            assert_eq!(out.state, untraced.state, "threads={threads}");
+            assert_eq!(out.iterations, untraced.iterations, "threads={threads}");
+            let report = sink.finish();
+            deterministic_sides.push(report.phases);
+        }
+        assert_eq!(deterministic_sides[0], deterministic_sides[1]);
+        assert_eq!(deterministic_sides[0], deterministic_sides[2]);
+        let phase = &deterministic_sides[0][0];
+        // Rounds include the sweep that detects the fixed point.
+        assert_eq!(phase.rounds, untraced.iterations as u64 + 1);
+        assert_eq!(phase.rows_recomputed, phase.rounds * n as u64);
+        let settle = phase.settle.expect("σ engines emit settle events");
+        assert_eq!(settle.count, n as u64);
+        assert!(settle.max <= untraced.iterations as u64);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! (Definition 4).
 
 use crate::adjacency::AdjacencyMatrix;
-use crate::sigma::{sigma, sigma_into};
+use crate::sigma::{sigma, sigma_row_into};
 use crate::state::RoutingState;
 use dbf_algebra::RoutingAlgebra;
+use dbf_telemetry::{NoopSink, TelemetrySink};
+use std::time::Instant;
 
 /// The outcome of a synchronous iteration run.
 #[derive(Clone, Debug)]
@@ -43,14 +45,88 @@ pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
     x0: &RoutingState<A>,
     max_iterations: usize,
 ) -> SyncOutcome<A> {
+    iterate_traced(alg, adj, x0, max_iterations, &mut NoopSink)
+}
+
+/// One instrumented σ round: sweep every row of `σ(cur)` into `next`,
+/// comparing row-by-row (exactly the sequential `next == cur` test, row by
+/// row), and report how many rows changed.  Telemetry-only work — the
+/// wall-clock read and the settle bookkeeping — is guarded behind
+/// `tel.enabled()`, so the `NoopSink` monomorphization is the plain sweep.
+fn traced_round<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    cur: &RoutingState<A>,
+    next: &mut RoutingState<A>,
+    round: u64,
+    last_changed: &mut [u64],
+    tel: &mut S,
+) -> u64
+where
+    A: RoutingAlgebra,
+    S: TelemetrySink + ?Sized,
+{
+    let n = adj.node_count();
+    let on = tel.enabled();
+    let t0 = on.then(Instant::now);
+    tel.round_start(round, n as u64);
+    let mut changed = 0u64;
+    for (i, slot) in next.entries_mut().chunks_mut(n.max(1)).enumerate() {
+        sigma_row_into(alg, adj, cur, i, slot);
+        if slot != cur.row(i) {
+            changed += 1;
+            if on {
+                last_changed[i] = round;
+            }
+        }
+    }
+    let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    tel.round_end(round, n as u64, changed, wall_ns);
+    changed
+}
+
+/// Emit `node_settled` for every node, in node order: the round in which
+/// the node's row last changed (0 if it never moved).
+pub(crate) fn emit_settles<S: TelemetrySink + ?Sized>(tel: &mut S, last_changed: &[u64]) {
+    for (node, &round) in last_changed.iter().enumerate() {
+        tel.node_settled(node, round);
+    }
+}
+
+/// [`iterate_to_fixed_point`] with a telemetry sink: emits
+/// `round_start`/`round_end` per σ round (rows recomputed, rows changed)
+/// and, once the loop stops, a `node_settled` event per node carrying the
+/// last round in which its row changed.
+///
+/// The returned outcome is identical to the untraced iteration for every
+/// sink — instrumentation never alters the trajectory.  With
+/// [`NoopSink`] the instrumentation compiles out entirely (this *is* the
+/// untraced implementation: [`iterate_to_fixed_point`] forwards here).
+pub fn iterate_traced<A, S>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    max_iterations: usize,
+    tel: &mut S,
+) -> SyncOutcome<A>
+where
+    A: RoutingAlgebra,
+    S: TelemetrySink + ?Sized,
+{
     // Double-buffered: `σ` streams into a reusable second state and the
     // buffers are swapped each round, so the loop performs no per-round
     // allocation (at n = 10⁴ a state is ~1.6 GB, so this matters).
+    let on = tel.enabled();
+    let mut last_changed = vec![0u64; if on { adj.node_count() } else { 0 }];
     let mut cur = x0.clone();
     let mut next = cur.clone();
+    let mut round = 0u64;
     for k in 0..max_iterations {
-        sigma_into(alg, adj, &cur, &mut next);
-        if next == cur {
+        round = k as u64 + 1;
+        if traced_round(alg, adj, &cur, &mut next, round, &mut last_changed, tel) == 0 {
+            if on {
+                emit_settles(tel, &last_changed);
+            }
             return SyncOutcome {
                 state: cur,
                 iterations: k,
@@ -62,12 +138,14 @@ pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
     // One last check so that a state that becomes stable exactly at the
     // budget boundary is still reported as converged — into the idle
     // buffer, not a fresh allocation.
-    sigma_into(alg, adj, &cur, &mut next);
-    let converged = next == cur;
+    let changed = traced_round(alg, adj, &cur, &mut next, round + 1, &mut last_changed, tel);
+    if on {
+        emit_settles(tel, &last_changed);
+    }
     SyncOutcome {
         state: cur,
         iterations: max_iterations,
-        converged,
+        converged: changed == 0,
     }
 }
 

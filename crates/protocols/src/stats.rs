@@ -40,6 +40,19 @@ impl ProtocolStats {
             1.0 - self.updates_lost as f64 / self.updates_sent as f64
         }
     }
+
+    /// The telemetry view of these counters: uniform message-plane
+    /// accounting for the `messages` event.  `bytes` is always `Some` —
+    /// the protocol engines put their updates through [`crate::wire`].
+    pub fn counters(&self) -> dbf_telemetry::MessageCounters {
+        dbf_telemetry::MessageCounters {
+            sent: self.messages_sent(),
+            delivered: self.updates_processed,
+            dropped: self.updates_lost,
+            duplicated: 0,
+            bytes: Some(self.bytes_sent),
+        }
+    }
 }
 
 impl fmt::Display for ProtocolStats {
@@ -74,6 +87,8 @@ mod tests {
         };
         assert_eq!(s.messages_sent(), 110);
         assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
+        let c = s.counters();
+        assert_eq!((c.sent, c.dropped, c.bytes), (110, 25, Some(0)));
         assert_eq!(ProtocolStats::default().delivery_ratio(), 1.0);
         assert!(s.to_string().contains("sent=100"));
     }

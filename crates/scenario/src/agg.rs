@@ -77,8 +77,12 @@ pub struct ReplicateMetrics {
     /// Total engine work across all runs and phases (σ rounds, δ
     /// activations, simulator deliveries, threaded table changes).
     pub work: u64,
-    /// Total messages sent across all runs and phases.
+    /// Total messages sent across all runs and phases (engines without a
+    /// message concept contribute nothing).
     pub messages: u64,
+    /// Total logical rounds across all runs and phases (σ iterations,
+    /// worklist rounds, δ quiescence times, last-change times).
+    pub rounds: u64,
     /// σ rounds to convergence (the `sync` run's work), when the scenario
     /// ran the synchronous engine.
     pub sync_rounds: Option<u64>,
@@ -98,12 +102,18 @@ impl ReplicateMetrics {
     pub fn from_report(replicate: usize, seed: u64, report: &ScenarioReport) -> Self {
         let mut work = 0u64;
         let mut messages = 0u64;
+        let mut rounds = 0u64;
         let mut wall_ms = 0f64;
         let mut sync_rounds = None;
         for run in &report.runs {
             let run_work: u64 = run.phases.iter().map(|p| p.work).sum();
             work += run_work;
-            messages += run.phases.iter().map(|p| p.messages).sum::<u64>();
+            messages += run
+                .phases
+                .iter()
+                .map(|p| p.messages.unwrap_or(0))
+                .sum::<u64>();
+            rounds += run.phases.iter().map(|p| p.rounds).sum::<u64>();
             wall_ms += run.phases.iter().map(|p| p.wall_ms).sum::<f64>();
             if run.engine == "sync" {
                 sync_rounds = Some(run_work);
@@ -114,6 +124,7 @@ impl ReplicateMetrics {
             seed,
             work,
             messages,
+            rounds,
             sync_rounds,
             wall_ms,
             converges: report.verdict.converges,
@@ -156,6 +167,8 @@ pub struct PointReport {
     pub work: Stats,
     /// Message statistics over the replicates.
     pub messages: Stats,
+    /// Logical-round statistics over the replicates.
+    pub rounds: Stats,
     /// σ-rounds-to-convergence statistics, when the sync engine ran in
     /// every replicate.
     pub sync_rounds: Option<Stats>,
@@ -174,6 +187,7 @@ impl PointReport {
             |f: &dyn Fn(&ReplicateMetrics) -> f64| -> Vec<f64> { metrics.iter().map(f).collect() };
         let work = Stats::from_samples(&samples(&|m| m.work as f64));
         let messages = Stats::from_samples(&samples(&|m| m.messages as f64));
+        let rounds = Stats::from_samples(&samples(&|m| m.rounds as f64));
         let wall_ms = Stats::from_samples(&samples(&|m| m.wall_ms));
         let sync_rounds = if metrics.iter().all(|m| m.sync_rounds.is_some()) {
             Some(Stats::from_samples(&samples(&|m| {
@@ -205,6 +219,7 @@ impl PointReport {
             ok: failures.is_empty(),
             work,
             messages,
+            rounds,
             sync_rounds,
             wall_ms,
             failures,
@@ -239,6 +254,7 @@ impl PointReport {
         let mut stats = vec![
             ("work".into(), self.work.to_json()),
             ("messages".into(), self.messages.to_json()),
+            ("rounds".into(), self.rounds.to_json()),
         ];
         if let Some(s) = self.sync_rounds {
             stats.push(("sync_rounds".into(), s.to_json()));
@@ -394,6 +410,7 @@ mod tests {
             seed: 100 + replicate as u64,
             work: 10 * (replicate as u64 + 1),
             messages: 5,
+            rounds: 6,
             sync_rounds: Some(4),
             wall_ms: 1.0,
             converges: ok,
@@ -409,6 +426,7 @@ mod tests {
         assert_eq!(report.work.mean, 15.0);
         assert_eq!(report.work.max, 20.0);
         assert_eq!(report.sync_rounds.unwrap().mean, 4.0);
+        assert_eq!(report.rounds.mean, 6.0);
         let text = report.to_json(false).to_string();
         assert!(text.contains("\"failures\""));
         assert!(!text.contains("wall_ms"), "timing excluded by default");

@@ -5,27 +5,54 @@
 
 use crate::agg::SweepReport;
 use crate::report::{Json, ScenarioReport};
+use dbf_telemetry::{MetricsReport, SettleSummary};
 
-/// Aggregate a set of scenario reports into the benchmark JSON document.
+/// One benchmark record: a scenario's differential report plus the
+/// deterministic telemetry metrics collected while it ran (when the run
+/// was traced — the emitter degrades gracefully without them).
+pub struct BenchRecord {
+    /// The differential report.
+    pub report: ScenarioReport,
+    /// Per-run/per-phase telemetry metrics (settle histograms, round
+    /// counts) from an [`dbf_telemetry::AggregatingSink`].
+    pub metrics: Option<MetricsReport>,
+}
+
+fn settle_json(s: &SettleSummary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Int(s.count as i64)),
+        ("p50".into(), Json::Int(s.p50 as i64)),
+        ("p95".into(), Json::Int(s.p95 as i64)),
+        ("p99".into(), Json::Int(s.p99 as i64)),
+        ("max".into(), Json::Int(s.max as i64)),
+    ])
+}
+
+/// Aggregate a set of benchmark records into the `BENCH_scenarios.json`
+/// document.
 ///
-/// Per scenario and engine run the document records total work, total
-/// messages, total wire bytes and total wall-clock milliseconds, plus a
-/// per-phase breakdown (so e.g. the incremental engine's advantage on the
-/// *topology-change* phases is directly visible next to the full σ
-/// engine's numbers) and the differential verdict.  `threads` records the
-/// intra-run worker budget the parallelizable engines were given, so
-/// wall-time entries in the trajectory are comparable across PRs.
-pub fn bench_json(reports: &[ScenarioReport], threads: usize) -> Json {
+/// Per scenario and engine run the document records total rounds, total
+/// work, total messages, total wire bytes and total wall-clock
+/// milliseconds, plus a per-phase breakdown (so e.g. the incremental
+/// engine's advantage on the *topology-change* phases is directly visible
+/// next to the full σ engine's numbers) and the differential verdict.
+/// Phases of traced runs additionally carry the per-node settle-time
+/// summary (p50/p95/p99 — deterministic, unlike the wall times).
+/// `threads` records the intra-run worker budget the parallelizable
+/// engines were given, so wall-time entries in the trajectory are
+/// comparable across PRs.
+pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario builtins")),
-        ("schema_version".into(), Json::Int(1)),
+        ("schema_version".into(), Json::Int(2)),
         ("threads".into(), Json::Int(threads.max(1) as i64)),
         (
             "scenarios".into(),
             Json::Arr(
-                reports
+                records
                     .iter()
-                    .map(|r| {
+                    .map(|rec| {
+                        let r = &rec.report;
                         Json::Obj(vec![
                             ("name".into(), Json::str(&r.scenario)),
                             ("phases".into(), Json::Int(r.phase_labels.len() as i64)),
@@ -38,15 +65,24 @@ pub fn bench_json(reports: &[ScenarioReport], threads: usize) -> Json {
                                     r.runs
                                         .iter()
                                         .map(|run| {
+                                            let rounds: u64 =
+                                                run.phases.iter().map(|p| p.rounds).sum();
                                             let work: u64 = run.phases.iter().map(|p| p.work).sum();
-                                            let messages: u64 =
-                                                run.phases.iter().map(|p| p.messages).sum();
-                                            let bytes: u64 =
-                                                run.phases.iter().map(|p| p.bytes).sum();
+                                            let messages: u64 = run
+                                                .phases
+                                                .iter()
+                                                .map(|p| p.messages.unwrap_or(0))
+                                                .sum();
+                                            let bytes: u64 = run
+                                                .phases
+                                                .iter()
+                                                .map(|p| p.bytes.unwrap_or(0))
+                                                .sum();
                                             let wall_ms: f64 =
                                                 run.phases.iter().map(|p| p.wall_ms).sum();
                                             Json::Obj(vec![
                                                 ("engine".into(), Json::str(&run.engine)),
+                                                ("rounds".into(), Json::Int(rounds as i64)),
                                                 ("work".into(), Json::Int(work as i64)),
                                                 ("messages".into(), Json::Int(messages as i64)),
                                                 ("bytes".into(), Json::Int(bytes as i64)),
@@ -60,14 +96,38 @@ pub fn bench_json(reports: &[ScenarioReport], threads: usize) -> Json {
                                                         run.phases
                                                             .iter()
                                                             .map(|p| {
+                                                                let settle = rec
+                                                                    .metrics
+                                                                    .as_ref()
+                                                                    .and_then(|m| {
+                                                                        m.phases.iter().find(|e| {
+                                                                            e.run == run.engine
+                                                                                && e.phase
+                                                                                    == p.label
+                                                                        })
+                                                                    })
+                                                                    .and_then(|e| {
+                                                                        e.settle.as_ref()
+                                                                    });
                                                                 Json::Obj(vec![
                                                                     (
                                                                         "label".into(),
                                                                         Json::str(&p.label),
                                                                     ),
                                                                     (
+                                                                        "rounds".into(),
+                                                                        Json::Int(p.rounds as i64),
+                                                                    ),
+                                                                    (
                                                                         "work".into(),
                                                                         Json::Int(p.work as i64),
+                                                                    ),
+                                                                    (
+                                                                        "settle".into(),
+                                                                        settle.map_or(
+                                                                            Json::Null,
+                                                                            settle_json,
+                                                                        ),
                                                                     ),
                                                                     (
                                                                         "wall_ms".into(),
@@ -104,7 +164,7 @@ pub fn bench_json(reports: &[ScenarioReport], threads: usize) -> Json {
 pub fn bench_sweeps_json(reports: &[SweepReport]) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario sweeps")),
-        ("schema_version".into(), Json::Int(1)),
+        ("schema_version".into(), Json::Int(2)),
         (
             "sweeps".into(),
             Json::Arr(reports.iter().map(|r| r.to_json(true)).collect()),
@@ -116,6 +176,7 @@ pub fn bench_sweeps_json(reports: &[SweepReport]) -> Json {
 mod tests {
     use super::*;
     use crate::report::{Agreement, EngineRun, PhaseOutcome};
+    use dbf_telemetry::PhaseMetrics;
 
     #[test]
     fn bench_document_aggregates_work() {
@@ -129,18 +190,20 @@ mod tests {
                     PhaseOutcome {
                         label: "a".into(),
                         sigma_stable: true,
+                        rounds: 40,
                         work: 10,
-                        messages: 100,
-                        bytes: 640,
+                        messages: Some(100),
+                        bytes: Some(640),
                         wall_ms: 0.5,
                         digest: "d".into(),
                     },
                     PhaseOutcome {
                         label: "b".into(),
                         sigma_stable: true,
+                        rounds: 20,
                         work: 5,
-                        messages: 50,
-                        bytes: 320,
+                        messages: Some(50),
+                        bytes: None,
                         wall_ms: 0.25,
                         digest: "d".into(),
                     },
@@ -154,12 +217,37 @@ mod tests {
             expected_converges: true,
             expected_agreement: true,
         };
-        let text = bench_json(&[report], 4).to_string();
+        let metrics = MetricsReport {
+            phases: vec![PhaseMetrics {
+                run: "sim[1]".into(),
+                phase: "a".into(),
+                rounds: 0,
+                rows_recomputed: 0,
+                rows_changed: 0,
+                max_scheduled: 0,
+                settle: SettleSummary::from_samples(&[1, 2, 3, 40]),
+                messages: None,
+            }],
+            ..MetricsReport::default()
+        };
+        let text = bench_json(
+            &[BenchRecord {
+                report,
+                metrics: Some(metrics),
+            }],
+            4,
+        )
+        .to_string();
+        assert!(text.contains("\"rounds\": 60"), "{text}");
         assert!(text.contains("\"work\": 15"));
         assert!(text.contains("\"messages\": 150"));
-        assert!(text.contains("\"bytes\": 960"));
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"bytes\": 640"), "None sums as 0");
+        assert!(text.contains("\"schema_version\": 2"));
         assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"expectation_met\": true"));
+        // Phase "a" carries its settle summary; phase "b" (no metrics
+        // entry) serializes settle as null.
+        assert!(text.contains("\"p95\": 40"), "{text}");
+        assert!(text.contains("\"settle\": null"), "{text}");
     }
 }

@@ -5,6 +5,9 @@
 //! scenarios show <builtin>
 //! scenarios run <builtin|file.toml> [--engines sync,delta,sim,threaded]
 //!                                   [--seeds 1,2,3] [--json] [--out FILE]
+//!                                   [--trace FILE.jsonl] [--metrics]
+//! scenarios profile <builtin|file.toml> [--engines LIST] [--seeds LIST]
+//!                                       [--threads N]
 //! scenarios run-all [--json] [--out FILE]
 //! scenarios bench [--out BENCH_scenarios.json]
 //! scenarios list-sweeps
@@ -21,10 +24,11 @@
 //! match the expectation, so the binary doubles as an integration gate; on
 //! failure both print the exact reproduction command.
 
-use dbf_scenario::bench::{bench_json, bench_sweeps_json};
+use dbf_scenario::bench::{bench_json, bench_sweeps_json, BenchRecord};
 use dbf_scenario::fuzz::replay_corpus;
 use dbf_scenario::pool::default_jobs;
 use dbf_scenario::prelude::*;
+use dbf_scenario::telemetry::{AggregatingSink, Tee, TraceSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +46,8 @@ fn usage() -> ExitCode {
          \x20 list-engines               list registered execution engines\n\
          \x20 show <builtin>             print a built-in scenario as TOML\n\
          \x20 run <builtin|file.toml>    execute a scenario on its engines\n\
+         \x20 profile <builtin|file.toml> execute a scenario and print the per-phase\n\
+         \x20                            telemetry breakdown (wall times, band balance)\n\
          \x20 run-all                    execute every built-in scenario\n\
          \x20 bench                      run all builtins, write BENCH_scenarios.json\n\
          \x20 list-sweeps                list built-in parameter sweeps\n\
@@ -68,6 +74,10 @@ fn usage() -> ExitCode {
          \x20 --timing         include wall-clock stats in the sweep JSON\n\
          \x20 --point K        run only grid point K of a sweep\n\
          \x20 --replicate R    run only replicate R of a sweep\n\
+         \x20 --trace FILE     run: write a schema-versioned JSONL event trace to FILE\n\
+         \x20 --metrics        run: append the deterministic telemetry table to the\n\
+         \x20                  summary (the JSON report always embeds a `metrics`\n\
+         \x20                  section and a trailing non-deterministic `timing` one)\n\
          \x20 --cases N        fuzz: how many random cases to run (default 100)\n\
          \x20 --seed S         fuzz: root seed of the case stream (default 1)\n\
          \x20 --case K         fuzz: run only case K (reproduction mode)\n\
@@ -90,10 +100,26 @@ struct Options {
     seed: Option<u64>,
     case: Option<usize>,
     corpus: Option<String>,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 /// The options each scenario command accepts.
 const SCENARIO_OPTS: &[&str] = &["--engines", "--seeds", "--json", "--out", "--threads"];
+/// The options `run` accepts: the scenario options plus the telemetry
+/// outputs.  `run-all` deliberately rejects `--trace` (one trace file per
+/// run) and `--metrics`.
+const RUN_OPTS: &[&str] = &[
+    "--engines",
+    "--seeds",
+    "--json",
+    "--out",
+    "--threads",
+    "--trace",
+    "--metrics",
+];
+/// The options `profile` accepts.
+const PROFILE_OPTS: &[&str] = &["--engines", "--seeds", "--threads"];
 /// The options `sweep` accepts.
 const SWEEP_OPTS: &[&str] = &[
     "--jobs",
@@ -132,6 +158,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         seed: None,
         case: None,
         corpus: None,
+        trace: None,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -214,6 +242,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 opts.case = Some(v.parse::<usize>().map_err(|e| format!("bad --case: {e}"))?);
             }
             "--corpus" => opts.corpus = Some(it.next().ok_or("--corpus needs a value")?.clone()),
+            "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
+            "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -278,13 +308,47 @@ fn run_threads(opts: &Options) -> usize {
     opts.threads.unwrap_or_else(default_jobs).max(1)
 }
 
+/// Run a scenario with the aggregator attached, teeing the event stream
+/// into a JSONL trace file when one was requested.  Returns the
+/// differential report plus the deterministic/timing metrics.
+fn run_traced(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    trace: Option<&str>,
+) -> Result<(ScenarioReport, telemetry::MetricsReport), String> {
+    let mut agg = AggregatingSink::new();
+    let report = match trace {
+        Some(path) => {
+            let mut tracer = TraceSink::to_file(path)
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            let mut tee = Tee {
+                a: &mut agg,
+                b: &mut tracer,
+            };
+            let report = run_scenario_traced(scenario, cfg, &mut tee).map_err(|e| e.to_string())?;
+            tracer
+                .finish()
+                .map_err(|e| format!("cannot write trace file {path:?}: {e}"))?;
+            eprintln!("wrote {path}");
+            report
+        }
+        None => run_scenario_traced(scenario, cfg, &mut agg).map_err(|e| e.to_string())?,
+    };
+    Ok((report, agg.finish()))
+}
+
 fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
     let scenario = apply_overrides(load_scenario(target)?, opts);
-    let cfg = RunConfig {
-        threads: run_threads(opts),
-    };
-    let report = run_scenario_with(&scenario, &cfg).map_err(|e| e.to_string())?;
-    emit(opts, &report.to_json(), &report.summary())?;
+    let threads = run_threads(opts);
+    let cfg = RunConfig { threads };
+    let (report, metrics) = run_traced(&scenario, &cfg, opts.trace.as_deref())?;
+    let json = with_telemetry(report.to_json(), &metrics, threads);
+    let mut summary = report.summary();
+    if opts.metrics {
+        summary.push('\n');
+        summary.push_str(&metrics_table(&metrics));
+    }
+    emit(opts, &json, &summary)?;
     let met = report.expectation_met();
     if !met {
         // Pinpoint the runs that broke the verdict and print the exact
@@ -328,6 +392,19 @@ fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
         eprintln!("reproduce with: scenarios run {target} --engines {engines} --seeds {seeds}");
     }
     Ok(met)
+}
+
+/// `scenarios profile`: run with telemetry on and print the per-phase
+/// breakdown — wall times, rows per round, settle p95 and the parallel
+/// band balance — instead of the differential summary.
+fn cmd_profile(target: &str, opts: &Options) -> Result<bool, String> {
+    let scenario = apply_overrides(load_scenario(target)?, opts);
+    let threads = run_threads(opts);
+    let cfg = RunConfig { threads };
+    let (report, metrics) = run_traced(&scenario, &cfg, None)?;
+    println!("scenario {} (threads={threads})", report.scenario);
+    println!("{}", profile_table(&metrics));
+    Ok(report.expectation_met())
 }
 
 fn load_sweep(name_or_path: &str) -> Result<Sweep, String> {
@@ -432,13 +509,26 @@ fn cmd_replay(dir: &str) -> Result<bool, String> {
         return Ok(true);
     }
     let mut all_ok = true;
-    for (path, ok) in results {
+    for outcome in results {
+        // The per-run round counts are the case's convergence-time
+        // fingerprint: a corpus case that converges in more rounds than
+        // it used to is a regression signal even while the verdict holds.
+        let rounds = outcome
+            .rounds
+            .iter()
+            .map(|(engine, r)| format!("{engine}={r}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "replay {:<48} {}",
-            path.display(),
-            if ok { "OK" } else { "MISMATCH" }
+            "replay {:<48} {}  rounds: {rounds}",
+            outcome.path.display(),
+            if outcome.expectation_met {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
         );
-        all_ok &= ok;
+        all_ok &= outcome.expectation_met;
     }
     Ok(all_ok)
 }
@@ -501,22 +591,27 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
 }
 
 fn cmd_bench(opts: &Options) -> Result<bool, String> {
-    let mut reports = Vec::new();
+    let mut records = Vec::new();
     let mut all_met = true;
     let threads = run_threads(opts);
     let cfg = RunConfig { threads };
     for scenario in builtins::all() {
-        let report =
-            run_scenario_with(&scenario, &cfg).map_err(|e| format!("{}: {e}", scenario.name))?;
+        // Bench runs are traced so the BENCH document carries the
+        // deterministic settle summaries alongside the wall times.
+        let (report, metrics) =
+            run_traced(&scenario, &cfg, None).map_err(|e| format!("{}: {e}", scenario.name))?;
         println!("{}", report.summary());
         all_met &= report.expectation_met();
-        reports.push(report);
+        records.push(BenchRecord {
+            report,
+            metrics: Some(metrics),
+        });
     }
     let path = opts
         .out
         .clone()
         .unwrap_or_else(|| "BENCH_scenarios.json".into());
-    let json = bench_json(&reports, threads);
+    let json = bench_json(&records, threads);
     std::fs::write(&path, format!("{json}\n"))
         .map_err(|e| format!("cannot write {path:?}: {e}"))?;
     eprintln!("wrote {path}");
@@ -550,9 +645,19 @@ fn main() -> ExitCode {
                     .map(|n| n.to_string())
                     .unwrap_or_else(|| "-".into());
                 let par = if d.parallelizable { "yes" } else { "no" };
+                let events = if d.events.is_empty() {
+                    "-".into()
+                } else {
+                    d.events
+                        .iter()
+                        .map(|e| e.name())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let det = if d.deterministic_counters { "" } else { "*" };
                 println!(
-                    "{:<12} runs={:<8} max_n={:<6} parallel={:<4} {}",
-                    d.name, runs, max_n, par, d.summary
+                    "{:<12} runs={:<8} max_n={:<6} parallel={:<4} events={}{:<22} {}",
+                    d.name, runs, max_n, par, det, events, d.summary
                 );
             }
             Ok(true)
@@ -569,8 +674,15 @@ fn main() -> ExitCode {
         },
         "run" => match args.get(1) {
             None => return usage(),
-            Some(target) => match parse_options(&args[2..], SCENARIO_OPTS) {
+            Some(target) => match parse_options(&args[2..], RUN_OPTS) {
                 Ok(opts) => cmd_run(target, &opts),
+                Err(e) => Err(e),
+            },
+        },
+        "profile" => match args.get(1) {
+            None => return usage(),
+            Some(target) => match parse_options(&args[2..], PROFILE_OPTS) {
+                Ok(opts) => cmd_profile(target, &opts),
                 Err(e) => Err(e),
             },
         },

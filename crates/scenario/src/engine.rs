@@ -17,6 +17,7 @@
 //! use dbf_matrix::AdjacencyMatrix;
 //! use dbf_scenario::engine::{engine_for, Problem};
 //! use dbf_scenario::spec::{EngineKind, FaultSpec};
+//! use dbf_telemetry::NoopSink;
 //! use dbf_topology::generators;
 //!
 //! let alg = BoundedHopCount::new(16);
@@ -29,33 +30,37 @@
 //!
 //! // The registry hands back any engine by kind; `rip` here exchanges real
 //! // wire-encoded protocol messages and must land on the same fixed point
-//! // as the synchronous reference.  The last argument is the worker-thread
-//! // count: parallelizable engines shard their row sweep across it and the
-//! // result is bit-identical for every value.
+//! // as the synchronous reference.  The `threads` argument is the
+//! // worker-thread count: parallelizable engines shard their row sweep
+//! // across it and the result is bit-identical for every value.  The final
+//! // argument is a telemetry sink; `NoopSink` keeps instrumentation off.
 //! let sync = engine_for::<BoundedHopCount>(EngineKind::Sync);
 //! let rip = engine_for::<BoundedHopCount>(EngineKind::Rip);
-//! let a = sync.run(&alg, &problems, 1, 2);
-//! let b = rip.run(&alg, &problems, 1, 1);
+//! let a = sync.run(&alg, &problems, 1, 2, &mut NoopSink);
+//! let b = rip.run(&alg, &problems, 1, 1, &mut NoopSink);
 //! assert!(a.phases[0].sigma_stable && b.phases[0].sigma_stable);
 //! assert_eq!(a.phases[0].digest, b.phases[0].digest);
-//! assert!(b.phases[0].bytes > 0, "protocol engines report wire bytes");
+//! assert!(b.phases[0].bytes.unwrap() > 0, "protocol engines report wire bytes");
+//! assert!(a.phases[0].bytes.is_none(), "in-memory engines have no wire bytes");
 //! ```
 
 use crate::report::{Digest, EngineRun, PhaseOutcome};
 use crate::spec::{AlgebraSpec, EngineKind, FaultSpec, Scenario, ScheduleSpec, SpecError};
 use dbf_algebra::prelude::BoundedHopCount;
 use dbf_algebra::RoutingAlgebra;
+use dbf_async::run_delta_traced;
 use dbf_async::schedule::{Schedule, ScheduleParams};
 use dbf_async::sim::{EventSim, SimConfig};
 use dbf_async::{run_delta, DeltaOutcome};
 use dbf_bgp::algebra::BgpAlgebra;
 use dbf_matrix::{
-    dirty_rows_after_change, is_stable, par_iterate_dirty_to_fixed_point,
-    par_iterate_to_fixed_point, AdjacencyMatrix, RoutingState,
+    dirty_rows_after_change, is_stable, par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced,
+    par_iterate_to_fixed_point, par_iterate_traced, AdjacencyMatrix, RoutingState,
 };
 use dbf_protocols::bgp::{BgpConfig, BgpEngine};
 use dbf_protocols::rip::{RipConfig, RipEngine};
 use dbf_protocols::runtime::{run_threaded, ThreadedConfig};
+use dbf_telemetry::{EventClass, MessageCounters, TelemetrySink};
 use std::any::Any;
 use std::time::Instant;
 
@@ -134,6 +139,15 @@ pub struct EngineInfo {
     /// bit-identical for every value of it); the rest always run on one
     /// thread.
     pub parallelizable: bool,
+    /// The telemetry event classes the engine emits when run with an
+    /// enabled sink, beyond the universal run/phase markers.
+    pub events: &'static [EventClass],
+    /// Whether the engine's counters — `rounds`, `work`, `messages`,
+    /// `bytes` and every telemetry event it emits — are a pure function of
+    /// `(problems, seed)`.  False only for the threaded runtime, whose
+    /// counters depend on OS scheduling; it consequently advertises no
+    /// event classes and its metrics are excluded from determinism checks.
+    pub deterministic_counters: bool,
     /// Capability check: can this engine execute the given scenario?
     /// Engines tied to one algebra (the protocol adapters) reject the rest.
     pub supports: fn(&Scenario) -> Result<(), SpecError>,
@@ -185,6 +199,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Fixed,
             max_recommended_n: None,
             parallelizable: true,
+            events: &[EventClass::Rounds, EventClass::Settle, EventClass::Bands],
+            deterministic_counters: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -194,6 +210,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Fixed,
             max_recommended_n: None,
             parallelizable: true,
+            events: &[EventClass::Rounds, EventClass::Settle],
+            deterministic_counters: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -203,6 +221,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Seeded,
             max_recommended_n: Some(512),
             parallelizable: false,
+            events: &[EventClass::Rounds, EventClass::Settle],
+            deterministic_counters: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -212,6 +232,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Seeded,
             max_recommended_n: Some(512),
             parallelizable: false,
+            events: &[EventClass::Settle, EventClass::Messages],
+            deterministic_counters: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -221,6 +243,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Fixed,
             max_recommended_n: Some(64),
             parallelizable: false,
+            events: &[],
+            deterministic_counters: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -231,6 +255,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Seeded,
             max_recommended_n: Some(256),
             parallelizable: false,
+            events: &[EventClass::Messages],
+            deterministic_counters: true,
             supports: supports_hopcount,
         },
         EngineInfo {
@@ -241,6 +267,8 @@ pub fn descriptors() -> &'static [EngineInfo] {
             determinism: Determinism::Seeded,
             max_recommended_n: Some(64),
             parallelizable: false,
+            events: &[EventClass::Messages],
+            deterministic_counters: true,
             supports: supports_bgp,
         },
     ];
@@ -330,7 +358,12 @@ pub fn eligible_engines(
 /// * runs are deterministic in `(problems, seed)` — **including the thread
 ///   count**: a [parallelizable](EngineInfo::parallelizable) engine must
 ///   produce bit-identical outcomes for every `threads` value (only
-///   `wall_ms` may differ), and non-parallelizable engines ignore it.
+///   `wall_ms` may differ), and non-parallelizable engines ignore it;
+/// * telemetry is honest: with an enabled sink the engine brackets every
+///   phase with `phase_start`/`phase_end`, emits exactly the event classes
+///   its [`EngineInfo::events`] advertises, and (when
+///   [`EngineInfo::deterministic_counters`]) every event except wall-clock
+///   durations is a pure function of `(problems, seed)`.
 pub trait Engine<A: ScenarioAlgebra>
 where
     A::Route: Send + Sync + 'static,
@@ -341,8 +374,18 @@ where
 
     /// Execute the phase sequence.  Deterministic engines receive the first
     /// scenario seed and may ignore it; `threads` is the intra-run
-    /// worker-thread budget for parallelizable engines.
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, threads: usize) -> EngineRun;
+    /// worker-thread budget for parallelizable engines; `tel` receives the
+    /// engine's telemetry events (pass
+    /// [`NoopSink`](dbf_telemetry::NoopSink) to keep instrumentation off —
+    /// the kernels skip all telemetry-only work for a disabled sink).
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun;
 }
 
 /// Look up the runner for an engine kind.  **This match and
@@ -447,16 +490,36 @@ where
         descriptor(EngineKind::Sync)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        _seed: u64,
+        threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        tel.run_start("sync", "sync");
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for p in problems {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
-            let out =
-                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n), threads);
+            let out = if tel.enabled() {
+                par_iterate_traced(
+                    alg,
+                    &p.adj,
+                    &state,
+                    sync_iteration_budget(n),
+                    threads,
+                    &mut *tel,
+                )
+            } else {
+                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n), threads)
+            };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            tel.phase_end(&p.label);
             // A converged iteration *is* the stability proof (the last
             // round changed no row); re-running σ to check would cost a
             // full extra round plus an n² allocation — at n = 10⁴ a large
@@ -469,9 +532,10 @@ where
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable,
+                rounds: out.iterations as u64,
                 work: out.iterations as u64,
-                messages: 0,
-                bytes: 0,
+                messages: None,
+                bytes: None,
                 wall_ms,
                 digest: state_digest(&state),
             });
@@ -502,7 +566,15 @@ where
         descriptor(EngineKind::Incremental)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        _seed: u64,
+        threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        tel.run_start("incremental", "incremental");
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         // The dirty-start optimisation is only sound from a fixed point of
@@ -512,20 +584,34 @@ where
         for (k, p) in problems.iter().enumerate() {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
             let dirty = match prev {
                 Some((prev_k, true)) => dirty_rows_after_change(&problems[prev_k].adj, &p.adj),
                 _ => vec![true; n],
             };
-            let out = par_iterate_dirty_to_fixed_point(
-                alg,
-                &p.adj,
-                &state,
-                &dirty,
-                sync_iteration_budget(n),
-                threads,
-            );
+            let out = if tel.enabled() {
+                par_iterate_dirty_traced(
+                    alg,
+                    &p.adj,
+                    &state,
+                    &dirty,
+                    sync_iteration_budget(n),
+                    threads,
+                    &mut *tel,
+                )
+            } else {
+                par_iterate_dirty_to_fixed_point(
+                    alg,
+                    &p.adj,
+                    &state,
+                    &dirty,
+                    sync_iteration_budget(n),
+                    threads,
+                )
+            };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            tel.phase_end(&p.label);
             state = out.state;
             prev = Some((k, out.converged));
             phases.push(PhaseOutcome {
@@ -535,9 +621,10 @@ where
                 // separate full-σ stability sweep is needed — that sweep
                 // would cost more than the incremental phase itself.
                 sigma_stable: out.converged,
+                rounds: out.rounds as u64,
                 work: out.row_recomputations,
-                messages: 0,
-                bytes: 0,
+                messages: None,
+                bytes: None,
                 wall_ms,
                 digest: state_digest(&state),
             });
@@ -566,29 +653,47 @@ where
         descriptor(EngineKind::Delta)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        _threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        let label = format!("delta[{seed}]");
+        tel.run_start(&label, "delta");
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
             let sched = schedule_for(&p.faults, n, seed.wrapping_add(k as u64 * 0x9E37));
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
-            let out: DeltaOutcome<A> = run_delta(alg, &p.adj, &state, &sched);
+            let out: DeltaOutcome<A> = if tel.enabled() {
+                run_delta_traced(alg, &p.adj, &state, &sched, &mut *tel)
+            } else {
+                run_delta(alg, &p.adj, &state, &sched)
+            };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            tel.phase_end(&p.label);
             state = out.final_state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable: out.sigma_stable,
+                // Quiescence time: how deep into the schedule the state
+                // kept changing (the full horizon if it never settled).
+                rounds: out.quiescent_from.unwrap_or(sched.horizon()) as u64,
                 work: out.activations as u64,
-                messages: 0,
-                bytes: 0,
+                messages: None,
+                bytes: None,
                 wall_ms,
                 digest: state_digest(&state),
             });
         }
         EngineRun {
-            engine: format!("delta[{seed}]"),
+            engine: label,
             phases,
         }
     }
@@ -610,29 +715,55 @@ where
         descriptor(EngineKind::Sim)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        _threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        let label = format!("sim[{seed}]");
+        tel.run_start(&label, "sim");
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
             let cfg = sim_config_for(&p.faults, seed.wrapping_add(k as u64 * 0xA5A5));
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
             let out = EventSim::with_initial_state(alg, &p.adj, cfg, &state).run();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if tel.enabled() {
+                tel.messages(&MessageCounters {
+                    sent: out.stats.sent,
+                    delivered: out.stats.delivered,
+                    dropped: out.stats.lost,
+                    duplicated: out.stats.duplicated,
+                    bytes: None,
+                });
+                // Settle times in simulated time: when each node's table
+                // row last changed (deterministic in the seed).
+                for (node, &t) in out.node_last_change.iter().enumerate() {
+                    tel.node_settled(node, t);
+                }
+            }
+            tel.phase_end(&p.label);
             state = out.final_state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable: out.sigma_stable && !out.truncated,
+                rounds: out.stats.last_change_time,
                 work: out.stats.delivered,
-                messages: out.stats.sent,
-                bytes: 0,
+                messages: Some(out.stats.sent),
+                bytes: None,
                 wall_ms,
                 digest: state_digest(&state),
             });
         }
         EngineRun {
-            engine: format!("sim[{seed}]"),
+            engine: label,
             phases,
         }
     }
@@ -655,22 +786,36 @@ where
         descriptor(EngineKind::Threaded)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], _seed: u64, _threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        _seed: u64,
+        _threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        // OS scheduling decides every counter here, so the engine emits
+        // only the run/phase markers — anything more would poison the
+        // deterministic `metrics` section (deterministic_counters: false).
+        tel.run_start("threaded", "threaded");
         let mut state = RoutingState::identity(alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for p in problems {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
             let report = run_threaded(alg, &p.adj, &state, ThreadedConfig::default());
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            tel.phase_end(&p.label);
             state = report.final_state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable: report.sigma_stable && !report.timed_out,
+                rounds: 0,
                 work: report.stats.table_changes,
-                messages: report.stats.updates_sent,
-                bytes: 0,
+                messages: Some(report.stats.updates_sent),
+                bytes: None,
                 wall_ms,
                 digest: state_digest(&state),
             });
@@ -730,9 +875,18 @@ where
         descriptor(EngineKind::Rip)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        _threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
         let hop_alg: &BoundedHopCount = downcast(alg)
             .expect("the rip engine supports only the hopcount algebra (enforced by validate)");
+        let label = format!("rip[{seed}]");
+        tel.run_start(&label, "rip");
         let mut state = RoutingState::identity(hop_alg, problems[0].adj.node_count());
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
@@ -741,24 +895,30 @@ where
             let n = adj.node_count();
             state = carry(hop_alg, state, n);
             let cfg = Self::config(hop_alg, &p.faults, seed.wrapping_add(k as u64 * 0x51F1));
+            tel.phase_start(&p.label, n);
             let start = Instant::now();
             let report = RipEngine::from_adjacency(adj.clone(), cfg)
                 .with_initial_state(&state)
                 .run();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if tel.enabled() {
+                tel.messages(&report.stats.counters());
+            }
+            tel.phase_end(&p.label);
             state = report.final_state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable: is_stable(hop_alg, adj, &state),
+                rounds: report.stats.last_change_time,
                 work: report.stats.updates_processed,
-                messages: report.stats.messages_sent(),
-                bytes: report.stats.bytes_sent,
+                messages: Some(report.stats.messages_sent()),
+                bytes: Some(report.stats.bytes_sent),
                 wall_ms,
                 digest: state_digest(&state),
             });
         }
         EngineRun {
-            engine: format!("rip[{seed}]"),
+            engine: label,
             phases,
         }
     }
@@ -809,30 +969,45 @@ where
         descriptor(EngineKind::Bgp)
     }
 
-    fn run(&self, alg: &A, problems: &[Problem<A>], seed: u64, _threads: usize) -> EngineRun {
+    fn run(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        _threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
         let bgp_alg: &BgpAlgebra = downcast(alg)
             .expect("the bgp engine supports only the bgp algebra (enforced by validate)");
+        let label = format!("bgp[{seed}]");
+        tel.run_start(&label, "bgp");
         let mut phases = Vec::with_capacity(problems.len());
         for (k, p) in problems.iter().enumerate() {
             let adj: &AdjacencyMatrix<BgpAlgebra> =
                 downcast(&p.adj).expect("a bgp scenario builds bgp adjacencies");
             let cfg = Self::config(&p.faults, seed.wrapping_add(k as u64 * 0xB690));
+            tel.phase_start(&p.label, adj.node_count());
             let start = Instant::now();
             let report = BgpEngine::from_parts(*bgp_alg, adj.clone(), cfg).run();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if tel.enabled() {
+                tel.messages(&report.stats.counters());
+            }
+            tel.phase_end(&p.label);
             let state = report.final_state;
             phases.push(PhaseOutcome {
                 label: p.label.clone(),
                 sigma_stable: is_stable(bgp_alg, adj, &state),
+                rounds: report.stats.last_change_time,
                 work: report.stats.updates_processed,
-                messages: report.stats.messages_sent(),
-                bytes: report.stats.bytes_sent,
+                messages: Some(report.stats.messages_sent()),
+                bytes: Some(report.stats.bytes_sent),
                 wall_ms,
                 digest: state_digest(&state),
             });
         }
         EngineRun {
-            engine: format!("bgp[{seed}]"),
+            engine: label,
             phases,
         }
     }

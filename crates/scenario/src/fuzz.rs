@@ -649,10 +649,24 @@ pub fn shrink_scenario(spec: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (S
     }
 }
 
+/// The outcome of replaying one corpus case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The corpus file that was replayed.
+    pub path: PathBuf,
+    /// Did the differential verdict match the spec's expectation?
+    pub expectation_met: bool,
+    /// Per engine run, in run order: `(run label, total logical rounds
+    /// across all phases)`.  A convergence-time fingerprint of the case —
+    /// a regression that slows convergence shows up here even when the
+    /// verdict still matches.
+    pub rounds: Vec<(String, u64)>,
+}
+
 /// Replay every `*.toml` spec in a corpus directory through the
-/// differential checker, returning `(path, expectation_met)` per file.
-/// Used by CI to keep previously minimized failures fixed.
-pub fn replay_corpus(dir: &Path) -> Result<Vec<(PathBuf, bool)>, SpecError> {
+/// differential checker, returning a [`ReplayOutcome`] per file.  Used by
+/// CI to keep previously minimized failures fixed.
+pub fn replay_corpus(dir: &Path) -> Result<Vec<ReplayOutcome>, SpecError> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| SpecError::new(format!("cannot read corpus dir {dir:?}: {e}")))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -666,7 +680,20 @@ pub fn replay_corpus(dir: &Path) -> Result<Vec<(PathBuf, bool)>, SpecError> {
         let spec = Scenario::from_toml_str(&text)
             .map_err(|e| SpecError::new(format!("{}: {e}", path.display())))?;
         let report = run_scenario(&spec)?;
-        out.push((path, report.expectation_met()));
+        out.push(ReplayOutcome {
+            path,
+            expectation_met: report.expectation_met(),
+            rounds: report
+                .runs
+                .iter()
+                .map(|run| {
+                    (
+                        run.engine.clone(),
+                        run.phases.iter().map(|p| p.rounds).sum(),
+                    )
+                })
+                .collect(),
+        });
     }
     Ok(out)
 }

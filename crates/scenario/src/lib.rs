@@ -34,9 +34,13 @@
 //!   count-to-infinity, the BGP wedgie, the BAD GADGET, flapping links,
 //!   partition-and-heal, adversarial loss, widest-path fabrics, growing
 //!   networks, policy-rich BGP and Gao-Rexford hierarchies;
-//! * [`report`] — machine-readable reports (JSON) with per-phase work,
-//!   message counts, wall time and state digests, plus the
+//! * [`report`] — machine-readable reports (JSON) with per-phase rounds,
+//!   work, message counts, wall time and state digests, plus the
 //!   `BENCH_scenarios.json` emitter used to track performance across PRs;
+//! * [`metrics`] — renders `dbf-telemetry` metrics into the CLI's JSON
+//!   (deterministic `metrics` section, trailing non-deterministic `timing`
+//!   section) and the `--metrics` / `profile` tables; every engine run can
+//!   be observed through [`run::run_scenario_traced`];
 //! * [`sweep`] / [`sweeps`] / [`agg`] — **parameter sweeps**: a base
 //!   scenario plus axes (topology size up to 10⁴+ nodes, loss rate, delay
 //!   bound) expands into a grid of runs, fanned out across worker threads
@@ -81,6 +85,8 @@
 //!
 //! ```text
 //! cargo run -p dbf-scenario --bin scenarios -- run count-to-infinity --json
+//! cargo run -p dbf-scenario --bin scenarios -- run count-to-infinity --trace /tmp/trace.jsonl --metrics
+//! cargo run -p dbf-scenario --bin scenarios -- profile widest-fabric --threads 2
 //! cargo run -p dbf-scenario --bin scenarios -- run my_experiment.toml --engines sync,sim
 //! cargo run -p dbf-scenario --bin scenarios -- run-all
 //! cargo run -p dbf-scenario --bin scenarios -- bench --out BENCH_scenarios.json
@@ -111,6 +117,7 @@ pub mod builtins;
 pub mod engine;
 pub mod fuzz;
 pub mod gen;
+pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod run;
@@ -118,14 +125,19 @@ pub mod spec;
 pub mod sweep;
 pub mod sweeps;
 
+/// The instrumentation layer the engines report into (re-exported so CLI
+/// and test code can name sinks without a separate dependency).
+pub use dbf_telemetry as telemetry;
+
 pub use agg::{PointReport, Stats, SweepReport};
 pub use engine::{
     descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
     EngineInfo, Problem, ScenarioAlgebra,
 };
-pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
+pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport, ReplayOutcome};
+pub use metrics::{metrics_json, metrics_table, profile_table, timing_json, with_telemetry};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
-pub use run::{run_scenario, run_scenario_with, RunConfig};
+pub use run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
 pub use spec::{
     AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, ScheduleSpec,
     SpecError, SppGadget, TopologySpec, WeightRule,
@@ -140,10 +152,13 @@ pub mod prelude {
         descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
         EngineInfo, Problem, ScenarioAlgebra,
     };
-    pub use crate::fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport};
+    pub use crate::fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport, ReplayOutcome};
     pub use crate::gen;
+    pub use crate::metrics::{
+        metrics_json, metrics_table, profile_table, timing_json, with_telemetry,
+    };
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
-    pub use crate::run::{run_scenario, run_scenario_with, RunConfig};
+    pub use crate::run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
     pub use crate::spec::{
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
         ScheduleSpec, SpecError, SppGadget, TopologySpec, WeightRule,
@@ -152,4 +167,5 @@ pub mod prelude {
         run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRunOptions,
     };
     pub use crate::sweeps;
+    pub use crate::telemetry;
 }

@@ -158,14 +158,22 @@ pub struct PhaseOutcome {
     /// Whether the phase's final state is a fixed point of σ on the
     /// phase's topology.
     pub sigma_stable: bool,
+    /// Rounds of logical time the phase took: σ iterations for the
+    /// synchronous engines, worklist rounds for the incremental engine,
+    /// the quiescence time for δ, and the simulated time of the last table
+    /// change for the event-driven engines (0 for the threaded runtime,
+    /// whose clock is OS scheduling).
+    pub rounds: u64,
     /// Engine-specific work metric: σ iterations, δ activations, simulator
     /// deliveries or threaded messages.
     pub work: u64,
-    /// Messages sent, where the engine has a message concept (0 for σ/δ).
-    pub messages: u64,
-    /// Bytes put on the wire, where the engine encodes its messages through
-    /// `dbf-protocols::wire` (0 for the in-memory engines).
-    pub bytes: u64,
+    /// Messages sent; `None` for engines with no message concept (σ/δ),
+    /// serialized as JSON `null` so absence is distinguishable from zero.
+    pub messages: Option<u64>,
+    /// Bytes put on the wire; `Some` only for engines that encode their
+    /// messages through `dbf-protocols::wire`, `None` (JSON `null`)
+    /// otherwise — in-memory message counts have no meaningful byte size.
+    pub bytes: Option<u64>,
     /// Wall-clock time of the phase in milliseconds.
     pub wall_ms: f64,
     /// Digest of the phase's final routing state.
@@ -248,12 +256,20 @@ impl ScenarioReport {
                                                         "sigma_stable".into(),
                                                         Json::Bool(p.sigma_stable),
                                                     ),
+                                                    ("rounds".into(), Json::Int(p.rounds as i64)),
                                                     ("work".into(), Json::Int(p.work as i64)),
                                                     (
                                                         "messages".into(),
-                                                        Json::Int(p.messages as i64),
+                                                        p.messages.map_or(Json::Null, |m| {
+                                                            Json::Int(m as i64)
+                                                        }),
                                                     ),
-                                                    ("bytes".into(), Json::Int(p.bytes as i64)),
+                                                    (
+                                                        "bytes".into(),
+                                                        p.bytes.map_or(Json::Null, |b| {
+                                                            Json::Int(b as i64)
+                                                        }),
+                                                    ),
                                                     ("wall_ms".into(), Json::Num(p.wall_ms)),
                                                     ("digest".into(), Json::str(&p.digest)),
                                                 ])
@@ -317,25 +333,19 @@ impl ScenarioReport {
                 run.engine,
                 run.phases
                     .iter()
-                    .map(|p| if p.bytes > 0 {
-                        format!(
-                            "[{} stable={} work={} msgs={} bytes={} {}]",
-                            p.label,
-                            p.sigma_stable,
-                            p.work,
-                            p.messages,
-                            p.bytes,
-                            &p.digest[..8]
-                        )
-                    } else {
-                        format!(
-                            "[{} stable={} work={} msgs={} {}]",
-                            p.label,
-                            p.sigma_stable,
-                            p.work,
-                            p.messages,
-                            &p.digest[..8]
-                        )
+                    .map(|p| {
+                        let mut cell = format!(
+                            "[{} stable={} rounds={} work={}",
+                            p.label, p.sigma_stable, p.rounds, p.work
+                        );
+                        if let Some(m) = p.messages {
+                            cell.push_str(&format!(" msgs={m}"));
+                        }
+                        if let Some(b) = p.bytes {
+                            cell.push_str(&format!(" bytes={b}"));
+                        }
+                        cell.push_str(&format!(" {}]", &p.digest[..8]));
+                        cell
                     })
                     .collect::<Vec<_>>()
                     .join(" → "),
@@ -383,9 +393,10 @@ mod tests {
         let phase = |d: &str| PhaseOutcome {
             label: "p".into(),
             sigma_stable: stable,
+            rounds: 1,
             work: 1,
-            messages: 0,
-            bytes: 0,
+            messages: None,
+            bytes: None,
             wall_ms: 0.1,
             digest: d.into(),
         };
@@ -420,5 +431,8 @@ mod tests {
         assert!(!report(false, ("aa", "aa")).expectation_met());
         let j = report(true, ("aa", "aa")).to_json().to_string();
         assert!(j.contains("\"expectation_met\": true"));
+        assert!(j.contains("\"rounds\": 1"));
+        assert!(j.contains("\"messages\": null"));
+        assert!(j.contains("\"bytes\": null"));
     }
 }

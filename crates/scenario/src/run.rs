@@ -22,6 +22,7 @@ use dbf_bgp::gao_rexford::GaoRexford;
 use dbf_bgp::policy::Policy;
 use dbf_bgp::spp::SppAlgebra;
 use dbf_matrix::AdjacencyMatrix;
+use dbf_telemetry::{NoopSink, TelemetrySink};
 use dbf_topology::generators::{self, TierRelation};
 use dbf_topology::{Topology, TopologyChange};
 
@@ -54,22 +55,37 @@ pub fn run_scenario(spec: &Scenario) -> Result<ScenarioReport, SpecError> {
 /// Execute a scenario on its requested engines under the given run-time
 /// configuration and return the report.
 pub fn run_scenario_with(spec: &Scenario, cfg: &RunConfig) -> Result<ScenarioReport, SpecError> {
+    run_scenario_traced(spec, cfg, &mut NoopSink)
+}
+
+/// Execute a scenario with a telemetry sink observing every engine run.
+///
+/// The sink receives the full event stream — run/phase markers, σ rounds,
+/// per-node settle times, message counters, parallel band sweeps — from
+/// every engine the spec requests, in deterministic order.  Passing
+/// [`NoopSink`] makes this identical to [`run_scenario_with`]: the kernels
+/// skip all telemetry-only work when the sink is disabled.
+pub fn run_scenario_traced(
+    spec: &Scenario,
+    cfg: &RunConfig,
+    tel: &mut dyn TelemetrySink,
+) -> Result<ScenarioReport, SpecError> {
     spec.validate()?;
     match &spec.algebra {
         AlgebraSpec::Shortest { weights } => {
             let alg = ShortestPaths::new();
             let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
         AlgebraSpec::Widest { weights } => {
             let alg = WidestPaths::new();
             let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
         AlgebraSpec::Hopcount { limit } => {
             let alg = BoundedHopCount::new(*limit);
             let problems = weighted_problems(spec, WeightRule::uniform(1), |w| w)?;
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
         AlgebraSpec::Bgp {
             policy_depth,
@@ -94,13 +110,13 @@ pub fn run_scenario_with(spec: &Scenario, cfg: &RunConfig) -> Result<ScenarioRep
                     }
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
         AlgebraSpec::GaoRexford => {
             let problems = gao_rexford_problems(spec)?;
             let n = problems.first().map(|p| p.adj.node_count()).unwrap_or(0);
             let alg = GaoRexford::new(n);
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
         AlgebraSpec::Spp { gadget } => {
             let alg = match gadget {
@@ -118,7 +134,7 @@ pub fn run_scenario_with(spec: &Scenario, cfg: &RunConfig) -> Result<ScenarioRep
                     faults: p.faults,
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec, cfg))
+            Ok(execute(&alg, &problems, spec, cfg, tel))
         }
     }
 }
@@ -317,6 +333,7 @@ fn execute<A: ScenarioAlgebra>(
     problems: &[Problem<A>],
     spec: &Scenario,
     cfg: &RunConfig,
+    tel: &mut dyn TelemetrySink,
 ) -> ScenarioReport
 where
     A::Route: Send + Sync + 'static,
@@ -331,7 +348,7 @@ where
             1
         };
         for &seed in engine_seeds(kind, spec) {
-            runs.push(engine.run(alg, problems, seed, threads));
+            runs.push(engine.run(alg, problems, seed, threads, &mut *tel));
         }
     }
     let verdict = differential_verdict(&runs, problems.len());

@@ -138,13 +138,39 @@ fn every_registered_engine_meets_the_contract() {
                 if kind != EngineKind::Threaded {
                     for (pa, pb) in a.phases.iter().zip(b.phases.iter()) {
                         assert_eq!(
-                            (pa.work, pa.messages, pa.bytes),
-                            (pb.work, pb.messages, pb.bytes),
+                            (pa.rounds, pa.work, pa.messages, pa.bytes),
+                            (pb.rounds, pb.work, pb.messages, pb.bytes),
                             "engine {kind:?} on {name}: counters must be deterministic"
                         );
                     }
                 }
             }
+        }
+    }
+}
+
+/// The registry advertises each engine's telemetry coverage honestly:
+/// every engine except the genuinely concurrent threaded runtime promises
+/// deterministic counters, and exactly the message-driven engines
+/// advertise message events.
+#[test]
+fn registry_advertises_telemetry_coverage() {
+    for d in descriptors() {
+        assert_eq!(
+            d.deterministic_counters,
+            d.kind != EngineKind::Threaded,
+            "engine {}: deterministic_counters",
+            d.name
+        );
+        let has_messages = d.events.contains(&telemetry::EventClass::Messages);
+        let is_message_engine =
+            matches!(d.kind, EngineKind::Sim | EngineKind::Rip | EngineKind::Bgp);
+        assert_eq!(has_messages, is_message_engine, "engine {}: events", d.name);
+        if d.kind == EngineKind::Threaded {
+            assert!(
+                d.events.is_empty(),
+                "the threaded runtime emits only run/phase markers"
+            );
         }
     }
 }

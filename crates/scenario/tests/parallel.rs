@@ -22,14 +22,30 @@ fn fabric_scenario() -> Scenario {
     s
 }
 
-/// Drop the `wall_ms` lines from a rendered JSON report: wall time is the
-/// single field the thread count is allowed to move.
+/// Drop everything the thread count is allowed to move from a rendered
+/// JSON report: the `wall_ms` lines, and — in CLI output — the whole
+/// trailing `timing` block (wall clocks and band geometry; `metrics`
+/// stays and must match byte-for-byte).
 fn strip_wall(json: &str) -> String {
-    json.lines()
-        .filter(|l| !l.trim_start().starts_with("\"wall_ms\""))
-        .map(|l| l.trim_end_matches(',').to_string())
-        .collect::<Vec<_>>()
-        .join("\n")
+    let mut out = Vec::new();
+    let mut in_timing = false;
+    for l in json.lines() {
+        if l == "  \"timing\": {" {
+            in_timing = true;
+            continue;
+        }
+        if in_timing {
+            if l == "  }" {
+                in_timing = false;
+            }
+            continue;
+        }
+        if l.trim_start().starts_with("\"wall_ms\"") {
+            continue;
+        }
+        out.push(l.trim_end_matches(','));
+    }
+    out.join("\n")
 }
 
 #[test]

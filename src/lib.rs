@@ -20,6 +20,7 @@
 //! | [`asynch`] | schedules (S1–S3), the asynchronous iterate `δ`, simulators, dynamic networks | §3 |
 //! | [`bgp`] | the safe-by-design policy-rich algebra, Gao-Rexford, SPP gadgets | §7 |
 //! | [`protocols`] | RIP-like and BGP-like engines, threaded runtime, wire formats | — |
+//! | [`telemetry`] | zero-cost-when-off instrumentation: sinks, metrics, JSONL traces | — |
 //!
 //! ## Quick start
 //!
@@ -53,6 +54,7 @@ pub use dbf_matrix as matrix;
 pub use dbf_metric as metric;
 pub use dbf_paths as paths;
 pub use dbf_protocols as protocols;
+pub use dbf_telemetry as telemetry;
 pub use dbf_topology as topology;
 
 /// A kitchen-sink prelude re-exporting the most commonly used items from
