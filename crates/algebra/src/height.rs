@@ -1,0 +1,142 @@
+//! Algebra **height** — the quantity the convergence-rate theorems bound
+//! rounds by.
+//!
+//! For a finite carrier `S` the height of a route is
+//! `h(x) = |{y ∈ S | x ≤ y}|`, and the height `h` *of the algebra* is the
+//! maximum, `h = h(0̄) = |S|` up to duplicates — equivalently, the length
+//! of the longest strictly-decreasing preference chain.  "Formally
+//! Verified Convergence of Policy-Rich DBF" (arXiv 2106.01184) proves the
+//! synchronous iteration σ reaches its fixed point within `n·h` rounds,
+//! and the asynchronous follow-up (arXiv 2507.07263) parameterizes the
+//! bound by the schedule's activation window and staleness lag.
+//!
+//! Heights come in two flavours here:
+//!
+//! * **exact** — computed from the algebra's structure (hop limits,
+//!   edge-weight ranges, capacity counts), cross-checked by the
+//!   brute-force counters below on small carriers;
+//! * **declared** — an upper bound asserted with provenance for algebras
+//!   whose carrier is impractical to enumerate (the Section 7 BGP algebra,
+//!   Gao-Rexford).  A declared height still yields a sound round bound as
+//!   long as the declaration dominates the true chain length.
+//!
+//! [`HeightBound`] carries the number together with that provenance, so
+//! every predicted round bound downstream can say where its `h` came from.
+
+use crate::algebra::FiniteCarrier;
+
+/// An algebra height with its derivation recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeightBound {
+    /// The height `h`: the length of the longest strict preference chain
+    /// in the carrier (or a declared upper bound on it).
+    pub height: u64,
+    /// Was the height computed exactly from the algebra's structure
+    /// (`true`), or declared as a provenance-carrying upper bound
+    /// (`false`)?
+    pub exact: bool,
+    /// Where the number comes from (shown by `scenarios bounds`).
+    pub provenance: &'static str,
+}
+
+impl HeightBound {
+    /// A height computed exactly from the algebra's structure.
+    pub fn exact(height: u64, provenance: &'static str) -> Self {
+        Self {
+            height,
+            exact: true,
+            provenance,
+        }
+    }
+
+    /// A declared upper bound on the height, with provenance.
+    pub fn declared(height: u64, provenance: &'static str) -> Self {
+        Self {
+            height,
+            exact: false,
+            provenance,
+        }
+    }
+}
+
+/// The carrier sorted from most to least preferred, duplicates removed.
+///
+/// The derived route order is total (⊕ is associative, commutative and
+/// selective), so this is exactly the longest strictly-decreasing chain
+/// the carrier admits.
+pub fn distinct_routes<A: FiniteCarrier>(alg: &A) -> Vec<A::Route> {
+    let mut routes = alg.all_routes();
+    routes.sort_by(|a, b| alg.route_cmp(a, b));
+    routes.dedup();
+    routes
+}
+
+/// Brute-force height of a single route: `h(x) = |{y ∈ S | x ≤ y}|`,
+/// counting distinct carrier values.
+pub fn route_height<A: FiniteCarrier>(alg: &A, x: &A::Route) -> u64 {
+    distinct_routes(alg)
+        .iter()
+        .filter(|y| alg.route_le(x, y))
+        .count() as u64
+}
+
+/// Brute-force height of the whole algebra: `h = h(0̄)`, the number of
+/// distinct carrier values — equivalently the longest strict chain, since
+/// the derived order is total.
+///
+/// This is the ground truth the exact per-algebra height formulas are
+/// tested against; it enumerates the carrier, so use it on small algebras
+/// only.
+pub fn carrier_height<A: FiniteCarrier>(alg: &A) -> u64 {
+    distinct_routes(alg).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::RoutingAlgebra;
+    use crate::instances::hopcount::BoundedHopCount;
+    use crate::instances::nat_inf::NatInf;
+
+    #[test]
+    fn carrier_height_counts_the_longest_chain() {
+        // carrier = {0, …, 6, ∞}: an 8-element chain.
+        let alg = BoundedHopCount::new(6);
+        assert_eq!(alg.carrier_size(), 8);
+        assert_eq!(carrier_height(&alg), 8);
+    }
+
+    #[test]
+    fn route_height_is_maximal_at_trivial_and_minimal_at_invalid() {
+        let alg = BoundedHopCount::new(6);
+        assert_eq!(route_height(&alg, &alg.trivial()), 8, "h(0̄) = h");
+        assert_eq!(route_height(&alg, &alg.invalid()), 1, "h(∞̄) = 1");
+        assert_eq!(route_height(&alg, &NatInf::fin(3)), 5);
+    }
+
+    #[test]
+    fn route_height_is_antitone_in_preference() {
+        let alg = BoundedHopCount::new(9);
+        let carrier = alg.all_routes();
+        for a in &carrier {
+            for b in &carrier {
+                if alg.route_lt(a, b) {
+                    assert!(
+                        route_height(&alg, a) > route_height(&alg, b),
+                        "more preferred routes must be higher: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn height_bound_constructors_record_provenance() {
+        let e = HeightBound::exact(8, "hop limit + 2");
+        assert!(e.exact);
+        assert_eq!(e.height, 8);
+        let d = HeightBound::declared(30, "policy depth");
+        assert!(!d.exact);
+        assert_eq!(d.provenance, "policy depth");
+    }
+}

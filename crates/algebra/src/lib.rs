@@ -62,6 +62,7 @@
 
 pub mod algebra;
 pub mod combinators;
+pub mod height;
 pub mod instances;
 pub mod properties;
 
@@ -69,6 +70,7 @@ pub use algebra::{
     Distributive, FiniteCarrier, Increasing, RouteOrdering, RoutingAlgebra, SampleableAlgebra,
     StrictlyIncreasing,
 };
+pub use height::{carrier_height, distinct_routes, route_height, HeightBound};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
@@ -77,6 +79,7 @@ pub mod prelude {
         StrictlyIncreasing,
     };
     pub use crate::combinators::lex::{Lex, LexEdge, LexRoute};
+    pub use crate::height::{carrier_height, distinct_routes, route_height, HeightBound};
     pub use crate::instances::filtered::{FilterPolicy, FilteredShortestPaths};
     pub use crate::instances::hopcount::BoundedHopCount;
     pub use crate::instances::longest::LongestPaths;

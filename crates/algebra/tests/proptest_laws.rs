@@ -266,3 +266,66 @@ proptest! {
         prop_assert!(alg.route_lt(&x, &alg.extend(&f, &x)));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Height: the convergence-rate theorems bound rounds by n·h, so the height
+// helpers must really compute the longest strict preference chain.  The
+// order-agnostic DP below is the independent witness `carrier_height`'s
+// sort-and-dedup shortcut is checked against.
+// ---------------------------------------------------------------------------
+
+/// Longest strictly-decreasing preference chain in the carrier, by a
+/// Bellman-Ford-style DP over `route_lt` — no reliance on the order being
+/// total or on sorting.
+fn longest_strict_chain<A: FiniteCarrier>(alg: &A) -> u64 {
+    let routes = alg.all_routes();
+    let k = routes.len();
+    let mut best = vec![1u64; k];
+    // Chains have at most k elements, so k relaxation passes suffice.
+    for _ in 0..k {
+        let mut changed = false;
+        for i in 0..k {
+            for j in 0..k {
+                // routes[j] strictly preferred over routes[i]: a chain
+                // ending at j extends by i.
+                if alg.route_lt(&routes[j], &routes[i]) && best[j] + 1 > best[i] {
+                    best[i] = best[j] + 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best.into_iter().max().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `carrier_height` equals the DP chain length on every bounded
+    /// hop-count carrier: for a total order, distinct values and the
+    /// longest strict chain coincide.
+    #[test]
+    fn carrier_height_is_the_longest_strict_chain(limit in 1u64..16) {
+        let alg = BoundedHopCount::new(limit);
+        prop_assert_eq!(carrier_height(&alg), longest_strict_chain(&alg));
+        prop_assert_eq!(carrier_height(&alg), limit + 2, "carrier {{0..limit, ∞}}");
+    }
+
+    /// `route_height` is consistent with the chain structure: `h(0̄)` is
+    /// the algebra height, `h(∞̄) = 1`, and height decreases by exactly
+    /// one per preference step along the hop-count chain.
+    #[test]
+    fn route_heights_descend_the_chain(limit in 1u64..16) {
+        let alg = BoundedHopCount::new(limit);
+        prop_assert_eq!(route_height(&alg, &alg.trivial()), carrier_height(&alg));
+        prop_assert_eq!(route_height(&alg, &alg.invalid()), 1);
+        for hops in 0..limit {
+            let here = route_height(&alg, &NatInf::fin(hops));
+            let next = route_height(&alg, &NatInf::fin(hops + 1));
+            prop_assert_eq!(here, next + 1);
+        }
+    }
+}

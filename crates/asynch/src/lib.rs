@@ -19,6 +19,10 @@
 //! * [`dynamic`] — the dynamic-network semantics of Section 3.2: topology
 //!   changes create a new problem instance whose starting state is the
 //!   current (now possibly stale and inconsistent) routing state;
+//! * [`trace`] — an observed-schedule recorder: reconstruct the `(α, β)`
+//!   an execution actually followed and certify the finite forms of
+//!   S1–S3 against the `(w, ℓ)` parameters the convergence bounds use,
+//!   with explicit witnesses on violation;
 //! * [`sim`] — a message-level discrete-event simulator with loss,
 //!   duplication, reordering and bounded delay.  Every execution of the
 //!   simulator corresponds to *some* schedule `(α, β)`, so the convergence
@@ -33,11 +37,13 @@ pub mod delta;
 pub mod dynamic;
 pub mod schedule;
 pub mod sim;
+pub mod trace;
 
 pub use convergence::{check_absolute_convergence, AbsoluteConvergence, ConvergenceFailure};
 pub use delta::{run_delta, run_delta_traced, DeltaOutcome};
 pub use schedule::{Schedule, ScheduleParams};
 pub use sim::{EventSim, SimConfig, SimOutcome, SimStats};
+pub use trace::{AxiomViolation, ScheduleTrace};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
@@ -48,4 +54,5 @@ pub mod prelude {
     pub use crate::dynamic::{DynamicEvent, DynamicRun};
     pub use crate::schedule::{Schedule, ScheduleParams};
     pub use crate::sim::{EventSim, SimConfig, SimOutcome, SimStats};
+    pub use crate::trace::{AxiomViolation, ScheduleTrace};
 }

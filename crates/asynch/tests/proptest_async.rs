@@ -96,3 +96,92 @@ proptest! {
         prop_assert!(out.stats.delivered <= out.stats.sent + out.stats.duplicated);
     }
 }
+
+// ---------------------------------------------------------------------------
+// ScheduleTrace: the observed-schedule recorder certifies S1–S3 for every
+// fault profile the generator emits, with the SAME `(w, ℓ)` parameters the
+// convergence bounds are computed from (`dbf_scenario::bound::schedule_window`
+// uses `w = ⌈1 / activation.clamp(0.05, 1.0)⌉·4` for random schedules,
+// `w = period` for adversarial-stale ones, and `ℓ = max_delay.max(1)`).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every random fault profile — activation rate, delay, duplication,
+    /// reordering — yields an execution whose recorded trace certifies
+    /// S1(w), S2 and S3(ℓ), and the recording is lossless.
+    #[test]
+    fn recorded_random_schedules_certify(n in 2usize..7, p in params(), seed in 0u64..1000) {
+        let horizon = 120;
+        let s = Schedule::random(n, horizon, p, seed);
+        let trace = ScheduleTrace::record(&s);
+        let window = ((1.0 / p.activation_prob.clamp(0.05, 1.0)).ceil() as usize) * 4;
+        let lag = p.max_delay.max(1);
+        prop_assert_eq!(trace.certify(window, lag), Ok(()));
+        prop_assert_eq!(trace.max_lag(), s.max_lag());
+        prop_assert_eq!(trace.into_schedule(), s);
+    }
+
+    /// The adversarial-stale profile — one node activating every `period`
+    /// steps on maximally stale data — certifies against exactly the
+    /// `(w, ℓ) = (period, max_lag)` the bound oracle assigns it.
+    #[test]
+    fn recorded_adversarial_schedules_certify(
+        n in 2usize..7,
+        period in 1usize..6,
+        max_lag in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        let horizon = 60;
+        let victim = (seed as usize) % n;
+        let s = Schedule::adversarial_stale(n, horizon, victim, period, max_lag);
+        let trace = ScheduleTrace::record(&s);
+        prop_assert_eq!(trace.certify(period, max_lag), Ok(()));
+        // Tightness of the certificate: the victim really is `max_lag`
+        // stale once the horizon allows it, so any smaller ℓ is refused.
+        if max_lag > 1 && horizon > max_lag {
+            prop_assert!(matches!(
+                trace.certify(period, max_lag - 1),
+                Err(AxiomViolation::S3 { .. })
+            ));
+        }
+        prop_assert_eq!(trace.into_schedule(), s);
+    }
+
+    /// Corrupting a single cell of a certified trace flips certification
+    /// and the witness names the corrupted coordinate.
+    #[test]
+    fn corrupted_traces_are_rejected_with_a_witness(
+        n in 2usize..6,
+        t in 10usize..40,
+        coord in (0usize..25, 0usize..25),
+        seed in 0u64..100,
+    ) {
+        let horizon = 40;
+        let lag = 4;
+        let (i, j) = (coord.0 % n, coord.1 % n);
+        let mut s = Schedule::random(n, horizon, ScheduleParams::default(), seed);
+
+        // S3 corruption: a read staler than the bound.
+        s.set_data_time(t, i, j, t - lag - 1);
+        let trace = ScheduleTrace::record(&s);
+        match trace.certify(horizon, lag) {
+            Err(AxiomViolation::S3 { t: wt, i: wi, j: wj, .. }) => {
+                // An earlier organic violation cannot exist (the generator
+                // respects the default max_delay = 4 = lag), so the witness
+                // is exactly the corrupted cell.
+                prop_assert_eq!((wt, wi, wj), (t, i, j));
+            }
+            other => prop_assert!(false, "expected an S3 witness, got {other:?}"),
+        }
+
+        // S2 corruption: a read from the future.
+        s.set_data_time(t, i, j, t);
+        let trace = ScheduleTrace::record(&s);
+        prop_assert!(matches!(
+            trace.certify(horizon, lag),
+            Err(AxiomViolation::S2 { .. })
+        ));
+    }
+}

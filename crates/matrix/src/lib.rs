@@ -77,7 +77,7 @@ pub use parallel::{
 };
 pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
 pub use state::RoutingState;
-pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, SyncOutcome};
+pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, iteration_budget, SyncOutcome};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
@@ -92,5 +92,7 @@ pub mod prelude {
     };
     pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
     pub use crate::state::RoutingState;
-    pub use crate::sync::{is_stable, iterate_to_fixed_point, iterate_traced, SyncOutcome};
+    pub use crate::sync::{
+        is_stable, iterate_to_fixed_point, iterate_traced, iteration_budget, SyncOutcome,
+    };
 }

@@ -19,6 +19,25 @@ pub struct SyncOutcome<A: RoutingAlgebra> {
     pub converged: bool,
 }
 
+/// The σ iteration budget for an `n`-node problem.
+///
+/// When the caller knows a convergence bound (the `n·h` of arXiv
+/// 2106.01184, computed by `dbf-scenario`'s bound oracle), the budget is
+/// `bound + 1`: the theorem says the fixed point arrives within `bound`
+/// changing rounds, and the single extra round of headroom means an
+/// off-by-one in a bound formula is observed as a *bound violation*
+/// (`iterations = bound + 1` with `converged` still true) instead of a
+/// spurious convergence failure.  Without a bound the generous quadratic
+/// horizon `4n² + 64` is used — large enough for every increasing algebra
+/// in the repository while still terminating the genuinely oscillating
+/// gadgets.
+pub fn iteration_budget(n: usize, predicted_bound: Option<u64>) -> usize {
+    match predicted_bound {
+        Some(bound) => (bound as usize).saturating_add(1),
+        None => 4 * n * n + 64,
+    }
+}
+
 /// Is `X` stable, i.e. a fixed point of `σ` (Definition 4)?  Equivalently:
 /// no node can improve any of its selected routes by unilaterally
 /// re-running its selection — a *local* optimum.
@@ -258,6 +277,14 @@ mod tests {
         let from_garbage = iterate_to_fixed_point(&alg, &adj, &garbage, 100);
         assert!(from_clean.converged && from_garbage.converged);
         assert_eq!(from_clean.state, from_garbage.state);
+    }
+
+    #[test]
+    fn iteration_budget_prefers_the_bound_and_falls_back_quadratically() {
+        assert_eq!(iteration_budget(10, Some(40)), 41);
+        assert_eq!(iteration_budget(10, None), 4 * 100 + 64);
+        // Saturates instead of overflowing on absurd declared bounds.
+        assert_eq!(iteration_budget(2, Some(u64::MAX)), usize::MAX);
     }
 
     #[test]

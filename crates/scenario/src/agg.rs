@@ -86,6 +86,12 @@ pub struct ReplicateMetrics {
     /// σ rounds to convergence (the `sync` run's work), when the scenario
     /// ran the synchronous engine.
     pub sync_rounds: Option<u64>,
+    /// Worst (largest) `rounds / predicted_bound` ratio across all
+    /// bound-annotated phases of all runs — how close the run came to the
+    /// theorem's budget.  `None` when no phase carried a bound (e.g. the
+    /// SPP negative controls).  Deterministic: both numerator and
+    /// denominator are pure functions of the spec and seed.
+    pub tightness: Option<f64>,
     /// Wall-clock milliseconds across all runs and phases
     /// (non-deterministic; excluded from the canonical JSON).
     pub wall_ms: f64,
@@ -93,6 +99,9 @@ pub struct ReplicateMetrics {
     pub converges: bool,
     /// Did every run of the final phase agree?
     pub agreement: bool,
+    /// Did every bound-annotated phase converge within its predicted
+    /// bound?
+    pub bounds_ok: bool,
     /// Did the differential verdict match the scenario's expectation?
     pub expectation_met: bool,
 }
@@ -105,7 +114,11 @@ impl ReplicateMetrics {
         let mut rounds = 0u64;
         let mut wall_ms = 0f64;
         let mut sync_rounds = None;
+        let mut tightness: Option<f64> = None;
         for run in &report.runs {
+            for t in run.phases.iter().filter_map(|p| p.tightness()) {
+                tightness = Some(tightness.map_or(t, |acc| acc.max(t)));
+            }
             let run_work: u64 = run.phases.iter().map(|p| p.work).sum();
             work += run_work;
             messages += run
@@ -126,9 +139,11 @@ impl ReplicateMetrics {
             messages,
             rounds,
             sync_rounds,
+            tightness,
             wall_ms,
             converges: report.verdict.converges,
             agreement: report.verdict.agreement,
+            bounds_ok: report.verdict.bounds_ok,
             expectation_met: report.expectation_met(),
         }
     }
@@ -146,6 +161,9 @@ pub struct SweepFailure {
     pub converges: bool,
     /// The observed agreement verdict.
     pub agreement: bool,
+    /// The observed bound verdict (false when a phase exceeded its
+    /// predicted round bound).
+    pub bounds_ok: bool,
 }
 
 /// The aggregated outcome of one grid point.
@@ -172,6 +190,9 @@ pub struct PointReport {
     /// σ-rounds-to-convergence statistics, when the sync engine ran in
     /// every replicate.
     pub sync_rounds: Option<Stats>,
+    /// Predicted-vs-actual tightness statistics (worst per-replicate
+    /// `rounds / bound` ratio), when every replicate carried a bound.
+    pub tightness: Option<Stats>,
     /// Wall-clock statistics (non-deterministic; timing section only).
     pub wall_ms: Stats,
     /// The replicates that missed their expectation.
@@ -196,6 +217,13 @@ impl PointReport {
         } else {
             None
         };
+        let tightness = if metrics.iter().all(|m| m.tightness.is_some()) {
+            Some(Stats::from_samples(&samples(&|m| {
+                m.tightness.unwrap_or(0.0)
+            })))
+        } else {
+            None
+        };
         let failures: Vec<SweepFailure> = metrics
             .iter()
             .filter(|m| !m.expectation_met)
@@ -204,6 +232,7 @@ impl PointReport {
                 seed: m.seed,
                 converges: m.converges,
                 agreement: m.agreement,
+                bounds_ok: m.bounds_ok,
             })
             .collect();
         Self {
@@ -221,6 +250,7 @@ impl PointReport {
             messages,
             rounds,
             sync_rounds,
+            tightness,
             wall_ms,
             failures,
         }
@@ -259,6 +289,9 @@ impl PointReport {
         if let Some(s) = self.sync_rounds {
             stats.push(("sync_rounds".into(), s.to_json()));
         }
+        if let Some(s) = self.tightness {
+            stats.push(("tightness".into(), s.to_json()));
+        }
         fields.push(("stats".into(), Json::Obj(stats)));
         if include_timing {
             fields.push(("wall_ms".into(), self.wall_ms.to_json()));
@@ -275,6 +308,7 @@ impl PointReport {
                                 ("seed".into(), Json::str(format!("{:#018x}", f.seed))),
                                 ("converges".into(), Json::Bool(f.converges)),
                                 ("agreement".into(), Json::Bool(f.agreement)),
+                                ("bounds_ok".into(), Json::Bool(f.bounds_ok)),
                             ])
                         })
                         .collect(),
@@ -412,9 +446,11 @@ mod tests {
             messages: 5,
             rounds: 6,
             sync_rounds: Some(4),
+            tightness: Some(0.5 * (replicate as f64 + 1.0)),
             wall_ms: 1.0,
             converges: ok,
             agreement: ok,
+            bounds_ok: ok,
             expectation_met: ok,
         };
         let report = PointReport::aggregate(&point, vec![metric(0, true), metric(1, false)]);
@@ -423,12 +459,15 @@ mod tests {
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.failures[0].replicate, 1);
         assert_eq!(report.failures[0].seed, 101);
+        assert!(!report.failures[0].bounds_ok);
         assert_eq!(report.work.mean, 15.0);
         assert_eq!(report.work.max, 20.0);
         assert_eq!(report.sync_rounds.unwrap().mean, 4.0);
         assert_eq!(report.rounds.mean, 6.0);
+        assert_eq!(report.tightness.unwrap().max, 1.0);
         let text = report.to_json(false).to_string();
         assert!(text.contains("\"failures\""));
+        assert!(text.contains("\"tightness\""));
         assert!(!text.contains("wall_ms"), "timing excluded by default");
         let timed = report.to_json(true).to_string();
         assert!(timed.contains("wall_ms"));

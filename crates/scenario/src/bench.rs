@@ -41,10 +41,16 @@ fn settle_json(s: &SettleSummary) -> Json {
 /// `threads` records the intra-run worker budget the parallelizable
 /// engines were given, so wall-time entries in the trajectory are
 /// comparable across PRs.
+///
+/// Schema v3 adds the bound oracle's outputs: the verdict-level
+/// `bounds_ok`, per-phase `predicted_bound` and `tightness`
+/// (`rounds / bound` — how much of the theorem's budget the run actually
+/// used), and a per-engine worst-case `tightness` so bound slack is
+/// trackable across PRs like wall time is.
 pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario builtins")),
-        ("schema_version".into(), Json::Int(2)),
+        ("schema_version".into(), Json::Int(3)),
         ("threads".into(), Json::Int(threads.max(1) as i64)),
         (
             "scenarios".into(),
@@ -58,6 +64,7 @@ pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
                             ("phases".into(), Json::Int(r.phase_labels.len() as i64)),
                             ("converges".into(), Json::Bool(r.verdict.converges)),
                             ("agreement".into(), Json::Bool(r.verdict.agreement)),
+                            ("bounds_ok".into(), Json::Bool(r.verdict.bounds_ok)),
                             ("expectation_met".into(), Json::Bool(r.expectation_met())),
                             (
                                 "engines".into(),
@@ -80,12 +87,25 @@ pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
                                                 .sum();
                                             let wall_ms: f64 =
                                                 run.phases.iter().map(|p| p.wall_ms).sum();
+                                            let tightness = run
+                                                .phases
+                                                .iter()
+                                                .filter_map(|p| p.tightness())
+                                                .fold(None::<f64>, |acc, t| {
+                                                    Some(acc.map_or(t, |a| a.max(t)))
+                                                });
                                             Json::Obj(vec![
                                                 ("engine".into(), Json::str(&run.engine)),
                                                 ("rounds".into(), Json::Int(rounds as i64)),
                                                 ("work".into(), Json::Int(work as i64)),
                                                 ("messages".into(), Json::Int(messages as i64)),
                                                 ("bytes".into(), Json::Int(bytes as i64)),
+                                                (
+                                                    "tightness".into(),
+                                                    tightness.map_or(Json::Null, |t| {
+                                                        Json::Num((t * 10_000.0).round() / 10_000.0)
+                                                    }),
+                                                ),
                                                 (
                                                     "wall_ms".into(),
                                                     Json::Num((wall_ms * 1000.0).round() / 1000.0),
@@ -117,6 +137,26 @@ pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
                                                                     (
                                                                         "rounds".into(),
                                                                         Json::Int(p.rounds as i64),
+                                                                    ),
+                                                                    (
+                                                                        "predicted_bound".into(),
+                                                                        p.predicted_bound.map_or(
+                                                                            Json::Null,
+                                                                            |b| Json::Int(b as i64),
+                                                                        ),
+                                                                    ),
+                                                                    (
+                                                                        "tightness".into(),
+                                                                        p.tightness().map_or(
+                                                                            Json::Null,
+                                                                            |t| {
+                                                                                Json::Num(
+                                                                                    (t * 10_000.0)
+                                                                                        .round()
+                                                                                        / 10_000.0,
+                                                                                )
+                                                                            },
+                                                                        ),
                                                                     ),
                                                                     (
                                                                         "work".into(),
@@ -164,7 +204,7 @@ pub fn bench_json(records: &[BenchRecord], threads: usize) -> Json {
 pub fn bench_sweeps_json(reports: &[SweepReport]) -> Json {
     Json::Obj(vec![
         ("suite".into(), Json::str("dbf-scenario sweeps")),
-        ("schema_version".into(), Json::Int(2)),
+        ("schema_version".into(), Json::Int(3)),
         (
             "sweeps".into(),
             Json::Arr(reports.iter().map(|r| r.to_json(true)).collect()),
@@ -191,6 +231,7 @@ mod tests {
                         label: "a".into(),
                         sigma_stable: true,
                         rounds: 40,
+                        predicted_bound: Some(160),
                         work: 10,
                         messages: Some(100),
                         bytes: Some(640),
@@ -201,6 +242,7 @@ mod tests {
                         label: "b".into(),
                         sigma_stable: true,
                         rounds: 20,
+                        predicted_bound: None,
                         work: 5,
                         messages: Some(50),
                         bytes: None,
@@ -213,6 +255,7 @@ mod tests {
                 per_phase: vec![true, true],
                 converges: true,
                 agreement: true,
+                bounds_ok: true,
             },
             expected_converges: true,
             expected_agreement: true,
@@ -242,9 +285,16 @@ mod tests {
         assert!(text.contains("\"work\": 15"));
         assert!(text.contains("\"messages\": 150"));
         assert!(text.contains("\"bytes\": 640"), "None sums as 0");
-        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"schema_version\": 3"));
         assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"expectation_met\": true"));
+        assert!(text.contains("\"bounds_ok\": true"));
+        // Phase "a": 40 rounds against a bound of 160 → tightness 0.25;
+        // the engine-level tightness is the max over bounded phases, and
+        // phase "b" (no theorem) serializes bound and tightness as null.
+        assert!(text.contains("\"predicted_bound\": 160"), "{text}");
+        assert!(text.contains("\"predicted_bound\": null"), "{text}");
+        assert!(text.contains("\"tightness\": 0.25"), "{text}");
         // Phase "a" carries its settle summary; phase "b" (no metrics
         // entry) serializes settle as null.
         assert!(text.contains("\"p95\": 40"), "{text}");

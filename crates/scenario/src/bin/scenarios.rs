@@ -8,7 +8,8 @@
 //!                                   [--trace FILE.jsonl] [--metrics]
 //! scenarios profile <builtin|file.toml> [--engines LIST] [--seeds LIST]
 //!                                       [--threads N]
-//! scenarios run-all [--json] [--out FILE]
+//! scenarios run-all [--json] [--out FILE] [--check-bounds]
+//! scenarios bounds <builtin|file.toml> [--json] [--out FILE]
 //! scenarios bench [--out BENCH_scenarios.json]
 //! scenarios list-sweeps
 //! scenarios show-sweep <builtin>
@@ -49,6 +50,8 @@ fn usage() -> ExitCode {
          \x20 profile <builtin|file.toml> execute a scenario and print the per-phase\n\
          \x20                            telemetry breakdown (wall times, band balance)\n\
          \x20 run-all                    execute every built-in scenario\n\
+         \x20 bounds <builtin|file.toml> print the predicted per-phase convergence-bound\n\
+         \x20                            table (the oracle the checker enforces)\n\
          \x20 bench                      run all builtins, write BENCH_scenarios.json\n\
          \x20 list-sweeps                list built-in parameter sweeps\n\
          \x20 show-sweep <builtin>       print a built-in sweep as TOML\n\
@@ -78,6 +81,9 @@ fn usage() -> ExitCode {
          \x20 --metrics        run: append the deterministic telemetry table to the\n\
          \x20                  summary (the JSON report always embeds a `metrics`\n\
          \x20                  section and a trailing non-deterministic `timing` one)\n\
+         \x20 --check-bounds   run-all: additionally audit bound coverage — fail unless\n\
+         \x20                  every positive scenario with a bounded-rounds engine\n\
+         \x20                  carries predicted bounds and stays within them\n\
          \x20 --cases N        fuzz: how many random cases to run (default 100)\n\
          \x20 --seed S         fuzz: root seed of the case stream (default 1)\n\
          \x20 --case K         fuzz: run only case K (reproduction mode)\n\
@@ -102,10 +108,22 @@ struct Options {
     corpus: Option<String>,
     trace: Option<String>,
     metrics: bool,
+    check_bounds: bool,
 }
 
-/// The options each scenario command accepts.
-const SCENARIO_OPTS: &[&str] = &["--engines", "--seeds", "--json", "--out", "--threads"];
+/// The options `run-all` accepts: the scenario options plus the bound
+/// audit.
+const RUN_ALL_OPTS: &[&str] = &[
+    "--engines",
+    "--seeds",
+    "--json",
+    "--out",
+    "--threads",
+    "--check-bounds",
+];
+/// The options `bounds` accepts (a pure spec computation: no engine
+/// options apply).
+const BOUNDS_OPTS: &[&str] = &["--json", "--out"];
 /// The options `run` accepts: the scenario options plus the telemetry
 /// outputs.  `run-all` deliberately rejects `--trace` (one trace file per
 /// run) and `--metrics`.
@@ -160,6 +178,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         corpus: None,
         trace: None,
         metrics: false,
+        check_bounds: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -244,6 +263,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--corpus" => opts.corpus = Some(it.next().ok_or("--corpus needs a value")?.clone()),
             "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
             "--metrics" => opts.metrics = true,
+            "--check-bounds" => opts.check_bounds = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -533,6 +553,93 @@ fn cmd_replay(dir: &str) -> Result<bool, String> {
     Ok(all_ok)
 }
 
+/// `scenarios bounds`: evaluate the bound oracle on a spec and print the
+/// per-phase table — no engine runs, everything is a pure function of the
+/// spec.
+fn cmd_bounds(target: &str, opts: &Options) -> Result<bool, String> {
+    let scenario = load_scenario(target)?;
+    scenario.validate().map_err(|e| e.to_string())?;
+    let table = dbf_scenario::bound::bound_table(&scenario);
+    let bounded: Vec<&str> = scenario
+        .engines
+        .iter()
+        .filter(|&&k| dbf_scenario::engine::descriptor(k).bounded_rounds)
+        .map(|k| k.name())
+        .collect();
+    let json = Json::Obj(vec![
+        ("scenario".into(), Json::str(&scenario.name)),
+        (
+            "bounded_engines".into(),
+            Json::Arr(bounded.iter().map(|&e| Json::str(e)).collect()),
+        ),
+        (
+            "phases".into(),
+            Json::Arr(
+                table
+                    .iter()
+                    .map(|pb| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::str(&pb.label)),
+                            ("n".into(), Json::Int(pb.n as i64)),
+                            (
+                                "height".into(),
+                                pb.height.map_or(Json::Null, |h| {
+                                    Json::Obj(vec![
+                                        ("h".into(), Json::Int(h.height as i64)),
+                                        ("exact".into(), Json::Bool(h.exact)),
+                                        ("provenance".into(), Json::str(h.provenance)),
+                                    ])
+                                }),
+                            ),
+                            ("window".into(), Json::Int(pb.window as i64)),
+                            ("lag".into(), Json::Int(pb.lag as i64)),
+                            (
+                                "sync_bound".into(),
+                                pb.sync_bound.map_or(Json::Null, |b| Json::Int(b as i64)),
+                            ),
+                            (
+                                "async_bound".into(),
+                                pb.async_bound.map_or(Json::Null, |b| Json::Int(b as i64)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut summary = format!(
+        "scenario {}: predicted rounds-to-converge per phase (bounded engines: {})",
+        scenario.name,
+        if bounded.is_empty() {
+            "none".into()
+        } else {
+            bounded.join(",")
+        },
+    );
+    for pb in &table {
+        match &pb.height {
+            Some(h) => summary.push_str(&format!(
+                "\n  {:<20} n={:<5} h={:<5} ({}) w={:<3} lag={:<3} sync n·h={:<8} async n·h·(w+lag+1)={:<10} [{}]",
+                pb.label,
+                pb.n,
+                h.height,
+                if h.exact { "exact" } else { "declared" },
+                pb.window,
+                pb.lag,
+                pb.sync_bound.unwrap_or(0),
+                pb.async_bound.unwrap_or(0),
+                h.provenance,
+            )),
+            None => summary.push_str(&format!(
+                "\n  {:<20} n={:<5} unbounded (no convergence theorem for this algebra)",
+                pb.label, pb.n,
+            )),
+        }
+    }
+    emit(opts, &json, &summary)?;
+    Ok(true)
+}
+
 fn cmd_run_all(opts: &Options) -> Result<bool, String> {
     let mut reports = Vec::new();
     let mut all_met = true;
@@ -576,6 +683,9 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
             println!("{}", report.summary());
         }
         all_met &= report.expectation_met();
+        if opts.check_bounds {
+            all_met &= audit_bounds(&scenario, &report, opts.json);
+        }
         reports.push(report);
     }
     let json = Json::Arr(reports.iter().map(ScenarioReport::to_json).collect());
@@ -588,6 +698,48 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
         eprintln!("wrote {path}");
     }
     Ok(all_met)
+}
+
+/// The `--check-bounds` audit: a scenario that requests a bounded-rounds
+/// engine on a theorem-covered algebra must actually carry predicted
+/// bounds on those runs and stay within every one of them.  This catches
+/// the annotation silently disappearing, which `expectation_met` alone
+/// (trivially true with no bounds) would not.
+fn audit_bounds(scenario: &Scenario, report: &ScenarioReport, quiet: bool) -> bool {
+    let expects_bounds = scenario
+        .engines
+        .iter()
+        .any(|&k| dbf_scenario::engine::descriptor(k).bounded_rounds)
+        && dbf_scenario::bound::bound_table(scenario)
+            .iter()
+            .any(|pb| pb.sync_bound.is_some());
+    let annotated = report
+        .runs
+        .iter()
+        .flat_map(|r| &r.phases)
+        .filter(|p| p.predicted_bound.is_some())
+        .count();
+    let worst = report
+        .runs
+        .iter()
+        .flat_map(|r| &r.phases)
+        .filter_map(|p| p.tightness())
+        .fold(None::<f64>, |acc, t| Some(acc.map_or(t, |a| a.max(t))));
+    let ok = report.verdict.bounds_ok && (!expects_bounds || annotated > 0);
+    if !quiet {
+        println!(
+            "  bounds: {annotated} annotated phase runs, worst tightness {} -> {}",
+            worst.map_or("n/a".into(), |t| format!("{t:.3}")),
+            if ok { "ok" } else { "FAIL" },
+        );
+    }
+    if !ok {
+        eprintln!(
+            "bound audit failure: scenario {} (bounds_ok={}, annotated={annotated})",
+            report.scenario, report.verdict.bounds_ok,
+        );
+    }
+    ok
 }
 
 fn cmd_bench(opts: &Options) -> Result<bool, String> {
@@ -686,9 +838,16 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             },
         },
-        "run-all" => match parse_options(&args[1..], SCENARIO_OPTS) {
+        "run-all" => match parse_options(&args[1..], RUN_ALL_OPTS) {
             Ok(opts) => cmd_run_all(&opts),
             Err(e) => Err(e),
+        },
+        "bounds" => match args.get(1) {
+            None => return usage(),
+            Some(target) => match parse_options(&args[2..], BOUNDS_OPTS) {
+                Ok(opts) => cmd_bounds(target, &opts),
+                Err(e) => Err(e),
+            },
         },
         "bench" => match parse_options(&args[1..], BENCH_OPTS) {
             Ok(opts) => cmd_bench(&opts),

@@ -95,16 +95,30 @@ pub struct Problem<A: RoutingAlgebra> {
     pub adj: AdjacencyMatrix<A>,
     /// The fault/schedule profile of the phase.
     pub faults: FaultSpec,
+    /// The synchronous convergence bound `n·h` for this phase, when the
+    /// bound oracle could compute one.  The σ engines derive their iterate
+    /// budget from it ([`dbf_matrix::iteration_budget`]); `None` falls
+    /// back to the generous quadratic horizon.
+    pub round_budget: Option<u64>,
 }
 
 impl<A: RoutingAlgebra> Problem<A> {
-    /// Build a problem phase.
+    /// Build a problem phase (with no round budget: the σ engines use the
+    /// quadratic fallback horizon).
     pub fn new(label: impl Into<String>, adj: AdjacencyMatrix<A>, faults: FaultSpec) -> Self {
         Self {
             label: label.into(),
             adj,
             faults,
+            round_budget: None,
         }
+    }
+
+    /// Attach the phase's predicted synchronous round bound, from which
+    /// the σ engines derive their iterate budget.
+    pub fn with_round_budget(mut self, bound: Option<u64>) -> Self {
+        self.round_budget = bound;
+        self
     }
 }
 
@@ -148,6 +162,14 @@ pub struct EngineInfo {
     /// counters depend on OS scheduling; it consequently advertises no
     /// event classes and its metrics are excluded from determinism checks.
     pub deterministic_counters: bool,
+    /// Whether the engine's `rounds` counter measures deterministic
+    /// *logical rounds* that the convergence-rate theorems bound — σ
+    /// iterations (arXiv 2106.01184: `rounds ≤ n·h`) or δ schedule time
+    /// (arXiv 2507.07263's activation/staleness-parameterized bound).  The
+    /// checker asserts `rounds ≤ predicted_bound` exactly for these
+    /// engines; the event-driven engines count simulated wall time in
+    /// different units, and the threaded runtime has no logical clock.
+    pub bounded_rounds: bool,
     /// Capability check: can this engine execute the given scenario?
     /// Engines tied to one algebra (the protocol adapters) reject the rest.
     pub supports: fn(&Scenario) -> Result<(), SpecError>,
@@ -201,6 +223,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: true,
             events: &[EventClass::Rounds, EventClass::Settle, EventClass::Bands],
             deterministic_counters: true,
+            bounded_rounds: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -212,6 +235,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: true,
             events: &[EventClass::Rounds, EventClass::Settle],
             deterministic_counters: true,
+            bounded_rounds: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -223,6 +247,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: false,
             events: &[EventClass::Rounds, EventClass::Settle],
             deterministic_counters: true,
+            bounded_rounds: true,
             supports: supports_any,
         },
         EngineInfo {
@@ -234,6 +259,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: false,
             events: &[EventClass::Settle, EventClass::Messages],
             deterministic_counters: true,
+            bounded_rounds: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -245,6 +271,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: false,
             events: &[],
             deterministic_counters: false,
+            bounded_rounds: false,
             supports: supports_any,
         },
         EngineInfo {
@@ -257,6 +284,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: false,
             events: &[EventClass::Messages],
             deterministic_counters: true,
+            bounded_rounds: false,
             supports: supports_hopcount,
         },
         EngineInfo {
@@ -269,6 +297,7 @@ pub fn descriptors() -> &'static [EngineInfo] {
             parallelizable: false,
             events: &[EventClass::Messages],
             deterministic_counters: true,
+            bounded_rounds: false,
             supports: supports_bgp,
         },
     ];
@@ -430,8 +459,12 @@ fn carry<A: RoutingAlgebra>(alg: &A, state: RoutingState<A>, n: usize) -> Routin
     }
 }
 
-fn sync_iteration_budget(n: usize) -> usize {
-    4 * n * n + 64
+/// The σ iterate budget of one phase: `bound + 1` when the bound oracle
+/// annotated the problem (the extra round turns an off-by-one in a bound
+/// formula into a visible bound violation instead of a convergence
+/// failure), otherwise the quadratic fallback.
+fn sync_iteration_budget<A: RoutingAlgebra>(p: &Problem<A>) -> usize {
+    dbf_matrix::iteration_budget(p.adj.node_count(), p.round_budget)
 }
 
 fn schedule_for(faults: &FaultSpec, n: usize, seed: u64) -> Schedule {
@@ -511,12 +544,12 @@ where
                     alg,
                     &p.adj,
                     &state,
-                    sync_iteration_budget(n),
+                    sync_iteration_budget(p),
                     threads,
                     &mut *tel,
                 )
             } else {
-                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(n), threads)
+                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(p), threads)
             };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             tel.phase_end(&p.label);
@@ -533,6 +566,7 @@ where
                 label: p.label.clone(),
                 sigma_stable,
                 rounds: out.iterations as u64,
+                predicted_bound: None,
                 work: out.iterations as u64,
                 messages: None,
                 bytes: None,
@@ -596,7 +630,7 @@ where
                     &p.adj,
                     &state,
                     &dirty,
-                    sync_iteration_budget(n),
+                    sync_iteration_budget(p),
                     threads,
                     &mut *tel,
                 )
@@ -606,7 +640,7 @@ where
                     &p.adj,
                     &state,
                     &dirty,
-                    sync_iteration_budget(n),
+                    sync_iteration_budget(p),
                     threads,
                 )
             };
@@ -622,6 +656,7 @@ where
                 // would cost more than the incremental phase itself.
                 sigma_stable: out.converged,
                 rounds: out.rounds as u64,
+                predicted_bound: None,
                 work: out.row_recomputations,
                 messages: None,
                 bytes: None,
@@ -685,6 +720,7 @@ where
                 // Quiescence time: how deep into the schedule the state
                 // kept changing (the full horizon if it never settled).
                 rounds: out.quiescent_from.unwrap_or(sched.horizon()) as u64,
+                predicted_bound: None,
                 work: out.activations as u64,
                 messages: None,
                 bytes: None,
@@ -755,6 +791,7 @@ where
                 label: p.label.clone(),
                 sigma_stable: out.sigma_stable && !out.truncated,
                 rounds: out.stats.last_change_time,
+                predicted_bound: None,
                 work: out.stats.delivered,
                 messages: Some(out.stats.sent),
                 bytes: None,
@@ -813,6 +850,7 @@ where
                 label: p.label.clone(),
                 sigma_stable: report.sigma_stable && !report.timed_out,
                 rounds: 0,
+                predicted_bound: None,
                 work: report.stats.table_changes,
                 messages: Some(report.stats.updates_sent),
                 bytes: None,
@@ -910,6 +948,7 @@ where
                 label: p.label.clone(),
                 sigma_stable: is_stable(hop_alg, adj, &state),
                 rounds: report.stats.last_change_time,
+                predicted_bound: None,
                 work: report.stats.updates_processed,
                 messages: Some(report.stats.messages_sent()),
                 bytes: Some(report.stats.bytes_sent),
@@ -999,6 +1038,7 @@ where
                 label: p.label.clone(),
                 sigma_stable: is_stable(bgp_alg, adj, &state),
                 rounds: report.stats.last_change_time,
+                predicted_bound: None,
                 work: report.stats.updates_processed,
                 messages: Some(report.stats.messages_sent()),
                 bytes: Some(report.stats.bytes_sent),

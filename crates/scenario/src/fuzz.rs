@@ -202,12 +202,19 @@ impl FuzzReport {
 /// Does a spec violate the fuzz invariant?  (Invalid specs do not count as
 /// failures — the shrinker uses this to discard over-aggressive
 /// candidates.)
+///
+/// The invariant has three legs: every run converges, every run agrees on
+/// the fixed point, and every bound-annotated phase converges within its
+/// predicted round bound — so a bound violation is shrunk and recorded in
+/// the corpus exactly like a differential failure.
 pub fn violates_invariant(spec: &Scenario) -> bool {
     if spec.validate().is_err() {
         return false;
     }
     match run_scenario(spec) {
-        Ok(report) => !(report.verdict.converges && report.verdict.agreement),
+        Ok(report) => {
+            !(report.verdict.converges && report.verdict.agreement && report.verdict.bounds_ok)
+        }
         Err(_) => false,
     }
 }
@@ -283,11 +290,14 @@ pub fn run_fuzz(opts: &FuzzOptions) -> Result<FuzzReport, SpecError> {
             let scenario = scenario_case(seed);
             match run_scenario(&scenario) {
                 Ok(report) => {
-                    let ok = report.verdict.converges && report.verdict.agreement;
+                    let ok = report.verdict.converges
+                        && report.verdict.agreement
+                        && report.verdict.bounds_ok;
                     let detail = format!(
-                        "converges={} agreement={} runs={}",
+                        "converges={} agreement={} bounds_ok={} runs={}",
                         report.verdict.converges,
                         report.verdict.agreement,
+                        report.verdict.bounds_ok,
                         report.runs.len()
                     );
                     let failing = (!ok).then(|| scenario.clone());

@@ -113,6 +113,7 @@
 
 pub mod agg;
 pub mod bench;
+pub mod bound;
 pub mod builtins;
 pub mod engine;
 pub mod fuzz;
@@ -130,6 +131,7 @@ pub mod sweeps;
 pub use dbf_telemetry as telemetry;
 
 pub use agg::{PointReport, Stats, SweepReport};
+pub use bound::{algebra_height, bound_for_engine, bound_table, schedule_window, PhaseBound};
 pub use engine::{
     descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
     EngineInfo, Problem, ScenarioAlgebra,
@@ -147,6 +149,9 @@ pub use sweep::{run_sweep, Axis, AxisParam, AxisValue, GridPoint, Sweep, SweepRu
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::agg::{PointReport, Stats, SweepReport};
+    pub use crate::bound::{
+        algebra_height, bound_for_engine, bound_table, schedule_window, PhaseBound,
+    };
     pub use crate::builtins;
     pub use crate::engine::{
         descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,

@@ -164,6 +164,14 @@ pub struct PhaseOutcome {
     /// change for the event-driven engines (0 for the threaded runtime,
     /// whose clock is OS scheduling).
     pub rounds: u64,
+    /// The convergence-bound oracle's prediction for this phase: the
+    /// maximum number of rounds the theory allows this engine (`n·h` for
+    /// the synchronous engines per arXiv 2106.01184, the
+    /// activation/staleness-parameterized bound of arXiv 2507.07263 for
+    /// δ).  `None` when no theorem applies — engines whose round counter
+    /// is not deterministic logical rounds, or algebras outside the
+    /// theorems' hypotheses (the SPP gadgets).
+    pub predicted_bound: Option<u64>,
     /// Engine-specific work metric: σ iterations, δ activations, simulator
     /// deliveries or threaded messages.
     pub work: u64,
@@ -178,6 +186,23 @@ pub struct PhaseOutcome {
     pub wall_ms: f64,
     /// Digest of the phase's final routing state.
     pub digest: String,
+}
+
+impl PhaseOutcome {
+    /// Does the measured round count respect the predicted bound?
+    /// Vacuously true when no bound applies.
+    pub fn within_bound(&self) -> bool {
+        self.predicted_bound.is_none_or(|b| self.rounds <= b)
+    }
+
+    /// The tightness ratio `rounds / predicted_bound` — how much of the
+    /// theoretical budget the run actually used.  `None` when no bound
+    /// applies (a zero bound cannot occur: n ≥ 1 and h ≥ 2).
+    pub fn tightness(&self) -> Option<f64> {
+        self.predicted_bound
+            .filter(|&b| b > 0)
+            .map(|b| self.rounds as f64 / b as f64)
+    }
 }
 
 /// One engine execution of a scenario (σ and threaded run once; δ and the
@@ -199,6 +224,10 @@ pub struct Agreement {
     pub converges: bool,
     /// Did every run of the final phase land on the same fixed point?
     pub agreement: bool,
+    /// Did every phase of every run respect its predicted convergence
+    /// bound (`rounds ≤ predicted_bound`)?  Vacuously true for runs and
+    /// phases without a bound.
+    pub bounds_ok: bool,
 }
 
 /// The full report of one scenario execution.
@@ -225,6 +254,7 @@ impl ScenarioReport {
     pub fn expectation_met(&self) -> bool {
         self.verdict.converges == self.expected_converges
             && self.verdict.agreement == self.expected_agreement
+            && self.verdict.bounds_ok
     }
 
     /// Render as a JSON value.
@@ -257,6 +287,12 @@ impl ScenarioReport {
                                                         Json::Bool(p.sigma_stable),
                                                     ),
                                                     ("rounds".into(), Json::Int(p.rounds as i64)),
+                                                    (
+                                                        "predicted_bound".into(),
+                                                        p.predicted_bound.map_or(Json::Null, |b| {
+                                                            Json::Int(b as i64)
+                                                        }),
+                                                    ),
                                                     ("work".into(), Json::Int(p.work as i64)),
                                                     (
                                                         "messages".into(),
@@ -297,6 +333,7 @@ impl ScenarioReport {
                     ),
                     ("converges".into(), Json::Bool(self.verdict.converges)),
                     ("agreement".into(), Json::Bool(self.verdict.agreement)),
+                    ("bounds_ok".into(), Json::Bool(self.verdict.bounds_ok)),
                 ]),
             ),
             (
@@ -315,9 +352,10 @@ impl ScenarioReport {
         let mut out = String::new();
         out.push_str(&format!("scenario {:<24} ", self.scenario));
         out.push_str(&format!(
-            "converges={} agreement={} expected(c={}, a={}) {}",
+            "converges={} agreement={} bounds_ok={} expected(c={}, a={}) {}",
             self.verdict.converges,
             self.verdict.agreement,
+            self.verdict.bounds_ok,
             self.expected_converges,
             self.expected_agreement,
             if self.expectation_met() {
@@ -338,6 +376,12 @@ impl ScenarioReport {
                             "[{} stable={} rounds={} work={}",
                             p.label, p.sigma_stable, p.rounds, p.work
                         );
+                        if let Some(b) = p.predicted_bound {
+                            cell.push_str(&format!(" bound={b}"));
+                            if !p.within_bound() {
+                                cell.push_str(" BOUND-EXCEEDED");
+                            }
+                        }
                         if let Some(m) = p.messages {
                             cell.push_str(&format!(" msgs={m}"));
                         }
@@ -394,6 +438,7 @@ mod tests {
             label: "p".into(),
             sigma_stable: stable,
             rounds: 1,
+            predicted_bound: Some(4),
             work: 1,
             messages: None,
             bytes: None,
@@ -418,6 +463,7 @@ mod tests {
                 per_phase: vec![stable && digests.0 == digests.1],
                 converges: stable,
                 agreement: stable && digests.0 == digests.1,
+                bounds_ok: true,
             },
             expected_converges: true,
             expected_agreement: true,
@@ -432,7 +478,38 @@ mod tests {
         let j = report(true, ("aa", "aa")).to_json().to_string();
         assert!(j.contains("\"expectation_met\": true"));
         assert!(j.contains("\"rounds\": 1"));
+        assert!(j.contains("\"predicted_bound\": 4"));
+        assert!(j.contains("\"bounds_ok\": true"));
         assert!(j.contains("\"messages\": null"));
         assert!(j.contains("\"bytes\": null"));
+    }
+
+    #[test]
+    fn a_bound_violation_fails_the_expectation_like_a_differential_failure() {
+        let mut r = report(true, ("aaaaaaaaaaaaaaaa", "aaaaaaaaaaaaaaaa"));
+        assert!(r.expectation_met());
+        // The checker surfaced a phase exceeding its predicted bound.
+        r.runs[0].phases[0].rounds = 9;
+        r.verdict.bounds_ok = false;
+        assert!(!r.runs[0].phases[0].within_bound());
+        assert!(!r.expectation_met());
+        assert!(r.summary().contains("BOUND-EXCEEDED"));
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"bounds_ok\": false"));
+        assert!(j.contains("\"expectation_met\": false"));
+    }
+
+    #[test]
+    fn tightness_is_rounds_over_bound() {
+        let r = report(true, ("aa", "aa"));
+        let p = &r.runs[0].phases[0];
+        assert!(p.within_bound());
+        assert_eq!(p.tightness(), Some(0.25));
+        let unbounded = PhaseOutcome {
+            predicted_bound: None,
+            ..p.clone()
+        };
+        assert!(unbounded.within_bound());
+        assert_eq!(unbounded.tightness(), None);
     }
 }

@@ -74,18 +74,18 @@ pub fn run_scenario_traced(
     match &spec.algebra {
         AlgebraSpec::Shortest { weights } => {
             let alg = ShortestPaths::new();
-            let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            let mut problems = weighted_problems(spec, *weights, NatInf::fin)?;
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
         AlgebraSpec::Widest { weights } => {
             let alg = WidestPaths::new();
-            let problems = weighted_problems(spec, *weights, NatInf::fin)?;
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            let mut problems = weighted_problems(spec, *weights, NatInf::fin)?;
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
         AlgebraSpec::Hopcount { limit } => {
             let alg = BoundedHopCount::new(*limit);
-            let problems = weighted_problems(spec, WeightRule::uniform(1), |w| w)?;
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            let mut problems = weighted_problems(spec, WeightRule::uniform(1), |w| w)?;
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
         AlgebraSpec::Bgp {
             policy_depth,
@@ -98,7 +98,7 @@ pub fn run_scenario_traced(
                 .max()
                 .unwrap_or(0);
             let alg = BgpAlgebra::new(n_max);
-            let problems: Vec<Problem<BgpAlgebra>> = shapes
+            let mut problems: Vec<Problem<BgpAlgebra>> = shapes
                 .into_iter()
                 .map(|(label, shape, faults)| {
                     let topo: Topology<Policy> = shape
@@ -107,16 +107,17 @@ pub fn run_scenario_traced(
                         label,
                         adj: alg.adjacency_from_topology(&topo),
                         faults,
+                        round_budget: None,
                     }
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
         AlgebraSpec::GaoRexford => {
-            let problems = gao_rexford_problems(spec)?;
+            let mut problems = gao_rexford_problems(spec)?;
             let n = problems.first().map(|p| p.adj.node_count()).unwrap_or(0);
             let alg = GaoRexford::new(n);
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
         AlgebraSpec::Spp { gadget } => {
             let alg = match gadget {
@@ -125,16 +126,17 @@ pub fn run_scenario_traced(
                 SppGadget::Good => SppAlgebra::good_gadget(),
             };
             let adj = alg.adjacency();
-            let problems: Vec<Problem<SppAlgebra>> = spec
+            let mut problems: Vec<Problem<SppAlgebra>> = spec
                 .phases
                 .iter()
                 .map(|p| Problem {
                     label: p.label.clone(),
                     adj: adj.clone(),
                     faults: p.faults,
+                    round_budget: None,
                 })
                 .collect();
-            Ok(execute(&alg, &problems, spec, cfg, tel))
+            Ok(execute(&alg, &mut problems, spec, cfg, tel))
         }
     }
 }
@@ -274,6 +276,7 @@ where
                 label,
                 adj: AdjacencyMatrix::from_topology(&topo),
                 faults,
+                round_budget: None,
             }
         })
         .collect())
@@ -313,6 +316,7 @@ fn gao_rexford_problems(spec: &Scenario) -> Result<Vec<Problem<GaoRexford>>, Spe
             label: phase.label.clone(),
             adj: alg.adjacency_from_hierarchy(&topo),
             faults: phase.faults,
+            round_budget: None,
         });
     }
     Ok(out)
@@ -328,9 +332,16 @@ fn gao_rexford_problems(spec: &Scenario) -> Result<Vec<Problem<GaoRexford>>, Spe
 /// addition — arrives here through [`crate::engine::engine_for`].  The
 /// thread budget reaches exactly the engines whose descriptor opts into
 /// intra-run parallelism; everything else stays sequential by construction.
+///
+/// Before anything runs, the bound oracle ([`crate::bound::bound_table`])
+/// evaluates the convergence-rate theorems on the spec: the synchronous
+/// `n·h` bound becomes each problem's σ iterate budget, and every run of a
+/// `bounded_rounds` engine gets its phases annotated with the predicted
+/// bound so the verdict can assert `rounds ≤ bound` alongside the
+/// cross-engine digest comparison.
 fn execute<A: ScenarioAlgebra>(
     alg: &A,
-    problems: &[Problem<A>],
+    problems: &mut [Problem<A>],
     spec: &Scenario,
     cfg: &RunConfig,
     tel: &mut dyn TelemetrySink,
@@ -339,6 +350,10 @@ where
     A::Route: Send + Sync + 'static,
     A::Edge: PartialEq + Send + Sync + 'static,
 {
+    let bounds = crate::bound::bound_table(spec);
+    for (p, pb) in problems.iter_mut().zip(&bounds) {
+        p.round_budget = pb.sync_bound;
+    }
     let mut runs = Vec::new();
     for &kind in &spec.engines {
         let engine = engine_for::<A>(kind);
@@ -348,7 +363,11 @@ where
             1
         };
         for &seed in engine_seeds(kind, spec) {
-            runs.push(engine.run(alg, problems, seed, threads, &mut *tel));
+            let mut run = engine.run(alg, &*problems, seed, threads, &mut *tel);
+            for (phase, pb) in run.phases.iter_mut().zip(&bounds) {
+                phase.predicted_bound = crate::bound::bound_for_engine(kind, pb);
+            }
+            runs.push(run);
         }
     }
     let verdict = differential_verdict(&runs, problems.len());
@@ -364,7 +383,8 @@ where
 }
 
 /// The cross-engine oracle: per phase, every run must be σ-stable and all
-/// runs must land on the same state digest.
+/// runs must land on the same state digest — and every bound-annotated
+/// phase must have converged within its predicted round bound.
 fn differential_verdict(runs: &[EngineRun], phase_count: usize) -> Agreement {
     let per_phase: Vec<bool> = (0..phase_count)
         .map(|k| {
@@ -383,10 +403,14 @@ fn differential_verdict(runs: &[EngineRun], phase_count: usize) -> Agreement {
         .iter()
         .all(|r| r.phases.get(last).map(|p| p.sigma_stable).unwrap_or(false));
     let agreement = converges && per_phase.get(last).copied().unwrap_or(false);
+    let bounds_ok = runs
+        .iter()
+        .all(|r| r.phases.iter().all(|p| p.within_bound()));
     Agreement {
         per_phase,
         converges,
         agreement,
+        bounds_ok,
     }
 }
 

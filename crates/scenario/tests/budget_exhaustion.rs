@@ -1,0 +1,66 @@
+//! Regression suite for bound-derived iterate budgets.
+//!
+//! The σ engines no longer run on a hard-coded `4n² + 64` horizon when the
+//! spec admits a convergence theorem: `run.rs` attaches the phase's
+//! predicted synchronous bound as [`Problem::with_round_budget`] and the
+//! engines iterate at most `bound + 1` times.  The failure mode this
+//! pins down: a budget too small to reach the fixed point must surface as
+//! `sigma_stable = false` in the phase outcome (which the checker then
+//! reports like any other expectation failure) — never as a panic, an
+//! infinite loop, or a silently-truncated "stable" state.
+
+use dbf_algebra::prelude::*;
+use dbf_matrix::AdjacencyMatrix;
+use dbf_scenario::engine::{engine_for, Problem};
+use dbf_scenario::prelude::*;
+use dbf_telemetry::NoopSink;
+use dbf_topology::generators;
+
+fn ring_problems(budget: Option<u64>) -> Vec<Problem<BoundedHopCount>> {
+    let topo = generators::ring(6).with_weights(|_, _| 1u64);
+    vec![Problem::new(
+        "ring",
+        AdjacencyMatrix::from_topology(&topo),
+        FaultSpec::default(),
+    )
+    .with_round_budget(budget)]
+}
+
+#[test]
+fn budget_exhausted_phases_report_instability_instead_of_panicking() {
+    let alg = BoundedHopCount::new(16);
+    for kind in [EngineKind::Sync, EngineKind::Incremental] {
+        let engine = engine_for::<BoundedHopCount>(kind);
+        // A zero budget cannot reach the fixed point on a 6-ring…
+        let starved = engine.run(&alg, &ring_problems(Some(0)), 1, 1, &mut NoopSink);
+        assert!(
+            !starved.phases[0].sigma_stable,
+            "engine {kind:?}: an exhausted budget must report instability"
+        );
+        // …while the default (no bound ⇒ the legacy 4n² + 64 horizon) and a
+        // generous bound both converge to the same digest.
+        let unbounded = engine.run(&alg, &ring_problems(None), 1, 1, &mut NoopSink);
+        let bounded = engine.run(&alg, &ring_problems(Some(200)), 1, 1, &mut NoopSink);
+        assert!(unbounded.phases[0].sigma_stable, "engine {kind:?}");
+        assert!(bounded.phases[0].sigma_stable, "engine {kind:?}");
+        assert_eq!(
+            unbounded.phases[0].digest, bounded.phases[0].digest,
+            "engine {kind:?}: the budget must not change the fixed point"
+        );
+    }
+}
+
+/// The checker-facing half of the regression: an unstable truncated phase
+/// combined with a violated annotation fails `within_bound` and renders
+/// as a bound violation, exactly like a differential failure.
+#[test]
+fn truncated_outcomes_fail_the_bound_check_downstream() {
+    let alg = BoundedHopCount::new(16);
+    let engine = engine_for::<BoundedHopCount>(EngineKind::Sync);
+    let mut run = engine.run(&alg, &ring_problems(Some(0)), 1, 1, &mut NoopSink);
+    // Annotate the way `run.rs` does: the budget came from this bound.
+    run.phases[0].predicted_bound = Some(0);
+    let phase = &run.phases[0];
+    assert!(!phase.within_bound(), "{} rounds vs bound 0", phase.rounds);
+    assert!(phase.tightness().is_none(), "a zero bound has no ratio");
+}

@@ -166,6 +166,17 @@ fn registry_advertises_telemetry_coverage() {
         let is_message_engine =
             matches!(d.kind, EngineKind::Sim | EngineKind::Rip | EngineKind::Bgp);
         assert_eq!(has_messages, is_message_engine, "engine {}: events", d.name);
+        // Exactly the round-counting engines (σ rounds or δ steps, not
+        // simulated-time units) advertise a convergence-bound theorem.
+        let counts_rounds = matches!(
+            d.kind,
+            EngineKind::Sync | EngineKind::Incremental | EngineKind::Delta
+        );
+        assert_eq!(
+            d.bounded_rounds, counts_rounds,
+            "engine {}: bounded_rounds must track whether \"rounds\" means σ/δ steps",
+            d.name
+        );
         if d.kind == EngineKind::Threaded {
             assert!(
                 d.events.is_empty(),
@@ -193,6 +204,101 @@ fn planned_runs_matches_actual_runs_for_every_engine() {
             "engine {kind:?}: planned vs actual run count"
         );
     }
+}
+
+/// The bound oracle as a per-engine obligation: every engine whose
+/// registry descriptor advertises `bounded_rounds` must, on **every**
+/// builtin it supports, get each phase annotated with the predicted bound
+/// from the spec-level table and finish within it.  Engines whose
+/// "rounds" are simulated-time units must never be annotated — a bound
+/// on the wrong clock would be a category error, not a loose estimate.
+#[test]
+fn bounded_engines_stay_within_the_predicted_bound_on_every_builtin() {
+    for kind in EngineKind::all() {
+        let bounded = descriptor(kind).bounded_rounds;
+        let specs: Vec<Scenario> = if bounded {
+            builtins::all()
+                .into_iter()
+                .filter(|s| s.expect.converges && s.expect.agreement)
+                .filter(|s| (descriptor(kind).supports)(s).is_ok())
+                .collect()
+        } else {
+            // The message-level engines are orders of magnitude slower;
+            // their obligation (no annotation) is clock-semantic, not
+            // scenario-dependent, so the conformance trio suffices.
+            conformance_scenarios(kind)
+        };
+        for mut spec in specs {
+            spec.engines = vec![kind];
+            let name = spec.name.clone();
+            let table = bound_table(&spec);
+            let report =
+                run_scenario(&spec).unwrap_or_else(|e| panic!("engine {kind:?} on {name}: {e}"));
+            for run in &report.runs {
+                assert_eq!(run.phases.len(), table.len(), "{name}");
+                for (phase, pb) in run.phases.iter().zip(&table) {
+                    let expected = bound_for_engine(kind, pb);
+                    assert_eq!(
+                        phase.predicted_bound, expected,
+                        "engine {kind:?} on {name} phase {:?}: annotation must equal the oracle",
+                        phase.label
+                    );
+                    if !bounded {
+                        assert_eq!(
+                            phase.predicted_bound, None,
+                            "engine {kind:?} on {name}: unbounded engines must not be annotated"
+                        );
+                    }
+                    assert!(
+                        phase.within_bound(),
+                        "engine {kind:?} on {name} phase {:?}: {} rounds exceeds bound {:?}",
+                        phase.label,
+                        phase.rounds,
+                        phase.predicted_bound
+                    );
+                }
+            }
+            assert!(report.verdict.bounds_ok, "{name}: {}", report.summary());
+        }
+    }
+}
+
+/// Bound annotations are pure functions of the spec and seed, so they
+/// must be byte-identical across the intra-run `--threads` knob — the
+/// same contract the digests already obey.  (The `--jobs` half of the
+/// guarantee lives in `tests/sweep.rs`, where the aggregated JSON — now
+/// carrying tightness statistics — is compared byte-for-byte across job
+/// counts.)
+#[test]
+fn predicted_bounds_are_identical_across_thread_counts() {
+    let mut spec = builtins::by_name("widest-fabric").unwrap();
+    spec.engines = vec![EngineKind::Sync, EngineKind::Incremental, EngineKind::Delta];
+    let snapshot = |threads: usize| -> Vec<(String, Option<u64>, Option<String>)> {
+        let report = run_scenario_with(&spec, &RunConfig { threads }).unwrap();
+        assert!(report.verdict.bounds_ok, "threads={threads}");
+        report
+            .runs
+            .iter()
+            .flat_map(|r| {
+                r.phases.iter().map(move |p| {
+                    (
+                        format!("{}/{}", r.engine, p.label),
+                        p.predicted_bound,
+                        // Compare the *rendered* ratio, i.e. exactly what the
+                        // BENCH emitters serialize.
+                        p.tightness().map(|t| format!("{t:.6}")),
+                    )
+                })
+            })
+            .collect()
+    };
+    let sequential = snapshot(1);
+    let parallel = snapshot(8);
+    assert_eq!(sequential, parallel, "bounds must not depend on --threads");
+    assert!(
+        sequential.iter().any(|(_, b, _)| b.is_some()),
+        "the fixture must actually exercise annotated phases"
+    );
 }
 
 /// The incremental engine's reason to exist: on the topology-change phase

@@ -148,10 +148,11 @@ fn bench_sweeps_document_includes_timing_and_every_sweep() {
     .unwrap();
     let doc = bench_sweeps_json(&[report]).to_string();
     assert!(doc.contains("\"suite\": \"dbf-scenario sweeps\""));
-    assert!(doc.contains("\"schema_version\": 2"));
+    assert!(doc.contains("\"schema_version\": 3"));
     assert!(doc.contains("\"sweep\": \"smoke\""));
     assert!(doc.contains("\"wall_ms\":"), "the trajectory keeps timing");
     assert!(doc.contains("\"p95\":"));
+    assert!(doc.contains("\"tightness\""), "v3 carries bound tightness");
 }
 
 #[test]
