@@ -7,9 +7,11 @@
 //! adequate for the threaded routing runtime, and semantics (FIFO per
 //! channel, cloneable senders *and* receivers) match what `dbf-protocols`
 //! relies on.  Scoped threads wrap `std::thread::scope`, which provides the
-//! same borrow-the-stack guarantee the real crossbeam pioneered; the
-//! parallel σ row sweep in `dbf-matrix` runs its per-round worker pool
-//! through this module.
+//! same borrow-the-stack guarantee the real crossbeam pioneered.  (The
+//! parallel σ row sweep in `dbf-matrix` used to run its per-round workers
+//! through this module; it now uses the persistent `dbf_matrix::pool`
+//! instead, so the scoped-thread shim serves the threaded protocol
+//! runtime only.)
 
 #![forbid(unsafe_code)]
 

@@ -25,6 +25,10 @@
 //!   Jacobi round is row-parallel by construction, so degree-balanced
 //!   contiguous row bands computed by a scoped worker pool produce results
 //!   **bit-identical** to the sequential iteration at any thread count;
+//! * [`pool`] — the persistent worker pool behind those sweeps: parked
+//!   workers and epoch-stamped band work lists replace per-round thread
+//!   spawning, and worker panics surface as recoverable errors instead of
+//!   taking the process down;
 //! * [`oracle`] — an exhaustive all-simple-paths optimum used to cross-check
 //!   fixed points: for distributive algebras the fixed point must equal the
 //!   global path optimum (the classical theory), while policy-rich algebras
@@ -56,13 +60,17 @@
 //! assert_eq!(out.state.get(0, 5), &NatInf::fin(1));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the pool module contains one audited
+// lifetime-erasure transmute (see `pool::PoolScope::execute`) behind a
+// local `allow`; everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adjacency;
 pub mod incremental;
 pub mod oracle;
 pub mod parallel;
+pub mod pool;
 pub mod sigma;
 pub mod state;
 pub mod sync;
@@ -75,6 +83,7 @@ pub use incremental::{
 pub use parallel::{
     par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
 };
+pub use pool::{PoolScope, PoolStats, WorkerPool};
 pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
 pub use state::RoutingState;
 pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, iteration_budget, SyncOutcome};
@@ -90,6 +99,7 @@ pub mod prelude {
     pub use crate::parallel::{
         par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
     };
+    pub use crate::pool::{PoolScope, PoolStats, WorkerPool};
     pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
     pub use crate::state::RoutingState;
     pub use crate::sync::{

@@ -18,11 +18,16 @@
 //! hubs.  The internal `balanced_chunks` planner cuts the row list at
 //! cumulative-degree boundaries instead.
 //!
-//! Workers run on scoped threads through the `crossbeam` shim
-//! ([`crossbeam::thread::scope`]); the calling thread executes the first
-//! band itself, so `threads = t` uses exactly `t` OS threads.
+//! Bands run on the persistent shared [`WorkerPool`]: workers are spawned
+//! once per process and parked between rounds, each round hands them an
+//! epoch-stamped band work list, and the calling thread executes the first
+//! band itself — so `threads = t` uses up to `t` OS threads without any
+//! per-round spawn/join cost.  A worker panic does not abort the process:
+//! the pool returns the payload to the coordinator, which re-raises it
+//! here so the engine layer above can report it as an engine error.
 
 use crate::adjacency::AdjacencyMatrix;
+use crate::pool::WorkerPool;
 use crate::sigma::{sigma_into, sigma_row_into};
 use crate::state::RoutingState;
 use crate::sync::{emit_settles, iterate_to_fixed_point, iterate_traced, SyncOutcome};
@@ -113,31 +118,37 @@ where
         }
         changed
     };
+    let mut band_changed = vec![false; chunks.len()];
     let mut rest = next.entries_mut();
-    let mut first: Option<(&mut [A::Route], Range<usize>)> = None;
-    let mut changed = false;
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
+    let mut changed_rest = band_changed.as_mut_slice();
+    #[allow(clippy::type_complexity)]
+    let mut first: Option<(&mut [A::Route], Range<usize>, &mut [bool])> = None;
+    let outcome = WorkerPool::shared().scoped(|scope| {
         for rows in chunks {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut((rows.end - rows.start) * n);
             rest = tail;
+            let (slot, stail) = std::mem::take(&mut changed_rest).split_at_mut(1);
+            changed_rest = stail;
             if first.is_none() {
                 // The calling thread works too instead of idling at the
                 // join, so `threads` means `threads`, not `threads + 1`.
-                first = Some((band, rows));
+                first = Some((band, rows, slot));
             } else {
-                handles.push(scope.spawn(move |_| sweep_band(band, rows)));
+                scope.execute(move || slot[0] = sweep_band(band, rows));
             }
         }
-        if let Some((band, rows)) = first.take() {
-            changed |= sweep_band(band, rows);
+        if let Some((band, rows, slot)) = first.take() {
+            slot[0] = sweep_band(band, rows);
         }
-        for handle in handles {
-            changed |= handle.join().expect("a σ sweep worker panicked");
-        }
-    })
-    .expect("the σ sweep worker scope panicked");
-    changed
+    });
+    if let Err(payload) = outcome {
+        // Re-raise the worker's own panic (payload intact) instead of
+        // aborting behind a generic expect message: the engine dispatch
+        // layer catches it and reports the failing engine plus a
+        // reproduction command.
+        std::panic::resume_unwind(payload);
+    }
+    band_changed.iter().any(|&c| c)
 }
 
 /// One synchronous round `σ(X)` written into an existing buffer, with the
@@ -264,8 +275,7 @@ where
     let mut rest = next.entries_mut();
     let mut flags_rest = flags.as_mut_slice();
     let mut walls_rest = walls.as_mut_slice();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
+    let outcome = WorkerPool::shared().scoped(|scope| {
         let mut first: Option<BandWork<'_, A::Route>> = None;
         for rows in chunks.iter().cloned() {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut((rows.end - rows.start) * n);
@@ -277,19 +287,18 @@ where
             if first.is_none() {
                 first = Some((band, rows, frow, wslot));
             } else {
-                handles.push(scope.spawn(move |_| {
+                scope.execute(move || {
                     wslot[0] = sweep_band(band, rows, frow);
-                }));
+                });
             }
         }
         if let Some((band, rows, frow, wslot)) = first.take() {
             wslot[0] = sweep_band(band, rows, frow);
         }
-        for handle in handles {
-            handle.join().expect("a σ sweep worker panicked");
-        }
-    })
-    .expect("the σ sweep worker scope panicked");
+    });
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
     for (b, rows) in chunks.iter().enumerate() {
         let weight: u64 = rows.clone().map(|i| adj.row(i).len() as u64 + 1).sum();
         tel.band_sweep(
@@ -420,24 +429,32 @@ where
     let chunks = balanced_chunks(worklist.len(), threads, |pos| {
         adj.row(worklist[pos]).len() as u64 + 1
     });
-    let mut segments: Vec<Vec<(usize, Vec<A::Route>)>> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks.len().saturating_sub(1));
-        let mut first: Option<&[usize]> = None;
+    let mut segments: Vec<Vec<(usize, Vec<A::Route>)>> = Vec::new();
+    segments.resize_with(chunks.len(), Vec::new);
+    let mut seg_rest = segments.as_mut_slice();
+    #[allow(clippy::type_complexity)]
+    let mut first: Option<(&[usize], &mut Vec<(usize, Vec<A::Route>)>)> = None;
+    let outcome = WorkerPool::shared().scoped(|scope| {
         for range in chunks {
             let rows = &worklist[range];
+            let (slot, tail) = std::mem::take(&mut seg_rest).split_at_mut(1);
+            seg_rest = tail;
+            let slot = &mut slot[0];
             if first.is_none() {
-                first = Some(rows);
+                first = Some((rows, slot));
             } else {
-                handles.push(scope.spawn(move |_| recompute_segment(rows)));
+                scope.execute(move || *slot = recompute_segment(rows));
             }
         }
-        segments.push(recompute_segment(first.expect("chunks are non-empty")));
-        for handle in handles {
-            segments.push(handle.join().expect("a dirty-row worker panicked"));
+        if let Some((rows, slot)) = first.take() {
+            *slot = recompute_segment(rows);
         }
-    })
-    .expect("the dirty-row worker scope panicked");
+    });
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+    // Concatenating the per-chunk segments in chunk order keeps the
+    // changed-row list ascending and thread-count independent.
     segments.into_iter().flatten().collect()
 }
 

@@ -31,10 +31,18 @@ pub struct SyncOutcome<A: RoutingAlgebra> {
 /// horizon `4n² + 64` is used — large enough for every increasing algebra
 /// in the repository while still terminating the genuinely oscillating
 /// gadgets.
+///
+/// Both branches saturate instead of overflowing: at the 10⁵-node scale
+/// the route server targets, `4n²` is `4·10¹⁰` — past `u32::MAX`, so on a
+/// 32-bit `usize` the unchecked product would wrap to a tiny (or zero)
+/// budget and convergence would be misreported.  A saturated budget merely
+/// means "iterate until the fixed point", which is always safe.
 pub fn iteration_budget(n: usize, predicted_bound: Option<u64>) -> usize {
     match predicted_bound {
-        Some(bound) => (bound as usize).saturating_add(1),
-        None => 4 * n * n + 64,
+        Some(bound) => usize::try_from(bound)
+            .unwrap_or(usize::MAX)
+            .saturating_add(1),
+        None => n.saturating_mul(n).saturating_mul(4).saturating_add(64),
     }
 }
 
@@ -174,6 +182,27 @@ mod tests {
     use dbf_algebra::instances::longest::LongestPaths;
     use dbf_algebra::prelude::*;
     use dbf_topology::generators;
+
+    #[test]
+    fn iteration_budget_saturates_at_route_server_scale() {
+        // The legacy horizon, where it fits.
+        assert_eq!(iteration_budget(0, None), 64);
+        assert_eq!(iteration_budget(10, None), 464);
+        // n = 10⁵ (the serve-mode target): 4n² = 4·10¹⁰ must not wrap.
+        // On 64-bit it is exact; on 32-bit it saturates instead of
+        // wrapping to a tiny budget.
+        let big = iteration_budget(100_000, None);
+        if usize::BITS >= 64 {
+            assert_eq!(big as u128, 4u128 * 100_000 * 100_000 + 64);
+        } else {
+            assert_eq!(big, usize::MAX);
+        }
+        // Degenerate extreme: no panic, full saturation.
+        assert_eq!(iteration_budget(usize::MAX, None), usize::MAX);
+        // The bound-driven branch saturates too (bound + 1 at the top).
+        assert_eq!(iteration_budget(5, Some(9)), 10);
+        assert_eq!(iteration_budget(5, Some(u64::MAX)), usize::MAX);
+    }
 
     #[test]
     fn shortest_paths_on_a_ring_converges_to_ring_distances() {

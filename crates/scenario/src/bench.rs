@@ -250,6 +250,7 @@ mod tests {
                         digest: "d".into(),
                     },
                 ],
+                error: None,
             }],
             verdict: Agreement {
                 per_phase: vec![true, true],

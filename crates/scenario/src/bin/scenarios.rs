@@ -19,6 +19,10 @@
 //! scenarios fuzz [--cases N] [--seed S] [--case K] [--jobs J]
 //!                [--corpus DIR] [--json] [--out FILE]
 //! scenarios replay <dir>
+//! scenarios gen-trace [--out FILE] [--nodes N] [--events N] [--seed S]
+//!                     [--topology ring] [--algebra hopcount] [--queries PERMILLE]
+//! scenarios serve --replay FILE [--threads N] [--batch N] [--json]
+//!                 [--out BENCH_serve.json] [--trace FILE.jsonl]
 //! ```
 //!
 //! `run` and `sweep` exit non-zero when the differential verdict does not
@@ -59,6 +63,9 @@ fn usage() -> ExitCode {
          \x20 sweep-bench                run all built-in sweeps, write BENCH_sweeps.json\n\
          \x20 fuzz                       run random specs through the differential checker\n\
          \x20 replay <dir>               re-run every minimized corpus TOML in a directory\n\
+         \x20 gen-trace                  write a seeded churn trace for the route server\n\
+         \x20 serve --replay FILE        replay a churn trace through the route server,\n\
+         \x20                            coalescing changes into incremental reconvergences\n\
          \n\
          options:\n\
          \x20 --engines LIST   comma-separated subset of {engine_names}\n\
@@ -85,9 +92,19 @@ fn usage() -> ExitCode {
          \x20                  every positive scenario with a bounded-rounds engine\n\
          \x20                  carries predicted bounds and stays within them\n\
          \x20 --cases N        fuzz: how many random cases to run (default 100)\n\
-         \x20 --seed S         fuzz: root seed of the case stream (default 1)\n\
+         \x20 --seed S         fuzz: root seed of the case stream (default 1);\n\
+         \x20                  gen-trace: seed of the generated event stream\n\
          \x20 --case K         fuzz: run only case K (reproduction mode)\n\
-         \x20 --corpus DIR     fuzz: where minimized failures are written (default corpus)"
+         \x20 --corpus DIR     fuzz: where minimized failures are written (default corpus)\n\
+         \x20 --replay FILE    serve: the churn trace to replay\n\
+         \x20 --batch N        serve: max change events coalesced into one\n\
+         \x20                  reconvergence (default 64; results are identical for\n\
+         \x20                  any value)\n\
+         \x20 --nodes N        gen-trace: initial topology size (default 64)\n\
+         \x20 --events N       gen-trace: events to generate (default 100000)\n\
+         \x20 --topology T     gen-trace: line|ring|star|complete (default ring)\n\
+         \x20 --algebra A      gen-trace: hopcount|shortest (default hopcount)\n\
+         \x20 --queries P      gen-trace: queries per 1000 events (default 100)"
     );
     ExitCode::from(2)
 }
@@ -109,6 +126,13 @@ struct Options {
     trace: Option<String>,
     metrics: bool,
     check_bounds: bool,
+    replay: Option<String>,
+    batch: Option<usize>,
+    nodes: Option<usize>,
+    events: Option<usize>,
+    topology: Option<String>,
+    algebra: Option<String>,
+    queries: Option<u32>,
 }
 
 /// The options `run-all` accepts: the scenario options plus the bound
@@ -157,6 +181,25 @@ const FUZZ_OPTS: &[&str] = &[
 ];
 /// The options `replay` accepts.
 const REPLAY_OPTS: &[&str] = &[];
+/// The options `serve` accepts.
+const SERVE_OPTS: &[&str] = &[
+    "--replay",
+    "--threads",
+    "--batch",
+    "--json",
+    "--out",
+    "--trace",
+];
+/// The options `gen-trace` accepts.
+const GEN_TRACE_OPTS: &[&str] = &[
+    "--out",
+    "--nodes",
+    "--events",
+    "--seed",
+    "--topology",
+    "--algebra",
+    "--queries",
+];
 
 /// Parse options, rejecting any flag the current command does not use —
 /// a silently ignored `--seeds` on a sweep (which derives its own seeds)
@@ -179,6 +222,13 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         trace: None,
         metrics: false,
         check_bounds: false,
+        replay: None,
+        batch: None,
+        nodes: None,
+        events: None,
+        topology: None,
+        algebra: None,
+        queries: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -264,6 +314,39 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
             "--metrics" => opts.metrics = true,
             "--check-bounds" => opts.check_bounds = true,
+            "--replay" => opts.replay = Some(it.next().ok_or("--replay needs a value")?.clone()),
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                opts.batch = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --batch: {e}"))?,
+                );
+            }
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a value")?;
+                opts.nodes = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --nodes: {e}"))?,
+                );
+            }
+            "--events" => {
+                let v = it.next().ok_or("--events needs a value")?;
+                opts.events = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --events: {e}"))?,
+                );
+            }
+            "--topology" => {
+                opts.topology = Some(it.next().ok_or("--topology needs a value")?.clone())
+            }
+            "--algebra" => opts.algebra = Some(it.next().ok_or("--algebra needs a value")?.clone()),
+            "--queries" => {
+                let v = it.next().ok_or("--queries needs a value")?;
+                opts.queries = Some(
+                    v.parse::<u32>()
+                        .map_err(|e| format!("bad --queries: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -379,6 +462,13 @@ fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
             .find(|r| r.engine == "sync")
             .or(report.runs.first());
         for run in &report.runs {
+            if let Some(err) = &run.error {
+                // A worker panic is caught by the engine firewall in
+                // dbf-scenario::run and surfaces here instead of aborting
+                // the process.
+                eprintln!("checker failure: engine {} panicked: {err}", run.engine);
+                continue;
+            }
             let last = run.phases.last();
             let stable = last.map(|p| p.sigma_stable).unwrap_or(false);
             let diverged = match (last, reference.and_then(|r| r.phases.last())) {
@@ -409,7 +499,10 @@ fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
             .map(u64::to_string)
             .collect::<Vec<_>>()
             .join(",");
-        eprintln!("reproduce with: scenarios run {target} --engines {engines} --seeds {seeds}");
+        eprintln!(
+            "reproduce with: scenarios run {target} --engines {engines} --seeds {seeds} \
+             --threads {threads}"
+        );
     }
     Ok(met)
 }
@@ -770,6 +863,124 @@ fn cmd_bench(opts: &Options) -> Result<bool, String> {
     Ok(all_met)
 }
 
+/// `scenarios gen-trace`: write a seeded churn trace in the line-oriented
+/// text format the route server replays.
+fn cmd_gen_trace(opts: &Options) -> Result<bool, String> {
+    let n = opts.nodes.unwrap_or(64);
+    let topology = match opts.topology.as_deref().unwrap_or("ring") {
+        "line" => TopologySpec::Line { n },
+        "ring" => TopologySpec::Ring { n },
+        "star" => TopologySpec::Star { n },
+        "complete" => TopologySpec::Complete { n },
+        other => {
+            return Err(format!(
+                "unknown trace topology {other:?} (line|ring|star|complete)"
+            ))
+        }
+    };
+    let algebra = match opts.algebra.as_deref().unwrap_or("hopcount") {
+        // Any simple path has at most n-1 hops, so a limit of n never
+        // truncates a real route while keeping the carrier finite.
+        "hopcount" => ServeAlgebra::Hopcount { limit: n as u64 },
+        "shortest" => ServeAlgebra::Shortest,
+        other => {
+            return Err(format!(
+                "unknown trace algebra {other:?} (hopcount|shortest)"
+            ))
+        }
+    };
+    let spec = TraceSpec {
+        topology,
+        algebra,
+        events: opts.events.unwrap_or(100_000),
+        seed: opts.seed.unwrap_or(1),
+        query_permille: opts.queries.unwrap_or(100),
+    };
+    let trace = generate_trace(&spec).map_err(|e| e.to_string())?;
+    let path = opts.out.as_deref().unwrap_or("churn.trace");
+    std::fs::write(path, trace.to_text()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    eprintln!(
+        "wrote {path} ({} events: {} changes, {} queries)",
+        trace.events.len(),
+        trace.change_count(),
+        trace.query_count()
+    );
+    Ok(true)
+}
+
+/// `scenarios serve`: replay a churn trace through the long-lived route
+/// server and report throughput, coalescing and latency percentiles as
+/// `BENCH_serve.json`.
+fn cmd_serve(opts: &Options) -> Result<bool, String> {
+    let path = opts
+        .replay
+        .as_deref()
+        .ok_or("serve needs --replay FILE (generate one with `scenarios gen-trace`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let trace = ChurnTrace::parse(&text).map_err(|e| e.to_string())?;
+    let threads = run_threads(opts);
+    let batch = opts.batch.unwrap_or(64).max(1);
+    let report = match opts.trace.as_deref() {
+        Some(tp) => {
+            let mut tracer = TraceSink::to_file(tp)
+                .map_err(|e| format!("cannot create trace file {tp:?}: {e}"))?;
+            let report =
+                replay_trace(&trace, threads, batch, &mut tracer).map_err(|e| e.to_string())?;
+            tracer
+                .finish()
+                .map_err(|e| format!("cannot write trace file {tp:?}: {e}"))?;
+            eprintln!("wrote {tp}");
+            report
+        }
+        None => replay_trace(&trace, threads, batch, &mut telemetry::NoopSink)
+            .map_err(|e| e.to_string())?,
+    };
+    let json = serve_json(&report, threads, batch);
+    emit(opts, &json, &serve_summary(&report, threads, batch))?;
+    Ok(true)
+}
+
+fn serve_summary(report: &ReplayReport, threads: usize, batch: usize) -> String {
+    let s = &report.stats;
+    let mut out = format!(
+        "serve: {} events ({} changes, {} queries) on {} nodes (threads={threads}, batch<={batch})\n\
+         \x20 {} batches dirtied {} rows (one-at-a-time estimate {}, coalesce ratio {:.3})\n\
+         \x20 {} rounds, {} row recomputations\n\
+         \x20 final digest {}  answers digest {}\n\
+         \x20 {:.0} events/sec over {:.1} ms",
+        report.events,
+        s.changes,
+        s.queries,
+        report.nodes,
+        s.batches,
+        s.batch_dirty_rows,
+        s.naive_dirty_rows,
+        s.coalesce_ratio(),
+        s.rounds,
+        s.row_recomputations,
+        report.final_digest,
+        report.answers_digest,
+        report.events_per_sec(),
+        report.wall_ms,
+    );
+    for (label, samples) in [("convergence", &s.convergence_us), ("query", &s.query_us)] {
+        if let Some(sum) = telemetry::SettleSummary::from_samples(samples) {
+            out.push_str(&format!(
+                "\n  {label} latency us: p50={} p95={} p99={} max={} ({} samples)",
+                sum.p50, sum.p95, sum.p99, sum.max, sum.count
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n  pool: {} workers, {} epochs, {} jobs ({:.0}% on workers)",
+        report.pool.workers,
+        report.pool.epochs,
+        report.pool.jobs,
+        report.pool.worker_share() * 100.0,
+    ));
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -894,6 +1105,14 @@ fn main() -> ExitCode {
                 Ok(_) => cmd_replay(dir),
                 Err(e) => Err(e),
             },
+        },
+        "gen-trace" => match parse_options(&args[1..], GEN_TRACE_OPTS) {
+            Ok(opts) => cmd_gen_trace(&opts),
+            Err(e) => Err(e),
+        },
+        "serve" => match parse_options(&args[1..], SERVE_OPTS) {
+            Ok(opts) => cmd_serve(&opts),
+            Err(e) => Err(e),
         },
         _ => return usage(),
     };

@@ -577,6 +577,7 @@ where
         EngineRun {
             engine: "sync".into(),
             phases,
+            error: None,
         }
     }
 }
@@ -667,6 +668,7 @@ where
         EngineRun {
             engine: "incremental".into(),
             phases,
+            error: None,
         }
     }
 }
@@ -731,6 +733,7 @@ where
         EngineRun {
             engine: label,
             phases,
+            error: None,
         }
     }
 }
@@ -802,6 +805,7 @@ where
         EngineRun {
             engine: label,
             phases,
+            error: None,
         }
     }
 }
@@ -861,6 +865,7 @@ where
         EngineRun {
             engine: "threaded".into(),
             phases,
+            error: None,
         }
     }
 }
@@ -959,6 +964,7 @@ where
         EngineRun {
             engine: label,
             phases,
+            error: None,
         }
     }
 }
@@ -1049,6 +1055,7 @@ where
         EngineRun {
             engine: label,
             phases,
+            error: None,
         }
     }
 }

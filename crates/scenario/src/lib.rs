@@ -53,6 +53,12 @@
 //!   must agree across all engines" (the theorems' universal
 //!   quantification, sampled).  Failures are minimized by a greedy spec
 //!   shrinker and written to a corpus directory as self-reproducing TOML.
+//! * [`serve`] — the **route server**: a long-lived daemon loop holding
+//!   one converged table, coalescing a stream of churn events into
+//!   batched incremental reconvergences on the persistent worker pool
+//!   and answering route queries from the converged table — replayable
+//!   seeded churn traces, thread-count- and batch-size-invariant
+//!   digests, and the `BENCH_serve.json` throughput/latency document.
 //!
 //! Running a built-in scenario through the differential oracle:
 //!
@@ -93,6 +99,8 @@
 //! cargo run -p dbf-scenario --bin scenarios -- sweep loss-rate-robustness --jobs 8
 //! cargo run -p dbf-scenario --bin scenarios -- sweep-bench --out BENCH_sweeps.json
 //! cargo run -p dbf-scenario --bin scenarios -- fuzz --cases 200 --seed 1 --jobs 8
+//! cargo run -p dbf-scenario --bin scenarios -- gen-trace --out churn.trace --events 100000
+//! cargo run -p dbf-scenario --bin scenarios -- serve --replay churn.trace --threads 4
 //! ```
 //!
 //! Fuzzing one case programmatically (the differential oracle with a
@@ -122,6 +130,7 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod run;
+pub mod serve;
 pub mod spec;
 pub mod sweep;
 pub mod sweeps;
@@ -140,6 +149,10 @@ pub use fuzz::{run_fuzz, shrink_scenario, FuzzOptions, FuzzReport, ReplayOutcome
 pub use metrics::{metrics_json, metrics_table, profile_table, timing_json, with_telemetry};
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
 pub use run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
+pub use serve::{
+    generate_trace, replay_trace, serve_json, ChurnTrace, ReplayReport, RouteServer, ServeAlgebra,
+    ServeEvent, ServeStats, TraceSpec,
+};
 pub use spec::{
     AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, ScheduleSpec,
     SpecError, SppGadget, TopologySpec, WeightRule,
@@ -164,6 +177,10 @@ pub mod prelude {
     };
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
     pub use crate::run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
+    pub use crate::serve::{
+        generate_trace, replay_trace, serve_json, ChurnTrace, ReplayReport, RouteServer,
+        ServeAlgebra, ServeEvent, ServeStats, TraceSpec,
+    };
     pub use crate::spec::{
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,
         ScheduleSpec, SpecError, SppGadget, TopologySpec, WeightRule,

@@ -8,6 +8,13 @@
 //! shim; results land in per-index slots, so no ordering depends on thread
 //! scheduling.
 //!
+//! The drain loops run on the persistent [`WorkerPool`] shared with the
+//! parallel σ kernels in `dbf-matrix` — one epoch per `parallel_map` call,
+//! no thread spawn/join per call — and a panicking task propagates its
+//! *own* panic payload to the caller once the epoch drains, instead of a
+//! generic scope message.  `jobs = 0` is clamped to `1` (inline
+//! processing), and an empty item list returns without touching the pool.
+//!
 //! [`parallel_map_chunked`] is the fine-grained variant: when the items are
 //! tiny (single σ rows, single fuzz mutations) one channel round-trip *per
 //! item* costs more than the item itself, so the items are grouped into
@@ -15,6 +22,7 @@
 //! order, a fraction of the dispatch overhead.
 
 use crossbeam::channel;
+use dbf_matrix::WorkerPool;
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
@@ -28,15 +36,19 @@ pub fn default_jobs() -> usize {
 /// Apply `f` to every item, using up to `jobs` worker threads, and return
 /// the results in input order.
 ///
-/// With `jobs <= 1` the items are processed inline on the calling thread
-/// (the deterministic baseline the parallel path is compared against).
-/// Panics in `f` propagate to the caller when the worker scope joins.
+/// `jobs = 0` clamps to `1`; with `jobs <= 1` (or fewer than two items)
+/// the items are processed inline on the calling thread — the
+/// deterministic baseline the parallel path is compared against — and an
+/// empty item list returns immediately without touching the pool.  Panics
+/// in `f` propagate to the caller with their original payload once the
+/// pool epoch drains.
 pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let jobs = jobs.max(1);
     let n = items.len();
     if jobs <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
@@ -48,27 +60,35 @@ where
         let _ = tx.send(task);
     }
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move || {
-                while let Some((index, item)) = rx.try_recv() {
-                    let result = f(item);
-                    *slots[index]
-                        .lock()
-                        .unwrap_or_else(|poison| poison.into_inner()) = Some(result);
-                }
-            });
+    let drain = |rx: channel::Receiver<(usize, T)>| {
+        while let Some((index, item)) = rx.try_recv() {
+            let result = f(item);
+            *slots[index]
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()) = Some(result);
         }
+    };
+    let outcome = WorkerPool::shared().scoped(|scope| {
+        // One drain loop per requested worker beyond the caller; the
+        // caller drains too instead of idling at the epoch join.
+        for _ in 0..workers - 1 {
+            let rx = rx.clone();
+            let drain = &drain;
+            scope.execute(move || drain(rx));
+        }
+        drain(rx.clone());
     });
+    if let Err(payload) = outcome {
+        // Re-raise the task's own panic; the queued tasks behind it were
+        // still drained by the surviving workers before we got here.
+        std::panic::resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(|poison| poison.into_inner())
-                .expect("every task slot is filled once the worker scope joins")
+                .expect("every task slot is filled once the pool epoch drains")
         })
         .collect()
 }
@@ -80,7 +100,8 @@ where
 ///
 /// Results are returned in input order for any `jobs`/`chunk_size`
 /// combination, and panics in `f` propagate exactly like [`parallel_map`].
-/// A `chunk_size` of `0` is treated as `1`.
+/// A `chunk_size` of `0` is treated as `1`, and `jobs = 0` clamps to `1`
+/// just like [`parallel_map`].
 pub fn parallel_map_chunked<T, R, F>(jobs: usize, chunk_size: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -139,6 +160,43 @@ mod tests {
         let empty: Vec<u32> = parallel_map(8, Vec::new(), |x: u32| x);
         assert!(empty.is_empty());
         assert_eq!(parallel_map(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_zero_clamps_to_one_and_runs_inline() {
+        // Regression: `jobs = 0` must behave exactly like `jobs = 1` —
+        // no spinning, no division by zero in the worker split, every
+        // item processed inline on the calling thread.
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..32).collect();
+        let got = parallel_map(0, items.clone(), |x| {
+            assert_eq!(std::thread::current().id(), caller, "inline means inline");
+            x * 2
+        });
+        assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_lists_return_without_spawning_for_any_geometry() {
+        for jobs in [0, 1, 8] {
+            let empty: Vec<u32> = parallel_map(jobs, Vec::new(), |x: u32| x);
+            assert!(empty.is_empty(), "jobs = {jobs}");
+            for chunk_size in [0, 1, 16] {
+                let empty: Vec<u32> =
+                    parallel_map_chunked(jobs, chunk_size, Vec::new(), |x: u32| x);
+                assert!(empty.is_empty(), "jobs = {jobs} chunk_size = {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_clamps_jobs_zero_and_chunk_size_zero() {
+        let items: Vec<usize> = (0..25).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x + 100).collect();
+        for (jobs, chunk_size) in [(0, 0), (0, 4), (4, 0), (0, 1), (1, 0)] {
+            let got = parallel_map_chunked(jobs, chunk_size, items.clone(), |x| x + 100);
+            assert_eq!(got, expected, "jobs = {jobs} chunk_size = {chunk_size}");
+        }
     }
 
     #[test]
@@ -219,7 +277,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "panicked")]
+    #[should_panic(expected = "task 13 exploded")]
     fn a_panicking_task_in_a_chunk_propagates() {
         parallel_map_chunked(4, 8, (0..57).collect::<Vec<i32>>(), |x| {
             if x == 13 {
@@ -229,11 +287,10 @@ mod tests {
         });
     }
 
-    // `std::thread::scope` re-raises worker panics with its own payload
-    // ("a scoped thread panicked"), so the match is on that wrapper rather
-    // than the original message.
+    // The pool hands the first panicking task's payload back intact, so
+    // the caller sees the original message rather than a scope wrapper.
     #[test]
-    #[should_panic(expected = "panicked")]
+    #[should_panic(expected = "task 13 exploded")]
     fn a_panicking_task_propagates_when_the_worker_scope_joins() {
         parallel_map(4, (0..57).collect::<Vec<i32>>(), |x| {
             if x == 13 {

@@ -213,6 +213,11 @@ pub struct EngineRun {
     pub engine: String,
     /// Per-phase outcomes, in phase order.
     pub phases: Vec<PhaseOutcome>,
+    /// A panic message, when the engine blew up instead of completing.
+    /// The run then carries one placeholder outcome per phase (never
+    /// σ-stable), so the differential verdict counts it as a convergence
+    /// failure rather than aborting the whole process with it.
+    pub error: Option<String>,
 }
 
 /// The differential verdict across all runs of a scenario.
@@ -274,6 +279,10 @@ impl ScenarioReport {
                         .map(|run| {
                             Json::Obj(vec![
                                 ("engine".into(), Json::str(&run.engine)),
+                                (
+                                    "error".into(),
+                                    run.error.as_deref().map_or(Json::Null, Json::str),
+                                ),
                                 (
                                     "phases".into(),
                                     Json::Arr(
@@ -366,6 +375,10 @@ impl ScenarioReport {
         ));
         for run in &self.runs {
             let last = run.phases.last();
+            if let Some(err) = &run.error {
+                out.push_str(&format!("\n  {:<14} ENGINE-PANIC: {err}", run.engine));
+                continue;
+            }
             out.push_str(&format!(
                 "\n  {:<14} {}",
                 run.engine,
@@ -453,10 +466,12 @@ mod tests {
                 EngineRun {
                     engine: "sync".into(),
                     phases: vec![phase(digests.0)],
+                    error: None,
                 },
                 EngineRun {
                     engine: "sim[1]".into(),
                     phases: vec![phase(digests.1)],
+                    error: None,
                 },
             ],
             verdict: Agreement {

@@ -10,10 +10,11 @@
 //! σ-stable state (Theorems 7/11); for the non-increasing SPP gadgets it
 //! exhibits exactly the wedgies and oscillation the theorems rule out.
 
-use crate::engine::{descriptor, engine_for, engine_seeds, Problem, ScenarioAlgebra};
-use crate::report::{Agreement, EngineRun, ScenarioReport};
+use crate::engine::{descriptor, engine_for, engine_seeds, Determinism, Problem, ScenarioAlgebra};
+use crate::report::{Agreement, EngineRun, PhaseOutcome, ScenarioReport};
 use crate::spec::{
-    AlgebraSpec, ChangeSpec, FaultSpec, Scenario, SpecError, SppGadget, TopologySpec, WeightRule,
+    AlgebraSpec, ChangeSpec, EngineKind, FaultSpec, Scenario, SpecError, SppGadget, TopologySpec,
+    WeightRule,
 };
 use dbf_algebra::algebra::SplitMix64;
 use dbf_algebra::prelude::*;
@@ -200,8 +201,9 @@ pub fn build_shape(spec: &TopologySpec) -> Result<Topology<()>, SpecError> {
 }
 
 /// Translate a spec-level change into [`TopologyChange`]s over a weightless
-/// shape.
-fn lower_changes(changes: &[ChangeSpec]) -> Vec<TopologyChange<()>> {
+/// shape.  (Shared with the route server, which applies the same change
+/// vocabulary one batch at a time.)
+pub(crate) fn lower_changes(changes: &[ChangeSpec]) -> Vec<TopologyChange<()>> {
     let mut out = Vec::new();
     for c in changes {
         match *c {
@@ -363,7 +365,9 @@ where
             1
         };
         for &seed in engine_seeds(kind, spec) {
-            let mut run = engine.run(alg, &*problems, seed, threads, &mut *tel);
+            let mut run = guarded(kind, seed, &*problems, || {
+                engine.run(alg, &*problems, seed, threads, &mut *tel)
+            });
             for (phase, pb) in run.phases.iter_mut().zip(&bounds) {
                 phase.predicted_bound = crate::bound::bound_for_engine(kind, pb);
             }
@@ -379,6 +383,87 @@ where
         verdict,
         expected_converges: spec.expect.converges,
         expected_agreement: spec.expect.agreement,
+    }
+}
+
+/// Run one engine invocation with a panic firewall.  A panic out of
+/// `engine.run` — typically a σ sweep worker's, re-raised with its original
+/// payload by the persistent [`dbf_matrix::pool::WorkerPool`] — becomes an
+/// errored [`EngineRun`] instead of aborting the process, so `scenarios
+/// run` can still print the report, pinpoint the failing engine, and hand
+/// the user a reproduction command.
+fn guarded<A: ScenarioAlgebra>(
+    kind: EngineKind,
+    seed: u64,
+    problems: &[Problem<A>],
+    f: impl FnOnce() -> EngineRun,
+) -> EngineRun
+where
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(run) => run,
+        Err(payload) => panicked_run(
+            engine_label(kind, seed),
+            problems,
+            panic_message(payload.as_ref()),
+        ),
+    }
+}
+
+/// The report label an engine invocation uses, reconstructed from the
+/// registry descriptor — needed when the engine panics before returning
+/// the run that would normally carry it.
+fn engine_label(kind: EngineKind, seed: u64) -> String {
+    let info = descriptor(kind);
+    match info.determinism {
+        Determinism::Fixed => info.name.to_string(),
+        Determinism::Seeded => format!("{}[{seed}]", info.name),
+    }
+}
+
+/// Synthesize the report entry for a panicked engine: one never-σ-stable
+/// placeholder outcome per phase (the verdict indexes `phases[k]` across
+/// runs, so the vector must be full length), carrying the panic message.
+fn panicked_run<A: ScenarioAlgebra>(
+    engine: String,
+    problems: &[Problem<A>],
+    message: String,
+) -> EngineRun
+where
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    let phases = problems
+        .iter()
+        .map(|p| PhaseOutcome {
+            label: p.label.clone(),
+            sigma_stable: false,
+            rounds: 0,
+            predicted_bound: None,
+            work: 0,
+            messages: None,
+            bytes: None,
+            wall_ms: 0.0,
+            digest: "----------------".into(),
+        })
+        .collect();
+    EngineRun {
+        engine,
+        phases,
+        error: Some(message),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
     }
 }
 
@@ -565,6 +650,61 @@ mod tests {
         ];
         let report = run_scenario(&spec).unwrap();
         assert!(report.verdict.agreement, "{}", report.summary());
+    }
+
+    #[test]
+    fn a_panicking_engine_becomes_an_errored_run_not_an_abort() {
+        let problems: Vec<Problem<BoundedHopCount>> = Vec::new();
+        let run = guarded(EngineKind::Sync, 1, &problems, || panic!("band 2 exploded"));
+        assert_eq!(run.engine, "sync");
+        assert_eq!(run.error.as_deref(), Some("band 2 exploded"));
+        // Formatted panics (String payloads) survive too.
+        let n = 3;
+        let run = guarded(EngineKind::Delta, 7, &problems, || {
+            panic!("band {n} exploded")
+        });
+        assert_eq!(run.engine, "delta[7]");
+        assert_eq!(run.error.as_deref(), Some("band 3 exploded"));
+    }
+
+    #[test]
+    fn engine_labels_match_the_engines_own_report_labels() {
+        // The reconstruction used for panicked engines must agree with the
+        // labels the engines emit themselves, or reports would pinpoint a
+        // non-existent engine.
+        let report = run_scenario(&hopcount_ring()).unwrap();
+        let labels: Vec<&str> = report.runs.iter().map(|r| r.engine.as_str()).collect();
+        for (kind, seed) in [
+            (EngineKind::Sync, 1),
+            (EngineKind::Delta, 1),
+            (EngineKind::Delta, 2),
+            (EngineKind::Sim, 2),
+        ] {
+            assert!(
+                labels.contains(&engine_label(kind, seed).as_str()),
+                "{kind:?}[{seed}] not in {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_panicked_run_flips_the_verdict_and_is_named_in_the_summary() {
+        let mut report = run_scenario(&hopcount_ring()).unwrap();
+        let mut dead = report.runs[0].clone();
+        dead.engine = "sim[9]".into();
+        dead.error = Some("band 2 exploded".into());
+        for p in &mut dead.phases {
+            p.sigma_stable = false;
+            p.rounds = 0;
+            p.predicted_bound = None;
+            p.work = 0;
+            p.digest = "----------------".into();
+        }
+        report.runs.push(dead);
+        report.verdict = differential_verdict(&report.runs, report.phase_labels.len());
+        assert!(!report.verdict.converges);
+        assert!(!report.verdict.agreement);
+        assert!(report.summary().contains("ENGINE-PANIC: band 2 exploded"));
     }
 
     #[test]

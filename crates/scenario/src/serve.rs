@@ -1,0 +1,1087 @@
+//! The long-lived route-server mode: ingest a continuous stream of
+//! topology-churn events, coalesce overlapping changes into batches, and
+//! reconverge incrementally between σ rounds.
+//!
+//! Where [`crate::run`] executes a *finite* scenario script phase by
+//! phase, a [`RouteServer`] stays up: events arrive one at a time, are
+//! buffered into a pending batch, and only when the batch flushes does
+//! the server recompute — the dirty-row mask is derived from the
+//! *pre-batch vs post-batch* adjacency
+//! ([`dbf_matrix::dirty_rows_after_change`]), so overlapping or mutually
+//! cancelling changes coalesce maximally (a change that is undone within
+//! the same batch dirties nothing).  The reconvergence itself is the
+//! incremental dirty-row σ kernel running on the persistent
+//! [`dbf_matrix::WorkerPool`], which makes the result bit-identical at
+//! any thread count.
+//!
+//! Soundness of batching: rows whose adjacency row is unchanged keep
+//! their old routing row, and the old state was a fixed point, so σ is
+//! already stable there; only the dirtied rows (and whatever their
+//! recomputation subsequently perturbs) can move.  This is exactly the
+//! incremental engine's argument, applied to a batch of changes instead
+//! of a phase script.
+//!
+//! A flush is triggered by three things: the pending batch reaching the
+//! configured size cap, a route query arriving (queries are answered from
+//! the *converged* table, never a stale one), or the event stream ending.
+//!
+//! [`replay_trace`] drives a server from a seeded [`ChurnTrace`] — the
+//! sustained-churn benchmark behind `scenarios serve --replay` and
+//! `BENCH_serve.json` — and reports throughput, p50/p95/p99 convergence
+//! and query latency, the coalesce ratio, and the pool's utilization
+//! counters.  Its determinism currency is a pair of digests (final
+//! routing state, concatenated query answers): on the strictly-increasing
+//! algebras the trace format supports, both must be byte-identical across
+//! `--threads 1/2/8` *and* across batch sizes.
+
+use crate::engine::{state_digest, ScenarioAlgebra};
+use crate::report::{Digest, Json};
+use crate::run::build_shape;
+use crate::spec::{ChangeSpec, SpecError, TopologySpec, WeightRule};
+use dbf_algebra::algebra::SplitMix64;
+use dbf_algebra::prelude::*;
+use dbf_matrix::{
+    dirty_rows_after_change, iteration_budget, par_iterate_dirty_traced, AdjacencyMatrix,
+    RoutingState, WorkerPool,
+};
+use dbf_telemetry::{SettleSummary, TelemetrySink};
+use dbf_topology::Topology;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Trace model
+// ---------------------------------------------------------------------
+
+/// One event of a churn trace: a topology change or a route query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A topology change, reusing the scenario change vocabulary.
+    Change(ChangeSpec),
+    /// A route query: "what is `from`'s route to `to`?"  Forces the
+    /// pending batch to flush and reconverge first.
+    Query {
+        /// Querying node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+}
+
+/// The algebras the serve trace format supports.  Both are strictly
+/// increasing, so the fixed point is unique and replay digests are
+/// comparable across thread counts *and* batch sizes.
+///
+/// The difference is the carrier: the hop-count carrier is *finite*, so
+/// Theorem 7 guarantees reconvergence from any state and batches always
+/// reconverge incrementally from the cached table.  Plain shortest paths
+/// has an infinite carrier (the paper's Section 5 count-to-infinity
+/// example), so the server falls back to a from-scratch reconvergence on
+/// batches that contain removals — see
+/// [`RouteServer::restart_on_removal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeAlgebra {
+    /// Bounded hop count with the given limit (uniform weight 1).
+    Hopcount {
+        /// The hop limit.
+        limit: u64,
+    },
+    /// Shortest paths with uniform weight 1.
+    Shortest,
+}
+
+/// A replayable churn trace: the initial topology, the routing algebra,
+/// and the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrace {
+    /// The initial topology (generator families with a `n` only).
+    pub topology: TopologySpec,
+    /// The routing algebra.
+    pub algebra: ServeAlgebra,
+    /// The event stream, in arrival order.
+    pub events: Vec<ServeEvent>,
+}
+
+/// The trace file header line (also the format version gate).
+const TRACE_HEADER: &str = "# dbf-churn-trace v1";
+
+impl ChurnTrace {
+    /// Render the trace in its line-oriented text format.
+    ///
+    /// ```text
+    /// # dbf-churn-trace v1
+    /// topology ring 32
+    /// algebra hopcount 64
+    /// set_link 3 9
+    /// fail_link 0 1
+    /// query 0 5
+    /// add_node
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(TRACE_HEADER);
+        out.push('\n');
+        let topo = match &self.topology {
+            TopologySpec::Line { n } => format!("line {n}"),
+            TopologySpec::Ring { n } => format!("ring {n}"),
+            TopologySpec::Star { n } => format!("star {n}"),
+            TopologySpec::Complete { n } => format!("complete {n}"),
+            other => panic!("unsupported serve topology {other:?} (validated on construction)"),
+        };
+        out.push_str(&format!("topology {topo}\n"));
+        match self.algebra {
+            ServeAlgebra::Hopcount { limit } => {
+                out.push_str(&format!("algebra hopcount {limit}\n"))
+            }
+            ServeAlgebra::Shortest => out.push_str("algebra shortest\n"),
+        }
+        for ev in &self.events {
+            match ev {
+                ServeEvent::Change(ChangeSpec::SetLink { a, b }) => {
+                    out.push_str(&format!("set_link {a} {b}\n"))
+                }
+                ServeEvent::Change(ChangeSpec::SetEdge { from, to }) => {
+                    out.push_str(&format!("set_edge {from} {to}\n"))
+                }
+                ServeEvent::Change(ChangeSpec::RemoveEdge { from, to }) => {
+                    out.push_str(&format!("remove_edge {from} {to}\n"))
+                }
+                ServeEvent::Change(ChangeSpec::FailLink { a, b }) => {
+                    out.push_str(&format!("fail_link {a} {b}\n"))
+                }
+                ServeEvent::Change(ChangeSpec::AddNode) => out.push_str("add_node\n"),
+                ServeEvent::Query { from, to } => out.push_str(&format!("query {from} {to}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`ChurnTrace::to_text`].
+    pub fn parse(text: &str) -> Result<ChurnTrace, SpecError> {
+        let mut lines = text.lines().enumerate();
+        let bad = |k: usize, msg: &str| SpecError::new(format!("trace line {}: {msg}", k + 1));
+        match lines.next() {
+            Some((_, l)) if l.trim() == TRACE_HEADER => {}
+            _ => {
+                return Err(SpecError::new(format!(
+                    "not a churn trace (expected header {TRACE_HEADER:?})"
+                )))
+            }
+        }
+        let mut topology = None;
+        let mut algebra = None;
+        let mut events = Vec::new();
+        for (k, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let word = toks[0];
+            let arity = |want: usize| -> Result<(), SpecError> {
+                if toks.len() == want + 1 {
+                    Ok(())
+                } else {
+                    Err(bad(k, &format!("{word} takes {want} operand(s)")))
+                }
+            };
+            let num = |pos: usize| -> Result<usize, SpecError> {
+                toks[pos]
+                    .parse::<usize>()
+                    .map_err(|e| bad(k, &format!("bad operand {:?}: {e}", toks[pos])))
+            };
+            match word {
+                "topology" => {
+                    arity(2)?;
+                    let n = num(2)?;
+                    topology = Some(match toks[1] {
+                        "line" => TopologySpec::Line { n },
+                        "ring" => TopologySpec::Ring { n },
+                        "star" => TopologySpec::Star { n },
+                        "complete" => TopologySpec::Complete { n },
+                        other => return Err(bad(k, &format!("unknown topology {other:?}"))),
+                    });
+                }
+                "algebra" => {
+                    algebra = Some(match &toks[1..] {
+                        ["hopcount", _] => ServeAlgebra::Hopcount {
+                            limit: num(2)? as u64,
+                        },
+                        ["shortest"] => ServeAlgebra::Shortest,
+                        _ => return Err(bad(k, "expected `hopcount <limit>` or `shortest`")),
+                    });
+                }
+                "set_link" => {
+                    arity(2)?;
+                    events.push(ServeEvent::Change(ChangeSpec::SetLink {
+                        a: num(1)?,
+                        b: num(2)?,
+                    }));
+                }
+                "set_edge" => {
+                    arity(2)?;
+                    events.push(ServeEvent::Change(ChangeSpec::SetEdge {
+                        from: num(1)?,
+                        to: num(2)?,
+                    }));
+                }
+                "remove_edge" => {
+                    arity(2)?;
+                    events.push(ServeEvent::Change(ChangeSpec::RemoveEdge {
+                        from: num(1)?,
+                        to: num(2)?,
+                    }));
+                }
+                "fail_link" => {
+                    arity(2)?;
+                    events.push(ServeEvent::Change(ChangeSpec::FailLink {
+                        a: num(1)?,
+                        b: num(2)?,
+                    }));
+                }
+                "add_node" => {
+                    arity(0)?;
+                    events.push(ServeEvent::Change(ChangeSpec::AddNode));
+                }
+                "query" => {
+                    arity(2)?;
+                    events.push(ServeEvent::Query {
+                        from: num(1)?,
+                        to: num(2)?,
+                    });
+                }
+                other => return Err(bad(k, &format!("unknown event {other:?}"))),
+            }
+        }
+        Ok(ChurnTrace {
+            topology: topology.ok_or_else(|| SpecError::new("trace has no topology line"))?,
+            algebra: algebra.ok_or_else(|| SpecError::new("trace has no algebra line"))?,
+            events,
+        })
+    }
+
+    /// Number of change events in the trace.
+    pub fn change_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::Change(_)))
+            .count()
+    }
+
+    /// Number of query events in the trace.
+    pub fn query_count(&self) -> usize {
+        self.events.len() - self.change_count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace generation
+// ---------------------------------------------------------------------
+
+/// Parameters of the seeded churn-trace generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Initial topology (`line`/`ring`/`star`/`complete` only).
+    pub topology: TopologySpec,
+    /// Routing algebra.
+    pub algebra: ServeAlgebra,
+    /// How many events to generate.
+    pub events: usize,
+    /// Root seed of the event stream.
+    pub seed: u64,
+    /// Out of 1000 events, how many are queries (the rest are changes).
+    pub query_permille: u32,
+}
+
+/// Generate a deterministic churn trace: link flaps, directed edge churn
+/// and interleaved route queries over the initial topology.  Node count
+/// stays fixed (`add_node` is accepted by the replayer but not
+/// generated, so a 10⁶-event trace does not grow the network without
+/// bound).
+pub fn generate_trace(spec: &TraceSpec) -> Result<ChurnTrace, SpecError> {
+    let shape = build_shape(&spec.topology)?;
+    let n = shape.node_count();
+    if n < 3 {
+        return Err(SpecError::new("churn traces need at least 3 nodes"));
+    }
+    let mut rng = SplitMix64::new(spec.seed ^ 0x5e7e_5e7e_5e7e_5e7e);
+    let mut events = Vec::with_capacity(spec.events);
+    for _ in 0..spec.events {
+        let pick_pair = |rng: &mut SplitMix64| {
+            let a = rng.next_below(n as u64) as usize;
+            let mut b = rng.next_below(n as u64) as usize;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a, b)
+        };
+        if rng.next_below(1000) < spec.query_permille as u64 {
+            let (from, to) = pick_pair(&mut rng);
+            events.push(ServeEvent::Query { from, to });
+        } else {
+            let (a, b) = pick_pair(&mut rng);
+            let change = match rng.next_below(4) {
+                0 => ChangeSpec::SetLink { a, b },
+                1 => ChangeSpec::FailLink { a, b },
+                2 => ChangeSpec::SetEdge { from: a, to: b },
+                _ => ChangeSpec::RemoveEdge { from: a, to: b },
+            };
+            events.push(ServeEvent::Change(change));
+        }
+    }
+    Ok(ChurnTrace {
+        topology: spec.topology.clone(),
+        algebra: spec.algebra,
+        events,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The route server
+// ---------------------------------------------------------------------
+
+/// Lifetime counters of a [`RouteServer`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Change events ingested.
+    pub changes: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches flushed (reconvergences run).
+    pub batches: u64,
+    /// Rows one-at-a-time processing would have dirtied (structural
+    /// estimate: the endpoint rows of every event, summed).
+    pub naive_dirty_rows: u64,
+    /// Rows the coalesced pre-vs-post adjacency diff actually dirtied.
+    pub batch_dirty_rows: u64,
+    /// Incremental σ rounds across all flushes.
+    pub rounds: u64,
+    /// Row recomputations across all flushes.
+    pub row_recomputations: u64,
+    /// Per-flush convergence latency samples, microseconds
+    /// (non-deterministic; excluded from replay digests).
+    pub convergence_us: Vec<u64>,
+    /// Per-query latency samples (flush + lookup), microseconds.
+    pub query_us: Vec<u64>,
+}
+
+impl ServeStats {
+    /// `batch_dirty_rows / naive_dirty_rows` — how much work coalescing
+    /// saved (1.0 = nothing, 0.0 = every change was undone in-batch).
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.naive_dirty_rows == 0 {
+            1.0
+        } else {
+            self.batch_dirty_rows as f64 / self.naive_dirty_rows as f64
+        }
+    }
+}
+
+/// A long-lived incremental route server over one algebra.
+///
+/// `rebuild` derives the weighted adjacency from the current weightless
+/// shape; it must be a pure function of the shape so that replaying the
+/// same trace always rebuilds the same matrices.
+pub struct RouteServer<A, F>
+where
+    A: ScenarioAlgebra,
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+    F: Fn(&Topology<()>) -> AdjacencyMatrix<A>,
+{
+    alg: A,
+    shape: Topology<()>,
+    rebuild: F,
+    adj: AdjacencyMatrix<A>,
+    state: RoutingState<A>,
+    threads: usize,
+    batch_max: usize,
+    removal_restart: bool,
+    pending: Vec<ChangeSpec>,
+    stats: ServeStats,
+}
+
+impl<A, F> RouteServer<A, F>
+where
+    A: ScenarioAlgebra,
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+    F: Fn(&Topology<()>) -> AdjacencyMatrix<A>,
+{
+    /// Bring up a server on `shape` and converge the initial table (a
+    /// full sweep: every row starts dirty).
+    pub fn new(
+        alg: A,
+        shape: Topology<()>,
+        rebuild: F,
+        threads: usize,
+        batch_max: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> Result<Self, SpecError> {
+        let adj = rebuild(&shape);
+        let n = adj.node_count();
+        let x0 = RoutingState::identity(&alg, n);
+        let dirty = vec![true; n];
+        let outcome = par_iterate_dirty_traced(
+            &alg,
+            &adj,
+            &x0,
+            &dirty,
+            iteration_budget(n, None),
+            threads,
+            tel,
+        );
+        if !outcome.converged {
+            return Err(SpecError::new(
+                "initial convergence exhausted its iteration budget",
+            ));
+        }
+        Ok(Self {
+            alg,
+            shape,
+            rebuild,
+            adj,
+            state: outcome.state,
+            threads: threads.max(1),
+            batch_max: batch_max.max(1),
+            removal_restart: false,
+            pending: Vec::new(),
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Reconverge from scratch (identity state, every row dirty) on any
+    /// batch containing a `remove_edge` / `fail_link` event, instead of
+    /// incrementally from the cached table.
+    ///
+    /// This is required for algebras with an *infinite* carrier, such as
+    /// plain shortest paths over ℕ∞: Theorem 7's termination guarantee
+    /// needs a finite carrier, and reconverging from the old fixed point
+    /// after a disconnection counts to infinity (the paper's Section 5) —
+    /// route values climb one round at a time and never reach ∞, so the
+    /// iteration budget exhausts.  Additions only improve routes, so
+    /// addition-only batches stay incremental either way; the classic
+    /// route-withdrawal full recomputation applies only where it must.
+    pub fn restart_on_removal(mut self, on: bool) -> Self {
+        self.removal_restart = on;
+        self
+    }
+
+    /// Current network size.
+    pub fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The digest of the converged table.  Flush before calling this when
+    /// comparing replays (the digest ignores pending events).
+    pub fn digest(&self) -> String {
+        state_digest(&self.state)
+    }
+
+    /// Ingest one event.  Changes are buffered (flushing when the batch
+    /// cap is hit); queries flush and answer from the converged table.
+    pub fn submit(
+        &mut self,
+        event: &ServeEvent,
+        tel: &mut dyn TelemetrySink,
+    ) -> Result<Option<String>, SpecError> {
+        match event {
+            ServeEvent::Change(c) => {
+                self.push_change(*c, tel)?;
+                Ok(None)
+            }
+            ServeEvent::Query { from, to } => self.query(*from, *to, tel).map(Some),
+        }
+    }
+
+    /// Buffer a change, flushing when the batch cap is reached.
+    pub fn push_change(
+        &mut self,
+        change: ChangeSpec,
+        tel: &mut dyn TelemetrySink,
+    ) -> Result<(), SpecError> {
+        // Bounds are checked against the *post-pending* node count so a
+        // buffered add_node can be referenced by the very next event.
+        let n = self.pending_node_count();
+        if !change.in_bounds(n) {
+            return Err(SpecError::new(format!(
+                "change {change:?} is out of range for a {n}-node topology"
+            )));
+        }
+        self.stats.changes += 1;
+        self.pending.push(change);
+        if self.pending.len() >= self.batch_max {
+            self.flush(tel)?;
+        }
+        Ok(())
+    }
+
+    /// Answer a route query from the converged table (flushes first).
+    pub fn query(
+        &mut self,
+        from: usize,
+        to: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> Result<String, SpecError> {
+        let t0 = Instant::now();
+        self.flush(tel)?;
+        let n = self.adj.node_count();
+        if from >= n || to >= n {
+            return Err(SpecError::new(format!(
+                "query ({from}, {to}) is out of range for a {n}-node topology"
+            )));
+        }
+        let answer = format!("{:?}", self.state.get(from, to));
+        self.stats.queries += 1;
+        self.stats
+            .query_us
+            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        Ok(answer)
+    }
+
+    /// Reconverge on everything buffered since the last flush.  A no-op
+    /// when nothing is pending.
+    pub fn flush(&mut self, tel: &mut dyn TelemetrySink) -> Result<(), SpecError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let batch: Vec<ChangeSpec> = std::mem::take(&mut self.pending);
+        // The structural one-at-a-time cost: each event would have
+        // dirtied (at least) its endpoint rows.
+        let naive_dirty: u64 = batch.iter().map(rows_touched).sum();
+        for c in &batch {
+            self.shape = dbf_topology::TopologyChange::apply_all(
+                &crate::run::lower_changes(std::slice::from_ref(c)),
+                &self.shape,
+            );
+        }
+        let new_adj = (self.rebuild)(&self.shape);
+        let n = new_adj.node_count();
+        let dirty = dirty_rows_after_change(&self.adj, &new_adj);
+        let batch_dirty = dirty.iter().filter(|&&d| d).count() as u64;
+        let worsened = batch.iter().any(|c| {
+            matches!(
+                c,
+                ChangeSpec::RemoveEdge { .. } | ChangeSpec::FailLink { .. }
+            )
+        });
+        // On an infinite carrier a removal can leave the cached table
+        // unreachably optimistic (count-to-infinity); restart from the
+        // identity unless the batch coalesced to no adjacency change.
+        let (x0, dirty) = if self.removal_restart && worsened && batch_dirty > 0 {
+            (RoutingState::identity(&self.alg, n), vec![true; n])
+        } else {
+            let x0 = if self.state.node_count() < n {
+                self.state.grown(&self.alg, n)
+            } else {
+                self.state.clone()
+            };
+            (x0, dirty)
+        };
+        let outcome = par_iterate_dirty_traced(
+            &self.alg,
+            &new_adj,
+            &x0,
+            &dirty,
+            iteration_budget(n, None),
+            self.threads,
+            tel,
+        );
+        if !outcome.converged {
+            return Err(SpecError::new(format!(
+                "batch {} exhausted its iteration budget (non-increasing algebra?)",
+                self.stats.batches
+            )));
+        }
+        self.stats.batches += 1;
+        self.stats.naive_dirty_rows += naive_dirty;
+        self.stats.batch_dirty_rows += batch_dirty;
+        self.stats.rounds += outcome.rounds as u64;
+        self.stats.row_recomputations += outcome.row_recomputations;
+        tel.serve_batch(
+            self.stats.batches - 1,
+            batch.len() as u64,
+            naive_dirty,
+            batch_dirty,
+            outcome.rounds as u64,
+        );
+        self.adj = new_adj;
+        self.state = outcome.state;
+        self.stats
+            .convergence_us
+            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        Ok(())
+    }
+
+    /// The node count the shape will have once pending changes apply
+    /// (only `add_node` moves it).
+    fn pending_node_count(&self) -> usize {
+        self.shape.node_count()
+            + self
+                .pending
+                .iter()
+                .filter(|c| matches!(c, ChangeSpec::AddNode))
+                .count()
+    }
+}
+
+/// The rows a change dirties under one-at-a-time processing (a
+/// structural lower bound: both endpoint rows, or the joining row for
+/// `add_node`).  The coalesce telemetry compares this against the
+/// batched adjacency diff.
+fn rows_touched(c: &ChangeSpec) -> u64 {
+    match c {
+        ChangeSpec::SetLink { .. } | ChangeSpec::FailLink { .. } => 2,
+        ChangeSpec::SetEdge { .. } | ChangeSpec::RemoveEdge { .. } => 2,
+        ChangeSpec::AddNode => 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay driver
+// ---------------------------------------------------------------------
+
+/// The result of replaying a churn trace through a [`RouteServer`].
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Final network size.
+    pub nodes: usize,
+    /// Total events ingested.
+    pub events: u64,
+    /// Lifetime server counters.
+    pub stats: ServeStats,
+    /// Digest of the final converged routing table.
+    pub final_digest: String,
+    /// Digest over every query answer, in arrival order — byte-identical
+    /// replays answer byte-identically.
+    pub answers_digest: String,
+    /// Worker-pool lifetime counters (process-wide; thread-count
+    /// dependent, so they live in the timing side of the JSON).
+    pub pool: dbf_matrix::PoolStats,
+    /// Total replay wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ReplayReport {
+    /// Sustained throughput over the whole replay.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// Replay a churn trace through a route server.  `batch_max` caps how
+/// many change events coalesce into one reconvergence; `threads` is the
+/// σ sweep's worker budget (results are bit-identical for every value).
+pub fn replay_trace(
+    trace: &ChurnTrace,
+    threads: usize,
+    batch_max: usize,
+    tel: &mut dyn TelemetrySink,
+) -> Result<ReplayReport, SpecError> {
+    let shape = build_shape(&trace.topology)?;
+    match trace.algebra {
+        ServeAlgebra::Hopcount { limit } => {
+            let rule = WeightRule::uniform(1);
+            replay_with(
+                BoundedHopCount::new(limit),
+                shape,
+                move |s: &Topology<()>| {
+                    AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
+                },
+                trace,
+                threads,
+                batch_max,
+                // Finite carrier: Theorem 7 applies, incremental always.
+                false,
+                tel,
+            )
+        }
+        ServeAlgebra::Shortest => {
+            let rule = WeightRule::uniform(1);
+            replay_with(
+                ShortestPaths::new(),
+                shape,
+                move |s: &Topology<()>| {
+                    AdjacencyMatrix::from_topology(
+                        &s.with_weights(|i, j| NatInf::fin(rule.weight(i, j))),
+                    )
+                },
+                trace,
+                threads,
+                batch_max,
+                // Infinite carrier: removals would count to infinity.
+                true,
+                tel,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_with<A, F>(
+    alg: A,
+    shape: Topology<()>,
+    rebuild: F,
+    trace: &ChurnTrace,
+    threads: usize,
+    batch_max: usize,
+    removal_restart: bool,
+    tel: &mut dyn TelemetrySink,
+) -> Result<ReplayReport, SpecError>
+where
+    A: ScenarioAlgebra,
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+    F: Fn(&Topology<()>) -> AdjacencyMatrix<A>,
+{
+    let t0 = Instant::now();
+    let mut server = RouteServer::new(alg, shape, rebuild, threads, batch_max, tel)?
+        .restart_on_removal(removal_restart);
+    let mut answers = Digest::default();
+    for ev in &trace.events {
+        if let Some(answer) = server.submit(ev, tel)? {
+            answers.update(&answer);
+            answers.update(";");
+        }
+    }
+    server.flush(tel)?;
+    let pool = WorkerPool::shared().stats();
+    tel.pool_utilization(
+        pool.workers as u64,
+        pool.epochs,
+        pool.jobs,
+        pool.worker_share(),
+    );
+    Ok(ReplayReport {
+        nodes: server.node_count(),
+        events: trace.events.len() as u64,
+        stats: server.stats().clone(),
+        final_digest: server.digest(),
+        answers_digest: answers.finish(),
+        pool,
+        wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+    })
+}
+
+// ---------------------------------------------------------------------
+// BENCH_serve.json
+// ---------------------------------------------------------------------
+
+fn summary_json(samples: &[u64]) -> Json {
+    match SettleSummary::from_samples(samples) {
+        None => Json::Null,
+        Some(s) => Json::Obj(vec![
+            ("count".into(), Json::Int(s.count as i64)),
+            ("p50".into(), Json::Int(s.p50 as i64)),
+            ("p95".into(), Json::Int(s.p95 as i64)),
+            ("p99".into(), Json::Int(s.p99 as i64)),
+            ("max".into(), Json::Int(s.max as i64)),
+        ]),
+    }
+}
+
+/// Render a replay as the `BENCH_serve.json` document.  Everything under
+/// the top-level `"timing"` key (and only that) is non-deterministic —
+/// the CI determinism check strips it and compares the rest byte for
+/// byte across thread counts.
+pub fn serve_json(report: &ReplayReport, threads: usize, batch: usize) -> Json {
+    let s = &report.stats;
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Int(1)),
+        ("suite".into(), Json::str("dbf-serve")),
+        ("threads".into(), Json::Int(threads as i64)),
+        ("batch".into(), Json::Int(batch as i64)),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("nodes".into(), Json::Int(report.nodes as i64)),
+                ("events".into(), Json::Int(report.events as i64)),
+                ("changes".into(), Json::Int(s.changes as i64)),
+                ("queries".into(), Json::Int(s.queries as i64)),
+            ]),
+        ),
+        (
+            "serve".into(),
+            Json::Obj(vec![
+                ("batches".into(), Json::Int(s.batches as i64)),
+                (
+                    "naive_dirty_rows".into(),
+                    Json::Int(s.naive_dirty_rows as i64),
+                ),
+                (
+                    "batch_dirty_rows".into(),
+                    Json::Int(s.batch_dirty_rows as i64),
+                ),
+                (
+                    "coalesce_ratio".into(),
+                    Json::Num((s.coalesce_ratio() * 1e4).round() / 1e4),
+                ),
+                ("rounds".into(), Json::Int(s.rounds as i64)),
+                (
+                    "row_recomputations".into(),
+                    Json::Int(s.row_recomputations as i64),
+                ),
+                ("final_digest".into(), Json::str(&report.final_digest)),
+                ("answers_digest".into(), Json::str(&report.answers_digest)),
+            ]),
+        ),
+        (
+            "timing".into(),
+            Json::Obj(vec![
+                ("wall_ms".into(), Json::Num(report.wall_ms)),
+                ("events_per_sec".into(), Json::Num(report.events_per_sec())),
+                ("convergence_us".into(), summary_json(&s.convergence_us)),
+                ("query_us".into(), summary_json(&s.query_us)),
+                (
+                    "pool".into(),
+                    Json::Obj(vec![
+                        ("workers".into(), Json::Int(report.pool.workers as i64)),
+                        ("epochs".into(), Json::Int(report.pool.epochs as i64)),
+                        ("jobs".into(), Json::Int(report.pool.jobs as i64)),
+                        (
+                            "worker_share".into(),
+                            Json::Num((report.pool.worker_share() * 1e4).round() / 1e4),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbf_telemetry::NoopSink;
+
+    fn small_trace() -> ChurnTrace {
+        generate_trace(&TraceSpec {
+            topology: TopologySpec::Ring { n: 12 },
+            algebra: ServeAlgebra::Hopcount { limit: 24 },
+            events: 300,
+            seed: 7,
+            query_permille: 150,
+        })
+        .expect("generator accepts the spec")
+    }
+
+    #[test]
+    fn traces_round_trip_through_the_text_format() {
+        let trace = small_trace();
+        let text = trace.to_text();
+        let back = ChurnTrace::parse(&text).expect("own output parses");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn the_generator_is_deterministic_in_its_seed() {
+        assert_eq!(small_trace(), small_trace());
+        let other = generate_trace(&TraceSpec {
+            seed: 8,
+            ..TraceSpec {
+                topology: TopologySpec::Ring { n: 12 },
+                algebra: ServeAlgebra::Hopcount { limit: 24 },
+                events: 300,
+                seed: 8,
+                query_permille: 150,
+            }
+        })
+        .unwrap();
+        assert_ne!(small_trace(), other);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ChurnTrace::parse("hello").is_err());
+        assert!(ChurnTrace::parse("# dbf-churn-trace v1\nwarp 1 2\n").is_err());
+        assert!(ChurnTrace::parse("# dbf-churn-trace v1\ntopology ring 5\n").is_err());
+        assert!(ChurnTrace::parse(
+            "# dbf-churn-trace v1\ntopology ring 5\nalgebra hopcount 9\nquery 1\n"
+        )
+        .is_err());
+        assert!(ChurnTrace::parse(
+            "# dbf-churn-trace v1\ntopology ring 5\nalgebra hopcount 9\nquery 1 2 3\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn replay_digests_are_thread_count_invariant() {
+        let trace = small_trace();
+        let base = replay_trace(&trace, 1, 16, &mut NoopSink).expect("replay");
+        for threads in [2, 8] {
+            let par = replay_trace(&trace, threads, 16, &mut NoopSink).expect("replay");
+            assert_eq!(par.final_digest, base.final_digest, "threads={threads}");
+            assert_eq!(par.answers_digest, base.answers_digest, "threads={threads}");
+            assert_eq!(par.stats.batches, base.stats.batches);
+            assert_eq!(par.stats.rounds, base.stats.rounds);
+            assert_eq!(par.stats.batch_dirty_rows, base.stats.batch_dirty_rows);
+        }
+    }
+
+    #[test]
+    fn batched_and_one_at_a_time_replays_converge_identically() {
+        // Coalescing correctness: on a strictly-increasing algebra the
+        // fixed point is unique, so any batching of the same event stream
+        // must land on the same table and answer queries identically.
+        let trace = small_trace();
+        let one = replay_trace(&trace, 1, 1, &mut NoopSink).expect("replay");
+        for batch in [4, 64, usize::MAX] {
+            let b = replay_trace(&trace, 1, batch, &mut NoopSink).expect("replay");
+            assert_eq!(b.final_digest, one.final_digest, "batch={batch}");
+            assert_eq!(b.answers_digest, one.answers_digest, "batch={batch}");
+            // Larger batches must never dirty more than one-at-a-time.
+            assert!(b.stats.batch_dirty_rows <= one.stats.batch_dirty_rows);
+        }
+    }
+
+    #[test]
+    fn mutually_cancelling_changes_coalesce_to_nothing() {
+        let shape = build_shape(&TopologySpec::Ring { n: 8 }).unwrap();
+        let rule = WeightRule::uniform(1);
+        let mut server = RouteServer::new(
+            BoundedHopCount::new(16),
+            shape,
+            move |s: &Topology<()>| {
+                AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
+            },
+            1,
+            64,
+            &mut NoopSink,
+        )
+        .expect("server");
+        let before = server.digest();
+        server
+            .push_change(ChangeSpec::FailLink { a: 0, b: 1 }, &mut NoopSink)
+            .unwrap();
+        server
+            .push_change(ChangeSpec::SetLink { a: 0, b: 1 }, &mut NoopSink)
+            .unwrap();
+        server.flush(&mut NoopSink).unwrap();
+        let s = server.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_dirty_rows, 0, "an undone change must dirty no rows");
+        assert_eq!(s.naive_dirty_rows, 4);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(server.digest(), before);
+    }
+
+    #[test]
+    fn queries_force_a_flush_and_answer_from_the_converged_table() {
+        let shape = build_shape(&TopologySpec::Line { n: 4 }).unwrap();
+        let rule = WeightRule::uniform(1);
+        let mut server = RouteServer::new(
+            BoundedHopCount::new(16),
+            shape,
+            move |s: &Topology<()>| {
+                AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
+            },
+            1,
+            1024, // the cap alone would never flush this test's two events
+            &mut NoopSink,
+        )
+        .expect("server");
+        let far = server.query(0, 3, &mut NoopSink).unwrap();
+        server
+            .push_change(ChangeSpec::SetLink { a: 0, b: 3 }, &mut NoopSink)
+            .unwrap();
+        let near = server.query(0, 3, &mut NoopSink).unwrap();
+        assert_ne!(far, near, "the new direct link must shorten the route");
+        assert_eq!(server.stats().batches, 1, "the query itself flushed");
+        // Re-querying with no intervening change is stable and free.
+        assert_eq!(server.query(0, 3, &mut NoopSink).unwrap(), near);
+        assert_eq!(server.stats().batches, 1);
+    }
+
+    #[test]
+    fn node_growth_is_supported_mid_stream() {
+        let shape = build_shape(&TopologySpec::Line { n: 3 }).unwrap();
+        let rule = WeightRule::uniform(1);
+        let mut server = RouteServer::new(
+            BoundedHopCount::new(16),
+            shape,
+            move |s: &Topology<()>| {
+                AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
+            },
+            2,
+            8,
+            &mut NoopSink,
+        )
+        .expect("server");
+        server
+            .push_change(ChangeSpec::AddNode, &mut NoopSink)
+            .unwrap();
+        // The joining node is addressable within the same batch.
+        server
+            .push_change(ChangeSpec::SetLink { a: 2, b: 3 }, &mut NoopSink)
+            .unwrap();
+        let answer = server.query(0, 3, &mut NoopSink).unwrap();
+        assert_eq!(server.node_count(), 4);
+        assert!(
+            !answer.contains("Invalid") && !answer.is_empty(),
+            "the joined node must be reachable, got {answer}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_events_are_rejected_not_fatal() {
+        let trace = ChurnTrace {
+            topology: TopologySpec::Ring { n: 5 },
+            algebra: ServeAlgebra::Hopcount { limit: 10 },
+            events: vec![ServeEvent::Change(ChangeSpec::SetLink { a: 0, b: 9 })],
+        };
+        assert!(replay_trace(&trace, 1, 8, &mut NoopSink).is_err());
+        let trace = ChurnTrace {
+            topology: TopologySpec::Ring { n: 5 },
+            algebra: ServeAlgebra::Shortest,
+            events: vec![ServeEvent::Query { from: 0, to: 9 }],
+        };
+        assert!(replay_trace(&trace, 1, 8, &mut NoopSink).is_err());
+    }
+
+    #[test]
+    fn the_shortest_algebra_replays_deterministically_too() {
+        let trace = ChurnTrace {
+            algebra: ServeAlgebra::Shortest,
+            ..small_trace()
+        };
+        let a = replay_trace(&trace, 1, 8, &mut NoopSink).expect("replay");
+        let b = replay_trace(&trace, 4, 8, &mut NoopSink).expect("replay");
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.answers_digest, b.answers_digest);
+    }
+
+    #[test]
+    fn serve_json_separates_deterministic_and_timing_sections() {
+        let trace = small_trace();
+        let report = replay_trace(&trace, 2, 16, &mut NoopSink).expect("replay");
+        let json = serve_json(&report, 2, 16).to_string();
+        assert!(json.contains("\"suite\": \"dbf-serve\""));
+        assert!(json.contains("\"final_digest\""));
+        assert!(json.contains("\"answers_digest\""));
+        assert!(json.contains("\"coalesce_ratio\""));
+        let timing_pos = json.find("\"timing\"").expect("timing section");
+        for key in [
+            "wall_ms",
+            "events_per_sec",
+            "convergence_us",
+            "query_us",
+            "pool",
+        ] {
+            let pos = json.find(&format!("\"{key}\"")).expect(key);
+            assert!(
+                pos > timing_pos,
+                "{key} must live inside the timing section"
+            );
+        }
+    }
+}

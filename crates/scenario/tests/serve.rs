@@ -1,0 +1,230 @@
+//! Integration tests for the route-server daemon: the `gen-trace` /
+//! `serve --replay` CLI loop, the coalescing invariants, and the
+//! determinism contract — everything a serve report contains except the
+//! `timing` block must be **byte-identical** across `--threads 1/2/8`
+//! and across batch sizes (the fixed point of a strictly-increasing
+//! algebra is unique, so how the event stream is partitioned into
+//! reconvergences cannot change where it lands).
+
+use dbf_scenario::prelude::*;
+use dbf_scenario::telemetry::NoopSink;
+use std::process::Command;
+
+fn scenarios_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbf-serve-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn ring_trace(algebra: ServeAlgebra, events: usize) -> ChurnTrace {
+    generate_trace(&TraceSpec {
+        topology: TopologySpec::Ring { n: 16 },
+        algebra,
+        events,
+        seed: 42,
+        query_permille: 150,
+    })
+    .expect("generator accepts the spec")
+}
+
+/// Drop the `timing` block and the `threads` field — the only parts of
+/// `BENCH_serve.json` allowed to differ across thread counts.  This is
+/// the same stripping the CI determinism gate applies.
+fn strip_timing(json: &str) -> String {
+    let mut out = Vec::new();
+    let mut in_timing = false;
+    for l in json.lines() {
+        if l == "  \"timing\": {" {
+            in_timing = true;
+            continue;
+        }
+        if in_timing {
+            if l == "  }" {
+                in_timing = false;
+            }
+            continue;
+        }
+        if l.trim_start().starts_with("\"threads\"") {
+            continue;
+        }
+        out.push(l.trim_end_matches(','));
+    }
+    out.join("\n")
+}
+
+#[test]
+fn serve_cli_replay_is_byte_identical_across_thread_counts() {
+    let dir = temp_dir("threads");
+    let trace_path = dir.join("churn.trace");
+    let gen = scenarios_bin()
+        .args([
+            "gen-trace",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--nodes",
+            "16",
+            "--events",
+            "600",
+            "--seed",
+            "9",
+            "--queries",
+            "100",
+        ])
+        .output()
+        .expect("run gen-trace");
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+
+    let mut stripped = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out_path = dir.join(format!("serve_{threads}.json"));
+        let run = scenarios_bin()
+            .args([
+                "serve",
+                "--replay",
+                trace_path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--batch",
+                "32",
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run serve");
+        assert!(
+            run.status.success(),
+            "threads={threads}: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        let json = std::fs::read_to_string(&out_path).expect("read BENCH_serve.json");
+        assert!(json.contains("\"suite\": \"dbf-serve\""));
+        stripped.push(strip_timing(&json));
+    }
+    assert_eq!(
+        stripped[0], stripped[1],
+        "threads=2 diverged from threads=1"
+    );
+    assert_eq!(
+        stripped[0], stripped[2],
+        "threads=8 diverged from threads=1"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coalescing_lands_on_the_same_fixed_point_for_every_batch_size() {
+    for algebra in [ServeAlgebra::Hopcount { limit: 32 }, ServeAlgebra::Shortest] {
+        let trace = ring_trace(algebra, 400);
+        let one = replay_trace(&trace, 1, 1, &mut NoopSink).expect("replay");
+        for batch in [7, 64, usize::MAX] {
+            let b = replay_trace(&trace, 2, batch, &mut NoopSink).expect("replay");
+            assert_eq!(
+                b.final_digest, one.final_digest,
+                "{algebra:?} batch={batch}: tables diverged"
+            );
+            assert_eq!(
+                b.answers_digest, one.answers_digest,
+                "{algebra:?} batch={batch}: query answers diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_after_convergence_are_stable_until_the_next_change() {
+    let trace = ring_trace(ServeAlgebra::Hopcount { limit: 32 }, 200);
+    let shape = dbf_scenario::run::build_shape(&trace.topology).unwrap();
+    let rule = WeightRule::uniform(1);
+    let mut server = RouteServer::new(
+        dbf_algebra::prelude::BoundedHopCount::new(32),
+        shape,
+        move |s: &dbf_topology::Topology<()>| {
+            dbf_matrix::AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
+        },
+        2,
+        16,
+        &mut NoopSink,
+    )
+    .expect("server");
+    for ev in &trace.events {
+        server.submit(ev, &mut NoopSink).expect("in-bounds event");
+    }
+    server.flush(&mut NoopSink).expect("final flush");
+    // With no further churn, the table and every answer are frozen.
+    let digest = server.digest();
+    let first = server.query(0, 8, &mut NoopSink).expect("query");
+    let batches = server.stats().batches;
+    for _ in 0..5 {
+        assert_eq!(server.query(0, 8, &mut NoopSink).expect("query"), first);
+    }
+    assert_eq!(
+        server.digest(),
+        digest,
+        "queries must not perturb the table"
+    );
+    assert_eq!(
+        server.stats().batches,
+        batches,
+        "queries with nothing pending must not trigger reconvergence"
+    );
+}
+
+#[test]
+fn serve_cli_rejects_missing_and_malformed_traces() {
+    let run = scenarios_bin().args(["serve"]).output().expect("run serve");
+    assert!(!run.status.success());
+    assert!(String::from_utf8_lossy(&run.stderr).contains("--replay"));
+
+    let dir = temp_dir("malformed");
+    let bad = dir.join("bad.trace");
+    std::fs::write(&bad, "not a trace\n").unwrap();
+    let run = scenarios_bin()
+        .args(["serve", "--replay", bad.to_str().unwrap()])
+        .output()
+        .expect("run serve");
+    assert!(!run.status.success());
+    assert!(String::from_utf8_lossy(&run.stderr).contains("not a churn trace"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_trace_round_trips_through_the_text_format() {
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("churn.trace");
+    let gen = scenarios_bin()
+        .args([
+            "gen-trace",
+            "--out",
+            path.to_str().unwrap(),
+            "--nodes",
+            "12",
+            "--events",
+            "100",
+            "--algebra",
+            "shortest",
+            "--topology",
+            "complete",
+        ])
+        .output()
+        .expect("run gen-trace");
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trace = ChurnTrace::parse(&text).expect("generated traces parse");
+    assert_eq!(trace.algebra, ServeAlgebra::Shortest);
+    assert_eq!(trace.topology, TopologySpec::Complete { n: 12 });
+    assert_eq!(trace.events.len(), 100);
+    assert_eq!(trace.to_text(), text, "to_text/parse round trip");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -117,6 +117,28 @@ pub trait TelemetrySink {
 
     /// Message-plane counters for the current phase.
     fn messages(&mut self, _counters: &MessageCounters) {}
+
+    /// A route-server batch reconverged: `events` churn events were
+    /// coalesced into one incremental reconvergence that marked
+    /// `batch_dirty` rows dirty (versus the `naive_dirty` row
+    /// recomputations one-at-a-time processing would have scheduled) and
+    /// settled in `rounds` dirty-σ rounds.
+    fn serve_batch(
+        &mut self,
+        _batch: u64,
+        _events: u64,
+        _naive_dirty: u64,
+        _batch_dirty: u64,
+        _rounds: u64,
+    ) {
+    }
+
+    /// A snapshot of the persistent worker pool's lifetime counters:
+    /// `jobs` band jobs across `epochs` scoped hand-outs on `workers`
+    /// parked threads, with `worker_share` of jobs executed on workers
+    /// (the rest ran inline on the coordinator).  `worker_share` is
+    /// scheduling-dependent and therefore non-deterministic.
+    fn pool_utilization(&mut self, _workers: u64, _epochs: u64, _jobs: u64, _worker_share: f64) {}
 }
 
 /// The disabled sink: `enabled()` is `false` and every event is a no-op.
@@ -175,6 +197,23 @@ impl TelemetrySink for Tee<'_> {
     fn messages(&mut self, counters: &MessageCounters) {
         self.a.messages(counters);
         self.b.messages(counters);
+    }
+    fn serve_batch(
+        &mut self,
+        batch: u64,
+        events: u64,
+        naive_dirty: u64,
+        batch_dirty: u64,
+        rounds: u64,
+    ) {
+        self.a
+            .serve_batch(batch, events, naive_dirty, batch_dirty, rounds);
+        self.b
+            .serve_batch(batch, events, naive_dirty, batch_dirty, rounds);
+    }
+    fn pool_utilization(&mut self, workers: u64, epochs: u64, jobs: u64, worker_share: f64) {
+        self.a.pool_utilization(workers, epochs, jobs, worker_share);
+        self.b.pool_utilization(workers, epochs, jobs, worker_share);
     }
 }
 

@@ -153,6 +153,41 @@ impl<W: Write> TelemetrySink for TraceSink<W> {
             ],
         );
     }
+    fn serve_batch(
+        &mut self,
+        batch: u64,
+        events: u64,
+        naive_dirty: u64,
+        batch_dirty: u64,
+        rounds: u64,
+    ) {
+        self.line(
+            "serve_batch",
+            &[
+                ("batch", Field::U64(batch)),
+                ("events", Field::U64(events)),
+                ("naive_dirty", Field::U64(naive_dirty)),
+                ("batch_dirty", Field::U64(batch_dirty)),
+                ("rounds", Field::U64(rounds)),
+            ],
+        );
+    }
+    fn pool_utilization(&mut self, workers: u64, epochs: u64, jobs: u64, worker_share: f64) {
+        // The share is scheduling-dependent; quantize to per-mille so the
+        // line stays integer-valued like every other trace field.
+        self.line(
+            "pool_utilization",
+            &[
+                ("workers", Field::U64(workers)),
+                ("epochs", Field::U64(epochs)),
+                ("jobs", Field::U64(jobs)),
+                (
+                    "worker_share_permille",
+                    Field::U64((worker_share * 1000.0) as u64),
+                ),
+            ],
+        );
+    }
     fn messages(&mut self, c: &MessageCounters) {
         let bytes = match c.bytes {
             Some(b) => Field::U64(b),
