@@ -96,10 +96,10 @@ where
         let mut rows_changed = 0u64;
         let t0 = on.then(Instant::now);
         if on {
-            tel.round_start(
-                t as u64,
-                (0..n).filter(|&i| schedule.activates(t, i)).count() as u64,
-            );
+            // For δ the activation set *is* the frontier: every activated
+            // node recomputes, so the two round_start arguments coincide.
+            let activations = (0..n).filter(|&i| schedule.activates(t, i)).count() as u64;
+            tel.round_start(t as u64, activations, activations);
         }
 
         // `last_changed` is intentionally empty when telemetry is off, so

@@ -17,14 +17,19 @@
 //! Because clean rows provably satisfy `σ(X)[i] = X[i]`, the produced
 //! sequence of states is *identical* to the full synchronous iteration —
 //! for every algebra, not just the strictly-increasing ones — while the
-//! work per round shrinks to the active frontier.  Starting from a fixed
+//! work per round shrinks to the active frontier.  The dirty set itself is
+//! an epoch-stamped [`Frontier`] work queue, so the per-round bookkeeping
+//! is `O(|frontier|)` too — no `O(n)` mask scan, no per-row allocation
+//! (recomputed rows are staged in a buffer reused across rounds).
+//! Starting from a fixed
 //! point of a previous topology, [`dirty_rows_after_change`] computes the
 //! only rows the edit can perturb, which is what makes reconvergence after
 //! a change `O(perturbed region)` instead of `O(n · |E|)` per round.
 
 use crate::adjacency::AdjacencyMatrix;
-use crate::parallel::{par_recompute_rows, ParallelAlgebra};
-use crate::sigma::sigma_row_into;
+use crate::frontier::Frontier;
+use crate::parallel::{par_recompute_rows_into, ParallelAlgebra};
+use crate::sigma::sigma_row_into_changed;
 use crate::state::RoutingState;
 use crate::sync::emit_settles;
 use dbf_algebra::RoutingAlgebra;
@@ -104,41 +109,50 @@ where
     A: RoutingAlgebra,
     S: TelemetrySink + ?Sized,
 {
-    let mut scratch: Vec<A::Route> = vec![alg.invalid(); adj.node_count()];
+    let n = adj.node_count();
     run_dirty_loop(
         adj,
         x0,
         dirty0,
         max_rounds,
-        |state, worklist| {
-            let mut changed = Vec::new();
-            for &i in worklist {
-                sigma_row_into(alg, adj, state, i, &mut scratch);
-                if scratch[..] != *state.row(i) {
-                    changed.push((i, scratch.clone()));
-                }
+        |state, worklist, staging, changed| {
+            let need = worklist.len() * n;
+            if staging.len() < need {
+                staging.resize(need, alg.invalid());
             }
-            changed
+            changed.clear();
+            changed.resize(worklist.len(), false);
+            for (pos, &i) in worklist.iter().enumerate() {
+                let slot = &mut staging[pos * n..(pos + 1) * n];
+                changed[pos] = sigma_row_into_changed(alg, adj, state, i, slot);
+            }
         },
         tel,
     )
 }
 
 /// The shared dirty-set engine behind the sequential and sharded dirty-row
-/// iterations: the round loop, the dependant bookkeeping and the outcome
+/// iterations: the round loop, the frontier bookkeeping and the outcome
 /// accounting live here *once*, parameterised only by how a round's work
-/// list is recomputed.  `recompute` receives the previous round's state and
-/// the ascending dirty-row work list and must return the rows whose tables
-/// changed (with their new values) in ascending row order — which is
-/// exactly what both the sequential kernel and
-/// [`crate::parallel::par_recompute_rows`] produce, so the trajectory is
-/// identical by construction rather than by keeping two loops in lockstep.
+/// list is recomputed.
+///
+/// Each round drains the epoch-stamped [`Frontier`] into a sorted work
+/// list (`O(|frontier| log |frontier|)`, not an `O(n)` mask scan) and
+/// hands `recompute` the previous round's state plus two buffers that are
+/// reused across rounds: `staging` must end up holding the recomputed row
+/// for work-list position `pos` at `staging[pos·n .. (pos+1)·n]`, and
+/// `changed[pos]` must say whether that row differs from the current one.
+/// Both the sequential kernel and
+/// [`crate::parallel::par_recompute_rows_into`] fill the same
+/// position-major layout, so the trajectory is identical by construction
+/// rather than by keeping two loops in lockstep — and neither allocates
+/// per round once the buffers have grown to the peak frontier size.
 fn run_dirty_loop<A, S>(
     adj: &AdjacencyMatrix<A>,
     x0: &RoutingState<A>,
     dirty0: &[bool],
     max_rounds: usize,
-    mut recompute: impl FnMut(&RoutingState<A>, &[usize]) -> Vec<(usize, Vec<A::Route>)>,
+    mut recompute: impl FnMut(&RoutingState<A>, &[usize], &mut Vec<A::Route>, &mut Vec<bool>),
     tel: &mut S,
 ) -> IncrementalOutcome<A>
 where
@@ -154,22 +168,27 @@ where
     assert_eq!(n, dirty0.len(), "dirty mask length must match");
 
     // dependants[k] = the rows that read row k (the nodes importing from k).
-    let mut dependants: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
-        for (k, _) in adj.row(i) {
-            dependants[*k].push(i);
-        }
-    }
+    let dependants = adj.dependants();
 
     let on = tel.enabled();
     let mut last_changed = vec![0u64; if on { n } else { 0 }];
     let mut state = x0.clone();
-    let mut dirty = dirty0.to_vec();
-    let mut next_dirty = vec![false; n];
+    let mut frontier = Frontier::new(n);
+    let mut next_frontier = Frontier::new(n);
+    for (i, &d) in dirty0.iter().enumerate() {
+        if d {
+            frontier.insert(i);
+        }
+    }
+    // Reused across rounds: one staging row per work-list position plus the
+    // matching change flags — zero per-round allocation once they reach the
+    // peak frontier size.
+    let mut staging: Vec<A::Route> = Vec::new();
+    let mut changed_flags: Vec<bool> = Vec::new();
     let mut rounds = 0usize;
     let mut row_recomputations = 0u64;
 
-    while dirty.iter().any(|&d| d) {
+    while !frontier.is_empty() {
         if rounds == max_rounds {
             if on {
                 emit_settles(tel, &last_changed);
@@ -182,29 +201,36 @@ where
             };
         }
         rounds += 1;
-        let worklist: Vec<usize> = (0..n).filter(|&i| dirty[i]).collect();
-        row_recomputations += worklist.len() as u64;
+        let wl_len = frontier.len() as u64;
+        row_recomputations += wl_len;
         let t0 = on.then(Instant::now);
-        tel.round_start(rounds as u64, worklist.len() as u64);
-        // Changed rows are buffered and applied after the whole work list
-        // is recomputed, so every recomputation reads the *previous*
-        // round's values (Jacobi order) — this is what keeps the
-        // trajectory identical to the full σ iteration.
-        let applied = recompute(&state, &worklist);
-        let changed_rows = applied.len() as u64;
-        for (i, row) in applied {
-            state.row_mut(i).clone_from_slice(&row);
+        tel.round_start(rounds as u64, wl_len, wl_len);
+        let worklist = frontier.sorted();
+        // Changed rows are staged and applied after the whole work list is
+        // recomputed, so every recomputation reads the *previous* round's
+        // values (Jacobi order) — this is what keeps the trajectory
+        // identical to the full σ iteration.
+        recompute(&state, worklist, &mut staging, &mut changed_flags);
+        let mut changed_rows = 0u64;
+        for (pos, &i) in worklist.iter().enumerate() {
+            if !changed_flags[pos] {
+                continue;
+            }
+            changed_rows += 1;
+            state
+                .row_mut(i)
+                .clone_from_slice(&staging[pos * n..(pos + 1) * n]);
             if on {
                 last_changed[i] = rounds as u64;
             }
             for &d in &dependants[i] {
-                next_dirty[d] = true;
+                next_frontier.insert(d);
             }
         }
         let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-        tel.round_end(rounds as u64, worklist.len() as u64, changed_rows, wall_ns);
-        std::mem::swap(&mut dirty, &mut next_dirty);
-        next_dirty.fill(false);
+        tel.round_end(rounds as u64, wl_len, changed_rows, wall_ns);
+        std::mem::swap(&mut frontier, &mut next_frontier);
+        next_frontier.clear();
     }
     if on {
         emit_settles(tel, &last_changed);
@@ -252,7 +278,9 @@ where
         x0,
         dirty0,
         max_rounds,
-        |state, worklist| par_recompute_rows(alg, adj, state, worklist, threads),
+        |state, worklist, staging, changed| {
+            par_recompute_rows_into(alg, adj, state, worklist, threads, staging, changed)
+        },
         &mut NoopSink,
     )
 }
@@ -286,7 +314,9 @@ where
         x0,
         dirty0,
         max_rounds,
-        |state, worklist| par_recompute_rows(alg, adj, state, worklist, threads),
+        |state, worklist, staging, changed| {
+            par_recompute_rows_into(alg, adj, state, worklist, threads, staging, changed)
+        },
         tel,
     )
 }

@@ -21,6 +21,13 @@
 //!   are recomputed, reproducing the full σ trajectory while making
 //!   reconvergence after a topology change proportional to the perturbed
 //!   region rather than to the whole network;
+//! * [`frontier`] — the epoch-stamped work queue behind the dirty-row
+//!   loops: O(1) dedup-insert, O(|frontier|) drain, and clearing by
+//!   generation bump instead of an O(n) scan per round;
+//! * [`permute`] — cache-conscious node relabelings (degree-sorted,
+//!   reverse-Cuthill-McKee): σ is permutation-equivariant, so engines may
+//!   iterate in a bandwidth-friendly row order and un-permute the fixed
+//!   point bit for bit;
 //! * [`parallel`] — the same sweeps sharded across worker threads: the
 //!   Jacobi round is row-parallel by construction, so degree-balanced
 //!   contiguous row bands computed by a scoped worker pool produce results
@@ -67,15 +74,20 @@
 #![warn(missing_docs)]
 
 pub mod adjacency;
+pub mod blocked;
+pub mod frontier;
 pub mod incremental;
 pub mod oracle;
 pub mod parallel;
+pub mod permute;
 pub mod pool;
 pub mod sigma;
 pub mod state;
 pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
+pub use blocked::{blocked_fixed_point, BlockedOutcome};
+pub use frontier::Frontier;
 pub use incremental::{
     dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
     par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
@@ -83,14 +95,17 @@ pub use incremental::{
 pub use parallel::{
     par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
 };
+pub use permute::{NodePermutation, RowOrder};
 pub use pool::{PoolScope, PoolStats, WorkerPool};
-pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into};
+pub use sigma::{sigma, sigma_entry, sigma_into, sigma_row_into, sigma_row_into_changed};
 pub use state::RoutingState;
 pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, iteration_budget, SyncOutcome};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
+    pub use crate::blocked::{blocked_fixed_point, BlockedOutcome};
+    pub use crate::frontier::Frontier;
     pub use crate::incremental::{
         dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
         par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
@@ -99,8 +114,11 @@ pub mod prelude {
     pub use crate::parallel::{
         par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
     };
+    pub use crate::permute::{NodePermutation, RowOrder};
     pub use crate::pool::{PoolScope, PoolStats, WorkerPool};
-    pub use crate::sigma::{sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into};
+    pub use crate::sigma::{
+        sigma, sigma_entry, sigma_into, sigma_k, sigma_row_into, sigma_row_into_changed,
+    };
     pub use crate::state::RoutingState;
     pub use crate::sync::{
         is_stable, iterate_to_fixed_point, iterate_traced, iteration_budget, SyncOutcome,

@@ -28,9 +28,11 @@
 
 use crate::adjacency::AdjacencyMatrix;
 use crate::pool::WorkerPool;
-use crate::sigma::{sigma_into, sigma_row_into};
+use crate::sigma::{sigma_into, sigma_row_into_changed};
 use crate::state::RoutingState;
-use crate::sync::{emit_settles, iterate_to_fixed_point, iterate_traced, SyncOutcome};
+use crate::sync::{
+    emit_settles, iterate_to_fixed_point, iterate_traced, update_needs, SyncOutcome,
+};
 use dbf_algebra::RoutingAlgebra;
 use dbf_telemetry::TelemetrySink;
 use std::ops::Range;
@@ -92,53 +94,92 @@ pub(crate) fn balanced_chunks(
     bounds.windows(2).map(|w| w[0]..w[1]).collect()
 }
 
+/// Band weight of row `i` under row-skip: a computed row costs
+/// `O(deg(i) · n)`, a freshly-settled row (changed last round but outside
+/// the frontier now) is a single memcpy weighted as a light constant, and
+/// a row quiet for two rounds costs nothing at all — a band whose rows are
+/// all quiet therefore has weight 0 and is short-circuited without even
+/// dispatching to a worker.
+fn band_weight<A: RoutingAlgebra>(
+    adj: &AdjacencyMatrix<A>,
+    needs: &[bool],
+    prev: &[bool],
+    i: usize,
+) -> u64 {
+    if needs[i] {
+        adj.row(i).len() as u64 + 1
+    } else if prev[i] {
+        1
+    } else {
+        0
+    }
+}
+
 /// One parallel round: compute `σ(cur)` into `next` across `threads`
-/// workers and report whether any row changed (`next != cur`).  The change
-/// test rides along with the sweep so the fixed-point loop needs no second
-/// full-matrix comparison pass.
+/// workers, filling `flags[i]` with whether row `i` changed.  Rows outside
+/// the active frontier (`needs[i] == false`) provably satisfy
+/// `σ(cur)[i] = cur[i]` and are copied (if freshly settled) or skipped
+/// outright (if quiet for two rounds, the idle buffer already holds the
+/// current value) — the same row-skip as the sequential sweep, so the
+/// trajectory stays bit-identical; a band whose rows are all quiet is not
+/// dispatched at all.  The change test rides the streaming write so the
+/// fixed-point loop needs no second full-matrix comparison pass.
+#[allow(clippy::too_many_arguments)]
 fn par_step<A>(
     alg: &A,
     adj: &AdjacencyMatrix<A>,
     cur: &RoutingState<A>,
     next: &mut RoutingState<A>,
     threads: usize,
-) -> bool
-where
+    needs: &[bool],
+    prev: &[bool],
+    flags: &mut [bool],
+) where
     A: ParallelAlgebra,
     A::Route: Send + Sync,
     A::Edge: Sync,
 {
     let n = adj.node_count();
-    let chunks = balanced_chunks(n, threads, |i| adj.row(i).len() as u64 + 1);
-    let sweep_band = |band: &mut [A::Route], rows: Range<usize>| -> bool {
-        let mut changed = false;
-        for (slot, i) in band.chunks_mut(n).zip(rows) {
-            sigma_row_into(alg, adj, cur, i, slot);
-            changed |= slot != cur.row(i);
+    let chunks = balanced_chunks(n, threads, |i| band_weight(adj, needs, prev, i));
+    let sweep_band = |band: &mut [A::Route], rows: Range<usize>, flags: &mut [bool]| {
+        for ((slot, i), flag) in band.chunks_mut(n).zip(rows).zip(flags.iter_mut()) {
+            *flag = if needs[i] {
+                sigma_row_into_changed(alg, adj, cur, i, slot)
+            } else {
+                if prev[i] {
+                    slot.clone_from_slice(cur.row(i));
+                }
+                false
+            };
         }
-        changed
     };
-    let mut band_changed = vec![false; chunks.len()];
     let mut rest = next.entries_mut();
-    let mut changed_rest = band_changed.as_mut_slice();
+    let mut flags_rest = flags;
     #[allow(clippy::type_complexity)]
     let mut first: Option<(&mut [A::Route], Range<usize>, &mut [bool])> = None;
     let outcome = WorkerPool::shared().scoped(|scope| {
         for rows in chunks {
             let (band, tail) = std::mem::take(&mut rest).split_at_mut((rows.end - rows.start) * n);
             rest = tail;
-            let (slot, stail) = std::mem::take(&mut changed_rest).split_at_mut(1);
-            changed_rest = stail;
+            let (frow, ftail) = std::mem::take(&mut flags_rest).split_at_mut(rows.end - rows.start);
+            flags_rest = ftail;
+            if rows.clone().all(|i| band_weight(adj, needs, prev, i) == 0) {
+                // Per-band short-circuit: every row is quiet, the buffer
+                // band is already current — clear the flags and move on
+                // without waking a worker.
+                frow.fill(false);
+                continue;
+            }
             if first.is_none() {
                 // The calling thread works too instead of idling at the
                 // join, so `threads` means `threads`, not `threads + 1`.
-                first = Some((band, rows, slot));
+                first = Some((band, rows, frow));
             } else {
-                scope.execute(move || slot[0] = sweep_band(band, rows));
+                scope.execute(move || sweep_band(band, rows, frow));
             }
         }
-        if let Some((band, rows, slot)) = first.take() {
-            slot[0] = sweep_band(band, rows);
+        if let Some((band, rows, frow)) = first.take() {
+            sweep_band(band, rows, frow);
         }
     });
     if let Err(payload) = outcome {
@@ -148,7 +189,6 @@ where
         // reproduction command.
         std::panic::resume_unwind(payload);
     }
-    band_changed.iter().any(|&c| c)
 }
 
 /// One synchronous round `σ(X)` written into an existing buffer, with the
@@ -183,7 +223,12 @@ pub fn par_sigma_into<A>(
     if threads <= 1 || n < 2 {
         sigma_into(alg, adj, x, out);
     } else {
-        par_step(alg, adj, x, out, threads);
+        // A one-shot σ has no previous round to justify skipping anything:
+        // every row is in the frontier.
+        let needs = vec![true; n];
+        let prev = vec![true; n];
+        let mut flags = vec![false; n];
+        par_step(alg, adj, x, out, threads, &needs, &prev, &mut flags);
     }
 }
 
@@ -208,28 +253,44 @@ where
     A::Route: Send + Sync,
     A::Edge: Sync,
 {
-    if threads <= 1 || adj.node_count() < 2 {
+    let n = adj.node_count();
+    if threads <= 1 || n < 2 {
         return iterate_to_fixed_point(alg, adj, x0, max_iterations);
     }
+    // The same row-skip bookkeeping as the sequential loop: round 1 sweeps
+    // everything, later rounds recompute only the dependants of the rows
+    // that changed — so the parallel and sequential schedules (and hence
+    // the trajectories) stay identical for every thread count.
+    let dependants = adj.dependants();
+    let mut needs = vec![true; n];
+    let mut prev = vec![true; n];
+    let mut flags = vec![false; n];
     let mut cur = x0.clone();
     let mut next = cur.clone();
     for k in 0..max_iterations {
-        if !par_step(alg, adj, &cur, &mut next, threads) {
+        par_step(
+            alg, adj, &cur, &mut next, threads, &needs, &prev, &mut flags,
+        );
+        if !flags.iter().any(|&f| f) {
             return SyncOutcome {
                 state: cur,
                 iterations: k,
                 converged: true,
             };
         }
+        update_needs(&dependants, &flags, &mut needs);
+        std::mem::swap(&mut prev, &mut flags);
         std::mem::swap(&mut cur, &mut next);
     }
     // Mirror the sequential budget-boundary check: one last round into the
     // idle buffer decides convergence without moving the reported state.
-    let changed = par_step(alg, adj, &cur, &mut next, threads);
+    par_step(
+        alg, adj, &cur, &mut next, threads, &needs, &prev, &mut flags,
+    );
     SyncOutcome {
         state: cur,
         iterations: max_iterations,
-        converged: !changed,
+        converged: !flags.iter().any(|&f| f),
     }
 }
 
@@ -240,32 +301,40 @@ where
 /// band-index order — workers never touch the sink, so trace ordering is
 /// deterministic — and returns the flags for the caller to fold.
 ///
-/// Only called on the enabled-telemetry path, so the per-round flag/wall
+/// Only called on the enabled-telemetry path, so the per-round wall
 /// allocations and `Instant` reads are never paid by untraced runs.
+#[allow(clippy::too_many_arguments)]
 fn par_step_traced<A, S>(
     alg: &A,
     adj: &AdjacencyMatrix<A>,
     cur: &RoutingState<A>,
     next: &mut RoutingState<A>,
     threads: usize,
+    needs: &[bool],
+    prev: &[bool],
+    flags: &mut [bool],
     round: u64,
     tel: &mut S,
-) -> Vec<bool>
-where
+) where
     A: ParallelAlgebra,
     A::Route: Send + Sync,
     A::Edge: Sync,
     S: TelemetrySink + ?Sized,
 {
     let n = adj.node_count();
-    let chunks = balanced_chunks(n, threads, |i| adj.row(i).len() as u64 + 1);
-    let mut flags = vec![false; n];
+    let chunks = balanced_chunks(n, threads, |i| band_weight(adj, needs, prev, i));
     let mut walls = vec![0u64; chunks.len()];
     let sweep_band = |band: &mut [A::Route], rows: Range<usize>, flags: &mut [bool]| -> u64 {
         let t0 = Instant::now();
         for ((slot, i), flag) in band.chunks_mut(n).zip(rows).zip(flags.iter_mut()) {
-            sigma_row_into(alg, adj, cur, i, slot);
-            *flag = slot != cur.row(i);
+            *flag = if needs[i] {
+                sigma_row_into_changed(alg, adj, cur, i, slot)
+            } else {
+                if prev[i] {
+                    slot.clone_from_slice(cur.row(i));
+                }
+                false
+            };
         }
         t0.elapsed().as_nanos() as u64
     };
@@ -273,7 +342,7 @@ where
     // buffer, the row range it covers, its change flags and its wall slot.
     type BandWork<'a, R> = (&'a mut [R], Range<usize>, &'a mut [bool], &'a mut [u64]);
     let mut rest = next.entries_mut();
-    let mut flags_rest = flags.as_mut_slice();
+    let mut flags_rest = flags;
     let mut walls_rest = walls.as_mut_slice();
     let outcome = WorkerPool::shared().scoped(|scope| {
         let mut first: Option<BandWork<'_, A::Route>> = None;
@@ -284,6 +353,12 @@ where
             flags_rest = ftail;
             let (wslot, wtail) = std::mem::take(&mut walls_rest).split_at_mut(1);
             walls_rest = wtail;
+            if rows.clone().all(|i| band_weight(adj, needs, prev, i) == 0) {
+                // Per-band short-circuit: all rows quiet, the buffer band
+                // is already current — no dispatch, zero wall time.
+                frow.fill(false);
+                continue;
+            }
             if first.is_none() {
                 first = Some((band, rows, frow, wslot));
             } else {
@@ -300,7 +375,7 @@ where
         std::panic::resume_unwind(payload);
     }
     for (b, rows) in chunks.iter().enumerate() {
-        let weight: u64 = rows.clone().map(|i| adj.row(i).len() as u64 + 1).sum();
+        let weight: u64 = rows.clone().map(|i| band_weight(adj, needs, prev, i)).sum();
         tel.band_sweep(
             round,
             b as u64,
@@ -309,7 +384,6 @@ where
             walls[b],
         );
     }
-    flags
 }
 
 /// [`par_iterate_to_fixed_point`] with a telemetry sink: per-round
@@ -347,12 +421,16 @@ where
     let round_traced = |cur: &RoutingState<A>,
                         next: &mut RoutingState<A>,
                         round: u64,
+                        needs: &[bool],
+                        prev: &[bool],
+                        flags: &mut [bool],
                         last_changed: &mut [u64],
                         tel: &mut S|
      -> u64 {
         let t0 = Instant::now();
-        tel.round_start(round, n as u64);
-        let flags = par_step_traced(alg, adj, cur, next, threads, round, tel);
+        let frontier = needs.iter().filter(|&&d| d).count() as u64;
+        tel.round_start(round, n as u64, frontier);
+        par_step_traced(alg, adj, cur, next, threads, needs, prev, flags, round, tel);
         let mut changed = 0u64;
         for (i, &flag) in flags.iter().enumerate() {
             if flag {
@@ -360,15 +438,31 @@ where
                 last_changed[i] = round;
             }
         }
-        tel.round_end(round, n as u64, changed, t0.elapsed().as_nanos() as u64);
+        tel.round_end(round, frontier, changed, t0.elapsed().as_nanos() as u64);
         changed
     };
+    // Row-skip bookkeeping, identical to the sequential loop so every
+    // deterministic event argument stays thread-invariant.
+    let dependants = adj.dependants();
+    let mut needs = vec![true; n];
+    let mut prev = vec![true; n];
+    let mut flags = vec![false; n];
     let mut cur = x0.clone();
     let mut next = cur.clone();
     let mut round = 0u64;
     for k in 0..max_iterations {
         round = k as u64 + 1;
-        if round_traced(&cur, &mut next, round, &mut last_changed, tel) == 0 {
+        if round_traced(
+            &cur,
+            &mut next,
+            round,
+            &needs,
+            &prev,
+            &mut flags,
+            &mut last_changed,
+            tel,
+        ) == 0
+        {
             emit_settles(tel, &last_changed);
             return SyncOutcome {
                 state: cur,
@@ -376,11 +470,22 @@ where
                 converged: true,
             };
         }
+        update_needs(&dependants, &flags, &mut needs);
+        std::mem::swap(&mut prev, &mut flags);
         std::mem::swap(&mut cur, &mut next);
     }
     // Mirror the sequential budget-boundary check: one last round into the
     // idle buffer decides convergence without moving the reported state.
-    let changed = round_traced(&cur, &mut next, round + 1, &mut last_changed, tel);
+    let changed = round_traced(
+        &cur,
+        &mut next,
+        round + 1,
+        &needs,
+        &prev,
+        &mut flags,
+        &mut last_changed,
+        tel,
+    );
     emit_settles(tel, &last_changed);
     SyncOutcome {
         state: cur,
@@ -390,72 +495,76 @@ where
 }
 
 /// Recompute the rows of `worklist` (ascending, deduplicated) from `state`
-/// across up to `threads` workers, returning the rows that actually changed
-/// with their new values, in ascending row order.
+/// across up to `threads` workers, into the caller's reusable buffers:
+/// `staging[pos·n .. (pos+1)·n]` receives the new table of row
+/// `worklist[pos]` and `changed[pos]` whether it differs from the current
+/// one.  `staging` grows on demand but is never shrunk, so a fixed-point
+/// loop that calls this every round allocates only while the frontier is
+/// still widening.
 ///
 /// This is the per-round kernel of the sharded incremental engine
 /// ([`crate::incremental::par_iterate_dirty_to_fixed_point`]): each worker
 /// owns one contiguous segment of the work list (degree-weighted, like the
-/// full sweep), computes into its own scratch row, and keeps only the
-/// changed rows; concatenating the segments in order makes the result — and
-/// therefore the whole trajectory — independent of the thread count.
-pub(crate) fn par_recompute_rows<A>(
+/// full sweep) and writes its disjoint slice of `staging`/`changed`, so
+/// the result — and therefore the whole trajectory — is independent of the
+/// thread count by construction.
+pub(crate) fn par_recompute_rows_into<A>(
     alg: &A,
     adj: &AdjacencyMatrix<A>,
     state: &RoutingState<A>,
     worklist: &[usize],
     threads: usize,
-) -> Vec<(usize, Vec<A::Route>)>
-where
+    staging: &mut Vec<A::Route>,
+    changed: &mut Vec<bool>,
+) where
     A: ParallelAlgebra,
     A::Route: Send + Sync,
     A::Edge: Sync,
 {
     let n = adj.node_count();
-    let recompute_segment = |rows: &[usize]| -> Vec<(usize, Vec<A::Route>)> {
-        let mut scratch: Vec<A::Route> = vec![alg.invalid(); n];
-        let mut changed = Vec::new();
-        for &i in rows {
-            sigma_row_into(alg, adj, state, i, &mut scratch);
-            if scratch[..] != *state.row(i) {
-                changed.push((i, scratch.clone()));
-            }
+    let need = worklist.len() * n;
+    if staging.len() < need {
+        staging.resize(need, alg.invalid());
+    }
+    changed.clear();
+    changed.resize(worklist.len(), false);
+    let recompute_segment = |rows: &[usize], stage: &mut [A::Route], flags: &mut [bool]| {
+        for ((&i, slot), flag) in rows.iter().zip(stage.chunks_mut(n)).zip(flags.iter_mut()) {
+            *flag = sigma_row_into_changed(alg, adj, state, i, slot);
         }
-        changed
     };
     if threads <= 1 || worklist.len() < 2 {
-        return recompute_segment(worklist);
+        recompute_segment(worklist, &mut staging[..need], changed);
+        return;
     }
     let chunks = balanced_chunks(worklist.len(), threads, |pos| {
         adj.row(worklist[pos]).len() as u64 + 1
     });
-    let mut segments: Vec<Vec<(usize, Vec<A::Route>)>> = Vec::new();
-    segments.resize_with(chunks.len(), Vec::new);
-    let mut seg_rest = segments.as_mut_slice();
+    let mut stage_rest = &mut staging[..need];
+    let mut flag_rest = changed.as_mut_slice();
     #[allow(clippy::type_complexity)]
-    let mut first: Option<(&[usize], &mut Vec<(usize, Vec<A::Route>)>)> = None;
+    let mut first: Option<(&[usize], &mut [A::Route], &mut [bool])> = None;
     let outcome = WorkerPool::shared().scoped(|scope| {
         for range in chunks {
-            let rows = &worklist[range];
-            let (slot, tail) = std::mem::take(&mut seg_rest).split_at_mut(1);
-            seg_rest = tail;
-            let slot = &mut slot[0];
+            let rows = &worklist[range.clone()];
+            let (stage, stail) =
+                std::mem::take(&mut stage_rest).split_at_mut((range.end - range.start) * n);
+            stage_rest = stail;
+            let (fl, ftail) = std::mem::take(&mut flag_rest).split_at_mut(range.end - range.start);
+            flag_rest = ftail;
             if first.is_none() {
-                first = Some((rows, slot));
+                first = Some((rows, stage, fl));
             } else {
-                scope.execute(move || *slot = recompute_segment(rows));
+                scope.execute(move || recompute_segment(rows, stage, fl));
             }
         }
-        if let Some((rows, slot)) = first.take() {
-            *slot = recompute_segment(rows);
+        if let Some((rows, stage, fl)) = first.take() {
+            recompute_segment(rows, stage, fl);
         }
     });
     if let Err(payload) = outcome {
         std::panic::resume_unwind(payload);
     }
-    // Concatenating the per-chunk segments in chunk order keeps the
-    // changed-row list ascending and thread-count independent.
-    segments.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -579,27 +688,63 @@ mod tests {
         let phase = &deterministic_sides[0][0];
         // Rounds include the sweep that detects the fixed point.
         assert_eq!(phase.rounds, untraced.iterations as u64 + 1);
-        assert_eq!(phase.rows_recomputed, phase.rounds * n as u64);
+        // Row-skip: round 1 sweeps all n rows, later rounds only the
+        // dependants of last round's changed rows — so the recomputation
+        // total sits strictly between one full sweep and rounds·n.
+        assert!(phase.rows_recomputed >= n as u64);
+        assert!(phase.rows_recomputed <= phase.rounds * n as u64);
+        assert_eq!(phase.peak_frontier, n as u64, "round 1 sweeps every row");
         let settle = phase.settle.expect("σ engines emit settle events");
         assert_eq!(settle.count, n as u64);
         assert!(settle.max <= untraced.iterations as u64);
     }
 
     #[test]
-    fn par_recompute_rows_returns_changed_rows_in_ascending_order() {
+    fn par_recompute_rows_into_is_thread_invariant_and_flags_changes() {
         let alg = BoundedHopCount::new(12);
-        let topo = generators::line(24).with_weights(|_, _| 1u64);
+        let n = 24;
+        let topo = generators::line(n).with_weights(|_, _| 1u64);
         let adj = AdjacencyMatrix::<BoundedHopCount>::from_topology(&topo);
-        let x0 = RoutingState::identity(&alg, 24);
-        let worklist: Vec<usize> = (0..24).collect();
-        let seq = par_recompute_rows(&alg, &adj, &x0, &worklist, 1);
+        let x0 = RoutingState::identity(&alg, n);
+        let worklist: Vec<usize> = (0..n).collect();
+        let mut seq_stage = Vec::new();
+        let mut seq_flags = Vec::new();
+        par_recompute_rows_into(
+            &alg,
+            &adj,
+            &x0,
+            &worklist,
+            1,
+            &mut seq_stage,
+            &mut seq_flags,
+        );
         for threads in [2, 3, 8] {
-            let par = par_recompute_rows(&alg, &adj, &x0, &worklist, threads);
-            assert_eq!(par, seq, "threads={threads}");
+            let mut stage = Vec::new();
+            let mut flags = Vec::new();
+            par_recompute_rows_into(&alg, &adj, &x0, &worklist, threads, &mut stage, &mut flags);
+            assert_eq!(flags, seq_flags, "threads={threads}");
+            assert_eq!(stage, seq_stage, "threads={threads}");
         }
-        let rows: Vec<usize> = seq.iter().map(|(i, _)| *i).collect();
-        let mut sorted = rows.clone();
-        sorted.sort_unstable();
-        assert_eq!(rows, sorted, "ascending row order is part of the contract");
+        // The flags are exactly "the staged table differs from the current
+        // one", and from the identity every line node learns a new route.
+        for (pos, &i) in worklist.iter().enumerate() {
+            let slot = &seq_stage[pos * n..(pos + 1) * n];
+            assert_eq!(seq_flags[pos], slot != x0.row(i), "row {i}");
+            assert!(seq_flags[pos], "row {i} learns one-hop routes");
+        }
+        // The staging buffer is reused, not reallocated: a narrower
+        // worklist keeps the old capacity and only the flag vector shrinks.
+        let cap = seq_stage.len();
+        par_recompute_rows_into(
+            &alg,
+            &adj,
+            &x0,
+            &worklist[..3],
+            2,
+            &mut seq_stage,
+            &mut seq_flags,
+        );
+        assert_eq!(seq_stage.len(), cap);
+        assert_eq!(seq_flags.len(), 3);
     }
 }

@@ -1,0 +1,345 @@
+//! Cache-conscious row orderings: relabel nodes so that rows that feed
+//! each other land adjacent in the row-major state buffer.
+//!
+//! σ is *equivariant* under node relabeling: for any permutation `P`,
+//! `σ_{PAP⁻¹}(PXP⁻¹) = P σ_A(X) P⁻¹` — relabeling the adjacency and the
+//! state, iterating, and relabeling back yields exactly the state the
+//! un-relabeled iteration produces, entry for entry.  (The ⊕-fold over a
+//! row's import neighbours is order-independent because ⊕ is associative,
+//! commutative and selective — Definition 1 of the paper — and route
+//! *values* are untouched: a path-vector route's node annotations still
+//! name the original ids.)  The engines therefore apply a permutation at
+//! setup, iterate in the permuted space, and invert it before digesting,
+//! and the digests are bit-identical with the permutation on or off.
+//!
+//! Why bother: the band planner hands each worker a *contiguous* row
+//! range, and a σ round streams each row's import neighbours' tables.  In
+//! generator order, a leaf-spine or power-law fabric scatters the hub rows
+//! across the buffer, so every band's working set includes the hubs plus
+//! its own span.  [`NodePermutation::degree_sorted`] packs the hubs
+//! together; [`NodePermutation::reverse_cuthill_mckee`] additionally packs
+//! each row near its neighbours (the classic bandwidth-reduction
+//! ordering), so a band's reads mostly fall inside (or near) the slice it
+//! already owns.
+
+use crate::adjacency::AdjacencyMatrix;
+use dbf_algebra::RoutingAlgebra;
+
+/// The row-ordering strategies the engines accept (`--row-order` on the
+/// CLI).  [`RowOrder::None`] is the identity (generator order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowOrder {
+    /// Keep the generator's node order (no permutation work at all).
+    #[default]
+    None,
+    /// Descending import-degree order: hub rows first, packed together.
+    Degree,
+    /// Reverse Cuthill–McKee over the undirected link structure: neighbours
+    /// land near each other (bandwidth reduction).
+    Rcm,
+}
+
+impl RowOrder {
+    /// All orderings, in CLI listing order.
+    pub fn all() -> [RowOrder; 3] {
+        [RowOrder::None, RowOrder::Degree, RowOrder::Rcm]
+    }
+
+    /// The CLI name (`none` / `degree` / `rcm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowOrder::None => "none",
+            RowOrder::Degree => "degree",
+            RowOrder::Rcm => "rcm",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<RowOrder> {
+        match s {
+            "none" => Some(RowOrder::None),
+            "degree" => Some(RowOrder::Degree),
+            "rcm" => Some(RowOrder::Rcm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RowOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A node relabeling together with its inverse: `forward[old] = new`,
+/// `inverse[new] = old`, `inverse ∘ forward = id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePermutation {
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl NodePermutation {
+    /// The identity permutation on `n` nodes.
+    pub fn identity(n: usize) -> NodePermutation {
+        let forward: Vec<usize> = (0..n).collect();
+        NodePermutation {
+            inverse: forward.clone(),
+            forward,
+        }
+    }
+
+    /// Build from an explicit forward map (`forward[old] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` is not a permutation of `0..forward.len()`.
+    pub fn from_forward(forward: Vec<usize>) -> NodePermutation {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (old, &new) in forward.iter().enumerate() {
+            assert!(new < n, "forward map value {new} out of range 0..{n}");
+            assert_eq!(
+                inverse[new],
+                usize::MAX,
+                "forward map is not injective at {new}"
+            );
+            inverse[new] = old;
+        }
+        NodePermutation { forward, inverse }
+    }
+
+    /// The permutation selected by `order` for this adjacency.
+    pub fn for_order<A: RoutingAlgebra>(
+        order: RowOrder,
+        adj: &AdjacencyMatrix<A>,
+    ) -> NodePermutation {
+        match order {
+            RowOrder::None => NodePermutation::identity(adj.node_count()),
+            RowOrder::Degree => NodePermutation::degree_sorted(adj),
+            RowOrder::Rcm => NodePermutation::reverse_cuthill_mckee(adj),
+        }
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Is this a permutation of the empty node set?
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The new label of old node `i`.
+    pub fn forward(&self, i: usize) -> usize {
+        self.forward[i]
+    }
+
+    /// The old label of new node `i`.
+    pub fn inverse(&self, i: usize) -> usize {
+        self.inverse[i]
+    }
+
+    /// Is this the identity relabeling?  Engines skip the state copies
+    /// entirely when it is.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// Relabel a per-node mask (e.g. a dirty mask computed in the original
+    /// space): `out[forward[i]] = mask[i]`.
+    pub fn permute_mask(&self, mask: &[bool]) -> Vec<bool> {
+        assert_eq!(mask.len(), self.len(), "mask length must match");
+        let mut out = vec![false; mask.len()];
+        for (i, &m) in mask.iter().enumerate() {
+            out[self.forward[i]] = m;
+        }
+        out
+    }
+
+    /// Descending import-degree order, ties broken by original id — hub
+    /// rows (spines, transit ASes) land first and adjacent.
+    pub fn degree_sorted<A: RoutingAlgebra>(adj: &AdjacencyMatrix<A>) -> NodePermutation {
+        let n = adj.node_count();
+        let mut by_degree: Vec<usize> = (0..n).collect();
+        by_degree.sort_by_key(|&i| (std::cmp::Reverse(adj.row(i).len()), i));
+        let mut forward = vec![0usize; n];
+        for (new, &old) in by_degree.iter().enumerate() {
+            forward[old] = new;
+        }
+        NodePermutation::from_forward(forward)
+    }
+
+    /// Reverse Cuthill–McKee over the undirected link structure (an edge in
+    /// either direction connects two nodes).  Components are seeded at
+    /// their minimum-degree node (ties by id), BFS visits neighbours in
+    /// increasing-degree order, and the final order is reversed — all
+    /// deterministic, so the permutation is a pure function of the
+    /// adjacency.
+    pub fn reverse_cuthill_mckee<A: RoutingAlgebra>(adj: &AdjacencyMatrix<A>) -> NodePermutation {
+        let n = adj.node_count();
+        // Undirected neighbour lists (deduplicated, sorted by id).
+        let mut und: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for (j, _) in adj.row(i) {
+                und[i].push(*j);
+                und[*j].push(i);
+            }
+        }
+        for nbrs in &mut und {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+        }
+        let degree: Vec<usize> = und.iter().map(Vec::len).collect();
+        // Neighbour visit order: increasing degree, ties by id.
+        for nbrs in &mut und {
+            nbrs.sort_by_key(|&j| (degree[j], j));
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut seeds: Vec<usize> = (0..n).collect();
+        seeds.sort_by_key(|&i| (degree[i], i));
+        for &seed in &seeds {
+            if visited[seed] {
+                continue;
+            }
+            visited[seed] = true;
+            let mut head = order.len();
+            order.push(seed);
+            while head < order.len() {
+                let v = order[head];
+                head += 1;
+                for &w in &und[v] {
+                    if !visited[w] {
+                        visited[w] = true;
+                        order.push(w);
+                    }
+                }
+            }
+        }
+        order.reverse();
+        let mut forward = vec![0usize; n];
+        for (new, &old) in order.iter().enumerate() {
+            forward[old] = new;
+        }
+        NodePermutation::from_forward(forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::RoutingState;
+    use dbf_algebra::prelude::*;
+    use dbf_topology::generators;
+
+    fn fabric(spines: usize, leaves: usize) -> AdjacencyMatrix<WidestPaths> {
+        let topo = generators::leaf_spine(spines, leaves)
+            .with_weights(|i, j| NatInf::fin(((i * 11 + j * 5) % 90 + 10) as u64));
+        AdjacencyMatrix::from_topology(&topo)
+    }
+
+    #[test]
+    fn forward_then_inverse_is_the_identity() {
+        let adj = fabric(4, 20);
+        for order in RowOrder::all() {
+            let perm = NodePermutation::for_order(order, &adj);
+            assert_eq!(perm.len(), adj.node_count());
+            for i in 0..perm.len() {
+                assert_eq!(perm.inverse(perm.forward(i)), i, "{order}: inv∘fwd at {i}");
+                assert_eq!(perm.forward(perm.inverse(i)), i, "{order}: fwd∘inv at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sort_packs_the_hubs_first() {
+        let adj = fabric(4, 20);
+        let perm = NodePermutation::degree_sorted(&adj);
+        // The 4 spines import from every leaf; they must map to rows 0..4.
+        let hub_positions: Vec<usize> = (0..4).map(|s| perm.forward(s)).collect();
+        let mut sorted = hub_positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2, 3],
+            "spines at the front: {hub_positions:?}"
+        );
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_on_disconnected_graphs_too() {
+        // Two disjoint rings: every node must appear exactly once.
+        let mut topo = dbf_topology::Topology::<NatInf>::new(8);
+        for k in 0..4usize {
+            topo.set_edge(k, (k + 1) % 4, NatInf::fin(1));
+            topo.set_edge((k + 1) % 4, k, NatInf::fin(1));
+            topo.set_edge(4 + k, 4 + (k + 1) % 4, NatInf::fin(1));
+            topo.set_edge(4 + (k + 1) % 4, 4 + k, NatInf::fin(1));
+        }
+        let adj: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::from_topology(&topo);
+        let perm = NodePermutation::reverse_cuthill_mckee(&adj);
+        let mut seen: Vec<usize> = (0..8).map(|i| perm.forward(i)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permuted_state_round_trips_exactly() {
+        let alg = WidestPaths::new();
+        let adj = fabric(3, 9);
+        let n = adj.node_count();
+        let x = RoutingState::<WidestPaths>::from_fn(n, |i, j| NatInf::fin((i * 31 + j) as u64));
+        for order in [RowOrder::Degree, RowOrder::Rcm] {
+            let perm = NodePermutation::for_order(order, &adj);
+            let permuted = x.permuted(&perm);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(permuted.get(perm.forward(i), perm.forward(j)), x.get(i, j));
+                }
+            }
+            assert_eq!(permuted.unpermuted(&perm), x, "{order}: round trip");
+        }
+        let _ = alg;
+    }
+
+    #[test]
+    fn sigma_is_equivariant_under_relabeling() {
+        use crate::sigma::sigma;
+        use crate::sync::iterate_to_fixed_point;
+        let alg = WidestPaths::new();
+        let adj = fabric(4, 17);
+        let n = adj.node_count();
+        let x = RoutingState::identity(&alg, n);
+        for order in [RowOrder::Degree, RowOrder::Rcm] {
+            let perm = NodePermutation::for_order(order, &adj);
+            let padj = adj.permuted(&perm);
+            assert_eq!(padj.node_count(), n);
+            assert_eq!(padj.link_count(), adj.link_count());
+            // One round commutes ...
+            let one = sigma(&alg, &adj, &x);
+            let pone = sigma(&alg, &padj, &x.permuted(&perm));
+            assert_eq!(pone.unpermuted(&perm), one, "{order}: one σ round");
+            // ... and so does the whole fixed-point iteration.
+            let full = iterate_to_fixed_point(&alg, &adj, &x, 200);
+            let pfull = iterate_to_fixed_point(&alg, &padj, &x.permuted(&perm), 200);
+            assert!(full.converged && pfull.converged);
+            assert_eq!(pfull.iterations, full.iterations, "{order}: same rounds");
+            assert_eq!(pfull.state.unpermuted(&perm), full.state, "{order}");
+        }
+    }
+
+    #[test]
+    fn mask_permutation_relabels_positions() {
+        let perm = NodePermutation::from_forward(vec![2, 0, 1]);
+        let mask = perm.permute_mask(&[true, false, true]);
+        assert_eq!(mask, vec![false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn non_permutations_are_rejected() {
+        let _ = NodePermutation::from_forward(vec![0, 0, 1]);
+    }
+}

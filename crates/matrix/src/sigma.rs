@@ -105,6 +105,70 @@ pub fn sigma_row_into<A: RoutingAlgebra>(
     out[i] = alg.trivial();
 }
 
+/// [`sigma_row_into`] fused with the change test: recompute node `i`'s
+/// next table into `out` and report whether it differs from the current
+/// row `X[i][·]` — the comparison happens *during* the final streaming
+/// write, so the fixed-point loops need no second full-row `Eq` pass over
+/// a row that was just computed.
+///
+/// # Panics
+///
+/// Panics if `adj` and `x` disagree on the node count or if `out` is not
+/// exactly `n` entries long.
+pub fn sigma_row_into_changed<A: RoutingAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x: &RoutingState<A>,
+    i: NodeId,
+    out: &mut [A::Route],
+) -> bool {
+    let n = adj.node_count();
+    assert_eq!(
+        n,
+        x.node_count(),
+        "adjacency and state dimensions must match"
+    );
+    assert_eq!(n, out.len(), "output row length must match");
+    let old = x.row(i);
+    let mut changed = false;
+    match adj.row(i).split_last() {
+        None => {
+            // No imports: the row is ∞̄ everywhere except the diagonal.
+            for (j, (d, o)) in out.iter_mut().zip(old.iter()).enumerate() {
+                let v = if j == i { alg.trivial() } else { alg.invalid() };
+                changed |= v != *o;
+                *d = v;
+            }
+        }
+        Some(((last_k, last_f), rest)) => {
+            for r in out.iter_mut() {
+                *r = alg.invalid();
+            }
+            for (k, f) in rest {
+                let src = x.row(*k);
+                for (d, s) in out.iter_mut().zip(src.iter()) {
+                    let candidate = alg.extend(f, s);
+                    *d = alg.choice(d, &candidate);
+                }
+            }
+            // The last import's pass doubles as the write-out-and-compare
+            // pass (the adjacency row never contains `i`, so `last_k != i`
+            // and the diagonal override cannot alias the source row).
+            let src = x.row(*last_k);
+            for (j, ((d, s), o)) in out.iter_mut().zip(src.iter()).zip(old.iter()).enumerate() {
+                let v = if j == i {
+                    alg.trivial()
+                } else {
+                    alg.choice(d, &alg.extend(last_f, s))
+                };
+                changed |= v != *o;
+                *d = v;
+            }
+        }
+    }
+    changed
+}
+
 /// One synchronous round of the Distributed Bellman-Ford computation:
 /// every node simultaneously recomputes its table from its neighbours'
 /// current tables.
@@ -204,6 +268,30 @@ mod tests {
                 assert_eq!(&sigma_entry(&alg, &adj, &x, i, j), full.get(i, j));
             }
         }
+    }
+
+    #[test]
+    fn fused_change_test_matches_the_two_pass_form() {
+        let (alg, adj) = line3();
+        // A state mid-convergence: some rows will change, some will not.
+        let x = sigma(&alg, &adj, &RoutingState::identity(&alg, 3));
+        let mut fused = vec![alg.invalid(); 3];
+        let mut plain = vec![alg.invalid(); 3];
+        for i in 0..3 {
+            let changed = sigma_row_into_changed(&alg, &adj, &x, i, &mut fused);
+            sigma_row_into(&alg, &adj, &x, i, &mut plain);
+            assert_eq!(fused, plain, "row {i} values");
+            assert_eq!(changed, plain[..] != *x.row(i), "row {i} change flag");
+        }
+        // An import-free node: row = identity pattern, so starting from the
+        // identity state nothing changes.
+        let lonely: AdjacencyMatrix<ShortestPaths> = AdjacencyMatrix::empty(2);
+        let id = RoutingState::identity(&alg, 2);
+        let mut out = vec![alg.invalid(); 2];
+        assert!(!sigma_row_into_changed(&alg, &lonely, &id, 0, &mut out));
+        assert_eq!(out, vec![NatInf::fin(0), NatInf::Inf]);
+        let garbage = RoutingState::<ShortestPaths>::uniform(2, NatInf::fin(9));
+        assert!(sigma_row_into_changed(&alg, &lonely, &garbage, 0, &mut out));
     }
 
     #[test]

@@ -98,12 +98,15 @@ impl<A: RoutingAlgebra> RoutingState<A> {
         &mut self.entries
     }
 
-    /// Iterate over all entries as `(i, j, &route)`.
+    /// Iterate over all entries as `(i, j, &route)`, in row-major order.
+    /// Walks the storage row by row — no per-entry division — so digesting
+    /// a 10⁵-row block costs a pair of counters, not a `div`+`mod` per
+    /// route.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, &A::Route)> {
         self.entries
-            .iter()
+            .chunks(self.n.max(1))
             .enumerate()
-            .map(move |(k, r)| (k / self.n, k % self.n, r))
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, r)| (i, j, r)))
     }
 
     /// The pointwise choice `X ⊕ Y` of two states.
@@ -120,6 +123,36 @@ impl<A: RoutingAlgebra> RoutingState<A> {
             .zip(other.entries.iter())
             .filter(|(a, b)| a != b)
             .count()
+    }
+
+    /// Do two states disagree anywhere?  Short-circuits at the first
+    /// differing entry — use this instead of `disagreements() > 0` when
+    /// only the boolean matters.
+    pub fn differs(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n, "state dimension mismatch");
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .any(|(a, b)| a != b)
+    }
+
+    /// The state relabeled by `perm`: `X'[p(i)][p(j)] = X[i][j]`.  Route
+    /// values are cloned untouched, so [`RoutingState::unpermuted`] is an
+    /// exact inverse (see [`crate::permute`] for the equivariance
+    /// argument).
+    pub fn permuted(&self, perm: &crate::permute::NodePermutation) -> Self {
+        assert_eq!(self.n, perm.len(), "permutation size must match");
+        Self::from_fn(self.n, |i, j| {
+            self.get(perm.inverse(i), perm.inverse(j)).clone()
+        })
+    }
+
+    /// Undo [`RoutingState::permuted`]: `X'[i][j] = X[p(i)][p(j)]`.
+    pub fn unpermuted(&self, perm: &crate::permute::NodePermutation) -> Self {
+        assert_eq!(self.n, perm.len(), "permutation size must match");
+        Self::from_fn(self.n, |i, j| {
+            self.get(perm.forward(i), perm.forward(j)).clone()
+        })
     }
 
     /// The number of invalid entries (useful as a crude progress metric).
@@ -203,6 +236,20 @@ mod tests {
         assert_eq!(y.get(0, 1), &NatInf::Inf);
         assert_eq!(x.disagreements(&y), 1);
         assert_eq!(x.disagreements(&x), 0);
+        assert!(x.differs(&y));
+        assert!(!x.differs(&x));
+    }
+
+    #[test]
+    fn entries_iterate_in_row_major_index_order() {
+        let x = RoutingState::<ShortestPaths>::from_fn(3, |i, j| NatInf::fin((i * 3 + j) as u64));
+        let seen: Vec<(usize, usize)> = x.entries().map(|(i, j, _)| (i, j)).collect();
+        let expected: Vec<(usize, usize)> =
+            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
+        assert_eq!(seen, expected);
+        for (i, j, r) in x.entries() {
+            assert_eq!(r, x.get(i, j));
+        }
     }
 
     #[test]

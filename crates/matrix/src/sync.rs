@@ -2,7 +2,7 @@
 //! (Definition 4).
 
 use crate::adjacency::AdjacencyMatrix;
-use crate::sigma::{sigma, sigma_row_into};
+use crate::sigma::{sigma, sigma_row_into_changed};
 use crate::state::RoutingState;
 use dbf_algebra::RoutingAlgebra;
 use dbf_telemetry::{NoopSink, TelemetrySink};
@@ -75,17 +75,29 @@ pub fn iterate_to_fixed_point<A: RoutingAlgebra>(
     iterate_traced(alg, adj, x0, max_iterations, &mut NoopSink)
 }
 
-/// One instrumented σ round: sweep every row of `σ(cur)` into `next`,
-/// comparing row-by-row (exactly the sequential `next == cur` test, row by
-/// row), and report how many rows changed.  Telemetry-only work — the
+/// One instrumented σ round: sweep every row of `σ(cur)` into `next` and
+/// report how many rows changed.  Rows outside the active frontier
+/// (`needs[i] == false`: no import neighbour changed last round) provably
+/// satisfy `σ(cur)[i] = cur[i]` and are not recomputed; of those, rows that
+/// also did not change *themselves* last round (`prev[i] == false`) already
+/// hold the current value in the idle double buffer (it lags exactly one
+/// round behind) and are not even copied — the late-convergence rounds
+/// where only a few rows still move cost a frontier-sized σ sweep plus a
+/// memcpy per freshly-settled row, nothing per long-quiet row.  The change
+/// test rides the streaming write ([`sigma_row_into_changed`]), so there is
+/// no second full-row `Eq` pass either.  Telemetry-only work — the
 /// wall-clock read and the settle bookkeeping — is guarded behind
 /// `tel.enabled()`, so the `NoopSink` monomorphization is the plain sweep.
+#[allow(clippy::too_many_arguments)]
 fn traced_round<A, S>(
     alg: &A,
     adj: &AdjacencyMatrix<A>,
     cur: &RoutingState<A>,
     next: &mut RoutingState<A>,
     round: u64,
+    needs: &[bool],
+    prev: &[bool],
+    flags: &mut [bool],
     last_changed: &mut [u64],
     tel: &mut S,
 ) -> u64
@@ -96,11 +108,29 @@ where
     let n = adj.node_count();
     let on = tel.enabled();
     let t0 = on.then(Instant::now);
-    tel.round_start(round, n as u64);
+    let frontier = needs.iter().filter(|&&d| d).count() as u64;
+    tel.round_start(round, n as u64, frontier);
     let mut changed = 0u64;
-    for (i, slot) in next.entries_mut().chunks_mut(n.max(1)).enumerate() {
-        sigma_row_into(alg, adj, cur, i, slot);
-        if slot != cur.row(i) {
+    for ((i, slot), flag) in next
+        .entries_mut()
+        .chunks_mut(n.max(1))
+        .enumerate()
+        .zip(flags.iter_mut())
+    {
+        *flag = if needs[i] {
+            sigma_row_into_changed(alg, adj, cur, i, slot)
+        } else {
+            if prev[i] {
+                // Freshly settled row: σ(cur)[i] = cur[i], but the idle
+                // buffer still holds the value from two rounds ago, so
+                // refresh it by copy instead of recomputing.
+                slot.clone_from_slice(cur.row(i));
+            }
+            // else: quiet for two rounds — the idle buffer already holds
+            // the current value, skip the row entirely.
+            false
+        };
+        if *flag {
             changed += 1;
             if on {
                 last_changed[i] = round;
@@ -108,8 +138,24 @@ where
         }
     }
     let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-    tel.round_end(round, n as u64, changed, wall_ns);
+    tel.round_end(round, frontier, changed, wall_ns);
     changed
+}
+
+/// Recompute the next round's active frontier: exactly the dependants of
+/// the rows whose tables changed this round need a σ recomputation; every
+/// other row is provably stable and may be copied.  Shared by the
+/// sequential loop here and the parallel loops in [`crate::parallel`] so
+/// the two engines' schedules (and telemetry) stay identical.
+pub(crate) fn update_needs(dependants: &[Vec<usize>], flags: &[bool], needs: &mut [bool]) {
+    needs.fill(false);
+    for (i, &changed) in flags.iter().enumerate() {
+        if changed {
+            for &d in &dependants[i] {
+                needs[d] = true;
+            }
+        }
+    }
 }
 
 /// Emit `node_settled` for every node, in node order: the round in which
@@ -143,14 +189,38 @@ where
     // Double-buffered: `σ` streams into a reusable second state and the
     // buffers are swapped each round, so the loop performs no per-round
     // allocation (at n = 10⁴ a state is ~1.6 GB, so this matters).
+    let n = adj.node_count();
     let on = tel.enabled();
-    let mut last_changed = vec![0u64; if on { adj.node_count() } else { 0 }];
+    let mut last_changed = vec![0u64; if on { n } else { 0 }];
+    // Row-skip bookkeeping: round 1 must recompute everything (x0 is
+    // arbitrary), after which only the dependants of last round's changed
+    // rows can move.  `changed == 0` over the active frontier therefore
+    // certifies a genuine fixed point: every skipped row already satisfied
+    // σ(X)[i] = X[i] by the frontier invariant.  `prev`/`flags` alternate
+    // as last round's and this round's change sets (prev starts all-true
+    // so round 2 refreshes whatever round 1 left stale in the idle buffer).
+    let dependants = adj.dependants();
+    let mut needs = vec![true; n];
+    let mut prev = vec![true; n];
+    let mut flags = vec![false; n];
     let mut cur = x0.clone();
     let mut next = cur.clone();
     let mut round = 0u64;
     for k in 0..max_iterations {
         round = k as u64 + 1;
-        if traced_round(alg, adj, &cur, &mut next, round, &mut last_changed, tel) == 0 {
+        if traced_round(
+            alg,
+            adj,
+            &cur,
+            &mut next,
+            round,
+            &needs,
+            &prev,
+            &mut flags,
+            &mut last_changed,
+            tel,
+        ) == 0
+        {
             if on {
                 emit_settles(tel, &last_changed);
             }
@@ -160,12 +230,26 @@ where
                 converged: true,
             };
         }
+        update_needs(&dependants, &flags, &mut needs);
+        std::mem::swap(&mut prev, &mut flags);
         std::mem::swap(&mut cur, &mut next);
     }
     // One last check so that a state that becomes stable exactly at the
     // budget boundary is still reported as converged — into the idle
-    // buffer, not a fresh allocation.
-    let changed = traced_round(alg, adj, &cur, &mut next, round + 1, &mut last_changed, tel);
+    // buffer, not a fresh allocation.  The frontier invariant still holds
+    // here, so checking only the active rows is the full stability test.
+    let changed = traced_round(
+        alg,
+        adj,
+        &cur,
+        &mut next,
+        round + 1,
+        &needs,
+        &prev,
+        &mut flags,
+        &mut last_changed,
+        tel,
+    );
     if on {
         emit_settles(tel, &last_changed);
     }

@@ -128,6 +128,38 @@ proptest! {
         prop_assert_eq!(from_garbage.state, clean.state);
     }
 
+    /// The frontier-driven fixed-point loop walks the **exact** naive σ
+    /// trajectory: from any start state on any topology, its result equals
+    /// `σ^k(x0)` at the iteration count it reports, every counted round
+    /// really changed the state (no phantom or skipped rounds), and the
+    /// sharded parallel loop agrees bit-for-bit.
+    #[test]
+    fn frontier_loop_matches_the_naive_sigma_trajectory((mask, w) in adjacency(), entries in state()) {
+        let alg = ShortestPaths::new();
+        let adj = build_adj(mask, &w);
+        let x0 = build_state(&entries);
+        let budget = 64;
+        let out = iterate_to_fixed_point(&alg, &adj, &x0, budget);
+        // Endpoint: the frontier loop lands exactly on σ^iterations(x0).
+        prop_assert_eq!(&out.state, &sigma_k(&alg, &adj, &x0, out.iterations));
+        if out.converged {
+            prop_assert!(is_stable(&alg, &adj, &out.state));
+            // Round count is tight: one σ fewer does not reach the fixed
+            // point (unless x0 was already stable).
+            if out.iterations > 0 {
+                let prefix = sigma_k(&alg, &adj, &x0, out.iterations - 1);
+                prop_assert!(
+                    prefix != out.state || out.iterations == 1,
+                    "a counted round changed nothing"
+                );
+            }
+        }
+        let par = par_iterate_to_fixed_point(&alg, &adj, &x0, budget, 3);
+        prop_assert_eq!(par.state, out.state);
+        prop_assert_eq!(par.iterations, out.iterations);
+        prop_assert_eq!(par.converged, out.converged);
+    }
+
     /// The exhaustive oracle is never worse than the σ fixed point (local
     /// optimality), and for the distributive shortest-paths algebra it is
     /// equal.

@@ -269,6 +269,7 @@ mod tests {
                 rows_recomputed: 0,
                 rows_changed: 0,
                 max_scheduled: 0,
+                peak_frontier: 0,
                 settle: SettleSummary::from_samples(&[1, 2, 3, 40]),
                 messages: None,
             }],

@@ -21,6 +21,8 @@
 //! scenarios replay <dir>
 //! scenarios gen-trace [--out FILE] [--nodes N] [--events N] [--seed S]
 //!                     [--topology ring] [--algebra hopcount] [--queries PERMILLE]
+//! scenarios scale-run [--nodes N] [--m M] [--seed S] [--algebra hopcount]
+//!                     [--block W] [--json] [--out FILE]
 //! scenarios serve --replay FILE [--threads N] [--batch N] [--json]
 //!                 [--out BENCH_serve.json] [--trace FILE.jsonl]
 //! ```
@@ -64,6 +66,9 @@ fn usage() -> ExitCode {
          \x20 fuzz                       run random specs through the differential checker\n\
          \x20 replay <dir>               re-run every minimized corpus TOML in a directory\n\
          \x20 gen-trace                  write a seeded churn trace for the route server\n\
+         \x20 scale-run                  converge one preferential-attachment fabric with\n\
+         \x20                            the destination-blocked sigma engine (runs at\n\
+         \x20                            sizes where the square state exceeds memory)\n\
          \x20 serve --replay FILE        replay a churn trace through the route server,\n\
          \x20                            coalescing changes into incremental reconvergences\n\
          \n\
@@ -81,6 +86,10 @@ fn usage() -> ExitCode {
          \x20                  bit-identical for any value).  Default: hardware threads\n\
          \x20                  for run/run-all/bench, 1 for sweeps (which already\n\
          \x20                  parallelize across runs via --jobs)\n\
+         \x20 --row-order O    cache-conscious row ordering for the sigma engines:\n\
+         \x20                  none|degree|rcm (default none).  Pure memory layout —\n\
+         \x20                  every digest and deterministic counter is bit-identical\n\
+         \x20                  for every ordering\n\
          \x20 --timing         include wall-clock stats in the sweep JSON\n\
          \x20 --point K        run only grid point K of a sweep\n\
          \x20 --replicate R    run only replicate R of a sweep\n\
@@ -100,11 +109,15 @@ fn usage() -> ExitCode {
          \x20 --batch N        serve: max change events coalesced into one\n\
          \x20                  reconvergence (default 64; results are identical for\n\
          \x20                  any value)\n\
-         \x20 --nodes N        gen-trace: initial topology size (default 64)\n\
+         \x20 --nodes N        gen-trace: initial topology size (default 64);\n\
+         \x20                  scale-run: fabric size (default 100000)\n\
          \x20 --events N       gen-trace: events to generate (default 100000)\n\
          \x20 --topology T     gen-trace: line|ring|star|complete (default ring)\n\
-         \x20 --algebra A      gen-trace: hopcount|shortest (default hopcount)\n\
-         \x20 --queries P      gen-trace: queries per 1000 events (default 100)"
+         \x20 --algebra A      gen-trace/scale-run: hopcount|shortest (default hopcount)\n\
+         \x20 --queries P      gen-trace: queries per 1000 events (default 100)\n\
+         \x20 --m M            scale-run: as_graph attachment edges per node (default 2)\n\
+         \x20 --block W        scale-run: destination-block width (default 1024;\n\
+         \x20                  pure memory layout, the digest is identical for any W)"
     );
     ExitCode::from(2)
 }
@@ -116,6 +129,7 @@ struct Options {
     out: Option<String>,
     jobs: Option<usize>,
     threads: Option<usize>,
+    row_order: Option<RowOrder>,
     timing: bool,
     point: Option<usize>,
     replicate: Option<usize>,
@@ -133,6 +147,8 @@ struct Options {
     topology: Option<String>,
     algebra: Option<String>,
     queries: Option<u32>,
+    m: Option<usize>,
+    block: Option<usize>,
 }
 
 /// The options `run-all` accepts: the scenario options plus the bound
@@ -143,6 +159,7 @@ const RUN_ALL_OPTS: &[&str] = &[
     "--json",
     "--out",
     "--threads",
+    "--row-order",
     "--check-bounds",
 ];
 /// The options `bounds` accepts (a pure spec computation: no engine
@@ -157,15 +174,17 @@ const RUN_OPTS: &[&str] = &[
     "--json",
     "--out",
     "--threads",
+    "--row-order",
     "--trace",
     "--metrics",
 ];
 /// The options `profile` accepts.
-const PROFILE_OPTS: &[&str] = &["--engines", "--seeds", "--threads"];
+const PROFILE_OPTS: &[&str] = &["--engines", "--seeds", "--threads", "--row-order"];
 /// The options `sweep` accepts.
 const SWEEP_OPTS: &[&str] = &[
     "--jobs",
     "--threads",
+    "--row-order",
     "--json",
     "--timing",
     "--point",
@@ -173,8 +192,8 @@ const SWEEP_OPTS: &[&str] = &[
     "--out",
 ];
 /// The options the bench commands accept.
-const BENCH_OPTS: &[&str] = &["--out", "--threads"];
-const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--threads", "--out"];
+const BENCH_OPTS: &[&str] = &["--out", "--threads", "--row-order"];
+const SWEEP_BENCH_OPTS: &[&str] = &["--jobs", "--threads", "--row-order", "--out"];
 /// The options `fuzz` accepts.
 const FUZZ_OPTS: &[&str] = &[
     "--cases", "--seed", "--case", "--jobs", "--corpus", "--json", "--out",
@@ -200,6 +219,16 @@ const GEN_TRACE_OPTS: &[&str] = &[
     "--algebra",
     "--queries",
 ];
+/// The options `scale-run` accepts.
+const SCALE_RUN_OPTS: &[&str] = &[
+    "--nodes",
+    "--m",
+    "--seed",
+    "--algebra",
+    "--block",
+    "--json",
+    "--out",
+];
 
 /// Parse options, rejecting any flag the current command does not use —
 /// a silently ignored `--seeds` on a sweep (which derives its own seeds)
@@ -212,6 +241,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         out: None,
         jobs: None,
         threads: None,
+        row_order: None,
         timing: false,
         point: None,
         replicate: None,
@@ -229,6 +259,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         topology: None,
         algebra: None,
         queries: None,
+        m: None,
+        block: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -250,6 +282,13 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 opts.threads = Some(
                     v.parse::<usize>()
                         .map_err(|e| format!("bad --threads: {e}"))?,
+                );
+            }
+            "--row-order" => {
+                let v = it.next().ok_or("--row-order needs a value")?;
+                opts.row_order = Some(
+                    RowOrder::parse(v)
+                        .ok_or_else(|| format!("bad --row-order {v:?} (none|degree|rcm)"))?,
                 );
             }
             "--point" => {
@@ -347,6 +386,17 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                         .map_err(|e| format!("bad --queries: {e}"))?,
                 );
             }
+            "--m" => {
+                let v = it.next().ok_or("--m needs a value")?;
+                opts.m = Some(v.parse::<usize>().map_err(|e| format!("bad --m: {e}"))?);
+            }
+            "--block" => {
+                let v = it.next().ok_or("--block needs a value")?;
+                opts.block = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --block: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -411,6 +461,14 @@ fn run_threads(opts: &Options) -> usize {
     opts.threads.unwrap_or_else(default_jobs).max(1)
 }
 
+/// The [`RunConfig`] of the single-run commands.
+fn run_config(opts: &Options) -> RunConfig {
+    RunConfig {
+        threads: run_threads(opts),
+        row_order: opts.row_order.unwrap_or_default(),
+    }
+}
+
 /// Run a scenario with the aggregator attached, teeing the event stream
 /// into a JSONL trace file when one was requested.  Returns the
 /// differential report plus the deterministic/timing metrics.
@@ -442,8 +500,8 @@ fn run_traced(
 
 fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
     let scenario = apply_overrides(load_scenario(target)?, opts);
-    let threads = run_threads(opts);
-    let cfg = RunConfig { threads };
+    let cfg = run_config(opts);
+    let threads = cfg.threads;
     let (report, metrics) = run_traced(&scenario, &cfg, opts.trace.as_deref())?;
     let json = with_telemetry(report.to_json(), &metrics, threads);
     let mut summary = report.summary();
@@ -512,8 +570,8 @@ fn cmd_run(target: &str, opts: &Options) -> Result<bool, String> {
 /// band balance — instead of the differential summary.
 fn cmd_profile(target: &str, opts: &Options) -> Result<bool, String> {
     let scenario = apply_overrides(load_scenario(target)?, opts);
-    let threads = run_threads(opts);
-    let cfg = RunConfig { threads };
+    let cfg = run_config(opts);
+    let threads = cfg.threads;
     let (report, metrics) = run_traced(&scenario, &cfg, None)?;
     println!("scenario {} (threads={threads})", report.scenario);
     println!("{}", profile_table(&metrics));
@@ -544,6 +602,7 @@ fn run_one_sweep(sweep: &Sweep, target: &str, opts: &Options) -> Result<SweepRep
         // default to 1; `--threads` opts in (e.g. for grids whose wall time
         // is one huge point, or single-cell reproductions).
         threads: opts.threads.unwrap_or(1),
+        row_order: opts.row_order.unwrap_or_default(),
     };
     let report = run_sweep(sweep, &run_opts).map_err(|e| e.to_string())?;
     for point in &report.points {
@@ -767,9 +826,7 @@ fn cmd_run_all(opts: &Options) -> Result<bool, String> {
             }
         }
         let scenario = apply_overrides(scenario, opts);
-        let cfg = RunConfig {
-            threads: run_threads(opts),
-        };
+        let cfg = run_config(opts);
         let report =
             run_scenario_with(&scenario, &cfg).map_err(|e| format!("{}: {e}", scenario.name))?;
         if !opts.json {
@@ -838,8 +895,8 @@ fn audit_bounds(scenario: &Scenario, report: &ScenarioReport, quiet: bool) -> bo
 fn cmd_bench(opts: &Options) -> Result<bool, String> {
     let mut records = Vec::new();
     let mut all_met = true;
-    let threads = run_threads(opts);
-    let cfg = RunConfig { threads };
+    let cfg = run_config(opts);
+    let threads = cfg.threads;
     for scenario in builtins::all() {
         // Bench runs are traced so the BENCH document carries the
         // deterministic settle summaries alongside the wall times.
@@ -906,6 +963,97 @@ fn cmd_gen_trace(opts: &Options) -> Result<bool, String> {
         trace.query_count()
     );
     Ok(true)
+}
+
+/// `scenarios scale-run`: converge one preferential-attachment fabric
+/// through the destination-blocked σ engine (`dbf_matrix::blocked`).
+///
+/// This is the path to fabrics whose square routing state does not fit in
+/// memory: at the default `--nodes 100000` a square state would need
+/// ~160 GB, while a 1024-wide destination slab streams through ~3 GB.
+/// The emitted record (printed, and written via `--out`) is what
+/// `BENCH_sweeps.json` carries under `scale_runs`.
+fn cmd_scale_run(opts: &Options) -> Result<bool, String> {
+    use dbf_algebra::prelude::{BoundedHopCount, NatInf, ShortestPaths};
+    use dbf_matrix::{blocked_fixed_point, AdjacencyMatrix, BlockedOutcome};
+    use dbf_topology::generators;
+
+    let n = opts.nodes.unwrap_or(100_000);
+    let m = opts.m.unwrap_or(2);
+    let seed = opts.seed.unwrap_or(1);
+    let block = opts.block.unwrap_or(1024).max(1);
+    if n < 2 {
+        return Err("scale-run needs --nodes >= 2".into());
+    }
+    if m < 1 {
+        return Err("scale-run needs --m >= 1".into());
+    }
+    let algebra = opts.algebra.as_deref().unwrap_or("hopcount");
+    let shape = generators::as_graph(n, m, seed);
+    let links = shape.edge_count();
+    let blocks_expected = n.div_ceil(block);
+    eprintln!(
+        "scale-run: as_graph(n={n}, m={m}, seed={seed}) has {links} directed edges; \
+         {blocks_expected} destination blocks of width <= {block}"
+    );
+    let progress = |b: usize, rounds: usize, rows: u64| {
+        eprintln!(
+            "  block {}/{blocks_expected}: rounds={rounds} row_recomputations={rows}",
+            b + 1
+        );
+    };
+    // Any simple path visits at most n-1 nodes, so n rounds is a safe
+    // per-block budget for every strictly-increasing algebra here.
+    let t0 = std::time::Instant::now();
+    let out: BlockedOutcome = match algebra {
+        "hopcount" => {
+            // The same finite carrier gen-trace uses: a limit of n never
+            // truncates a real route.
+            let topo = shape.with_weights(|_, _| 1u64);
+            let adj = AdjacencyMatrix::from_topology(&topo);
+            blocked_fixed_point(&BoundedHopCount::new(n as u64), &adj, block, n, progress)
+        }
+        "shortest" => {
+            let rule = WeightRule::varied();
+            let topo = shape.with_weights(|i, j| NatInf::fin(rule.weight(i, j)));
+            let adj = AdjacencyMatrix::from_topology(&topo);
+            blocked_fixed_point(&ShortestPaths::new(), &adj, block, n, progress)
+        }
+        other => {
+            return Err(format!(
+                "unknown scale-run algebra {other:?} (hopcount|shortest)"
+            ))
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let json = Json::Obj(vec![
+        ("run".into(), Json::str("scale")),
+        ("family".into(), Json::str("as_graph")),
+        ("nodes".into(), Json::Int(n as i64)),
+        ("m".into(), Json::Int(m as i64)),
+        ("seed".into(), Json::Int(seed as i64)),
+        ("algebra".into(), Json::str(algebra)),
+        ("edges".into(), Json::Int(links as i64)),
+        ("block".into(), Json::Int(block as i64)),
+        ("blocks".into(), Json::Int(out.blocks as i64)),
+        ("converged".into(), Json::Bool(out.converged)),
+        ("rounds_max".into(), Json::Int(out.rounds_max as i64)),
+        ("rounds_total".into(), Json::Int(out.rounds_total as i64)),
+        (
+            "row_recomputations".into(),
+            Json::Int(out.row_recomputations as i64),
+        ),
+        ("state_digest".into(), Json::str(out.digest.clone())),
+        ("wall_ms".into(), Json::Num((wall_ms * 10.0).round() / 10.0)),
+    ]);
+    let summary = format!(
+        "scale-run: {algebra} on as_graph(n={n}, m={m}, seed={seed}) converged={} \
+         in {} rounds (worst block) over {} blocks of width <= {block}\n\
+         \x20 {} row recomputations, digest {}, {:.1} ms",
+        out.converged, out.rounds_max, out.blocks, out.row_recomputations, out.digest, wall_ms,
+    );
+    emit(opts, &json, &summary)?;
+    Ok(out.converged)
 }
 
 /// `scenarios serve`: replay a churn trace through the long-lived route
@@ -1108,6 +1256,10 @@ fn main() -> ExitCode {
         },
         "gen-trace" => match parse_options(&args[1..], GEN_TRACE_OPTS) {
             Ok(opts) => cmd_gen_trace(&opts),
+            Err(e) => Err(e),
+        },
+        "scale-run" => match parse_options(&args[1..], SCALE_RUN_OPTS) {
+            Ok(opts) => cmd_scale_run(&opts),
             Err(e) => Err(e),
         },
         "serve" => match parse_options(&args[1..], SERVE_OPTS) {

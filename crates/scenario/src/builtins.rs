@@ -314,6 +314,40 @@ pub fn policy_rich_bgp() -> Scenario {
     })
 }
 
+/// Shortest paths on a preferential-attachment AS graph: the heavy-tailed
+/// degree profile (a few hubs, many degree-`m` leaves) is the shape the
+/// row-ordering and frontier machinery is built for, and failing the
+/// link between the two oldest (best-connected) nodes forces a global
+/// change-phase reconvergence through the hubs.
+pub fn as_hierarchy() -> Scenario {
+    on_all_supported_engines(Scenario {
+        name: "as-hierarchy".into(),
+        description: "Shortest paths on a preferential-attachment AS graph; the \
+                      hub–hub link between the two oldest nodes fails mid-run and \
+                      every engine reconverges through the remaining hubs."
+            .into(),
+        topology: TopologySpec::AsGraph {
+            n: 64,
+            m: 2,
+            seed: 9,
+        },
+        algebra: AlgebraSpec::Shortest {
+            weights: WeightRule::varied(),
+        },
+        engines: Vec::new(), // derived from the registry by on_all_supported_engines
+        seeds: vec![1, 2],
+        phases: vec![
+            phase("baseline", vec![], FaultSpec::default()),
+            phase(
+                "hub link 0-1 fails",
+                vec![ChangeSpec::FailLink { a: 0, b: 1 }],
+                FaultSpec::default(),
+            ),
+        ],
+        expect: Expectation::default(),
+    })
+}
+
 /// Gao-Rexford routing over a provider/customer hierarchy, with a peering
 /// link failing mid-run.
 pub fn gao_rexford_mesh() -> Scenario {
@@ -359,6 +393,7 @@ pub fn all() -> Vec<Scenario> {
         adversarial_loss(),
         widest_fabric(),
         growing_network(),
+        as_hierarchy(),
         policy_rich_bgp(),
         gao_rexford_mesh(),
     ]

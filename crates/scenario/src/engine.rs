@@ -55,7 +55,8 @@ use dbf_async::{run_delta, DeltaOutcome};
 use dbf_bgp::algebra::BgpAlgebra;
 use dbf_matrix::{
     dirty_rows_after_change, is_stable, par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced,
-    par_iterate_to_fixed_point, par_iterate_traced, AdjacencyMatrix, RoutingState,
+    par_iterate_to_fixed_point, par_iterate_traced, AdjacencyMatrix, IncrementalOutcome,
+    NodePermutation, RoutingState, RowOrder, SyncOutcome,
 };
 use dbf_protocols::bgp::{BgpConfig, BgpEngine};
 use dbf_protocols::rip::{RipConfig, RipEngine};
@@ -415,6 +416,25 @@ where
         threads: usize,
         tel: &mut dyn TelemetrySink,
     ) -> EngineRun;
+
+    /// [`run`](Engine::run) under a cache-conscious row ordering.  σ is
+    /// equivariant under node relabeling, so the outcome — every digest,
+    /// round count and deterministic telemetry counter — is bit-identical
+    /// for every [`RowOrder`]; only wall time may move.  The default
+    /// ignores the ordering (it only shapes the σ engines' memory layout);
+    /// [`SyncEngine`] and [`IncrementalEngine`] override it to relabel each
+    /// phase at setup and invert the relabeling before digesting.
+    fn run_ordered(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
+        seed: u64,
+        threads: usize,
+        _row_order: RowOrder,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        self.run(alg, problems, seed, threads, tel)
+    }
 }
 
 /// Look up the runner for an engine kind.  **This match and
@@ -467,6 +487,49 @@ fn sync_iteration_budget<A: RoutingAlgebra>(p: &Problem<A>) -> usize {
     dbf_matrix::iteration_budget(p.adj.node_count(), p.round_budget)
 }
 
+/// One synchronous σ phase: traced when the sink is live, untraced (all
+/// instrumentation compiled out) when it is not.
+fn sigma_phase<A: ScenarioAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    state: &RoutingState<A>,
+    budget: usize,
+    threads: usize,
+    tel: &mut dyn TelemetrySink,
+) -> SyncOutcome<A>
+where
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    if tel.enabled() {
+        par_iterate_traced(alg, adj, state, budget, threads, tel)
+    } else {
+        par_iterate_to_fixed_point(alg, adj, state, budget, threads)
+    }
+}
+
+/// One incremental dirty-row σ phase, traced or untraced like
+/// [`sigma_phase`].
+fn dirty_phase<A: ScenarioAlgebra>(
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    state: &RoutingState<A>,
+    dirty: &[bool],
+    budget: usize,
+    threads: usize,
+    tel: &mut dyn TelemetrySink,
+) -> IncrementalOutcome<A>
+where
+    A::Route: Send + Sync + 'static,
+    A::Edge: PartialEq + Send + Sync + 'static,
+{
+    if tel.enabled() {
+        par_iterate_dirty_traced(alg, adj, state, dirty, budget, threads, tel)
+    } else {
+        par_iterate_dirty_to_fixed_point(alg, adj, state, dirty, budget, threads)
+    }
+}
+
 fn schedule_for(faults: &FaultSpec, n: usize, seed: u64) -> Schedule {
     match faults.schedule {
         ScheduleSpec::AdversarialStale { victim, period } => Schedule::adversarial_stale(
@@ -506,6 +569,61 @@ fn downcast<Src: Any, Dst: Any>(value: &Src) -> Option<&Dst> {
     (value as &dyn Any).downcast_ref::<Dst>()
 }
 
+/// Translates `node_settled` events from a permuted iteration space back
+/// into original node ids, so settle histograms (and traces) are identical
+/// whatever row ordering the engine iterated under.  Every other event is
+/// forwarded untouched — round counts, frontier sizes and change counts are
+/// permutation-invariant already.
+struct RelabelSink<'a> {
+    inner: &'a mut dyn TelemetrySink,
+    perm: &'a NodePermutation,
+}
+
+impl TelemetrySink for RelabelSink<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+    fn run_start(&mut self, run: &str, engine: &str) {
+        self.inner.run_start(run, engine);
+    }
+    fn phase_start(&mut self, label: &str, nodes: usize) {
+        self.inner.phase_start(label, nodes);
+    }
+    fn phase_end(&mut self, label: &str) {
+        self.inner.phase_end(label);
+    }
+    fn round_start(&mut self, round: u64, scheduled: u64, frontier: u64) {
+        self.inner.round_start(round, scheduled, frontier);
+    }
+    fn round_end(&mut self, round: u64, recomputed: u64, changed: u64, wall_ns: u64) {
+        self.inner.round_end(round, recomputed, changed, wall_ns);
+    }
+    fn band_sweep(&mut self, round: u64, band: u64, rows: u64, weight: u64, wall_ns: u64) {
+        self.inner.band_sweep(round, band, rows, weight, wall_ns);
+    }
+    fn node_settled(&mut self, node: usize, round: u64) {
+        self.inner.node_settled(self.perm.inverse(node), round);
+    }
+    fn messages(&mut self, counters: &MessageCounters) {
+        self.inner.messages(counters);
+    }
+    fn serve_batch(
+        &mut self,
+        batch: u64,
+        events: u64,
+        naive_dirty: u64,
+        batch_dirty: u64,
+        rounds: u64,
+    ) {
+        self.inner
+            .serve_batch(batch, events, naive_dirty, batch_dirty, rounds);
+    }
+    fn pool_utilization(&mut self, workers: u64, epochs: u64, jobs: u64, worker_share: f64) {
+        self.inner
+            .pool_utilization(workers, epochs, jobs, worker_share);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Engine 1: synchronous σ
 // ---------------------------------------------------------------------
@@ -527,8 +645,20 @@ where
         &self,
         alg: &A,
         problems: &[Problem<A>],
+        seed: u64,
+        threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        self.run_ordered(alg, problems, seed, threads, RowOrder::None, tel)
+    }
+
+    fn run_ordered(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
         _seed: u64,
         threads: usize,
+        row_order: RowOrder,
         tel: &mut dyn TelemetrySink,
     ) -> EngineRun {
         tel.run_start("sync", "sync");
@@ -537,19 +667,32 @@ where
         for p in problems {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
+            // The relabeling is pure setup: σ is equivariant under it, so
+            // iterating the permuted problem and inverting the permutation
+            // afterwards lands on the exact state — and digest — the
+            // unpermuted iteration produces.
+            let perm = NodePermutation::for_order(row_order, &p.adj);
             tel.phase_start(&p.label, n);
             let start = Instant::now();
-            let out = if tel.enabled() {
-                par_iterate_traced(
+            let out = if perm.is_identity() {
+                sigma_phase(alg, &p.adj, &state, sync_iteration_budget(p), threads, tel)
+            } else {
+                let padj = p.adj.permuted(&perm);
+                let pstate = state.permuted(&perm);
+                let mut relabel = RelabelSink {
+                    inner: &mut *tel,
+                    perm: &perm,
+                };
+                let mut out = sigma_phase(
                     alg,
-                    &p.adj,
-                    &state,
+                    &padj,
+                    &pstate,
                     sync_iteration_budget(p),
                     threads,
-                    &mut *tel,
-                )
-            } else {
-                par_iterate_to_fixed_point(alg, &p.adj, &state, sync_iteration_budget(p), threads)
+                    &mut relabel,
+                );
+                out.state = out.state.unpermuted(&perm);
+                out
             };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             tel.phase_end(&p.label);
@@ -605,8 +748,20 @@ where
         &self,
         alg: &A,
         problems: &[Problem<A>],
+        seed: u64,
+        threads: usize,
+        tel: &mut dyn TelemetrySink,
+    ) -> EngineRun {
+        self.run_ordered(alg, problems, seed, threads, RowOrder::None, tel)
+    }
+
+    fn run_ordered(
+        &self,
+        alg: &A,
+        problems: &[Problem<A>],
         _seed: u64,
         threads: usize,
+        row_order: RowOrder,
         tel: &mut dyn TelemetrySink,
     ) -> EngineRun {
         tel.run_start("incremental", "incremental");
@@ -619,31 +774,46 @@ where
         for (k, p) in problems.iter().enumerate() {
             let n = p.adj.node_count();
             state = carry(alg, state, n);
+            let perm = NodePermutation::for_order(row_order, &p.adj);
             tel.phase_start(&p.label, n);
             let start = Instant::now();
+            // The dirty mask is diffed in the original node space (the
+            // spec's adjacency pair), then relabeled alongside the state:
+            // the permuted worklists are the same row *sets*, so rounds and
+            // row-recomputation counts are identical for every ordering.
             let dirty = match prev {
                 Some((prev_k, true)) => dirty_rows_after_change(&problems[prev_k].adj, &p.adj),
                 _ => vec![true; n],
             };
-            let out = if tel.enabled() {
-                par_iterate_dirty_traced(
+            let out = if perm.is_identity() {
+                dirty_phase(
                     alg,
                     &p.adj,
                     &state,
                     &dirty,
                     sync_iteration_budget(p),
                     threads,
-                    &mut *tel,
+                    tel,
                 )
             } else {
-                par_iterate_dirty_to_fixed_point(
+                let padj = p.adj.permuted(&perm);
+                let pstate = state.permuted(&perm);
+                let pdirty = perm.permute_mask(&dirty);
+                let mut relabel = RelabelSink {
+                    inner: &mut *tel,
+                    perm: &perm,
+                };
+                let mut out = dirty_phase(
                     alg,
-                    &p.adj,
-                    &state,
-                    &dirty,
+                    &padj,
+                    &pstate,
+                    &pdirty,
                     sync_iteration_budget(p),
                     threads,
-                )
+                    &mut relabel,
+                );
+                out.state = out.state.unpermuted(&perm);
+                out
             };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             tel.phase_end(&p.label);

@@ -247,9 +247,8 @@ pub fn run_fuzz(opts: &FuzzOptions) -> Result<FuzzReport, SpecError> {
                 &sweep,
                 &SweepRunOptions {
                     jobs: 1,
-                    point: None,
-                    replicate: None,
                     threads: 1,
+                    ..SweepRunOptions::default()
                 },
             );
             match outcome {
@@ -563,6 +562,15 @@ fn shrink_topology(t: &TopologySpec) -> Vec<TopologySpec> {
         TopologySpec::ConnectedRandom { n, p, seed } => {
             if let Some(h) = halved(n, 3) {
                 out.push(TopologySpec::ConnectedRandom { n: h, p, seed });
+            }
+            out.push(TopologySpec::Line { n });
+        }
+        TopologySpec::AsGraph { n, m, seed } => {
+            if let Some(h) = halved(n, m + 1) {
+                out.push(TopologySpec::AsGraph { n: h, m, seed });
+            }
+            if m > 1 {
+                out.push(TopologySpec::AsGraph { n, m: m / 2, seed });
             }
             out.push(TopologySpec::Line { n });
         }

@@ -141,6 +141,7 @@ pub use dbf_telemetry as telemetry;
 
 pub use agg::{PointReport, Stats, SweepReport};
 pub use bound::{algebra_height, bound_for_engine, bound_table, schedule_window, PhaseBound};
+pub use dbf_matrix::RowOrder;
 pub use engine::{
     descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
     EngineInfo, Problem, ScenarioAlgebra,
@@ -190,4 +191,5 @@ pub mod prelude {
     };
     pub use crate::sweeps;
     pub use crate::telemetry;
+    pub use crate::RowOrder;
 }

@@ -28,6 +28,7 @@ fn phase_metrics_json(p: &PhaseMetrics) -> Json {
         ("rows_recomputed".into(), int(p.rows_recomputed)),
         ("rows_changed".into(), int(p.rows_changed)),
         ("max_scheduled".into(), int(p.max_scheduled)),
+        ("peak_frontier".into(), int(p.peak_frontier)),
         (
             "settle".into(),
             p.settle.map_or(Json::Null, |s| {
@@ -82,9 +83,13 @@ fn phase_timing_json(t: &PhaseTiming) -> Json {
 
 /// The deterministic `metrics` section: byte-identical across thread
 /// counts and job counts for the same `(spec, seed)`.
+///
+/// Schema v2 adds `peak_frontier`: the largest *active* frontier any round
+/// carried (rows whose inputs changed), alongside `max_scheduled` (rows the
+/// engine swept, frontier plus copies).
 pub fn metrics_json(report: &MetricsReport) -> Json {
     Json::Obj(vec![
-        ("schema_version".into(), Json::Int(1)),
+        ("schema_version".into(), Json::Int(2)),
         (
             "phases".into(),
             Json::Arr(report.phases.iter().map(phase_metrics_json).collect()),
@@ -193,7 +198,7 @@ mod tests {
         let mut sink = AggregatingSink::new();
         sink.run_start("sync", "sync");
         sink.phase_start("baseline", 3);
-        sink.round_start(1, 3);
+        sink.round_start(1, 3, 2);
         sink.band_sweep(1, 0, 2, 9, 120);
         sink.band_sweep(1, 1, 1, 4, 60);
         sink.round_end(1, 3, 2, 200);
@@ -207,9 +212,10 @@ mod tests {
     #[test]
     fn metrics_json_has_the_deterministic_fields_only() {
         let text = metrics_json(&sample_report()).to_string();
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"schema_version\": 2"));
         assert!(text.contains("\"rounds\": 1"));
         assert!(text.contains("\"rows_recomputed\": 3"));
+        assert!(text.contains("\"peak_frontier\": 2"));
         assert!(text.contains("\"p95\": 1"));
         assert!(text.contains("\"messages\": null"));
         assert!(!text.contains("wall"), "no wall clocks in metrics: {text}");

@@ -38,11 +38,20 @@ pub struct RunConfig {
     /// many OS threads *within a single run*.  `0`/`1` means sequential.
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Cache-conscious row ordering for the σ engines (`--row-order`): the
+    /// sync and incremental engines relabel each phase's nodes at setup and
+    /// invert the relabeling before digesting.  σ is equivariant under node
+    /// relabeling, so every digest and deterministic counter is
+    /// bit-identical for every ordering; only wall time may move.
+    pub row_order: dbf_matrix::RowOrder,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            row_order: dbf_matrix::RowOrder::None,
+        }
     }
 }
 
@@ -179,6 +188,15 @@ pub fn build_shape(spec: &TopologySpec) -> Result<Topology<()>, SpecError> {
                 return Err(SpecError::new("connected_random needs at least 3 nodes"));
             }
             generators::connected_random(*n, *p, *seed)
+        }
+        TopologySpec::AsGraph { n, m, seed } => {
+            if *m < 1 {
+                return Err(SpecError::new("as_graph needs m >= 1"));
+            }
+            if *n < 2 {
+                return Err(SpecError::new("as_graph needs at least 2 nodes"));
+            }
+            generators::as_graph(*n, *m, *seed)
         }
         TopologySpec::LeafSpine { spines, leaves } => generators::leaf_spine(*spines, *leaves),
         TopologySpec::Explicit { nodes, links } => {
@@ -366,7 +384,7 @@ where
         };
         for &seed in engine_seeds(kind, spec) {
             let mut run = guarded(kind, seed, &*problems, || {
-                engine.run(alg, &*problems, seed, threads, &mut *tel)
+                engine.run_ordered(alg, &*problems, seed, threads, cfg.row_order, &mut *tel)
             });
             for (phase, pb) in run.phases.iter_mut().zip(&bounds) {
                 phase.predicted_bound = crate::bound::bound_for_engine(kind, pb);
@@ -544,7 +562,14 @@ mod tests {
         spec.engines.push(EngineKind::Incremental);
         let base = run_scenario(&spec).unwrap();
         for threads in [2, 8] {
-            let par = run_scenario_with(&spec, &RunConfig { threads }).unwrap();
+            let par = run_scenario_with(
+                &spec,
+                &RunConfig {
+                    threads,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
             assert_eq!(par.verdict, base.verdict, "threads={threads}");
             for (a, b) in base.runs.iter().zip(par.runs.iter()) {
                 assert_eq!(a.engine, b.engine);
@@ -552,6 +577,33 @@ mod tests {
                     assert_eq!(p.digest, q.digest, "{} {}", a.engine, p.label);
                     assert_eq!(p.work, q.work, "{} {}", a.engine, p.label);
                     assert_eq!(p.sigma_stable, q.sigma_stable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_row_order_knob_never_changes_a_report() {
+        // σ is equivariant under node relabeling: every digest, round
+        // count and work counter must be bit-identical whatever ordering
+        // (and thread count) the σ engines iterate under.
+        use dbf_matrix::RowOrder;
+        let mut spec = hopcount_ring();
+        spec.engines = vec![EngineKind::Sync, EngineKind::Incremental];
+        let base = run_scenario(&spec).unwrap();
+        assert!(base.verdict.agreement, "{}", base.summary());
+        for row_order in [RowOrder::Degree, RowOrder::Rcm] {
+            for threads in [1, 4] {
+                let cfg = RunConfig { threads, row_order };
+                let run = run_scenario_with(&spec, &cfg).unwrap();
+                assert_eq!(run.verdict, base.verdict, "{row_order} threads={threads}");
+                for (a, b) in base.runs.iter().zip(run.runs.iter()) {
+                    assert_eq!(a.engine, b.engine);
+                    for (p, q) in a.phases.iter().zip(b.phases.iter()) {
+                        assert_eq!(p.digest, q.digest, "{} {} {row_order}", a.engine, p.label);
+                        assert_eq!(p.rounds, q.rounds, "{} {} {row_order}", a.engine, p.label);
+                        assert_eq!(p.work, q.work, "{} {} {row_order}", a.engine, p.label);
+                    }
                 }
             }
         }

@@ -77,6 +77,17 @@ pub enum TopologySpec {
         /// Generator seed.
         seed: u64,
     },
+    /// A preferential-attachment AS graph (Barabási–Albert style): a clique
+    /// on the first `m + 1` nodes, then each later node attaches to `m`
+    /// distinct degree-weighted existing nodes.
+    AsGraph {
+        /// Node count.
+        n: usize,
+        /// Links added per joining node.
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
     /// A two-level Clos (leaf–spine) fabric.
     LeafSpine {
         /// Spine count.
@@ -474,7 +485,8 @@ impl TopologySpec {
             | TopologySpec::Ring { n }
             | TopologySpec::Star { n }
             | TopologySpec::Complete { n }
-            | TopologySpec::ConnectedRandom { n, .. } => *n,
+            | TopologySpec::ConnectedRandom { n, .. }
+            | TopologySpec::AsGraph { n, .. } => *n,
             TopologySpec::Grid { rows, cols } => rows * cols,
             TopologySpec::LeafSpine { spines, leaves } => spines + leaves,
             TopologySpec::Tiered { tiers, .. } => tiers.iter().sum(),
@@ -787,6 +799,12 @@ impl TopologySpec {
                 t.insert("p".into(), Value::Float(*p));
                 t.insert("seed".into(), int_val(*seed));
             }
+            TopologySpec::AsGraph { n, m, seed } => {
+                t.insert("family".into(), str_val("as_graph"));
+                t.insert("n".into(), int_val(*n as u64));
+                t.insert("m".into(), int_val(*m as u64));
+                t.insert("seed".into(), int_val(*seed));
+            }
             TopologySpec::LeafSpine { spines, leaves } => {
                 t.insert("family".into(), str_val("leaf_spine"));
                 t.insert("spines".into(), int_val(*spines as u64));
@@ -850,6 +868,11 @@ impl TopologySpec {
                 n: req_usize(v, "n")?,
                 p: req_f64(v, "p")?,
                 seed: req_u64(v, "seed")?,
+            }),
+            "as_graph" => Ok(TopologySpec::AsGraph {
+                n: req_usize(v, "n")?,
+                m: req_usize(v, "m")?,
+                seed: opt_u64(v, "seed", 0),
             }),
             "leaf_spine" => Ok(TopologySpec::LeafSpine {
                 spines: req_usize(v, "spines")?,

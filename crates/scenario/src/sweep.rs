@@ -350,6 +350,7 @@ impl Sweep {
         s.seeds = vec![seed];
         match &mut s.topology {
             TopologySpec::ConnectedRandom { seed: t, .. } => *t = seed ^ 0x5EED_5EED_5EED_5EED,
+            TopologySpec::AsGraph { seed: t, .. } => *t = seed ^ 0x5EED_5EED_5EED_5EED,
             TopologySpec::Tiered { seed: t, .. } => *t = seed ^ 0x5EED_5EED_5EED_5EED,
             _ => {}
         }
@@ -415,6 +416,19 @@ pub fn resize_topology(t: &TopologySpec, n: usize) -> Result<TopologySpec, SpecE
             TopologySpec::ConnectedRandom {
                 n,
                 p: *p,
+                seed: *seed,
+            }
+        }
+        TopologySpec::AsGraph { m, seed, .. } => {
+            if n < m + 1 {
+                return Err(SpecError::new(format!(
+                    "axis n: an as_graph with m = {m} needs n >= {}",
+                    m + 1
+                )));
+            }
+            TopologySpec::AsGraph {
+                n,
+                m: *m,
                 seed: *seed,
             }
         }
@@ -598,6 +612,10 @@ pub struct SweepRunOptions {
     /// reproduction or grids dominated by one huge point).  Never changes
     /// the aggregated report, only its wall-clock section.
     pub threads: usize,
+    /// Cache-conscious row ordering for the σ engines within each run.
+    /// Like `threads`, a pure layout knob: the aggregated report is
+    /// bit-identical for every ordering.
+    pub row_order: dbf_matrix::RowOrder,
 }
 
 /// Execute a sweep: expand the grid, fan the runs out across `jobs` worker
@@ -645,6 +663,7 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepRunOptions) -> Result<SweepReport, S
     }
     let run_cfg = RunConfig {
         threads: opts.threads.max(1),
+        row_order: opts.row_order,
     };
     let results = parallel_map(
         opts.jobs,

@@ -274,7 +274,14 @@ fn predicted_bounds_are_identical_across_thread_counts() {
     let mut spec = builtins::by_name("widest-fabric").unwrap();
     spec.engines = vec![EngineKind::Sync, EngineKind::Incremental, EngineKind::Delta];
     let snapshot = |threads: usize| -> Vec<(String, Option<u64>, Option<String>)> {
-        let report = run_scenario_with(&spec, &RunConfig { threads }).unwrap();
+        let report = run_scenario_with(
+            &spec,
+            &RunConfig {
+                threads,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
         assert!(report.verdict.bounds_ok, "threads={threads}");
         report
             .runs
@@ -299,6 +306,58 @@ fn predicted_bounds_are_identical_across_thread_counts() {
         sequential.iter().any(|(_, b, _)| b.is_some()),
         "the fixture must actually exercise annotated phases"
     );
+}
+
+/// The row-ordering axis of the contract: `run_ordered` must be outcome-
+/// invariant for **every** registered engine — the σ engines relabel and
+/// invert (σ equivariance), everything else ignores the knob — so the
+/// differential verdict and every digest and deterministic counter are
+/// identical whatever ordering the run requests.
+#[test]
+fn every_engine_is_invariant_under_row_ordering() {
+    use dbf_scenario::RowOrder;
+    for kind in EngineKind::all() {
+        let mut spec = conformance_scenarios(kind)
+            .into_iter()
+            .next()
+            .expect("every engine has conformance scenarios");
+        spec.engines = if kind == EngineKind::Sync {
+            vec![EngineKind::Sync]
+        } else {
+            vec![EngineKind::Sync, kind]
+        };
+        let name = spec.name.clone();
+        let base = run_scenario(&spec).unwrap();
+        for row_order in [RowOrder::Degree, RowOrder::Rcm] {
+            let cfg = RunConfig {
+                threads: 2,
+                row_order,
+            };
+            let reordered = run_scenario_with(&spec, &cfg).unwrap();
+            assert_eq!(
+                reordered.verdict, base.verdict,
+                "engine {kind:?} on {name}: verdict moved under {row_order}"
+            );
+            for (a, b) in base.runs.iter().zip(reordered.runs.iter()) {
+                assert_eq!(a.engine, b.engine, "{name}");
+                assert_eq!(
+                    digests(a),
+                    digests(b),
+                    "engine {kind:?} on {name}: digests must not depend on {row_order}"
+                );
+                if kind != EngineKind::Threaded {
+                    for (pa, pb) in a.phases.iter().zip(b.phases.iter()) {
+                        assert_eq!(
+                            (pa.rounds, pa.work),
+                            (pb.rounds, pb.work),
+                            "engine {kind:?} on {name} phase {:?} under {row_order}",
+                            pa.label
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The incremental engine's reason to exist: on the topology-change phase

@@ -53,7 +53,16 @@ fn digests_and_json_are_identical_across_thread_counts() {
     let spec = fabric_scenario();
     let reports: Vec<ScenarioReport> = [1usize, 2, 8]
         .iter()
-        .map(|&threads| run_scenario_with(&spec, &RunConfig { threads }).expect("spec is valid"))
+        .map(|&threads| {
+            run_scenario_with(
+                &spec,
+                &RunConfig {
+                    threads,
+                    ..RunConfig::default()
+                },
+            )
+            .expect("spec is valid")
+        })
         .collect();
     let base = &reports[0];
     assert!(base.verdict.agreement, "{}", base.summary());
@@ -86,8 +95,15 @@ fn the_incremental_engine_shards_its_dirty_rows_identically() {
     // same row-recomputation counts (the `work` metric) at any width.
     let mut spec = builtins::by_name("partition-and-heal").expect("built-in");
     spec.engines = vec![EngineKind::Sync, EngineKind::Incremental];
-    let seq = run_scenario_with(&spec, &RunConfig { threads: 1 }).unwrap();
-    let par = run_scenario_with(&spec, &RunConfig { threads: 8 }).unwrap();
+    let seq = run_scenario_with(&spec, &RunConfig::default()).unwrap();
+    let par = run_scenario_with(
+        &spec,
+        &RunConfig {
+            threads: 8,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
     assert_eq!(
         strip_wall(&seq.to_json().to_string()),
         strip_wall(&par.to_json().to_string())
@@ -134,6 +150,47 @@ fn cli_run_json_is_identical_across_threads() {
     assert_eq!(a, b, "--threads 1 vs 2");
     assert_eq!(a, c, "--threads 1 vs 8");
     assert!(a.contains("\"agreement\": true"));
+}
+
+#[test]
+fn cli_run_json_is_identical_across_row_orders_and_threads() {
+    // The acceptance bar for the row-ordering knob: the full `run --json`
+    // document — digests, verdict, deterministic metrics — is byte-identical
+    // for every `--row-order` × `--threads` combination; only the stripped
+    // timing section may move.
+    let run = |order: &str, threads: &str| {
+        let out = scenarios_bin()
+            .args([
+                "run",
+                "widest-fabric",
+                "--engines",
+                "sync,incremental",
+                "--json",
+                "--row-order",
+                order,
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("spawn scenarios");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let base = strip_wall(&run("none", "1"));
+    assert!(base.contains("\"agreement\": true"));
+    for order in ["degree", "rcm"] {
+        for threads in ["1", "8"] {
+            assert_eq!(
+                strip_wall(&run(order, threads)),
+                base,
+                "--row-order {order} --threads {threads}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -53,8 +53,7 @@ fn widest_fabric_scaling_json_is_byte_identical_across_job_counts() {
             &SweepRunOptions {
                 jobs,
                 point: Some(0),
-                replicate: None,
-                threads: 1,
+                ..SweepRunOptions::default()
             },
         )
         .expect("widest-fabric-scaling point 0 runs")
@@ -80,9 +79,7 @@ fn aggregated_json_is_byte_identical_across_job_counts() {
             &sweep,
             &SweepRunOptions {
                 jobs,
-                point: None,
-                replicate: None,
-                threads: 1,
+                ..SweepRunOptions::default()
             },
         )
         .expect("smoke sweep runs")
@@ -109,9 +106,7 @@ fn point_and_replicate_filters_reproduce_a_single_cell() {
         &sweep,
         &SweepRunOptions {
             jobs: 1,
-            point: None,
-            replicate: None,
-            threads: 1,
+            ..SweepRunOptions::default()
         },
     )
     .unwrap();
@@ -121,7 +116,7 @@ fn point_and_replicate_filters_reproduce_a_single_cell() {
             jobs: 1,
             point: Some(2),
             replicate: Some(1),
-            threads: 1,
+            ..SweepRunOptions::default()
         },
     )
     .unwrap();
@@ -140,9 +135,7 @@ fn bench_sweeps_document_includes_timing_and_every_sweep() {
         &sweeps::by_name("smoke").unwrap(),
         &SweepRunOptions {
             jobs: 2,
-            point: None,
-            replicate: None,
-            threads: 1,
+            ..SweepRunOptions::default()
         },
     )
     .unwrap();

@@ -27,8 +27,15 @@ fn fabric_scenario() -> Scenario {
 /// Run a scenario traced and return (report, metrics-section JSON text).
 fn traced_metrics(spec: &Scenario, threads: usize) -> (ScenarioReport, String) {
     let mut sink = AggregatingSink::new();
-    let report =
-        run_scenario_traced(spec, &RunConfig { threads }, &mut sink).expect("spec is valid");
+    let report = run_scenario_traced(
+        spec,
+        &RunConfig {
+            threads,
+            ..RunConfig::default()
+        },
+        &mut sink,
+    )
+    .expect("spec is valid");
     let metrics = metrics_json(&sink.finish()).to_string();
     (report, metrics)
 }
@@ -57,7 +64,7 @@ fn metrics_cover_every_engine_kind_it_advertises() {
     let spec = builtins::by_name("count-to-infinity").expect("built-in");
     let mut sink = AggregatingSink::new();
     let report =
-        run_scenario_traced(&spec, &RunConfig { threads: 1 }, &mut sink).expect("spec is valid");
+        run_scenario_traced(&spec, &RunConfig::default(), &mut sink).expect("spec is valid");
     let metrics = sink.finish();
     for d in descriptors() {
         if !spec.engines.contains(&d.kind) {
@@ -118,7 +125,7 @@ fn rip_and_bgp_report_wire_bytes() {
             "{scenario} no longer runs {name}; pick another host scenario"
         );
         let mut sink = AggregatingSink::new();
-        run_scenario_traced(&spec, &RunConfig { threads: 1 }, &mut sink).expect("spec is valid");
+        run_scenario_traced(&spec, &RunConfig::default(), &mut sink).expect("spec is valid");
         let metrics = sink.finish();
         let phase = metrics
             .phases
@@ -138,7 +145,10 @@ fn tracing_does_not_perturb_the_run() {
     // The observation contract: attaching the aggregator must not change
     // the differential outcome or any deterministic counter.
     let spec = fabric_scenario();
-    let cfg = RunConfig { threads: 2 };
+    let cfg = RunConfig {
+        threads: 2,
+        ..RunConfig::default()
+    };
     let untraced = run_scenario_with(&spec, &cfg).expect("spec is valid");
     let mut sink = AggregatingSink::new();
     let traced = run_scenario_traced(&spec, &cfg, &mut sink).expect("spec is valid");
@@ -180,10 +190,10 @@ fn cli_trace_file_is_flat_versioned_jsonl() {
     assert!(!text.is_empty());
     let mut events = std::collections::BTreeSet::new();
     for line in text.lines() {
-        assert!(line.starts_with("{\"v\":1,\"ev\":\""), "bad line: {line}");
+        assert!(line.starts_with("{\"v\":2,\"ev\":\""), "bad line: {line}");
         assert!(line.ends_with('}'), "bad line: {line}");
         assert!(!line[1..].contains('{'), "nested object: {line}");
-        let ev = line["{\"v\":1,\"ev\":\"".len()..]
+        let ev = line["{\"v\":2,\"ev\":\"".len()..]
             .split('"')
             .next()
             .unwrap()

@@ -75,6 +75,9 @@ pub struct PhaseMetrics {
     pub rows_changed: u64,
     /// Largest dirty-set size seen at any round start.
     pub max_scheduled: u64,
+    /// Largest active-frontier size seen at any round start (rows whose
+    /// inputs changed last round; `≤ max_scheduled`).
+    pub peak_frontier: u64,
     /// Per-node settle-round histogram summary, for engines that emit
     /// `node_settled`.
     pub settle: Option<SettleSummary>,
@@ -114,6 +117,7 @@ struct PhaseAgg {
     rows_recomputed: u64,
     rows_changed: u64,
     max_scheduled: u64,
+    peak_frontier: u64,
     settle: Vec<u64>,
     messages: Option<MessageCounters>,
     round_wall_ns: u64,
@@ -160,6 +164,7 @@ impl AggregatingSink {
                 rows_recomputed: e.rows_recomputed,
                 rows_changed: e.rows_changed,
                 max_scheduled: e.max_scheduled,
+                peak_frontier: e.peak_frontier,
                 settle: SettleSummary::from_samples(&e.settle),
                 messages: e.messages,
             });
@@ -188,9 +193,10 @@ impl TelemetrySink for AggregatingSink {
         });
     }
 
-    fn round_start(&mut self, _round: u64, scheduled: u64) {
+    fn round_start(&mut self, _round: u64, scheduled: u64, frontier: u64) {
         let e = self.entry();
         e.max_scheduled = e.max_scheduled.max(scheduled);
+        e.peak_frontier = e.peak_frontier.max(frontier);
     }
 
     fn round_end(&mut self, _round: u64, recomputed: u64, changed: u64, wall_ns: u64) {
@@ -246,18 +252,18 @@ mod tests {
         let mut sink = AggregatingSink::new();
         sink.run_start("sync", "sync");
         sink.phase_start("baseline", 4);
-        sink.round_start(1, 4);
+        sink.round_start(1, 4, 4);
         sink.band_sweep(1, 0, 2, 10, 100);
         sink.band_sweep(1, 1, 2, 8, 90);
         sink.round_end(1, 4, 3, 200);
-        sink.round_start(2, 4);
+        sink.round_start(2, 4, 3);
         sink.round_end(2, 4, 0, 150);
         for (node, round) in [(0, 1), (1, 1), (2, 0), (3, 1)] {
             sink.node_settled(node, round);
         }
         sink.phase_end("baseline");
         sink.phase_start("change", 4);
-        sink.round_start(1, 2);
+        sink.round_start(1, 2, 1);
         sink.round_end(1, 2, 1, 50);
         sink.phase_end("change");
 
@@ -269,9 +275,11 @@ mod tests {
             (2, 8, 3)
         );
         assert_eq!(base.max_scheduled, 4);
+        assert_eq!(base.peak_frontier, 4);
         let settle = base.settle.unwrap();
         assert_eq!((settle.count, settle.p50, settle.max), (4, 1, 1));
         assert_eq!(report.phases[1].max_scheduled, 2);
+        assert_eq!(report.phases[1].peak_frontier, 1);
         let t = &report.timing[0];
         assert_eq!(t.round_wall_ns, 350);
         assert_eq!(t.bands.len(), 2);
@@ -284,7 +292,7 @@ mod tests {
     #[test]
     fn events_without_a_phase_open_an_anonymous_entry() {
         let mut sink = AggregatingSink::new();
-        sink.round_start(1, 3);
+        sink.round_start(1, 3, 3);
         sink.round_end(1, 3, 3, 10);
         let report = sink.finish();
         assert_eq!(report.phases.len(), 1);

@@ -98,8 +98,12 @@ pub trait TelemetrySink {
     fn phase_end(&mut self, _label: &str) {}
 
     /// A σ round (or δ time step) begins; `scheduled` rows are due for
-    /// recomputation (the dirty-set size — `n` for full sweeps).
-    fn round_start(&mut self, _round: u64, _scheduled: u64) {}
+    /// recomputation (the dirty-set size — `n` for full sweeps), of which
+    /// `frontier` are on the active frontier (rows whose inputs changed
+    /// last round and will actually be σ-recomputed; equal to `scheduled`
+    /// for the dirty-row engines, `≤ scheduled` for full sweeps that
+    /// short-circuit settled rows).
+    fn round_start(&mut self, _round: u64, _scheduled: u64, _frontier: u64) {}
 
     /// A round ended: `recomputed` rows were swept, `changed` of them
     /// produced a different row.  `wall_ns` is non-deterministic.
@@ -178,9 +182,9 @@ impl TelemetrySink for Tee<'_> {
         self.a.phase_end(label);
         self.b.phase_end(label);
     }
-    fn round_start(&mut self, round: u64, scheduled: u64) {
-        self.a.round_start(round, scheduled);
-        self.b.round_start(round, scheduled);
+    fn round_start(&mut self, round: u64, scheduled: u64, frontier: u64) {
+        self.a.round_start(round, scheduled, frontier);
+        self.b.round_start(round, scheduled, frontier);
     }
     fn round_end(&mut self, round: u64, recomputed: u64, changed: u64, wall_ns: u64) {
         self.a.round_end(round, recomputed, changed, wall_ns);
@@ -225,7 +229,7 @@ mod tests {
     fn noop_sink_is_disabled_and_inert() {
         let mut s = NoopSink;
         assert!(!s.enabled());
-        s.round_start(1, 5);
+        s.round_start(1, 5, 5);
         s.round_end(1, 5, 3, 42);
         s.node_settled(0, 2);
     }

@@ -7,8 +7,9 @@ use std::io::{self, Write};
 use crate::sink::{MessageCounters, TelemetrySink};
 
 /// Version stamped into every trace line as `"v"`.  Bump on any change to
-/// line shapes or field meanings.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// line shapes or field meanings.  v2: `round_start` carries the active
+/// frontier size alongside the scheduled-row count.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Writes the event stream as JSON Lines to any [`Write`] target.
 ///
@@ -112,12 +113,13 @@ impl<W: Write> TelemetrySink for TraceSink<W> {
     fn phase_end(&mut self, label: &str) {
         self.line("phase_end", &[("label", Field::Str(label))]);
     }
-    fn round_start(&mut self, round: u64, scheduled: u64) {
+    fn round_start(&mut self, round: u64, scheduled: u64, frontier: u64) {
         self.line(
             "round_start",
             &[
                 ("round", Field::U64(round)),
                 ("scheduled", Field::U64(scheduled)),
+                ("frontier", Field::U64(frontier)),
             ],
         );
     }
@@ -223,7 +225,7 @@ mod tests {
         let text = capture(|sink| {
             sink.run_start("delta[7]", "delta");
             sink.phase_start("baseline", 5);
-            sink.round_start(1, 5);
+            sink.round_start(1, 5, 2);
             sink.round_end(1, 5, 4, 123);
             sink.band_sweep(1, 0, 3, 9, 50);
             sink.node_settled(2, 1);
@@ -237,13 +239,14 @@ mod tests {
             sink.phase_end("baseline");
         });
         for line in text.lines() {
-            assert!(line.starts_with("{\"v\":1,\"ev\":\""), "{line}");
+            assert!(line.starts_with("{\"v\":2,\"ev\":\""), "{line}");
             assert!(line.ends_with('}'), "{line}");
             // Flat: no nested objects after the opening brace.
             assert!(!line[1..].contains('{'), "{line}");
         }
         assert!(text.contains("\"ev\":\"messages\",\"sent\":10"));
         assert!(text.contains("\"bytes\":null"));
+        assert!(text.contains("\"scheduled\":5,\"frontier\":2"));
     }
 
     #[test]

@@ -164,6 +164,49 @@ pub fn connected_random(n: usize, p: f64, seed: u64) -> Topology<()> {
     t
 }
 
+/// A Barabási–Albert-style preferential-attachment graph with the heavy
+/// tailed degree profile of the AS-level Internet: the first `min(n, m+1)`
+/// nodes form a clique, and every later node attaches to `m` *distinct*
+/// existing nodes sampled proportionally to their current degree (the
+/// classic endpoint-list trick: drawing a uniform entry from the flat list
+/// of edge endpoints is exactly degree-weighted sampling).  Deterministic
+/// in `seed`; connected for `m ≥ 1`.
+pub fn as_graph(n: usize, m: usize, seed: u64) -> Topology<()> {
+    assert!(m >= 1, "as_graph needs m >= 1");
+    assert!(n >= 2, "as_graph needs at least 2 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new(n);
+    // Every edge {i, j} pushes both endpoints, so a node's multiplicity in
+    // `endpoints` is its degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * (m + 1).min(n) * n.max(1));
+    let core = (m + 1).min(n);
+    for i in 0..core {
+        for j in (i + 1)..core {
+            t.set_link(i, j, ());
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for v in core..n {
+        targets.clear();
+        // `v` joins with `m` distinct degree-weighted neighbours; rejection
+        // on duplicates terminates fast because m ≪ v in any realistic call.
+        while targets.len() < m.min(v) {
+            let u = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&u) {
+                targets.push(u);
+            }
+        }
+        for &u in &targets {
+            t.set_link(v, u, ());
+            endpoints.push(v);
+            endpoints.push(u);
+        }
+    }
+    t
+}
+
 /// A two-level Clos (leaf–spine) data-center fabric: every leaf is connected
 /// to every spine.  Nodes `0..spines` are spines, `spines..spines+leaves`
 /// are leaves.
@@ -385,6 +428,49 @@ mod tests {
         let ft = fat_tree(4);
         assert_eq!(ft.node_count(), 12);
         assert!(ft.is_weakly_connected());
+    }
+
+    #[test]
+    fn as_graph_shape_and_determinism() {
+        let n = 200;
+        let m = 2;
+        let t = as_graph(n, m, 11);
+        assert_eq!(t.node_count(), n);
+        assert!(t.is_weakly_connected());
+        assert!(t.is_symmetric());
+        // clique on the first m+1 nodes, then m links per later node
+        let links = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(t.edge_count(), 2 * links);
+        assert!(t.has_edge(0, 1), "the seed clique always links 0 and 1");
+        assert_eq!(t, as_graph(n, m, 11));
+        assert_ne!(t, as_graph(n, m, 12));
+    }
+
+    #[test]
+    fn as_graph_degree_profile_is_heavy_tailed() {
+        // Preferential attachment concentrates degree: the best-connected
+        // node must collect far more than the mean degree, and low-degree
+        // leaves (degree exactly m) must dominate the population.
+        let n = 500;
+        let m = 2;
+        let t = as_graph(n, m, 7);
+        let degree: Vec<usize> = (0..n).map(|v| t.out_neighbors(v).len()).collect();
+        let max = *degree.iter().max().unwrap();
+        let mean = degree.iter().sum::<usize>() as f64 / n as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "max degree {max} vs mean {mean}: no hub emerged"
+        );
+        let leaves = degree.iter().filter(|&&d| d == m).count();
+        assert!(leaves > n / 4, "only {leaves} degree-{m} leaves");
+    }
+
+    #[test]
+    fn as_graph_small_n_degenerates_to_a_clique() {
+        // n <= m + 1: everything fits in the seed clique.
+        let t = as_graph(3, 4, 0);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.is_symmetric());
     }
 
     #[test]
