@@ -1,0 +1,254 @@
+//! A seeded, deterministic fault plane for chaos-testing the parallel
+//! kernels and the route server built on them.
+//!
+//! The paper's asynchronous model (Section 3, axioms S1–S3) already prices
+//! in an adversarial environment — messages may be lost, duplicated,
+//! reordered, or stale — and the dynamic extension (arXiv 2012.01686) lets
+//! participants fail and rejoin mid-iteration.  A [`FaultPlan`] is the
+//! executable form of that adversary: a fixed schedule of injectable
+//! faults that the worker pool ([`crate::pool`]) and the scenario layer's
+//! route server consult at well-defined hook points.  Because the schedule
+//! is data (not randomness sampled at injection time), a chaos run is
+//! exactly reproducible: the same plan against the same trace produces the
+//! same deaths, the same retries, and — the whole point — the same final
+//! digests as an unfaulted run.
+//!
+//! Every fault is **once-firing**: its trigger latches atomically the
+//! first time its site matches, so a recovered run sharing the plan does
+//! not re-crash in a loop, and counters derived from the plan (deaths,
+//! restarts, retries) are deterministic.
+//!
+//! The matrix crate owns only the in-memory representation and the pool
+//! hook points; parsing plans from TOML and the serve-level hooks (crash
+//! at event offset, WAL tampering, flush delays) live in `dbf-scenario`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What a single scheduled fault does when it fires.  The `at` trigger on
+/// the owning [`Fault`] is interpreted per kind: a pool **epoch index**
+/// (relative to when the plan was armed) for the worker faults, an
+/// **event offset** for `CrashAtEvent`, a **flush index** for
+/// `DelayFlush`, and unused for the WAL-tampering kinds (they apply to
+/// whatever WAL tail exists at crash time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill worker thread `worker` when it next handles a job of an epoch
+    /// at or past the trigger.  The worker exits; the in-flight job is
+    /// requeued so the epoch still drains, and the pool supervisor
+    /// replaces the thread.
+    KillWorker {
+        /// Index of the worker thread to kill.
+        worker: usize,
+    },
+    /// Sleep `millis` before running one band job of the triggering
+    /// epoch, simulating a straggler band.
+    StallBand {
+        /// How long the band stalls, in milliseconds.
+        millis: u64,
+    },
+    /// Panic one job of the triggering epoch instead of running it,
+    /// forcing the epoch to drain with an error so retry paths are
+    /// exercised.
+    FailEpoch,
+    /// Simulate a process crash immediately before applying the trace
+    /// event at the trigger offset.  The serve layer drops all in-memory
+    /// state and reports a structured crash.
+    CrashAtEvent,
+    /// After a crash, truncate `bytes` bytes off the WAL tail before
+    /// recovery — simulating a torn final write.
+    TruncateWal {
+        /// Number of trailing bytes to remove.
+        bytes: u64,
+    },
+    /// After a crash, flip one byte at `byte` (counted from just after
+    /// the WAL header) before recovery — recovery must detect the bad
+    /// checksum and fail cleanly.
+    CorruptWal {
+        /// Byte position, counted from just after the WAL header line.
+        byte: u64,
+    },
+    /// Sleep `millis` at the start of the triggering flush, simulating a
+    /// slow reconvergence that the deadline machinery must absorb.
+    DelayFlush {
+        /// How long the flush is delayed, in milliseconds.
+        millis: u64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable name, used by telemetry events and plan files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::KillWorker { .. } => "kill_worker",
+            FaultKind::StallBand { .. } => "stall_band",
+            FaultKind::FailEpoch => "fail_epoch",
+            FaultKind::CrashAtEvent => "crash",
+            FaultKind::TruncateWal { .. } => "truncate_wal",
+            FaultKind::CorruptWal { .. } => "corrupt_wal",
+            FaultKind::DelayFlush { .. } => "delay_flush",
+        }
+    }
+}
+
+/// One scheduled fault: a kind, a trigger point, and a once-firing latch.
+#[derive(Debug)]
+pub struct Fault {
+    /// What happens when the fault fires.
+    pub kind: FaultKind,
+    /// The trigger point; see [`FaultKind`] for per-kind interpretation.
+    pub at: u64,
+    fired: AtomicBool,
+}
+
+impl Fault {
+    fn new(kind: FaultKind, at: u64) -> Fault {
+        Fault {
+            kind,
+            at,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Latch the fault if `site` has reached its trigger and it has not
+    /// fired yet.  Returns `true` exactly once per fault.
+    fn fire_at(&self, site: u64) -> bool {
+        site >= self.at && !self.fired.swap(true, Ordering::SeqCst)
+    }
+
+    /// Has this fault fired?
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// A deterministic schedule of faults, shared (`Arc`) between the layers
+/// that consult it.  The `seed` is carried for provenance in reports; the
+/// schedule itself is explicit, not sampled.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with a provenance seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// The provenance seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Append a fault triggered at `at` (builder style).
+    pub fn with(mut self, kind: FaultKind, at: u64) -> FaultPlan {
+        self.push(kind, at);
+        self
+    }
+
+    /// Append a fault triggered at `at`.
+    pub fn push(&mut self, kind: FaultKind, at: u64) {
+        self.faults.push(Fault::new(kind, at));
+    }
+
+    /// The scheduled faults, in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.fired()).count()
+    }
+
+    /// Pool hook: should worker `worker` die while handling epoch
+    /// `epoch`?  Fires (once) the first matching kill fault.
+    pub fn kill_worker(&self, epoch: u64, worker: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f.kind, FaultKind::KillWorker { worker: w } if w == worker) && f.fire_at(epoch)
+        })
+    }
+
+    /// Pool hook: stall duration for one band job of `epoch`, if a stall
+    /// fault fires here.
+    pub fn stall_band(&self, epoch: u64) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::StallBand { millis } if f.fire_at(epoch) => Some(millis),
+            _ => None,
+        })
+    }
+
+    /// Pool hook: should one job of `epoch` panic instead of running?
+    pub fn fail_epoch(&self, epoch: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::FailEpoch && f.fire_at(epoch))
+    }
+
+    /// Serve hook: simulate a process crash before applying the event at
+    /// `offset`?
+    pub fn crash_at_event(&self, offset: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::CrashAtEvent && f.fire_at(offset))
+    }
+
+    /// Serve hook: delay (ms) for flush number `flush`, if scheduled.
+    pub fn flush_delay(&self, flush: u64) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::DelayFlush { millis } if f.fire_at(flush) => Some(millis),
+            _ => None,
+        })
+    }
+
+    /// Chaos-harness hook: the WAL tampering to apply after a crash, if
+    /// any (`TruncateWal` / `CorruptWal`).  Not latched here — the
+    /// harness applies it exactly once between crash and recovery.
+    pub fn wal_tamper(&self) -> Option<FaultKind> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::TruncateWal { .. } | FaultKind::CorruptWal { .. } => Some(f.kind),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once_at_or_past_their_trigger() {
+        let plan = FaultPlan::new(7).with(FaultKind::FailEpoch, 3);
+        assert!(!plan.fail_epoch(0));
+        assert!(!plan.fail_epoch(2));
+        assert!(plan.fail_epoch(5), "fires on the first site >= trigger");
+        assert!(!plan.fail_epoch(5), "latched after firing");
+        assert_eq!(plan.fired_count(), 1);
+    }
+
+    #[test]
+    fn kill_worker_only_matches_its_victim() {
+        let plan = FaultPlan::new(1).with(FaultKind::KillWorker { worker: 1 }, 0);
+        assert!(!plan.kill_worker(0, 0), "worker 0 is not the victim");
+        assert!(plan.kill_worker(0, 1));
+        assert!(!plan.kill_worker(9, 1), "once only");
+    }
+
+    #[test]
+    fn crash_and_tamper_hooks_are_independent() {
+        let plan = FaultPlan::new(2)
+            .with(FaultKind::CrashAtEvent, 10)
+            .with(FaultKind::TruncateWal { bytes: 16 }, 0);
+        assert!(!plan.crash_at_event(9));
+        assert!(plan.crash_at_event(10));
+        assert_eq!(
+            plan.wal_tamper(),
+            Some(FaultKind::TruncateWal { bytes: 16 }),
+            "tamper is not latched by the crash"
+        );
+    }
+}

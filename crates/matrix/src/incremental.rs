@@ -50,6 +50,12 @@ pub struct IncrementalOutcome<A: RoutingAlgebra> {
     /// Whether the dirty set emptied (a fixed point was reached) within the
     /// round budget.
     pub converged: bool,
+    /// The residual dirty mask when `converged` is false: exactly the rows
+    /// still scheduled for recomputation, so the iteration can be resumed
+    /// (`x0 = state`, `dirty0 = dirty`) and will reproduce the uninterrupted
+    /// trajectory — the Jacobi staging makes the split point invisible.
+    /// Empty when `converged` is true.
+    pub dirty: Vec<bool>,
 }
 
 /// The rows a topology change can perturb directly: every row whose import
@@ -193,11 +199,16 @@ where
             if on {
                 emit_settles(tel, &last_changed);
             }
+            let mut residual = vec![false; n];
+            for &i in frontier.sorted() {
+                residual[i] = true;
+            }
             return IncrementalOutcome {
                 state,
                 rounds,
                 row_recomputations,
                 converged: false,
+                dirty: residual,
             };
         }
         rounds += 1;
@@ -240,6 +251,7 @@ where
         rounds,
         row_recomputations,
         converged: true,
+        dirty: Vec::new(),
     }
 }
 
@@ -316,6 +328,49 @@ where
         max_rounds,
         |state, worklist, staging, changed| {
             par_recompute_rows_into(alg, adj, state, worklist, threads, staging, changed)
+        },
+        tel,
+    )
+}
+
+/// [`par_iterate_dirty_traced`] against an explicit [`WorkerPool`](crate::pool::WorkerPool) instead
+/// of the process-wide shared one.
+///
+/// The route server runs its reconvergences on a dedicated pool for two
+/// reasons: an armed [`FaultPlan`](crate::faults::FaultPlan) keys its
+/// triggers on epoch indices, which are only deterministic on a pool whose
+/// history the server controls; and a fault that kills or stalls a worker
+/// must not perturb unrelated work sharing the process-wide pool.
+/// `threads <= 1` still runs the sequential engine (the pool is unused).
+#[allow(clippy::too_many_arguments)]
+pub fn par_iterate_dirty_traced_on<A, S>(
+    pool: &crate::pool::WorkerPool,
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    x0: &RoutingState<A>,
+    dirty0: &[bool],
+    max_rounds: usize,
+    threads: usize,
+    tel: &mut S,
+) -> IncrementalOutcome<A>
+where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+    S: TelemetrySink + ?Sized,
+{
+    if threads <= 1 {
+        return iterate_dirty_traced(alg, adj, x0, dirty0, max_rounds, tel);
+    }
+    run_dirty_loop(
+        adj,
+        x0,
+        dirty0,
+        max_rounds,
+        |state, worklist, staging, changed| {
+            crate::parallel::par_recompute_rows_into_on(
+                pool, alg, adj, state, worklist, threads, staging, changed,
+            )
         },
         tel,
     )

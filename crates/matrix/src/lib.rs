@@ -34,8 +34,12 @@
 //!   **bit-identical** to the sequential iteration at any thread count;
 //! * [`pool`] — the persistent worker pool behind those sweeps: parked
 //!   workers and epoch-stamped band work lists replace per-round thread
-//!   spawning, and worker panics surface as recoverable errors instead of
-//!   taking the process down;
+//!   spawning, worker panics surface as recoverable errors instead of
+//!   taking the process down, and a supervisor replaces workers that die;
+//! * [`faults`] — a seeded, deterministic fault plane: once-firing
+//!   injectable faults (kill a worker, stall a band, fail an epoch, crash
+//!   at an event offset, tamper with a WAL tail) consulted by the pool and
+//!   by the scenario layer's chaos harness;
 //! * [`oracle`] — an exhaustive all-simple-paths optimum used to cross-check
 //!   fixed points: for distributive algebras the fixed point must equal the
 //!   global path optimum (the classical theory), while policy-rich algebras
@@ -75,6 +79,7 @@
 
 pub mod adjacency;
 pub mod blocked;
+pub mod faults;
 pub mod frontier;
 pub mod incremental;
 pub mod oracle;
@@ -87,10 +92,12 @@ pub mod sync;
 
 pub use adjacency::AdjacencyMatrix;
 pub use blocked::{blocked_fixed_point, BlockedOutcome};
+pub use faults::{Fault, FaultKind, FaultPlan};
 pub use frontier::Frontier;
 pub use incremental::{
     dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
-    par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
+    par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, par_iterate_dirty_traced_on,
+    IncrementalOutcome,
 };
 pub use parallel::{
     par_iterate_to_fixed_point, par_iterate_traced, par_sigma_into, ParallelAlgebra,
@@ -105,10 +112,12 @@ pub use sync::{is_stable, iterate_to_fixed_point, iterate_traced, iteration_budg
 pub mod prelude {
     pub use crate::adjacency::{lift_topology, AdjacencyMatrix};
     pub use crate::blocked::{blocked_fixed_point, BlockedOutcome};
+    pub use crate::faults::{Fault, FaultKind, FaultPlan};
     pub use crate::frontier::Frontier;
     pub use crate::incremental::{
         dirty_rows_after_change, iterate_dirty_to_fixed_point, iterate_dirty_traced,
-        par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, IncrementalOutcome,
+        par_iterate_dirty_to_fixed_point, par_iterate_dirty_traced, par_iterate_dirty_traced_on,
+        IncrementalOutcome,
     };
     pub use crate::oracle::exhaustive_path_optimum;
     pub use crate::parallel::{

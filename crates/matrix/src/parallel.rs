@@ -521,6 +521,37 @@ pub(crate) fn par_recompute_rows_into<A>(
     A::Route: Send + Sync,
     A::Edge: Sync,
 {
+    par_recompute_rows_into_on(
+        WorkerPool::shared(),
+        alg,
+        adj,
+        state,
+        worklist,
+        threads,
+        staging,
+        changed,
+    )
+}
+
+/// [`par_recompute_rows_into`] against an explicit pool instead of the
+/// process-wide shared one.  The route server uses a dedicated pool so
+/// that fault plans keyed on epoch indices are deterministic (the shared
+/// pool's epoch counter depends on whatever else the process ran).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_recompute_rows_into_on<A>(
+    pool: &WorkerPool,
+    alg: &A,
+    adj: &AdjacencyMatrix<A>,
+    state: &RoutingState<A>,
+    worklist: &[usize],
+    threads: usize,
+    staging: &mut Vec<A::Route>,
+    changed: &mut Vec<bool>,
+) where
+    A: ParallelAlgebra,
+    A::Route: Send + Sync,
+    A::Edge: Sync,
+{
     let n = adj.node_count();
     let need = worklist.len() * n;
     if staging.len() < need {
@@ -544,7 +575,7 @@ pub(crate) fn par_recompute_rows_into<A>(
     let mut flag_rest = changed.as_mut_slice();
     #[allow(clippy::type_complexity)]
     let mut first: Option<(&[usize], &mut [A::Route], &mut [bool])> = None;
-    let outcome = WorkerPool::shared().scoped(|scope| {
+    let outcome = pool.scoped(|scope| {
         for range in chunks {
             let rows = &worklist[range.clone()];
             let (stage, stail) =

@@ -37,13 +37,32 @@
 //! `Err` — mirroring `crossbeam::thread::scope`'s contract.  The engine
 //! layer above turns that into a reported engine error with a reproduction
 //! command instead of an abort.
+//!
+//! ## Supervision and faults
+//!
+//! Workers can also *die* (today only by injection: a
+//! [`FaultPlan`] armed via
+//! [`WorkerPool::arm_faults`] can kill a worker mid-epoch).  A dying
+//! worker first requeues its in-flight task so the epoch still drains —
+//! the coordinator's steal-back loop guarantees progress even with every
+//! worker dead — and records its index for the supervisor.
+//! [`WorkerPool::supervise`] (called automatically at every epoch open)
+//! joins dead workers and respawns replacements under the same index, so
+//! the pool returns to full strength without caller involvement.  Deaths,
+//! restarts, and epoch retries are counted in [`PoolStats`] and flow into
+//! the route server's pool-health telemetry.  [`WorkerPool::scoped_retry`]
+//! wraps `scoped` with bounded exponential backoff for transient (e.g.
+//! injected) epoch failures.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::faults::FaultPlan;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -79,6 +98,36 @@ struct Inner {
     work_ready: Condvar,
     worker_jobs: Vec<AtomicU64>,
     inline_jobs: AtomicU64,
+    /// Fast-path guard so the per-task fault lookup costs one relaxed
+    /// load when no plan is armed (the common case).
+    faults_armed: AtomicBool,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Epoch counter value when the current plan was armed; fault
+    /// triggers are matched against epochs *relative* to this baseline,
+    /// so plans are independent of how much the pool ran beforehand.
+    fault_base: AtomicU64,
+    /// Indices of workers that have exited and await respawn.
+    dead: Mutex<Vec<usize>>,
+    deaths: AtomicU64,
+    restarts: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl Inner {
+    /// The armed plan and the epoch's trigger site relative to the
+    /// arming baseline, or `None` when no plan is armed.
+    fn fault_site(&self, epoch: u64) -> Option<(Arc<FaultPlan>, u64)> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let plan = self
+            .faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()?;
+        let base = self.fault_base.load(Ordering::Relaxed);
+        Some((plan, epoch.saturating_sub(base)))
+    }
 }
 
 /// A snapshot of the pool's lifetime counters, used by the route server's
@@ -95,6 +144,13 @@ pub struct PoolStats {
     pub worker_jobs: Vec<u64>,
     /// Jobs stolen back and executed inline by waiting coordinators.
     pub inline_jobs: u64,
+    /// Worker threads that died (fault-injected kills).
+    pub deaths: u64,
+    /// Dead workers replaced by the supervisor.
+    pub restarts: u64,
+    /// Epoch retries after transient failures ([`WorkerPool::scoped_retry`]
+    /// attempts plus retries reported via [`WorkerPool::note_retry`]).
+    pub retries: u64,
 }
 
 impl PoolStats {
@@ -113,9 +169,16 @@ impl PoolStats {
 /// lists; see the module docs for the design.
 pub struct WorkerPool {
     inner: Arc<Inner>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     epochs: AtomicU64,
     jobs: AtomicU64,
+}
+
+fn spawn_worker(index: usize, inner: Arc<Inner>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dbf-pool-{index}"))
+        .spawn(move || worker_loop(index, inner))
+        .expect("spawning a pool worker thread")
 }
 
 fn worker_loop(index: usize, inner: Arc<Inner>) {
@@ -132,16 +195,50 @@ fn worker_loop(index: usize, inner: Arc<Inner>) {
                 st = inner.work_ready.wait(st).unwrap_or_else(|p| p.into_inner());
             }
         };
+        // Injected kill: hand the task back so the epoch still drains
+        // (another worker or the stealing coordinator runs it), record
+        // the death for the supervisor, and exit this thread.
+        if let Some((plan, site)) = inner.fault_site(task.epoch) {
+            if plan.kill_worker(site, index) {
+                {
+                    let mut st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+                    st.queue.push_front(task);
+                }
+                inner.work_ready.notify_one();
+                inner
+                    .dead
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(index);
+                inner.deaths.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
         inner.worker_jobs[index].fetch_add(1, Ordering::Relaxed);
-        run_task(task);
+        run_task(task, &inner);
     }
 }
 
 /// Run one job, catching its panic and folding the outcome into its
 /// epoch's completion state.  Used identically by workers and by
-/// coordinators stealing their own epoch's jobs back.
-fn run_task(task: Task) {
-    let outcome = catch_unwind(AssertUnwindSafe(task.job));
+/// coordinators stealing their own epoch's jobs back.  Stall and
+/// fail-epoch faults are injected here, so they hit whichever executor
+/// picked the job up.
+fn run_task(task: Task, inner: &Inner) {
+    let mut inject_panic = false;
+    if let Some((plan, site)) = inner.fault_site(task.epoch) {
+        if let Some(millis) = plan.stall_band(site) {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        if plan.fail_epoch(site) {
+            inject_panic = true;
+        }
+    }
+    let outcome = if inject_panic {
+        catch_unwind(|| panic!("injected fault: epoch failure"))
+    } else {
+        catch_unwind(AssertUnwindSafe(task.job))
+    };
     let mut sync = task.scope.sync.lock().unwrap_or_else(|p| p.into_inner());
     if let Err(payload) = outcome {
         sync.panic.get_or_insert(payload);
@@ -165,19 +262,20 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             inline_jobs: AtomicU64::new(0),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
+            fault_base: AtomicU64::new(0),
+            dead: Mutex::new(Vec::new()),
+            deaths: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         });
         let handles = (0..workers)
-            .map(|index| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("dbf-pool-{index}"))
-                    .spawn(move || worker_loop(index, inner))
-                    .expect("spawning a pool worker thread")
-            })
+            .map(|index| Some(spawn_worker(index, Arc::clone(&inner))))
             .collect();
         WorkerPool {
             inner,
-            handles,
+            handles: Mutex::new(handles),
             epochs: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
         }
@@ -215,6 +313,7 @@ impl WorkerPool {
         'pool: 'scope,
         F: FnOnce(&PoolScope<'pool, 'scope>) -> R,
     {
+        self.supervise();
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
         let scope = PoolScope {
             pool: self,
@@ -245,6 +344,92 @@ impl WorkerPool {
         }
     }
 
+    /// Retry `f` under [`WorkerPool::scoped`] up to `attempts` times with
+    /// exponential backoff starting at `backoff_ms`, for transient epoch
+    /// failures (a fault-injected panic, a killed worker's retried
+    /// epoch).  Returns the first success or the last failure's payload.
+    pub fn scoped_retry<'pool, 'scope, F, R>(
+        &'pool self,
+        attempts: u32,
+        backoff_ms: u64,
+        mut f: F,
+    ) -> ScopedResult<R>
+    where
+        'pool: 'scope,
+        F: FnMut(&PoolScope<'pool, 'scope>) -> R,
+    {
+        let attempts = attempts.max(1);
+        let mut delay = backoff_ms;
+        let mut attempt = 0;
+        loop {
+            match self.scoped(&mut f) {
+                Ok(value) => return Ok(value),
+                Err(payload) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(payload);
+                    }
+                    self.note_retry();
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                    delay = (delay.max(1) * 2).min(100);
+                }
+            }
+        }
+    }
+
+    /// Arm a fault plan: subsequent epochs are matched against the plan's
+    /// triggers, with epoch indices counted from this call (so the same
+    /// plan means the same thing regardless of pool history).
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *self.inner.faults.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
+        self.inner
+            .fault_base
+            .store(self.epochs.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner.faults_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm any armed fault plan.
+    pub fn disarm_faults(&self) {
+        self.inner.faults_armed.store(false, Ordering::SeqCst);
+        *self.inner.faults.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// Replace workers that died, keeping their indices (so per-worker
+    /// job counters stay meaningful).  Called automatically at every
+    /// epoch open; the fast path is one atomic comparison.  Returns how
+    /// many workers were respawned by this call.
+    pub fn supervise(&self) -> u64 {
+        if self.inner.deaths.load(Ordering::SeqCst) == self.inner.restarts.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let dead: Vec<usize> = {
+            let mut dead = self.inner.dead.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *dead)
+        };
+        let mut respawned = 0;
+        let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+        for index in dead {
+            // The dead worker registered itself just before returning, so
+            // this join is at most a brief wait for its final unwind.
+            if let Some(handle) = handles[index].take() {
+                let _ = handle.join();
+            }
+            handles[index] = Some(spawn_worker(index, Arc::clone(&self.inner)));
+            self.inner.restarts.fetch_add(1, Ordering::SeqCst);
+            respawned += 1;
+        }
+        respawned
+    }
+
+    /// Record an epoch retry performed by a caller that drives its own
+    /// retry loop (the route server's flush retry) so pool-health
+    /// telemetry sees it alongside [`WorkerPool::scoped_retry`]'s.
+    pub fn note_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Lifetime counters (workers, epochs, job placement); cheap to call.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -258,9 +443,16 @@ impl WorkerPool {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             inline_jobs: self.inner.inline_jobs.load(Ordering::Relaxed),
+            deaths: self.inner.deaths.load(Ordering::SeqCst),
+            restarts: self.inner.restarts.load(Ordering::SeqCst),
+            retries: self.inner.retries.load(Ordering::SeqCst),
         }
     }
 }
+
+/// The result of a scoped epoch: `Err` carries the first job panic's
+/// payload, as in `std::thread::Result`.
+pub type ScopedResult<R> = std::thread::Result<R>;
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
@@ -269,7 +461,8 @@ impl Drop for WorkerPool {
             st.shutdown = true;
         }
         self.inner.work_ready.notify_all();
-        for handle in self.handles.drain(..) {
+        let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+        for handle in handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
     }
@@ -344,7 +537,7 @@ impl<'scope> PoolScope<'_, 'scope> {
     fn wait_all(&self) {
         while let Some(task) = self.steal_own() {
             self.pool.inner.inline_jobs.fetch_add(1, Ordering::Relaxed);
-            run_task(task);
+            run_task(task, &self.pool.inner);
         }
         // Everything still pending is running on a worker right now: the
         // queue holds none of our jobs (just drained), and no new ones
@@ -496,5 +689,167 @@ mod tests {
     fn worker_share_is_well_defined_without_jobs() {
         let pool = WorkerPool::new(1);
         assert_eq!(pool.stats().worker_share(), 1.0);
+    }
+
+    #[test]
+    fn repeated_panics_drain_every_epoch_and_leave_the_pool_usable() {
+        // The panic firewall must hold across many consecutive failing
+        // epochs, not just one: each epoch drains fully (all non-panicking
+        // jobs run), surfaces exactly one Err, and the next epoch starts
+        // from a healthy pool.
+        let pool = WorkerPool::new(2);
+        let ran = AtomicUsize::new(0);
+        for round in 0..20 {
+            let outcome = pool.scoped(|scope| {
+                for i in 0..5 {
+                    scope.execute(move || {
+                        if i == 2 {
+                            panic!("round {round} band {i}");
+                        }
+                    });
+                    scope.execute(|| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert!(outcome.is_err(), "round {round} must surface its panic");
+        }
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            20 * 5,
+            "every non-panicking job of every epoch still ran"
+        );
+        let mut x = 0u32;
+        pool.scoped(|scope| scope.execute(|| x = 7))
+            .expect("the pool is healthy after 20 panicking epochs");
+        assert_eq!(x, 7);
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.deaths, 0, "panics do not kill workers");
+        assert_eq!(stats.restarts, 0);
+    }
+
+    #[test]
+    fn concurrent_panicking_scopes_stay_isolated_and_the_shared_pool_survives() {
+        // Several coordinators drive panicking epochs on one pool at once:
+        // each scope sees only its own epoch's panic, every epoch drains,
+        // and the pool serves a clean epoch afterwards.
+        let pool = Arc::new(WorkerPool::new(3));
+        let clean_jobs = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for k in 0..6usize {
+                let pool = Arc::clone(&pool);
+                let clean_jobs = Arc::clone(&clean_jobs);
+                s.spawn(move || {
+                    let outcome = pool.scoped(|scope| {
+                        for b in 0..4usize {
+                            scope.execute(move || {
+                                if b == k % 4 {
+                                    panic!("scope {k} band {b}");
+                                }
+                            });
+                            scope.execute(|| {
+                                clean_jobs.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                    let payload = outcome.expect_err("each scope sees its own panic");
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    assert!(
+                        msg.contains(&format!("scope {k} ")),
+                        "scope {k} got a foreign panic: {msg}"
+                    );
+                });
+            }
+        });
+        assert_eq!(clean_jobs.load(Ordering::SeqCst), 6 * 4);
+        let mut x = 0u32;
+        pool.scoped(|scope| scope.execute(|| x = 1))
+            .expect("the pool survived six concurrent panicking scopes");
+        assert_eq!(x, 1);
+        assert_eq!(pool.stats().deaths, 0);
+    }
+
+    #[test]
+    fn a_killed_worker_is_replaced_and_counted_deterministically() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let pool = WorkerPool::new(2);
+        pool.arm_faults(Arc::new(
+            FaultPlan::new(1).with(FaultKind::KillWorker { worker: 0 }, 0),
+        ));
+        // Run epochs until the kill lands (worker 0 must pick up a job);
+        // plenty of jobs per epoch make that prompt.
+        let counter = AtomicUsize::new(0);
+        let mut submitted = 0usize;
+        for _ in 0..200 {
+            pool.scoped(|scope| {
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        // Brief work so both workers participate in the
+                        // epoch and the victim reliably picks up a job.
+                        std::thread::sleep(Duration::from_millis(1));
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+            .expect("a kill is not a job panic");
+            submitted += 8;
+            if pool.stats().deaths == 1 {
+                break;
+            }
+        }
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            submitted,
+            "the requeued in-flight job still ran exactly once"
+        );
+        assert_eq!(pool.stats().deaths, 1, "exactly one kill fault fired");
+        // The supervisor (invoked at the next epoch open) replaces it.
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .expect("the pool works while/after supervision");
+        pool.supervise();
+        let stats = pool.stats();
+        assert_eq!(stats.restarts, 1, "the dead worker was respawned once");
+        assert_eq!(stats.workers, 2, "the worker set is back to full strength");
+        pool.disarm_faults();
+    }
+
+    #[test]
+    fn scoped_retry_recovers_from_an_injected_epoch_failure() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let pool = WorkerPool::new(1);
+        let plan = Arc::new(FaultPlan::new(3).with(FaultKind::FailEpoch, 0));
+        pool.arm_faults(Arc::clone(&plan));
+        let done = AtomicUsize::new(0);
+        let value = pool
+            .scoped_retry(3, 0, |scope| {
+                scope.execute(|| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+                42u32
+            })
+            .expect("the second attempt runs fault-free");
+        assert_eq!(value, 42);
+        assert_eq!(plan.fired_count(), 1, "the fault fired exactly once");
+        assert_eq!(pool.stats().retries, 1, "one retry was recorded");
+        assert!(done.load(Ordering::SeqCst) >= 1);
+        pool.disarm_faults();
+    }
+
+    #[test]
+    fn scoped_retry_gives_up_after_its_attempt_budget() {
+        let pool = WorkerPool::new(1);
+        let outcome = pool.scoped_retry(2, 0, |scope| {
+            scope.execute(|| panic!("permanent failure"));
+        });
+        assert!(outcome.is_err(), "a persistent panic still surfaces");
+        assert_eq!(pool.stats().retries, 1, "attempts - 1 retries");
     }
 }

@@ -21,10 +21,16 @@
 //! scenarios replay <dir>
 //! scenarios gen-trace [--out FILE] [--nodes N] [--events N] [--seed S]
 //!                     [--topology ring] [--algebra hopcount] [--queries PERMILLE]
+//!                     [--weights PERMILLE]
 //! scenarios scale-run [--nodes N] [--m M] [--seed S] [--algebra hopcount]
 //!                     [--block W] [--json] [--out FILE]
 //! scenarios serve --replay FILE [--threads N] [--batch N] [--json]
 //!                 [--out BENCH_serve.json] [--trace FILE.jsonl]
+//!                 [--deadline-ms auto|N|0] [--checkpoint DIR]
+//!                 [--checkpoint-every N] [--recover DIR]
+//!                 [--faults PLAN.toml] [--crash-at OFFSET]
+//! scenarios chaos --replay FILE [--faults PLAN.toml] [--threads N]
+//!                 [--batch N] [--checkpoint DIR] [--json] [--out FILE]
 //! ```
 //!
 //! `run` and `sweep` exit non-zero when the differential verdict does not
@@ -70,7 +76,13 @@ fn usage() -> ExitCode {
          \x20                            the destination-blocked sigma engine (runs at\n\
          \x20                            sizes where the square state exceeds memory)\n\
          \x20 serve --replay FILE        replay a churn trace through the route server,\n\
-         \x20                            coalescing changes into incremental reconvergences\n\
+         \x20                            coalescing changes into incremental reconvergences;\n\
+         \x20                            optionally checkpointed, crash-recoverable, and\n\
+         \x20                            deadline-bounded (stale answers while degraded)\n\
+         \x20 chaos --replay FILE        run fault plans against the route server: inject\n\
+         \x20                            the schedule, recover, and verify digest-identity\n\
+         \x20                            plus measured<=bound (all built-in plans, or one\n\
+         \x20                            --faults PLAN.toml)\n\
          \n\
          options:\n\
          \x20 --engines LIST   comma-separated subset of {engine_names}\n\
@@ -115,6 +127,24 @@ fn usage() -> ExitCode {
          \x20 --topology T     gen-trace: line|ring|star|complete (default ring)\n\
          \x20 --algebra A      gen-trace/scale-run: hopcount|shortest (default hopcount)\n\
          \x20 --queries P      gen-trace: queries per 1000 events (default 100)\n\
+         \x20 --weights P      gen-trace: set_weight events per 1000 events (default 0;\n\
+         \x20                  policy churn for the weighted algebras)\n\
+         \x20 --deadline-ms D  serve: per-flush reconvergence deadline — auto (default:\n\
+         \x20                  convergence bound x measured per-round cost), a fixed\n\
+         \x20                  millisecond budget, or 0 to disable.  On overrun the\n\
+         \x20                  server answers from the last stable table (stale: true)\n\
+         \x20                  while reconvergence continues\n\
+         \x20 --checkpoint DIR serve: arm a checkpoint + WAL store in DIR (snapshots of\n\
+         \x20                  the converged table plus an append-only event log);\n\
+         \x20                  chaos: base directory for the per-plan stores\n\
+         \x20 --checkpoint-every N  serve: snapshot cadence in applied events (default 64)\n\
+         \x20 --recover DIR    serve: restore the snapshot in DIR, replay the WAL tail,\n\
+         \x20                  and continue the trace from the recorded offset\n\
+         \x20 --faults FILE    serve/chaos: a TOML fault plan to inject (kinds:\n\
+         \x20                  kill_worker, stall_band, fail_epoch, crash, truncate_wal,\n\
+         \x20                  corrupt_wal, delay_flush)\n\
+         \x20 --crash-at E     serve: crash the process just before event offset E\n\
+         \x20                  (shorthand for a one-fault crash plan)\n\
          \x20 --m M            scale-run: as_graph attachment edges per node (default 2)\n\
          \x20 --block W        scale-run: destination-block width (default 1024;\n\
          \x20                  pure memory layout, the digest is identical for any W)"
@@ -149,6 +179,13 @@ struct Options {
     queries: Option<u32>,
     m: Option<usize>,
     block: Option<usize>,
+    weights: Option<u32>,
+    deadline_ms: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    recover: Option<String>,
+    faults: Option<String>,
+    crash_at: Option<u64>,
 }
 
 /// The options `run-all` accepts: the scenario options plus the bound
@@ -208,6 +245,22 @@ const SERVE_OPTS: &[&str] = &[
     "--json",
     "--out",
     "--trace",
+    "--deadline-ms",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--recover",
+    "--faults",
+    "--crash-at",
+];
+/// The options `chaos` accepts.
+const CHAOS_OPTS: &[&str] = &[
+    "--replay",
+    "--threads",
+    "--batch",
+    "--json",
+    "--out",
+    "--faults",
+    "--checkpoint",
 ];
 /// The options `gen-trace` accepts.
 const GEN_TRACE_OPTS: &[&str] = &[
@@ -218,6 +271,7 @@ const GEN_TRACE_OPTS: &[&str] = &[
     "--topology",
     "--algebra",
     "--queries",
+    "--weights",
 ];
 /// The options `scale-run` accepts.
 const SCALE_RUN_OPTS: &[&str] = &[
@@ -261,6 +315,13 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         queries: None,
         m: None,
         block: None,
+        weights: None,
+        deadline_ms: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        recover: None,
+        faults: None,
+        crash_at: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -395,6 +456,45 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 opts.block = Some(
                     v.parse::<usize>()
                         .map_err(|e| format!("bad --block: {e}"))?,
+                );
+            }
+            "--weights" => {
+                let v = it.next().ok_or("--weights needs a value")?;
+                opts.weights = Some(
+                    v.parse::<u32>()
+                        .map_err(|e| format!("bad --weights: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value (auto|N|0)")?;
+                if v != "auto" {
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --deadline-ms {v:?} (auto|N|0): {e}"))?;
+                }
+                opts.deadline_ms = Some(v.clone());
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(it.next().ok_or("--checkpoint needs a directory")?.clone())
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                let every = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be >= 1".into());
+                }
+                opts.checkpoint_every = Some(every);
+            }
+            "--recover" => {
+                opts.recover = Some(it.next().ok_or("--recover needs a directory")?.clone())
+            }
+            "--faults" => opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone()),
+            "--crash-at" => {
+                let v = it.next().ok_or("--crash-at needs an event offset")?;
+                opts.crash_at = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --crash-at: {e}"))?,
                 );
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -952,6 +1052,9 @@ fn cmd_gen_trace(opts: &Options) -> Result<bool, String> {
         events: opts.events.unwrap_or(100_000),
         seed: opts.seed.unwrap_or(1),
         query_permille: opts.queries.unwrap_or(100),
+        // Off by default so traces regenerate byte-identically to the
+        // pre-`set_weight` format for the same seed.
+        weight_permille: opts.weights.unwrap_or(0),
     };
     let trace = generate_trace(&spec).map_err(|e| e.to_string())?;
     let path = opts.out.as_deref().unwrap_or("churn.trace");
@@ -1068,23 +1171,161 @@ fn cmd_serve(opts: &Options) -> Result<bool, String> {
     let trace = ChurnTrace::parse(&text).map_err(|e| e.to_string())?;
     let threads = run_threads(opts);
     let batch = opts.batch.unwrap_or(64).max(1);
+    let serve_opts = serve_options(opts, threads, batch)?;
     let report = match opts.trace.as_deref() {
         Some(tp) => {
             let mut tracer = TraceSink::to_file(tp)
                 .map_err(|e| format!("cannot create trace file {tp:?}: {e}"))?;
             let report =
-                replay_trace(&trace, threads, batch, &mut tracer).map_err(|e| e.to_string())?;
+                replay_trace_opts(&trace, &serve_opts, &mut tracer).map_err(|e| e.to_string())?;
             tracer
                 .finish()
                 .map_err(|e| format!("cannot write trace file {tp:?}: {e}"))?;
             eprintln!("wrote {tp}");
             report
         }
-        None => replay_trace(&trace, threads, batch, &mut telemetry::NoopSink)
+        None => replay_trace_opts(&trace, &serve_opts, &mut telemetry::NoopSink)
             .map_err(|e| e.to_string())?,
     };
     let json = serve_json(&report, threads, batch);
     emit(opts, &json, &serve_summary(&report, threads, batch))?;
+    match &report.failure {
+        None => Ok(true),
+        // Mid-replay failure: the partial report is already emitted (and
+        // written via --out); exit with the structured error so scripts
+        // see both the data and a non-zero status.
+        Some(f) => {
+            let checkpoint = match f.last_checkpoint {
+                Some(off) => format!("last checkpoint at offset {off}"),
+                None => "no checkpoint written".into(),
+            };
+            let hint = match (f.kind.as_str(), &serve_opts.checkpoint_dir) {
+                ("crash", Some(dir)) => {
+                    format!("; rerun with --recover {} to continue", dir.display())
+                }
+                _ => String::new(),
+            };
+            Err(format!(
+                "serve failed ({}) at event offset {} ({checkpoint}): {}{hint}",
+                f.kind, f.offset, f.message
+            ))
+        }
+    }
+}
+
+/// Assemble the [`ServeOptions`] of a `serve` invocation from the CLI
+/// flags: deadline policy (`auto` unless overridden), checkpoint store,
+/// recovery, and the fault plan (`--faults FILE` and/or `--crash-at E`).
+fn serve_options(opts: &Options, threads: usize, batch: usize) -> Result<ServeOptions, String> {
+    let deadline = match opts.deadline_ms.as_deref() {
+        // The bound-derived deadline is the documented default: the
+        // convergence-bound oracle times the measured per-round cost,
+        // with generous headroom, so an unloaded run never degrades.
+        None | Some("auto") => DeadlineCfg::Auto,
+        Some("0") => DeadlineCfg::Off,
+        Some(ms) => DeadlineCfg::Millis(
+            ms.parse::<u64>()
+                .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+        ),
+    };
+    let recover = opts.recover.is_some();
+    let checkpoint_dir = match (&opts.recover, &opts.checkpoint) {
+        (Some(dir), _) | (None, Some(dir)) => Some(PathBuf::from(dir)),
+        (None, None) => None,
+    };
+    if checkpoint_dir.is_none() && opts.checkpoint_every.is_some() {
+        return Err("--checkpoint-every needs --checkpoint DIR (or --recover DIR)".into());
+    }
+    let mut plan = match opts.faults.as_deref() {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan {path:?}: {e}"))?;
+            Some(load_plan(&text).map_err(|e| e.to_string())?)
+        }
+    };
+    if let Some(offset) = opts.crash_at {
+        plan.get_or_insert_with(|| dbf_matrix::FaultPlan::new(0))
+            .push(dbf_matrix::FaultKind::CrashAtEvent, offset);
+    }
+    Ok(ServeOptions {
+        threads,
+        batch_max: batch,
+        deadline,
+        checkpoint_dir,
+        checkpoint_every: opts.checkpoint_every.unwrap_or(64),
+        recover,
+        faults: plan.map(std::sync::Arc::new),
+        dedicated_pool: false,
+    })
+}
+
+/// `scenarios chaos`: run fault plans against a churn trace, recover, and
+/// verify digest-identity plus the convergence-bound oracle.  With
+/// `--faults FILE` runs that one plan; without it, every built-in plan.
+fn cmd_chaos(opts: &Options) -> Result<bool, String> {
+    let path = opts
+        .replay
+        .as_deref()
+        .ok_or("chaos needs --replay FILE (generate one with `scenarios gen-trace`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let trace = ChurnTrace::parse(&text).map_err(|e| e.to_string())?;
+    let threads = run_threads(opts);
+    let batch = opts.batch.unwrap_or(64).max(1);
+    // Each plan gets a fresh store directory so a crashed run's WAL never
+    // leaks into the next plan's recovery.
+    let base = match &opts.checkpoint {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("dbf-chaos-{}", std::process::id())),
+    };
+    let plans: Vec<(String, dbf_matrix::FaultPlan)> = match opts.faults.as_deref() {
+        Some(file) => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read fault plan {file:?}: {e}"))?;
+            vec![(
+                file.to_string(),
+                load_plan(&text).map_err(|e| e.to_string())?,
+            )]
+        }
+        None => builtin_plan_names()
+            .iter()
+            .map(|name| {
+                let plan = builtin_plan(name, trace.events.len()).expect("built-in plan");
+                (name.to_string(), plan)
+            })
+            .collect(),
+    };
+    let mut outcomes = Vec::new();
+    for (name, plan) in plans {
+        let dir = base.join(name.replace(['/', '\\'], "_"));
+        let outcome = run_chaos(
+            &trace,
+            &name,
+            plan,
+            threads,
+            batch,
+            &dir,
+            &mut telemetry::NoopSink,
+        )
+        .map_err(|e| format!("{name}: {e}"))?;
+        let verdict = if outcome.ok { "ok" } else { "FAILED" };
+        eprintln!(
+            "chaos {name}: {verdict} — {} ({} faults fired, {} stale answers)",
+            outcome.detail, outcome.faults_fired, outcome.stale_answers
+        );
+        outcomes.push(outcome);
+    }
+    let failed = outcomes.iter().filter(|o| !o.ok).count();
+    let json = chaos_json(&outcomes, threads, batch);
+    let summary = format!(
+        "chaos: {} of {} plans verified (threads={threads}, batch<={batch})",
+        outcomes.len() - failed,
+        outcomes.len()
+    );
+    emit(opts, &json, &summary)?;
+    if failed > 0 {
+        return Err(format!("{failed} chaos plan(s) failed verification"));
+    }
     Ok(true)
 }
 
@@ -1126,6 +1367,38 @@ fn serve_summary(report: &ReplayReport, threads: usize, batch: usize) -> String 
         report.pool.jobs,
         report.pool.worker_share() * 100.0,
     ));
+    if let Some(rec) = &report.recovery {
+        let snap = match rec.snapshot_offset {
+            Some(off) => format!("snapshot at offset {off}"),
+            None => "no snapshot".into(),
+        };
+        out.push_str(&format!(
+            "\n  recovered: {snap}, {} WAL events replayed",
+            rec.wal_replayed
+        ));
+    }
+    if report.checkpoints > 0 || report.last_checkpoint.is_some() {
+        let last = match report.last_checkpoint {
+            Some(off) => format!(" (last at offset {off})"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "\n  checkpoints: {} snapshots written{last}",
+            report.checkpoints
+        ));
+    }
+    if s.stale_answers > 0 || s.deadline_overruns > 0 || s.flush_retries > 0 {
+        out.push_str(&format!(
+            "\n  degradation: {} deadline overruns, {} stale answers, {} flush retries",
+            s.deadline_overruns, s.stale_answers, s.flush_retries
+        ));
+    }
+    if let Some(f) = &report.failure {
+        out.push_str(&format!(
+            "\n  FAILED ({}) at event offset {}: {}",
+            f.kind, f.offset, f.message
+        ));
+    }
     out
 }
 
@@ -1264,6 +1537,10 @@ fn main() -> ExitCode {
         },
         "serve" => match parse_options(&args[1..], SERVE_OPTS) {
             Ok(opts) => cmd_serve(&opts),
+            Err(e) => Err(e),
+        },
+        "chaos" => match parse_options(&args[1..], CHAOS_OPTS) {
+            Ok(opts) => cmd_chaos(&opts),
             Err(e) => Err(e),
         },
         _ => return usage(),

@@ -54,11 +54,20 @@
 //!   quantification, sampled).  Failures are minimized by a greedy spec
 //!   shrinker and written to a corpus directory as self-reproducing TOML.
 //! * [`serve`] — the **route server**: a long-lived daemon loop holding
-//!   one converged table, coalescing a stream of churn events into
-//!   batched incremental reconvergences on the persistent worker pool
-//!   and answering route queries from the converged table — replayable
-//!   seeded churn traces, thread-count- and batch-size-invariant
-//!   digests, and the `BENCH_serve.json` throughput/latency document.
+//!   one converged table, coalescing a stream of churn events (including
+//!   `set_weight` policy churn) into batched incremental reconvergences
+//!   on the persistent worker pool and answering route queries from the
+//!   converged table — replayable seeded churn traces, thread-count- and
+//!   batch-size-invariant digests, and the `BENCH_serve.json`
+//!   throughput/latency document;
+//! * [`checkpoint`] / [`chaos`] — **crash safety, proven**: periodic
+//!   snapshots plus a write-ahead log make a replay killed at any event
+//!   offset recoverable to a byte-identical report; bound-derived flush
+//!   deadlines degrade to stale-flagged answers instead of blocking; and
+//!   a deterministic fault plane (`dbf_matrix::faults`) driven by
+//!   `scenarios chaos` injects worker kills, stalls, crashes, WAL
+//!   corruption and flush delays, verifying digest-identical recovery or
+//!   a clean structured failure for every plan.
 //!
 //! Running a built-in scenario through the differential oracle:
 //!
@@ -101,6 +110,8 @@
 //! cargo run -p dbf-scenario --bin scenarios -- fuzz --cases 200 --seed 1 --jobs 8
 //! cargo run -p dbf-scenario --bin scenarios -- gen-trace --out churn.trace --events 100000
 //! cargo run -p dbf-scenario --bin scenarios -- serve --replay churn.trace --threads 4
+//! cargo run -p dbf-scenario --bin scenarios -- serve --replay churn.trace --recover store
+//! cargo run -p dbf-scenario --bin scenarios -- chaos --replay churn.trace --threads 4
 //! ```
 //!
 //! Fuzzing one case programmatically (the differential oracle with a
@@ -123,6 +134,8 @@ pub mod agg;
 pub mod bench;
 pub mod bound;
 pub mod builtins;
+pub mod chaos;
+pub mod checkpoint;
 pub mod engine;
 pub mod fuzz;
 pub mod gen;
@@ -141,6 +154,8 @@ pub use dbf_telemetry as telemetry;
 
 pub use agg::{PointReport, Stats, SweepReport};
 pub use bound::{algebra_height, bound_for_engine, bound_table, schedule_window, PhaseBound};
+pub use chaos::{builtin_plan, builtin_plan_names, chaos_json, load_plan, run_chaos, ChaosOutcome};
+pub use checkpoint::{CheckpointStore, PersistRoute, Snapshot, WalError};
 pub use dbf_matrix::RowOrder;
 pub use engine::{
     descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
@@ -151,8 +166,9 @@ pub use metrics::{metrics_json, metrics_table, profile_table, timing_json, with_
 pub use report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
 pub use run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
 pub use serve::{
-    generate_trace, replay_trace, serve_json, ChurnTrace, ReplayReport, RouteServer, ServeAlgebra,
-    ServeEvent, ServeStats, TraceSpec,
+    generate_trace, replay_trace, replay_trace_opts, serve_json, BoundRule, ChurnTrace,
+    DeadlineCfg, PoolHandle, RecoveryInfo, ReplayReport, RouteServer, ServeAlgebra, ServeAnswer,
+    ServeEvent, ServeFailure, ServeOptions, ServeProblem, ServeStats, TraceSpec, WeightOverrides,
 };
 pub use spec::{
     AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario, ScheduleSpec,
@@ -167,6 +183,10 @@ pub mod prelude {
         algebra_height, bound_for_engine, bound_table, schedule_window, PhaseBound,
     };
     pub use crate::builtins;
+    pub use crate::chaos::{
+        builtin_plan, builtin_plan_names, chaos_json, load_plan, run_chaos, ChaosOutcome,
+    };
+    pub use crate::checkpoint::{CheckpointStore, PersistRoute, Snapshot, WalError};
     pub use crate::engine::{
         descriptor, descriptors, engine_for, engine_seeds, planned_runs, Determinism, Engine,
         EngineInfo, Problem, ScenarioAlgebra,
@@ -179,8 +199,10 @@ pub mod prelude {
     pub use crate::report::{Agreement, EngineRun, Json, PhaseOutcome, ScenarioReport};
     pub use crate::run::{run_scenario, run_scenario_traced, run_scenario_with, RunConfig};
     pub use crate::serve::{
-        generate_trace, replay_trace, serve_json, ChurnTrace, ReplayReport, RouteServer,
-        ServeAlgebra, ServeEvent, ServeStats, TraceSpec,
+        generate_trace, replay_trace, replay_trace_opts, serve_json, BoundRule, ChurnTrace,
+        DeadlineCfg, PoolHandle, RecoveryInfo, ReplayReport, RouteServer, ServeAlgebra,
+        ServeAnswer, ServeEvent, ServeFailure, ServeOptions, ServeProblem, ServeStats, TraceSpec,
+        WeightOverrides,
     };
     pub use crate::spec::{
         AlgebraSpec, ChangeSpec, EngineKind, Expectation, FaultSpec, PhaseSpec, Scenario,

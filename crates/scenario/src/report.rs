@@ -148,6 +148,13 @@ impl Digest {
     pub fn value(&self) -> u64 {
         self.state
     }
+
+    /// Resume a digest from a previously saved [`Digest::value`], so a
+    /// running digest (the route server's answers digest) can survive a
+    /// checkpoint/recover cycle mid-stream.
+    pub fn from_state(state: u64) -> Digest {
+        Digest { state }
+    }
 }
 
 /// The outcome of one phase on one engine run.

@@ -242,6 +242,15 @@ pub(crate) fn lower_changes(changes: &[ChangeSpec]) -> Vec<TopologyChange<()>> {
                 to,
                 weight: (),
             }),
+            // The weight itself lives outside the weightless shape: the
+            // route server records it in its weight-override map and the
+            // rebuilt adjacency picks it up.  Here it only ensures the
+            // edge exists.
+            ChangeSpec::SetWeight { from, to, .. } => out.push(TopologyChange::SetEdge {
+                from,
+                to,
+                weight: (),
+            }),
             ChangeSpec::RemoveEdge { from, to } => {
                 out.push(TopologyChange::RemoveEdge { from, to })
             }
@@ -270,6 +279,15 @@ fn shape_phases(spec: &Scenario) -> Result<Vec<(String, Topology<()>, FaultSpec)
 }
 
 fn check_change_bounds(c: &ChangeSpec, n: usize) -> Result<(), SpecError> {
+    if let ChangeSpec::SetWeight { .. } = c {
+        // Scenario phases derive every weight from the spec's weight rule;
+        // a per-edge re-weight only has meaning in churn traces, where the
+        // route server keeps an override map.
+        return Err(SpecError::new(format!(
+            "change {c:?} is serve/trace-level policy churn; scenario phases derive weights \
+             from the weight rule"
+        )));
+    }
     if c.in_bounds(n) {
         Ok(())
     } else {

@@ -334,6 +334,18 @@ pub enum ChangeSpec {
         /// The other endpoint.
         b: usize,
     },
+    /// Re-weight the directed edge `from → to` (adding it if absent):
+    /// policy churn rather than structural churn.  Serve/trace-level only
+    /// — scenario phases derive their weights from the spec's weight
+    /// rule, so this op is rejected there.
+    SetWeight {
+        /// Source.
+        from: usize,
+        /// Target.
+        to: usize,
+        /// The new edge weight.
+        weight: u64,
+    },
     /// Add a fresh, initially isolated node.
     AddNode,
 }
@@ -506,6 +518,7 @@ impl ChangeSpec {
             ChangeSpec::SetEdge { from, to } => from < n && to < n && from != to,
             ChangeSpec::RemoveEdge { from, to } => from < n && to < n,
             ChangeSpec::FailLink { a, b } => a < n && b < n,
+            ChangeSpec::SetWeight { from, to, .. } => from < n && to < n && from != to,
             ChangeSpec::AddNode => true,
         }
     }
@@ -1052,6 +1065,12 @@ impl ChangeSpec {
                 t.insert("a".into(), int_val(a as u64));
                 t.insert("b".into(), int_val(b as u64));
             }
+            ChangeSpec::SetWeight { from, to, weight } => {
+                t.insert("op".into(), str_val("set_weight"));
+                t.insert("from".into(), int_val(from as u64));
+                t.insert("to".into(), int_val(to as u64));
+                t.insert("weight".into(), int_val(weight));
+            }
             ChangeSpec::AddNode => {
                 t.insert("op".into(), str_val("add_node"));
             }
@@ -1077,6 +1096,11 @@ impl ChangeSpec {
             "fail_link" => Ok(ChangeSpec::FailLink {
                 a: req_usize(v, "a")?,
                 b: req_usize(v, "b")?,
+            }),
+            "set_weight" => Ok(ChangeSpec::SetWeight {
+                from: req_usize(v, "from")?,
+                to: req_usize(v, "to")?,
+                weight: req_u64(v, "weight")?,
             }),
             "add_node" => Ok(ChangeSpec::AddNode),
             other => Err(SpecError::new(format!("unknown change op {other:?}"))),

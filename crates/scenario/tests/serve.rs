@@ -27,6 +27,7 @@ fn ring_trace(algebra: ServeAlgebra, events: usize) -> ChurnTrace {
         events,
         seed: 42,
         query_permille: 150,
+        weight_permille: 0,
     })
     .expect("generator accepts the spec")
 }
@@ -143,17 +144,20 @@ fn queries_after_convergence_are_stable_until_the_next_change() {
     let trace = ring_trace(ServeAlgebra::Hopcount { limit: 32 }, 200);
     let shape = dbf_scenario::run::build_shape(&trace.topology).unwrap();
     let rule = WeightRule::uniform(1);
-    let mut server = RouteServer::new(
-        dbf_algebra::prelude::BoundedHopCount::new(32),
-        shape,
-        move |s: &dbf_topology::Topology<()>| {
-            dbf_matrix::AdjacencyMatrix::from_topology(&s.with_weights(|i, j| rule.weight(i, j)))
-        },
-        2,
-        16,
-        &mut NoopSink,
-    )
-    .expect("server");
+    let mut server =
+        RouteServer::new(
+            dbf_algebra::prelude::BoundedHopCount::new(32),
+            shape,
+            move |s: &dbf_topology::Topology<()>, w: &WeightOverrides| {
+                dbf_matrix::AdjacencyMatrix::from_topology(&s.with_weights(|i, j| {
+                    w.get(&(i, j)).copied().unwrap_or_else(|| rule.weight(i, j))
+                }))
+            },
+            2,
+            16,
+            &mut NoopSink,
+        )
+        .expect("server");
     for ev in &trace.events {
         server.submit(ev, &mut NoopSink).expect("in-bounds event");
     }

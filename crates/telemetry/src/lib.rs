@@ -27,6 +27,15 @@
 //! * [`Tee`] — fan a single event stream into two sinks (e.g. aggregate
 //!   *and* trace in one run).
 //!
+//! Beyond the per-round engine events, the sink carries the route server's
+//! lifecycle: `serve_batch` (one coalesced reconvergence), `serve_degraded`
+//! / `serve_restored` (a flush overran its bound-derived deadline and
+//! queries were answered stale until it completed), `serve_recovery`
+//! (snapshot offset and WAL events replayed after a crash),
+//! `fault_injected` (the deterministic fault plane firing), and
+//! `pool_health` (worker deaths, restarts and retries absorbed by the
+//! supervised pool).
+//!
 //! The determinism contract is the load-bearing design point: events that
 //! feed the `metrics` side of a report carry only quantities that are pure
 //! functions of (problem, seed) — round indices, row counts, settle rounds,

@@ -49,6 +49,11 @@ pub enum EventClass {
     Messages,
     /// Parallel band profiling: `band_sweep`.
     Bands,
+    /// Fault-plane injections: `fault_injected`.
+    Faults,
+    /// Robustness health events: `pool_health`, `serve_degraded`,
+    /// `serve_restored`, `serve_recovery`.
+    Health,
 }
 
 impl EventClass {
@@ -59,6 +64,8 @@ impl EventClass {
             EventClass::Settle => "settle",
             EventClass::Messages => "messages",
             EventClass::Bands => "bands",
+            EventClass::Faults => "faults",
+            EventClass::Health => "health",
         }
     }
 }
@@ -143,6 +150,30 @@ pub trait TelemetrySink {
     /// (the rest ran inline on the coordinator).  `worker_share` is
     /// scheduling-dependent and therefore non-deterministic.
     fn pool_utilization(&mut self, _workers: u64, _epochs: u64, _jobs: u64, _worker_share: f64) {}
+
+    /// A scheduled fault fired: `kind` is the stable fault name (e.g.
+    /// `kill_worker`, `crash`), `at` its trigger site.  Only emitted by
+    /// chaos/fault-injected runs.
+    fn fault_injected(&mut self, _kind: &str, _at: u64) {}
+
+    /// Worker-pool health counters after a serve flush or chaos phase:
+    /// worker `deaths`, supervisor `restarts`, and epoch `retries`.
+    fn pool_health(&mut self, _workers: u64, _deaths: u64, _restarts: u64, _retries: u64) {}
+
+    /// A flush overran its reconvergence deadline: the server enters
+    /// degraded mode and answers queries from the last stable table
+    /// (flagged stale) while reconvergence continues.  `flush` is the
+    /// batch index, `rounds_done` how many rounds fit in the deadline.
+    fn serve_degraded(&mut self, _flush: u64, _rounds_done: u64) {}
+
+    /// A degraded flush completed its reconvergence: `rounds_total` rounds
+    /// overall, after `stale_answers` queries were served stale.
+    fn serve_restored(&mut self, _flush: u64, _rounds_total: u64, _stale_answers: u64) {}
+
+    /// The server recovered from a checkpoint directory: the snapshot put
+    /// it at event `offset` and `wal_events` WAL-tail events were
+    /// replayed on top before the trace resumed.
+    fn serve_recovery(&mut self, _offset: u64, _wal_events: u64) {}
 }
 
 /// The disabled sink: `enabled()` is `false` and every event is a no-op.
@@ -218,6 +249,26 @@ impl TelemetrySink for Tee<'_> {
     fn pool_utilization(&mut self, workers: u64, epochs: u64, jobs: u64, worker_share: f64) {
         self.a.pool_utilization(workers, epochs, jobs, worker_share);
         self.b.pool_utilization(workers, epochs, jobs, worker_share);
+    }
+    fn fault_injected(&mut self, kind: &str, at: u64) {
+        self.a.fault_injected(kind, at);
+        self.b.fault_injected(kind, at);
+    }
+    fn pool_health(&mut self, workers: u64, deaths: u64, restarts: u64, retries: u64) {
+        self.a.pool_health(workers, deaths, restarts, retries);
+        self.b.pool_health(workers, deaths, restarts, retries);
+    }
+    fn serve_degraded(&mut self, flush: u64, rounds_done: u64) {
+        self.a.serve_degraded(flush, rounds_done);
+        self.b.serve_degraded(flush, rounds_done);
+    }
+    fn serve_restored(&mut self, flush: u64, rounds_total: u64, stale_answers: u64) {
+        self.a.serve_restored(flush, rounds_total, stale_answers);
+        self.b.serve_restored(flush, rounds_total, stale_answers);
+    }
+    fn serve_recovery(&mut self, offset: u64, wal_events: u64) {
+        self.a.serve_recovery(offset, wal_events);
+        self.b.serve_recovery(offset, wal_events);
     }
 }
 

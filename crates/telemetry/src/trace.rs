@@ -190,6 +190,51 @@ impl<W: Write> TelemetrySink for TraceSink<W> {
             ],
         );
     }
+    fn fault_injected(&mut self, kind: &str, at: u64) {
+        self.line(
+            "fault_injected",
+            &[("kind", Field::Str(kind)), ("at", Field::U64(at))],
+        );
+    }
+    fn pool_health(&mut self, workers: u64, deaths: u64, restarts: u64, retries: u64) {
+        self.line(
+            "pool_health",
+            &[
+                ("workers", Field::U64(workers)),
+                ("deaths", Field::U64(deaths)),
+                ("restarts", Field::U64(restarts)),
+                ("retries", Field::U64(retries)),
+            ],
+        );
+    }
+    fn serve_degraded(&mut self, flush: u64, rounds_done: u64) {
+        self.line(
+            "serve_degraded",
+            &[
+                ("flush", Field::U64(flush)),
+                ("rounds_done", Field::U64(rounds_done)),
+            ],
+        );
+    }
+    fn serve_restored(&mut self, flush: u64, rounds_total: u64, stale_answers: u64) {
+        self.line(
+            "serve_restored",
+            &[
+                ("flush", Field::U64(flush)),
+                ("rounds_total", Field::U64(rounds_total)),
+                ("stale_answers", Field::U64(stale_answers)),
+            ],
+        );
+    }
+    fn serve_recovery(&mut self, offset: u64, wal_events: u64) {
+        self.line(
+            "serve_recovery",
+            &[
+                ("offset", Field::U64(offset)),
+                ("wal_events", Field::U64(wal_events)),
+            ],
+        );
+    }
     fn messages(&mut self, c: &MessageCounters) {
         let bytes = match c.bytes {
             Some(b) => Field::U64(b),
